@@ -1,0 +1,17 @@
+"""Bench target for the design-choice ablations DESIGN.md calls out.
+
+Not a paper table — these probe the §4/§5 discussion directly: the
+minimum-label heuristic, balanced coloring, and VF chain compression.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_ablations(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("ablations", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    assert len(result.tables) == 3

@@ -1,0 +1,20 @@
+"""Bench target for the distributed-memory implementation (§5 claim)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_distributed_scaling(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("distributed", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    for name, per_p in result.data.items():
+        for p, entry in per_p.items():
+            # The load-bearing claim: output identical at every rank count.
+            assert entry["identical"] == 1.0, (name, p)
+        # Communication volume grows with ranks.
+        ps = sorted(per_p)
+        volumes = [per_p[p]["bytes"] for p in ps]
+        assert volumes == sorted(volumes), name

@@ -1,0 +1,24 @@
+"""Bench target for Fig. 10: performance profiles across schemes."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig10_performance_profiles(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig10", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    time_profiles = result.data["runtime_profiles"]
+    mod_profiles = result.data["modularity_profiles"]
+    # Serial is the slowest scheme overall (paper: 2-5x from the best).
+    assert time_profiles["serial"].fraction_within(1.0) <= 0.25
+    # All schemes are modularity-comparable (within ~10% of best everywhere).
+    for scheme, profile in mod_profiles.items():
+        assert profile.ratios[-1] < 1.15, scheme
+    # +VF+Color leads the runtime profile more often than the baseline.
+    assert (
+        time_profiles["baseline+VF+Color"].fraction_within(1.5)
+        >= time_profiles["baseline"].fraction_within(1.0)
+    )

@@ -1,0 +1,22 @@
+"""Bench target for Figs 3-6 (left): modularity evolution per iteration."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig3_6_modularity_evolution(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig3_6_modularity", scale=bench_scale),
+    )
+    print("\n" + result.render())
+    traj = result.data["trajectories"]
+    assert len(traj) == 11
+    # Coloring's design intent (§5.2): fewer iterations than the plain
+    # baseline on a majority of the inputs.
+    wins = sum(
+        1 for name in traj
+        if traj[name]["baseline+VF+Color"].size <= traj[name]["baseline"].size
+    )
+    assert wins >= 6, f"coloring reduced iterations on only {wins}/11 inputs"

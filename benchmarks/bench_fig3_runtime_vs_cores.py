@@ -1,0 +1,22 @@
+"""Bench target for Figs 3-6 (right): runtime vs thread count per variant."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig3_6_runtime_vs_cores(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig3_6_runtime", scale=bench_scale),
+    )
+    print("\n" + result.render())
+    runtime = result.data["runtime"]
+    # +VF+Color is the fastest variant at 8 threads on most inputs (the
+    # paper's headline; exceptions like uk-2002 are expected).
+    wins = sum(
+        1 for name in runtime
+        if runtime[name]["baseline+VF+Color"][8]
+        <= min(v[8] for v in runtime[name].values())
+    )
+    assert wins >= 6, f"+VF+Color fastest on only {wins}/11 inputs"

@@ -1,0 +1,22 @@
+"""Bench target for Fig. 7: relative and absolute speedup curves."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig7_speedup(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig7", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    rel = result.data["relative"]
+    absolute = result.data["absolute"]
+    assert len(rel) == 11
+    assert len(absolute) == 9  # Europe-osm/friendster excluded (serial N/A)
+    # Speedup keeps increasing from 2 to 8 threads on most inputs.
+    growing = sum(1 for curve in rel.values() if curve[8] > curve[2])
+    assert growing >= 8
+    # And goes sub-linear beyond 8 (paper: "sub-linear beyond 8 threads").
+    for name, curve in rel.items():
+        assert curve[32] < 16.0, name

@@ -1,0 +1,25 @@
+"""Bench target for Fig. 8: runtime breakdown by algorithm step."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig8_breakdown(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig8", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    breakdown = result.data["breakdown"]
+
+    def rebuild_share(name, p):
+        b = breakdown[name][p]
+        return b["rebuild"] / b["total"]
+
+    # The paper's Fig. 8 contrast: clustering dominates for Rgg and MG2 ...
+    for name in ("Rgg_n_2_24_s0", "MG2"):
+        assert rebuild_share(name, 2) < 0.5, name
+    # ... while the rebuild share *grows* with p on the low-modularity
+    # inputs (Europe-osm, NLPKKT240).
+    for name in ("Europe-osm", "NLPKKT240"):
+        assert rebuild_share(name, 32) > rebuild_share(name, 2), name

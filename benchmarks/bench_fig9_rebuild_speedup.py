@@ -1,0 +1,16 @@
+"""Bench target for Fig. 9: rebuild-phase speedup curves."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig9_rebuild_speedup(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig9", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    for name, curve in result.data["speedups"].items():
+        # Rebuild scales far below linear (serial renumbering + locks).
+        assert curve[32] < 16.0, name
+        assert curve[32] > 0.2, name

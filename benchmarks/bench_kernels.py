@@ -1,0 +1,127 @@
+"""Micro-benchmarks of the hot kernels (multi-round pytest-benchmark).
+
+These time the real Python/NumPy kernels — not the simulated machine —
+on a mid-size stand-in: the vectorized sweep vs the reference sweep, the
+graph rebuild, coloring, and modularity evaluation.  They are the numbers
+a downstream user of this library actually experiences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.core.modularity import modularity
+from repro.core.phase import state_modularity
+from repro.core.sweep import (
+    compute_targets_reference,
+    compute_targets_vectorized,
+    init_state,
+)
+from repro.datasets.catalog import load_dataset
+from repro.graph.coarsen import coarsen
+
+
+@pytest.fixture(scope="module")
+def graph(bench_scale):
+    return load_dataset("Soc-LiveJournal1", scale=bench_scale, seed=0)
+
+
+@pytest.fixture(scope="module")
+def mid_state(graph):
+    """State after two sweeps — a realistic mid-phase configuration."""
+    from repro.core.sweep import sweep
+
+    state = init_state(graph)
+    verts = np.arange(graph.num_vertices, dtype=np.int64)
+    for _ in range(2):
+        sweep(graph, state, verts)
+    return state
+
+
+def test_sweep_vectorized(benchmark, graph, mid_state):
+    verts = np.arange(graph.num_vertices, dtype=np.int64)
+    benchmark(compute_targets_vectorized, graph, mid_state, verts)
+
+
+def test_sweep_reference(benchmark, graph, mid_state):
+    verts = np.arange(graph.num_vertices, dtype=np.int64)
+    benchmark(compute_targets_reference, graph, mid_state, verts)
+
+
+def test_modularity_full(benchmark, graph, mid_state):
+    benchmark(modularity, graph, mid_state.comm)
+
+
+def test_modularity_from_state(benchmark, graph, mid_state):
+    benchmark(state_modularity, graph, mid_state)
+
+
+def test_rebuild(benchmark, graph, mid_state):
+    benchmark(coarsen, graph, mid_state.comm)
+
+
+def test_coloring_greedy(benchmark, graph):
+    benchmark(greedy_coloring, graph)
+
+
+def test_coloring_jones_plassmann(benchmark, graph):
+    benchmark(jones_plassmann_coloring, graph, seed=0)
+
+
+def test_full_pipeline(benchmark, graph):
+    from repro.core.driver import louvain
+
+    benchmark.pedantic(
+        lambda: louvain(graph, variant="baseline+VF+Color",
+                        coloring_min_vertices=graph.num_vertices // 16),
+        rounds=3, iterations=1,
+    )
+
+
+def test_full_pipeline_thread_backend(benchmark, graph):
+    """Real wall-clock with the thread backend (GIL-bounded overlap)."""
+    import os
+
+    from repro.core.driver import louvain
+
+    workers = max(2, os.cpu_count() or 2)
+    benchmark.pedantic(
+        lambda: louvain(graph, variant="baseline",
+                        backend="threads", num_threads=workers),
+        rounds=3, iterations=1,
+    )
+
+
+def test_full_pipeline_process_backend(benchmark, graph):
+    """Real wall-clock with the fork+shared-memory process backend.
+
+    On multi-core machines this is genuinely parallel; compare against
+    ``test_full_pipeline`` for the measured speedup on *this* box (the
+    simulated 32-core figures come from the cost model instead).
+    """
+    import multiprocessing as mp
+    import os
+
+    import pytest
+
+    if "fork" not in mp.get_all_start_methods():
+        pytest.skip("process backend requires fork")
+    from repro.core.driver import louvain
+
+    workers = max(2, os.cpu_count() or 2)
+    benchmark.pedantic(
+        lambda: louvain(graph, variant="baseline",
+                        backend="processes", num_threads=workers),
+        rounds=3, iterations=1,
+    )
+
+
+def test_full_pipeline_serial_reference(benchmark, graph):
+    """Wall-clock baseline for the two backend benchmarks above."""
+    from repro.core.driver import louvain
+
+    benchmark.pedantic(
+        lambda: louvain(graph, variant="baseline"),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,18 @@
+"""Bench target for the §6.2.2 vertex-ordering-sensitivity claim."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_ordering_sensitivity(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("ordering", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    data = result.data
+    # §6.2.2: the uniform-degree mesh is the ordering-sensitive input.
+    assert data["Channel"]["q_spread"] > data["MG1"]["q_spread"]
+    assert data["Channel"]["iter_max"] > data["Channel"]["iter_min"]
+    # Strong clusters are ordering-insensitive.
+    assert data["MG1"]["q_spread"] < 1e-6

@@ -1,0 +1,22 @@
+"""Bench target for the §7 related-work comparison.
+
+The paper: "our parallel implementation baseline+VF+Color delivers higher
+modularity than PLM for the inputs both tested — viz. coPapersDBLP,
+uk-2002, and Soc-LiveJournal."
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_related_work(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("related_work", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    for name, row in result.data.items():
+        # The §7 claim: Grappolo >= the PLM-style comparator.
+        assert row["grappolo"] >= row["plm_style"] - 1e-9, name
+        # And modularity-driven methods beat plain label propagation.
+        assert row["grappolo"] > row["plp"], name

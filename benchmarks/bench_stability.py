@@ -1,0 +1,16 @@
+"""Bench target for the §5.4 seed-stability claim."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_stability(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("stability", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    for name, entry in result.data.items():
+        # "The magnitudes of such variations [are] negligible" (§5.4).
+        assert entry["q_max"] - entry["q_min"] < 0.05, name
+        assert entry["min_pairwise_rand"] > 0.9, name

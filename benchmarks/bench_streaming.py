@@ -1,0 +1,22 @@
+"""Bench target for streaming / real-time maintenance (future work i)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_streaming(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("streaming", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    warm_total = sum(b["warm"].iterations for b in result.data["growth"])
+    cold_total = sum(b["cold"].iterations for b in result.data["growth"])
+    # The real-time payoff: warm restarts beat cold clearly.
+    assert warm_total < cold_total / 2
+    # Quality stays comparable.
+    for b in result.data["growth"]:
+        assert b["warm"].modularity >= b["cold"].modularity - 0.05
+    # Drift tracking stays close to the moving ground truth.
+    for b in result.data["drift"]:
+        assert b["rand"] > 0.85

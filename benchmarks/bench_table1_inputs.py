@@ -1,0 +1,16 @@
+"""Bench target for Table 1: input statistics of the eleven stand-ins."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_table1_input_stats(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table1", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    stats = result.data["stats"]
+    assert len(stats) == 11
+    # Low/high-RSD grouping must match the paper's Table 1 ordering.
+    assert stats["NLPKKT240"].degree_rsd < stats["CNR"].degree_rsd

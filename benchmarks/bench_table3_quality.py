@@ -1,0 +1,17 @@
+"""Bench target for Table 3: qualitative comparison by composition."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_table3_qualitative(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table3", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    # MG1: near-identical partitions (paper: OQ 99.4%, Rand 100%).
+    assert result.data["MG1"].overlap_quality > 0.95
+    assert result.data["MG1"].rand_index > 0.99
+    # CNR: cores agree strongly but not perfectly (paper: OQ 76%, Rand 99%).
+    assert result.data["CNR"].rand_index > 0.9

@@ -1,0 +1,19 @@
+"""Bench target for Table 4: single- vs multi-phase coloring."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_table4_multiphase_coloring(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table4", scale=bench_scale)
+    )
+    print("\n" + result.render())
+    for name, entry in result.data.items():
+        first, multi = entry["first-phase"], entry["multi-phase"]
+        # Multi-phase coloring keeps modularity highly comparable
+        # (paper: agreement to ~3 decimals).
+        assert abs(multi["q_max"] - first["q_max"]) < 0.05, name
+        # ... and never blows up the iteration count (usually reduces it).
+        assert multi["iters"] <= first["iters"] * 1.5 + 2, name

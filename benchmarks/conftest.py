@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark targets.
+
+Every ``bench_*`` file regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index).  Experiment-level targets run the
+harness once per benchmark (``rounds=1`` — they are end-to-end pipelines,
+not micro-kernels) and print the regenerated table so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the report generator.
+Kernel-level targets (bench_kernels.py) use normal multi-round timing.
+
+Set ``REPRO_BENCH_SCALE`` to change the stand-in scale (default 1.0, the
+EXPERIMENTS.md setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+collect_ignore_glob: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def reports() -> dict:
+    """Collects rendered experiment tables; printed at session end."""
+    return {}
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (end-to-end experiment convention)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Post-detection analysis: what to do once you have communities.
+
+Detection returns a label array; this walk-through shows the analysis
+layer turning it into insight, on the co-authorship stand-in:
+
+1. per-community structure (size, density, conductance) and hubs;
+2. whole-partition summary (coverage, mixing, size distribution);
+3. consensus clustering across coloring seeds (the robust answer to the
+   §5.4 run-to-run variability);
+4. a resolution scan revealing the network's natural scales (future
+   work iv tooling).
+
+Run with::
+
+    python examples/community_analysis.py [dataset-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import louvain
+from repro.analysis import (
+    community_hubs,
+    community_stats,
+    consensus_communities,
+    resolution_scan,
+    summarize_partition,
+)
+from repro.datasets import load_dataset
+from repro.metrics.pairs import pair_counts
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "coPapersDBLP"
+    graph = load_dataset(name, scale=0.6, seed=0)
+    cutoff = max(32, graph.num_vertices // 16)
+    print(f"{name} stand-in: {graph}")
+
+    result = louvain(graph, variant="baseline+VF+Color",
+                     coloring_min_vertices=cutoff)
+    print(f"detected {result.num_communities} communities, "
+          f"Q = {result.modularity:.4f}\n")
+
+    # --- 1. the largest communities, inside out --------------------------
+    stats = sorted(community_stats(graph, result.communities),
+                   key=lambda s: -s.size)
+    hubs = community_hubs(graph, result.communities, top=2)
+    print(f"{'rank':>4} {'size':>5} {'density':>8} {'conduct.':>9} "
+          f"{'top hubs'}")
+    for rank, s in enumerate(stats[:6], 1):
+        print(f"{rank:>4} {s.size:>5} {s.internal_density:>8.3f} "
+              f"{s.conductance:>9.3f} {hubs[s.label].tolist()}")
+
+    # --- 2. whole-partition summary ---------------------------------------
+    summary = summarize_partition(graph, result.communities)
+    print(f"\npartition: coverage {100 * summary.coverage:.1f}% of edge "
+          f"weight intra; mixing mu = {summary.mixing_parameter:.3f}; "
+          f"sizes {summary.size_min}..{summary.size_max} "
+          f"(median {summary.size_median:.0f}; "
+          f"{summary.num_singlets} singlets)")
+
+    # --- 3. consensus across coloring seeds -------------------------------
+    consensus = consensus_communities(graph, runs=5)
+    agreement = pair_counts(result.communities,
+                            consensus.communities).rand_index
+    print(f"\nconsensus over 5 seeds: {consensus.num_communities} "
+          f"communities, Q = {consensus.modularity:.4f} "
+          f"({consensus.levels} consensus level(s); Rand vs single run "
+          f"{100 * agreement:.1f}%)")
+
+    # --- 4. resolution scan -----------------------------------------------
+    print(f"\nresolution scan (γ sweep):")
+    print(f"{'gamma':>6} {'communities':>12} {'Q_gamma':>9} {'Q(std)':>8}")
+    for point in resolution_scan(graph, [0.25, 0.5, 1.0, 2.0, 4.0]):
+        print(f"{point.resolution:>6} {point.num_communities:>12} "
+              f"{point.modularity_gamma:>9.4f} "
+              f"{point.modularity_standard:>8.4f}")
+    print("\nPlateaus in the community count across γ mark the network's "
+          "robust scales.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Grappolo vs the related-work algorithms (paper §7).
+
+The paper situates its heuristics against three families of prior work —
+CNM-style agglomeration [19, 21, 22], label-propagation engineering
+(PLP/PLM, [26]) and distributed partition-then-merge Louvain [25] — and
+claims higher modularity than PLM on the three inputs both papers tested.
+This example runs all of them side by side on one stand-in and prints the
+quality/iteration trade-offs.
+
+Run with::
+
+    python examples/comparing_algorithms.py [dataset-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import louvain, louvain_serial
+from repro.alternatives import (
+    cnm,
+    label_propagation,
+    partitioned_louvain,
+    plm_style,
+)
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "coPapersDBLP"
+    graph = load_dataset(name, scale=1.0, seed=0)
+    print(f"{name} stand-in: {graph}\n")
+    print(f"{'algorithm':<30s} {'Q':>8s} {'communities':>12s} {'notes'}")
+
+    grappolo = louvain(graph, variant="baseline+VF+Color",
+                       coloring_min_vertices=max(64, graph.num_vertices // 16))
+    print(f"{'Grappolo (this paper)':<30s} {grappolo.modularity:8.4f} "
+          f"{grappolo.num_communities:12d} "
+          f"{grappolo.total_iterations} iterations, "
+          f"{grappolo.num_phases} phases")
+
+    serial = louvain_serial(graph)
+    print(f"{'serial Louvain [4,10]':<30s} {serial.modularity:8.4f} "
+          f"{serial.num_communities:12d} "
+          f"{serial.history.total_iterations} iterations")
+
+    plm = plm_style(graph)
+    print(f"{'PLM-style single level [26]':<30s} {plm.modularity:8.4f} "
+          f"{plm.num_communities:12d} no phases/VF/coloring")
+
+    plp = label_propagation(graph, seed=0)
+    print(f"{'label propagation (PLP) [26]':<30s} {plp.modularity:8.4f} "
+          f"{plp.num_communities:12d} "
+          f"{plp.iterations} iterations, no modularity objective")
+
+    agglom = cnm(graph)
+    print(f"{'CNM agglomerative [19]':<30s} {agglom.modularity:8.4f} "
+          f"{agglom.num_communities:12d} {agglom.num_merges} merges")
+
+    for parts in (2, 8):
+        part = partitioned_louvain(graph, parts, seed=0)
+        print(f"{f'partitioned Louvain x{parts} [25]':<30s} "
+              f"{part.modularity:8.4f} {part.num_communities:12d} "
+              f"{100 * part.cut_fraction:.0f}% edge weight cut")
+
+    print("\nShapes to look for (§7): Grappolo tops PLM-style and PLP; CNM "
+          "trails Louvain;\nthe distributed scheme degrades as the "
+          "partition cut grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Running the paper's heuristics on (simulated) distributed memory.
+
+§5 of the paper claims its heuristic combination "can be implemented on
+both shared and distributed memory machines".  This example runs the
+bulk-synchronous (MPI-style) implementation across increasing rank counts
+and shows (a) the output is *identical* to the shared-memory pipeline at
+every rank count — the Jacobi sweep is partition-invariant — and (b) what
+that costs in communication: halo label exchanges, allreduce traffic for
+community degrees, and allgathers at phase rebuilds.
+
+Run with::
+
+    python examples/distributed_memory.py [dataset-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import louvain
+from repro.datasets import load_dataset
+from repro.distributed import NetworkModel, distributed_louvain
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Soc-LiveJournal1"
+    graph = load_dataset(name, scale=1.0, seed=0)
+    cutoff = max(64, graph.num_vertices // 16)
+    print(f"{name} stand-in: {graph}")
+
+    shared = louvain(graph, variant="baseline+VF+Color",
+                     coloring_min_vertices=cutoff)
+    print(f"shared-memory reference: Q={shared.modularity:.4f}, "
+          f"{shared.num_communities} communities\n")
+
+    network = NetworkModel()  # ~1 us latency, ~10 GB/s links
+    print(f"{'ranks':>5} {'identical':>9} {'cut edges':>10} "
+          f"{'halo (KB)':>10} {'allreduce (MB)':>14} {'msgs':>8} "
+          f"{'comm time':>10}")
+    for p in (1, 2, 4, 8, 16):
+        dist = distributed_louvain(
+            graph, p, use_vf=True, use_coloring=True,
+            coloring_min_vertices=cutoff,
+        )
+        identical = np.array_equal(dist.communities, shared.communities)
+        halo_kb = dist.traffic.bytes_by_op.get("halo", 0.0) / 1e3
+        ar_mb = dist.traffic.bytes_by_op.get("allreduce", 0.0) / 1e6
+        cut = dist.partition_stats[0][0]
+        print(f"{p:>5} {'yes' if identical else 'NO':>9} {cut:>10,} "
+              f"{halo_kb:>10.1f} {ar_mb:>14.2f} "
+              f"{dist.traffic.total_messages:>8,} "
+              f"{1e3 * dist.communication_time(network):>8.2f}ms")
+
+    print("\nReading the table: the answer never changes with the rank "
+          "count (partition\ninvariance); what grows is the replicated "
+          "community-degree allreduce — the\nclassic scalability ceiling "
+          "of distributed Louvain that Grappolo's successors\n(e.g. Vite) "
+          "attack with sparse updates.")
+
+
+if __name__ == "__main__":
+    main()

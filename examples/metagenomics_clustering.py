@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Clustering a metagenomics-style homology graph.
+
+The paper's MG1/MG2 inputs are protein-sequence homology graphs built from
+ocean metagenomics data [16]: unions of very dense, cleanly separated
+"family" clusters (final modularity ~0.97-0.998).  This example builds the
+MG1 stand-in (a strong planted partition — each planted block plays the
+role of a protein family), recovers the families, and walks the dendrogram
+the multi-phase algorithm produces.
+
+Run with::
+
+    python examples/metagenomics_clustering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import louvain, modularity
+from repro.datasets import load_dataset
+from repro.datasets.catalog import DATASETS
+from repro.metrics.pairs import compare_partitions
+
+
+def main() -> None:
+    spec = DATASETS["MG1"]
+    graph = load_dataset("MG1", scale=1.0, seed=0)
+    print(f"metagenomics stand-in: {graph}")
+    print(f"paper original: n={spec.paper.num_vertices:,} "
+          f"M={spec.paper.num_edges:,} (avg degree "
+          f"{spec.paper.avg_degree:.0f} — homology graphs are dense)")
+
+    # Ground truth: the planted families (24 blocks of 90 sequences).
+    block = 90
+    truth = (np.arange(graph.num_vertices) // block).astype(np.int64)
+    print(f"\nplanted families: {int(truth.max()) + 1} "
+          f"(ground-truth Q = {modularity(graph, truth):.4f})")
+
+    result = louvain(
+        graph,
+        variant="baseline+VF+Color",
+        coloring_min_vertices=max(64, graph.num_vertices // 16),
+    )
+    print(f"detected:         {result.num_communities} families "
+          f"(Q = {result.modularity:.4f}, "
+          f"{result.total_iterations} iterations, "
+          f"{result.num_phases} phases)")
+
+    scores = compare_partitions(truth, result.communities)
+    print(f"recovery:         OQ={scores['OQ']:.2f}%  "
+          f"Rand={scores['Rand']:.2f}%")
+
+    # Walk the hierarchy: each phase is a coarser resolution.
+    print("\ndendrogram (communities after each level):")
+    d = result.dendrogram
+    for level in range(1, d.num_levels + 1):
+        assignment = d.flatten(level)
+        q = modularity(graph, assignment)
+        label = d.labels[level - 1]
+        k = int(assignment.max()) + 1
+        print(f"  level {level} ({label:<8s}): {k:5d} communities, "
+              f"Q = {q:.4f}")
+
+    # Family size distribution of the final clustering.
+    sizes = np.bincount(result.communities)
+    print(f"\nfamily sizes: min={sizes.min()} median={int(np.median(sizes))} "
+          f"max={sizes.max()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The resolution limit of modularity — and the γ knob that fixes it.
+
+The paper's future work (iv) calls for extending the algorithms "to
+account for alternative modularity definitions ... in order to overcome
+the known resolution-limit issues of the standard modularity definition".
+This example demonstrates both halves on the classic ring-of-cliques
+construction (Fortunato & Barthélemy):
+
+* at γ = 1 (the paper's Eq. 3), standard modularity *prefers merging
+  adjacent cliques* once the ring is long enough, so Louvain reports pairs
+  instead of the obvious per-clique communities;
+* raising the resolution parameter γ (Reichardt–Bornholdt generalization,
+  supported end-to-end by this library) restores one community per clique.
+
+Run with::
+
+    python examples/resolution_limit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import louvain, modularity
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> CSRGraph:
+    """num_cliques cliques joined in a ring by single bridge edges."""
+    i, j = np.triu_indices(clique_size, k=1)
+    base = (np.arange(num_cliques) * clique_size)[:, None]
+    u = (base + i[None, :]).ravel()
+    v = (base + j[None, :]).ravel()
+    bridge_src = np.arange(num_cliques) * clique_size + clique_size - 1
+    bridge_dst = (np.arange(1, num_cliques + 1) % num_cliques) * clique_size
+    u = np.concatenate([u, np.minimum(bridge_src, bridge_dst)])
+    v = np.concatenate([v, np.maximum(bridge_src, bridge_dst)])
+    return from_edge_array(num_cliques * clique_size,
+                           np.column_stack([u, v]), combine="error")
+
+
+def main() -> None:
+    num_cliques, clique_size = 30, 3
+    g = ring_of_cliques(num_cliques, clique_size)
+    truth = np.repeat(np.arange(num_cliques), clique_size)
+    print(f"ring of {num_cliques} {clique_size}-cliques: {g}")
+    print(f"'obvious' partition (one community per clique): "
+          f"Q = {modularity(g, truth):.4f}")
+    merged = truth // 2
+    print(f"adjacent-pairs partition:                       "
+          f"Q = {modularity(g, merged):.4f}  <- HIGHER: the resolution limit\n")
+
+    print(f"{'gamma':>6} {'communities':>12} {'Q_gamma':>9} "
+          f"{'per-clique?':>12}")
+    for gamma in (0.5, 1.0, 2.0, 5.0, 8.0):
+        result = louvain(g, variant="baseline+VF+Color",
+                         coloring_min_vertices=16, resolution=gamma)
+        per_clique = result.num_communities == num_cliques
+        print(f"{gamma:>6} {result.num_communities:>12} "
+              f"{result.modularity:>9.4f} "
+              f"{'yes' if per_clique else 'no':>12}")
+
+    print("\nAt gamma = 1 the detector lands on merged pairs (the limit in "
+          "action); a\nlarger gamma strengthens the degree penalty until "
+          "each clique stands alone.\nThe same knob works across the serial "
+          "algorithm, the parallel pipeline, and\nthe distributed "
+          "implementation (LouvainConfig.resolution).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The vertex-following heuristic on a road network — and where it backfires.
+
+Europe-osm (50.9M vertices, average degree 2.12) is the paper's canonical
+VF input: nearly half its vertices are degree-1 "spokes" hanging off chain
+"hubs".  VF merges them away before phase 1, shrinking the input — but §6.2
+reports that on exactly this input VF *prolonged* convergence (more
+iterations per phase) even though each iteration got cheaper.  This example
+reproduces that tension on the Europe-osm stand-in and shows the proposed
+fix, the §5.3 chain-compression extension.
+
+Run with::
+
+    python examples/road_network_vf.py
+"""
+
+from __future__ import annotations
+
+from repro import louvain
+from repro.core.vf import chain_compress, single_degree_vertices, vf_merge
+from repro.datasets import load_dataset
+from repro.parallel.costmodel import MachineModel
+
+
+def main() -> None:
+    graph = load_dataset("Europe-osm", scale=1.0, seed=0)
+    singles = single_degree_vertices(graph)
+    print(f"road network stand-in: {graph}")
+    print(f"single-degree spokes:  {singles.size:,} "
+          f"({100.0 * singles.size / graph.num_vertices:.0f}% of vertices)")
+
+    # --- preprocessing effect --------------------------------------------
+    merged = vf_merge(graph)
+    compressed = chain_compress(graph)
+    print(f"\nVF merge:         {graph.num_vertices:,} -> "
+          f"{merged.graph.num_vertices:,} vertices (1 round)")
+    print(f"chain compression: {graph.num_vertices:,} -> "
+          f"{compressed.graph.num_vertices:,} vertices "
+          f"({compressed.rounds} rounds)")
+
+    # --- the §6.2 tension: cheaper iterations vs more of them -----------
+    model = MachineModel()
+    cutoff = max(64, graph.num_vertices // 16)
+    print(f"\n{'variant':<28s} {'Q':>8s} {'iters':>6s} {'t@8thr':>10s}")
+    for label, kwargs in [
+        ("baseline (no VF)", dict(variant="baseline")),
+        ("baseline+VF", dict(variant="baseline+VF")),
+        ("baseline+VF (chains)", dict(variant="baseline+VF",
+                                      vf_chain_compression=True)),
+        ("baseline+VF+Color", dict(variant="baseline+VF+Color",
+                                   coloring_min_vertices=cutoff)),
+    ]:
+        res = louvain(graph, **kwargs)
+        t8 = model.simulate(res.history, 8).total
+        print(f"{label:<28s} {res.modularity:8.4f} "
+              f"{res.total_iterations:6d} {t8 * 1e3:8.2f}ms")
+
+    print("\nThe paper's observation to look for: VF shrinks per-iteration "
+          "work but can\nstretch the iteration count on chain-heavy inputs; "
+          "coloring restores fast\nconvergence (Table 4: Europe-osm "
+          "306 -> 38 iterations).")
+
+
+if __name__ == "__main__":
+    main()

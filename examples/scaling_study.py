@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A Fig. 7-style scaling study on one input.
+
+Runs baseline+VF+Color on the Rgg stand-in once, then replays the recorded
+work through the simulated 32-core machine at p = 1..32, printing the
+relative and absolute speedup curves and the step breakdown — the whole
+right-hand side of the paper's evaluation for one input, from a single
+algorithmic run.
+
+Run with::
+
+    python examples/scaling_study.py [dataset-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import louvain, louvain_serial
+from repro.datasets import load_dataset
+from repro.parallel.costmodel import (
+    MachineModel,
+    absolute_speedup,
+    relative_speedup,
+)
+
+THREADS = (1, 2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Rgg_n_2_24_s0"
+    graph = load_dataset(name, scale=1.0, seed=0)
+    print(f"{name} stand-in: {graph}")
+
+    result = louvain(
+        graph,
+        variant="baseline+VF+Color",
+        coloring_min_vertices=max(64, graph.num_vertices // 16),
+    )
+    serial = louvain_serial(graph)
+    print(f"parallel Q={result.modularity:.4f} vs serial "
+          f"Q={serial.modularity:.4f}")
+
+    model = MachineModel()
+    times = {p: model.simulate(result.history, p).total for p in THREADS}
+    serial_time = model.simulate_serial(serial.history)
+    rel = relative_speedup(times, base_p=2)
+    absolute = absolute_speedup(times, serial_time)
+
+    print(f"\n{'p':>3} {'time':>10} {'rel speedup':>12} {'abs speedup':>12} "
+          f"{'rebuild %':>10}")
+    for p in THREADS:
+        b = model.simulate(result.history, p)
+        print(f"{p:>3} {times[p] * 1e3:8.2f}ms {rel[p]:12.2f} "
+              f"{absolute[p]:12.2f} {100 * b.rebuild / b.total:9.1f}%")
+
+    print("\nShapes to look for (paper Figs 7-9): speedup grows but goes "
+          "sub-linear\nbeyond ~8 threads, and the rebuild share creeps up "
+          "with p because its\nserial renumbering and lock contention do "
+          "not scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Real-time community maintenance on an evolving graph.
+
+The paper's future work opens with "targeting community detection in
+real-time".  The hook is already in Algorithm 1: it accepts an initial
+assignment ``C_init``, so after a batch of edge changes the previous
+communities are a warm start that converges in a handful of iterations.
+This example feeds two synthetic streams to :class:`IncrementalLouvain`:
+
+* a **growth** stream (the graph densifies; communities persist) —
+  comparing warm vs cold refresh cost per batch;
+* a **drift** stream (vertices migrate between communities) — showing the
+  maintained assignment tracking the moving ground truth.
+
+Run with::
+
+    python examples/streaming_communities.py
+"""
+
+from __future__ import annotations
+
+from repro.dynamic import (
+    IncrementalLouvain,
+    community_drift_stream,
+    growth_stream,
+)
+from repro.metrics.pairs import pair_counts
+
+
+def main() -> None:
+    # --- growth: warm restarts vs recomputing from scratch ---------------
+    dyn, stream = growth_stream(8, 40, batches=6, batch_size=150, seed=1)
+    tracker = IncrementalLouvain(dyn)
+    first = tracker.refresh(warm=False)
+    print(f"growth stream: {dyn}")
+    print(f"initial cold detection: Q={first.modularity:.4f} "
+          f"({first.iterations} iterations)\n")
+    print(f"{'batch':>5} {'warm iters':>10} {'warm Q':>8} "
+          f"{'cold iters':>10} {'cold Q':>8}")
+    warm_total = cold_total = 0
+    for k, events in enumerate(stream, 1):
+        tracker.apply_events(events)
+        warm = tracker.refresh(warm=True)
+        cold = IncrementalLouvain(dyn).refresh(warm=False)
+        warm_total += warm.iterations
+        cold_total += cold.iterations
+        print(f"{k:>5} {warm.iterations:>10} {warm.modularity:>8.4f} "
+              f"{cold.iterations:>10} {cold.modularity:>8.4f}")
+    print(f"{'TOTAL':>5} {warm_total:>10} {'':>8} {cold_total:>10}"
+          f"   ({cold_total / max(1, warm_total):.1f}x fewer iterations warm)")
+
+    # --- drift: tracking migrating communities ---------------------------
+    dyn2, stream2, truth = community_drift_stream(
+        8, 40, batches=5, movers_per_batch=8, seed=2
+    )
+    tracker2 = IncrementalLouvain(dyn2)
+    tracker2.refresh(warm=False)
+    print(f"\ndrift stream: {dyn2} — 8 vertices migrate per batch")
+    print(f"{'batch':>5} {'iters':>6} {'Q':>8} {'Rand vs truth':>14}")
+    for k, events in enumerate(stream2, 1):
+        stats = tracker2.process(events)
+        rand = pair_counts(truth, tracker2.communities).rand_index
+        print(f"{k:>5} {stats.iterations:>6} {stats.modularity:>8.4f} "
+              f"{100 * rand:>13.2f}%")
+
+    print("\nThe takeaway: the paper's own C_init input makes its "
+          "algorithm incremental —\nwarm refreshes are ~an order of "
+          "magnitude cheaper at equal quality.")
+
+
+if __name__ == "__main__":
+    main()

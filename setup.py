@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so ``pip install -e . --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+require it).
+"""
+
+from setuptools import setup
+
+setup()

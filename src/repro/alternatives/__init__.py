@@ -1,0 +1,28 @@
+"""Comparator community-detection algorithms from the paper's §7.
+
+The paper positions its heuristics against three families of related work;
+each is implemented here so the comparison can be run, not just cited:
+
+``cnm``
+    The Clauset–Newman–Moore agglomerative method [19] — greedy
+    community-pair merging by maximum modularity gain.  The basis of the
+    Riedy et al. parallel agglomerative codes [21, 22] the paper contrasts
+    its vertex-level strategy with.
+``lpa``
+    Label propagation (the mechanism behind Staudt & Meyerhenke's PLM/PLP
+    [26]); plus a PLM-style gain-driven propagation variant.  §7 compares
+    Grappolo's modularity against PLM on coPapersDBLP, uk-2002 and
+    Soc-LiveJournal1 — the ``related_work`` experiment reruns that
+    comparison on the stand-ins.
+``partitioned``
+    The Wickramaarachchi et al. distributed-memory scheme [25]: partition
+    the graph, run serial Louvain per part *ignoring cross-partition
+    edges*, then aggregate at a "master".  Demonstrates the quality cost
+    of ignoring cut edges, which the paper's shared-memory approach avoids.
+"""
+
+from repro.alternatives.cnm import cnm
+from repro.alternatives.lpa import label_propagation, plm_style
+from repro.alternatives.partitioned import partitioned_louvain
+
+__all__ = ["cnm", "label_propagation", "partitioned_louvain", "plm_style"]

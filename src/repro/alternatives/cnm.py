@@ -1,0 +1,142 @@
+"""Clauset–Newman–Moore agglomerative modularity clustering [19].
+
+Start from singleton communities; repeatedly merge the community *pair*
+with the largest modularity gain until no merge improves Q.  Merging
+communities A and B changes Eq. 3 modularity by exactly
+
+    ΔQ(A, B) = W_AB / m  -  2 a_A a_B / (2m)^2
+
+where ``W_AB`` is the total (undirected) edge weight between A and B and
+``a_X`` the community degrees — the community-level analogue of Eq. 4.
+
+Implementation: per-community neighbor-weight maps plus a lazy max-heap of
+candidate merges (entries are invalidated by version stamps rather than
+removed), giving the classic O(M log M)-flavoured behaviour at these
+scales.  This is the algorithm whose *community-level* merge granularity
+the paper contrasts with Louvain's vertex-level moves (§7): CNM tends to
+produce lower modularity but a more meaningful merge hierarchy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+from repro.utils.arrays import renumber_labels
+
+__all__ = ["CNMResult", "cnm"]
+
+
+@dataclass
+class CNMResult:
+    """Output of :func:`cnm`."""
+
+    communities: np.ndarray
+    modularity: float
+    num_merges: int
+    #: (a, b, gain) per accepted merge, in order — the merge dendrogram.
+    merges: list = field(default_factory=list)
+
+    @property
+    def num_communities(self) -> int:
+        return int(self.communities.max()) + 1 if self.communities.size else 0
+
+
+def cnm(graph: CSRGraph, *, min_gain: float = 0.0) -> CNMResult:
+    """Run CNM agglomerative clustering on ``graph``.
+
+    Parameters
+    ----------
+    min_gain:
+        Stop when the best available merge gains less than this (0.0 — the
+        classic stopping rule — accepts any strictly positive gain).
+
+    Returns
+    -------
+    CNMResult with dense community labels on the input vertices.
+    """
+    n = graph.num_vertices
+    m = graph.total_weight
+    if n == 0 or m <= 0:
+        # Edge-free graph: nothing to merge; every vertex is a singlet.
+        return CNMResult(np.arange(n, dtype=np.int64), 0.0, 0)
+
+    two_m_sq = (2.0 * m) ** 2
+    # Community state: degree, parent (union-find with path compression),
+    # and neighbor maps W[c] = {d: weight between c and d}.
+    a = graph.degrees.copy()
+    parent = np.arange(n, dtype=np.int64)
+    neighbors: list[dict[int, float]] = [dict() for _ in range(n)]
+    row_of = graph.row_of_entry()
+    for u, v, w in zip(row_of.tolist(), graph.indices.tolist(),
+                       graph.weights.tolist()):
+        if u < v:
+            neighbors[u][v] = neighbors[u].get(v, 0.0) + w
+            neighbors[v][u] = neighbors[v].get(u, 0.0) + w
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    def gain(c: int, d: int) -> float:
+        return neighbors[c][d] / m - 2.0 * a[c] * a[d] / two_m_sq
+
+    # Version stamps invalidate stale heap entries after merges.
+    version = np.zeros(n, dtype=np.int64)
+    heap: list[tuple[float, int, int, int, int]] = []
+    for c in range(n):
+        for d, _w in neighbors[c].items():
+            if c < d:
+                heapq.heappush(heap, (-gain(c, d), c, d, 0, 0))
+
+    merges: list[tuple[int, int, float]] = []
+    while heap:
+        neg, c, d, vc, vd = heapq.heappop(heap)
+        if version[c] != vc or version[d] != vd:
+            continue  # stale
+        if find(c) != c or find(d) != d or d not in neighbors[c]:
+            continue
+        g = -neg
+        if g <= min_gain:
+            break
+        # Merge the smaller neighbor map into the larger (weighted union).
+        if len(neighbors[c]) < len(neighbors[d]):
+            c, d = d, c
+        merges.append((c, d, g))
+        parent[d] = c
+        a[c] += a[d]
+        version[c] += 1
+        version[d] += 1
+        nc = neighbors[c]
+        nc.pop(d, None)
+        for e, w in neighbors[d].items():
+            if e == c:
+                continue
+            ne = neighbors[e]
+            ne.pop(d, None)
+            nc[e] = nc.get(e, 0.0) + w
+            ne[c] = nc[e]
+        neighbors[d] = {}
+        # Refresh candidate gains around the merged community.
+        for e in nc:
+            if find(e) != e:
+                continue
+            lo, hi = (c, e) if c < e else (e, c)
+            heapq.heappush(
+                heap, (-gain(c, e), lo, hi, int(version[lo]), int(version[hi]))
+            )
+
+    labels = np.fromiter((find(v) for v in range(n)), dtype=np.int64, count=n)
+    dense, _ = renumber_labels(labels)
+    return CNMResult(
+        communities=dense,
+        modularity=modularity(graph, dense),
+        num_merges=len(merges),
+        merges=merges,
+    )

@@ -1,0 +1,35 @@
+"""Post-detection analysis of community structure.
+
+Detection produces a label array; this subpackage turns it into the
+quantities practitioners actually inspect: per-community size/density/
+conductance tables, coverage and mixing of the whole partition, induced
+community subgraphs, and per-community hubs.
+"""
+
+from repro.analysis.communities import (
+    CommunityStats,
+    PartitionSummary,
+    community_hubs,
+    community_stats,
+    community_subgraph,
+    summarize_partition,
+)
+from repro.analysis.consensus import (
+    ConsensusResult,
+    ScanPoint,
+    consensus_communities,
+    resolution_scan,
+)
+
+__all__ = [
+    "CommunityStats",
+    "ConsensusResult",
+    "PartitionSummary",
+    "ScanPoint",
+    "community_hubs",
+    "community_stats",
+    "community_subgraph",
+    "consensus_communities",
+    "resolution_scan",
+    "summarize_partition",
+]

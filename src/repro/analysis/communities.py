@@ -1,0 +1,219 @@
+"""Per-community and whole-partition structure statistics.
+
+Definitions (all on the weighted graph, self-loops counting once toward
+internal weight, per this package's degree convention):
+
+* **internal weight** ``W_in(C)`` — total weight of intra-community edges;
+* **cut weight** ``W_cut(C)`` — total weight of edges leaving ``C``;
+* **volume** ``vol(C) = a_C`` — the Eq. 2 community degree;
+* **conductance** ``φ(C) = W_cut / min(vol(C), 2m - vol(C))`` — low for
+  well-separated communities;
+* **internal density** — ``W_in`` relative to the number of internal pairs
+  (1.0 means an unweighted clique);
+* **coverage** (partition level) — intra-community fraction of the total
+  edge weight, the first term of Eq. 3 before normalization;
+* **mixing parameter** μ — the fraction of incident weight that leaves a
+  vertex's community, averaged over vertices (the LFR benchmark's knob,
+  recoverable from detected structure).
+
+Everything is vectorized over CSR entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.modularity import community_degrees
+from repro.graph.csr import CSRGraph
+from repro.utils.arrays import renumber_labels
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "CommunityStats",
+    "PartitionSummary",
+    "community_hubs",
+    "community_stats",
+    "community_subgraph",
+    "summarize_partition",
+]
+
+
+@dataclass(frozen=True)
+class CommunityStats:
+    """Structure statistics of one community."""
+
+    label: int
+    size: int
+    internal_weight: float
+    cut_weight: float
+    volume: float
+    conductance: float
+    internal_density: float
+
+    @property
+    def is_singlet(self) -> bool:
+        """§2's "singlet community": exactly one member."""
+        return self.size == 1
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Whole-partition statistics."""
+
+    num_communities: int
+    num_singlets: int
+    size_min: int
+    size_median: float
+    size_max: int
+    coverage: float
+    mixing_parameter: float
+    modularity: float
+
+
+def _dense(graph: CSRGraph, communities) -> tuple[np.ndarray, int]:
+    comm = np.asarray(communities)
+    if comm.shape != (graph.num_vertices,):
+        raise ValidationError(
+            f"communities must have shape ({graph.num_vertices},)"
+        )
+    if not np.issubdtype(comm.dtype, np.integer):
+        raise ValidationError("communities must be integers")
+    return renumber_labels(comm)
+
+
+def community_stats(graph: CSRGraph, communities) -> list[CommunityStats]:
+    """Per-community statistics, ordered by dense label.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import two_cliques_bridge
+    >>> import numpy as np
+    >>> stats = community_stats(two_cliques_bridge(4),
+    ...                         np.array([0, 0, 0, 0, 1, 1, 1, 1]))
+    >>> stats[0].size, stats[0].internal_weight, stats[0].cut_weight
+    (4, 6.0, 1.0)
+    """
+    comm, k = _dense(graph, communities)
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    m2 = 2.0 * graph.total_weight
+    row_of = graph.row_of_entry()
+    src_c = comm[row_of]
+    dst_c = comm[graph.indices]
+    self_entry = graph.indices == row_of
+    intra = src_c == dst_c
+    w = graph.weights
+
+    # Internal weight per community: non-self intra entries /2 + self once.
+    internal = (
+        np.bincount(src_c[intra & ~self_entry],
+                    weights=w[intra & ~self_entry], minlength=k) / 2.0
+        + np.bincount(src_c[intra & self_entry],
+                      weights=w[intra & self_entry], minlength=k)
+    )
+    cut = np.bincount(src_c[~intra], weights=w[~intra], minlength=k)
+    volume = community_degrees(graph, comm, k)
+    sizes = np.bincount(comm, minlength=k)
+
+    stats = []
+    for c in range(k):
+        size = int(sizes[c])
+        vol = float(volume[c])
+        denom = min(vol, m2 - vol)
+        conductance = float(cut[c] / denom) if denom > 0 else 0.0
+        pairs = size * (size - 1) / 2.0
+        density = float(internal[c] / pairs) if pairs > 0 else 0.0
+        stats.append(CommunityStats(
+            label=c,
+            size=size,
+            internal_weight=float(internal[c]),
+            cut_weight=float(cut[c]),
+            volume=vol,
+            conductance=conductance,
+            internal_density=density,
+        ))
+    return stats
+
+
+def summarize_partition(graph: CSRGraph, communities) -> PartitionSummary:
+    """Whole-partition summary (coverage, mixing, size distribution, Q)."""
+    from repro.core.modularity import modularity
+
+    comm, k = _dense(graph, communities)
+    n = graph.num_vertices
+    if n == 0 or graph.total_weight <= 0:
+        return PartitionSummary(k, k, 0 if n == 0 else 1, float(n > 0),
+                                int(n > 0), 0.0, 0.0, 0.0)
+    sizes = np.bincount(comm, minlength=k)
+    row_of = graph.row_of_entry()
+    intra = comm[row_of] == comm[graph.indices]
+    w = graph.weights
+    total = float(w.sum())
+    coverage = float(w[intra].sum()) / total if total else 0.0
+
+    # Mixing: per vertex, external incident weight / total incident weight
+    # (self-loops are internal by definition); vertices with no incident
+    # weight contribute 0.
+    external = np.bincount(row_of[~intra], weights=w[~intra], minlength=n)
+    degrees = graph.degrees
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mu = np.where(degrees > 0, external / degrees, 0.0)
+    return PartitionSummary(
+        num_communities=k,
+        num_singlets=int((sizes == 1).sum()),
+        size_min=int(sizes.min()),
+        size_median=float(np.median(sizes)),
+        size_max=int(sizes.max()),
+        coverage=coverage,
+        mixing_parameter=float(mu.mean()),
+        modularity=modularity(graph, comm),
+    )
+
+
+def community_subgraph(graph: CSRGraph, communities, label: int
+                       ) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph of one community.
+
+    Returns ``(subgraph, member_ids)``; members are relabeled
+    ``0..size-1`` in ascending original-id order.
+    """
+    comm, k = _dense(graph, communities)
+    if not 0 <= label < k:
+        raise ValidationError(f"label {label} out of range [0, {k})")
+    members = np.flatnonzero(comm == label)
+    inv = np.full(graph.num_vertices, -1, dtype=np.int64)
+    inv[members] = np.arange(members.size)
+    row_of = graph.row_of_entry()
+    keep = (inv[row_of] >= 0) & (inv[graph.indices] >= 0)
+    u = inv[row_of[keep]]
+    v = inv[graph.indices[keep]]
+    w = graph.weights[keep]
+    upper = u <= v
+    edges = np.column_stack([u[upper], v[upper]])
+    return (
+        CSRGraph.from_edges(members.size, edges, w[upper], combine="error"),
+        members,
+    )
+
+
+def community_hubs(graph: CSRGraph, communities, *, top: int = 3
+                   ) -> dict[int, np.ndarray]:
+    """The ``top`` highest-degree members of every community.
+
+    Hubs "tend to be ... the main drivers of community migration
+    decisions" (§5.3); inspecting them is the first step of qualitative
+    validation.  Returns dense-label → member ids, degree-descending.
+    """
+    if top < 1:
+        raise ValidationError("top must be >= 1")
+    comm, k = _dense(graph, communities)
+    degrees = graph.degrees
+    hubs: dict[int, np.ndarray] = {}
+    for c in range(k):
+        members = np.flatnonzero(comm == c)
+        order = np.argsort(-degrees[members], kind="stable")
+        hubs[c] = members[order[:top]]
+    return hubs

@@ -1,0 +1,14 @@
+"""Experiment harness: regenerate every table and figure of §6.
+
+``repro.bench.experiments`` holds one function per experiment id (see the
+per-experiment index in DESIGN.md); each returns an
+:class:`~repro.bench.tables.ExperimentResult` whose ``render()`` prints the
+same rows/series the paper reports, with the paper's own numbers alongside
+for comparison.  ``benchmarks/`` wraps these in pytest-benchmark targets;
+``python -m repro bench <id>`` runs them from the command line.
+"""
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.tables import ExperimentResult, format_table
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "format_table", "run_experiment"]

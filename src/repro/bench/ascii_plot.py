@@ -1,0 +1,151 @@
+"""Terminal line charts for the figure experiments.
+
+The paper's Figs 3–9 are line charts (modularity per iteration, runtime
+and speedup per thread count).  The harness renders the same series as
+monospace charts so ``python -m repro bench`` output visually mirrors the
+figures, not just their underlying tables.
+
+Rendering is deliberately simple: a fixed character grid, one marker per
+series, nearest-cell plotting with linear interpolation between points,
+and a legend.  No external plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["line_chart", "sparkline"]
+
+_MARKERS = "*o+x#@%&"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a one-line block-character sparkline.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _BLOCKS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(s))] for s in scaled)
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: "Mapping[str, tuple[Sequence[float], Sequence[float]]]",
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render multiple (x, y) series on one monospace grid.
+
+    Parameters
+    ----------
+    series:
+        ``{name: (xs, ys)}``; series are drawn in insertion order with
+        markers ``* o + x ...`` and straight-line interpolation.
+    log_x:
+        Plot x on a log2 axis (natural for thread-count sweeps 1..32).
+    """
+    if width < 16 or height < 4:
+        raise ValidationError("chart needs width >= 16 and height >= 4")
+    clean: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(list(xs), dtype=np.float64)
+        y = np.asarray(list(ys), dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValidationError(f"series {name!r} has mismatched x/y")
+        if x.size:
+            if log_x:
+                if np.any(x <= 0):
+                    raise ValidationError("log_x requires positive x values")
+                x = np.log2(x)
+            clean[name] = (x, y)
+    if not clean or all(x.size == 0 for x, _ in clean.values()):
+        return f"{title}\n(no data)"
+
+    all_x = np.concatenate([x for x, _ in clean.values()])
+    all_y = np.concatenate([y for _, y in clean.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return height - 1 - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+
+    for k, (name, (x, y)) in enumerate(clean.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        if x.size == 1:
+            grid[to_row(float(y[0]))][to_col(float(x[0]))] = marker
+            continue
+        order = np.argsort(x)
+        x, y = x[order], y[order]
+        # Interpolate along columns between consecutive points.
+        for a in range(x.size - 1):
+            c0, c1 = to_col(float(x[a])), to_col(float(x[a + 1]))
+            for c in range(min(c0, c1), max(c0, c1) + 1):
+                if c1 == c0:
+                    yy = float(y[a + 1])
+                else:
+                    t = (c - c0) / (c1 - c0)
+                    yy = float(y[a]) * (1 - t) + float(y[a + 1]) * t
+                grid[to_row(yy)][c] = marker
+
+    y_ticks = [_format_tick(y_hi), _format_tick((y_lo + y_hi) / 2),
+               _format_tick(y_lo)]
+    gutter = max(len(t) for t in y_ticks) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        if r == 0:
+            tick = y_ticks[0]
+        elif r == height // 2:
+            tick = y_ticks[1]
+        elif r == height - 1:
+            tick = y_ticks[2]
+        else:
+            tick = ""
+        lines.append(f"{tick:>{gutter}} |" + "".join(grid[r]))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_lo_lab = _format_tick(2 ** x_lo if log_x else x_lo)
+    x_hi_lab = _format_tick(2 ** x_hi if log_x else x_hi)
+    axis = f"{x_lo_lab}{x_label:^{max(0, width - len(x_lo_lab) - len(x_hi_lab))}}{x_hi_lab}"
+    lines.append(" " * (gutter + 2) + axis)
+    legend = "   ".join(
+        f"{_MARKERS[k % len(_MARKERS)]} {name}" for k, name in enumerate(clean)
+    )
+    if y_label:
+        legend = f"[y: {y_label}]  " + legend
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,1078 @@
+"""One function per table/figure of the paper's evaluation section (§6).
+
+Every experiment function takes ``scale``/``seed`` knobs, runs the needed
+pipeline variants on the dataset stand-ins, and returns an
+:class:`~repro.bench.tables.ExperimentResult` holding (a) aligned text
+tables in the paper's layout with the paper's own values alongside, and
+(b) the raw series in ``.data`` for programmatic checks.
+
+Pipeline runs are memoized per process, because most experiments reuse the
+same (dataset, variant) runs — e.g. Fig. 7/8/9 and Table 2 all replay the
+baseline+VF+Color histories through the cost model.
+
+Scaling note: the paper colors phases until the input shrinks below 100 K
+vertices; the stand-ins are ~10³–10⁴ vertices, so the cutoff is scaled to
+``max(64, n/16)`` — same role (stop coloring when the coarse graph gets
+small), same schedule shape.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.bench.ascii_plot import line_chart
+from repro.bench.tables import ExperimentResult, format_table
+from repro.core.config import LouvainConfig
+from repro.core.driver import LouvainResult, louvain
+from repro.core.louvain_serial import SerialLouvainResult, louvain_serial
+from repro.coloring.validate import color_size_rsd
+from repro.datasets.catalog import DATASETS, dataset_names, load_dataset
+from repro.graph.stats import compute_stats
+from repro.metrics.pairs import pair_counts
+from repro.metrics.profiles import performance_profile
+from repro.parallel.costmodel import MachineModel, absolute_speedup, relative_speedup
+from repro.utils.errors import ValidationError
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+THREAD_COUNTS = (1, 2, 4, 8, 16, 32)
+PARALLEL_VARIANTS = ("baseline", "baseline+VF", "baseline+VF+Color")
+#: The nine inputs for which the paper has both serial and parallel results
+#: (serial crashed on Europe-osm and friendster).
+NINE_INPUTS = tuple(n for n in dataset_names()
+                    if n not in ("Europe-osm", "friendster"))
+#: Fig. 8's four representative inputs.
+BREAKDOWN_INPUTS = ("Rgg_n_2_24_s0", "MG2", "Europe-osm", "NLPKKT240")
+#: Table 4's inputs (at least two colored phases).
+MULTIPHASE_INPUTS = ("Channel", "uk-2002", "Europe-osm", "MG2")
+
+_MODEL = MachineModel()
+
+
+def _cutoff(num_vertices: int) -> int:
+    """Scaled version of the paper's 100 K coloring cutoff (see module doc)."""
+    return max(64, num_vertices // 16)
+
+
+@functools.lru_cache(maxsize=None)
+def _graph(name: str, scale: float, seed: int):
+    return load_dataset(name, scale=scale, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def _run_parallel(
+    name: str, variant: str, scale: float, seed: int,
+    colored_threshold: float = 1e-2, multiphase: bool = True,
+) -> LouvainResult:
+    graph = _graph(name, scale, seed)
+    return louvain(
+        graph,
+        variant=variant,
+        coloring_min_vertices=_cutoff(graph.num_vertices),
+        colored_threshold=colored_threshold,
+        multiphase_coloring=multiphase,
+        seed=seed,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _run_serial(name: str, scale: float, seed: int) -> SerialLouvainResult:
+    return louvain_serial(_graph(name, scale, seed), seed=seed)
+
+
+def _simulated_times(result, thread_counts=THREAD_COUNTS) -> dict[int, float]:
+    return {p: _MODEL.simulate(result.history, p).total for p in thread_counts}
+
+
+def _serial_time(name: str, scale: float, seed: int) -> float:
+    return _MODEL.simulate_serial(_run_serial(name, scale, seed).history)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+def table1_input_stats(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Table 1: input statistics of the eleven (stand-in) graphs."""
+    rows = []
+    data = {}
+    for name in dataset_names():
+        s = compute_stats(_graph(name, scale, seed))
+        p = DATASETS[name].paper
+        rows.append([
+            name, s.num_vertices, s.num_edges, s.max_degree,
+            round(s.avg_degree, 3), round(s.degree_rsd, 3), p.degree_rsd,
+        ])
+        data[name] = s
+    table = format_table(
+        ["Input", "n", "M", "Max deg", "Avg deg", "RSD", "paper RSD"],
+        rows,
+        title="Table 1 — input statistics (stand-ins vs paper RSD)",
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: input statistics",
+        tables=[table],
+        data={"stats": data},
+        notes=[
+            "Stand-ins are scaled to ~10^3-10^4 vertices; the structural "
+            "fingerprint to compare is the degree RSD column (see DESIGN.md).",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-6
+# ---------------------------------------------------------------------------
+def fig3_6_modularity_evolution(
+    *, datasets: "Sequence[str] | None" = None, scale: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figs 3-6 (left): modularity per iteration for serial + 3 variants."""
+    names = list(datasets) if datasets else dataset_names()
+    trajectories: dict[str, dict[str, np.ndarray]] = {}
+    rows = []
+    for name in names:
+        per_scheme: dict[str, np.ndarray] = {}
+        serial = _run_serial(name, scale, seed)
+        per_scheme["serial"] = serial.history.modularity_trajectory()
+        row = [name, round(serial.modularity, 4), serial.history.total_iterations]
+        for variant in PARALLEL_VARIANTS:
+            res = _run_parallel(name, variant, scale, seed)
+            per_scheme[variant] = res.history.modularity_trajectory()
+            row += [round(res.modularity, 4), res.total_iterations]
+        trajectories[name] = per_scheme
+        rows.append(row)
+    table = format_table(
+        ["Input", "serial Q", "it", "base Q", "it", "+VF Q", "it",
+         "+VF+Color Q", "it"],
+        rows,
+        title="Figs 3-6 (left) — final modularity and iterations to converge",
+    )
+    charts = []
+    for name in names:
+        if name not in ("CNR", "Channel", "Europe-osm"):
+            continue
+        chart_series = {
+            scheme: (np.arange(1, curve.size + 1), curve)
+            for scheme, curve in trajectories[name].items()
+        }
+        charts.append(line_chart(
+            chart_series,
+            title=f"{name}: modularity vs iteration (cf. Figs 3-6 left)",
+            x_label="iteration", y_label="Q",
+        ))
+    return ExperimentResult(
+        experiment_id="fig3_6_modularity",
+        title="Figs 3-6: modularity evolution per iteration",
+        tables=[table, *charts],
+        data={"trajectories": trajectories},
+        notes=[
+            "data['trajectories'][input][scheme] holds the full per-iteration "
+            "modularity curve (the figures' series); steep climbs are phase "
+            "transitions.",
+            "Expected shape: coloring converges in clearly fewer iterations; "
+            "parallel final Q is comparable to (often above) serial.",
+        ],
+    )
+
+
+def fig3_6_runtime_vs_cores(
+    *, datasets: "Sequence[str] | None" = None, scale: float = 1.0,
+    seed: int = 0, thread_counts: Sequence[int] = THREAD_COUNTS,
+) -> ExperimentResult:
+    """Figs 3-6 (right): simulated runtime vs thread count per variant."""
+    names = list(datasets) if datasets else dataset_names()
+    runtime: dict[str, dict[str, dict[int, float]]] = {}
+    rows = []
+    for name in names:
+        runtime[name] = {}
+        for variant in PARALLEL_VARIANTS:
+            res = _run_parallel(name, variant, scale, seed)
+            runtime[name][variant] = _simulated_times(res, tuple(thread_counts))
+        row = [name] + [
+            round(runtime[name][v][p] * 1e3, 3)
+            for v in PARALLEL_VARIANTS for p in (1, 8, 32)
+        ]
+        rows.append(row)
+    headers = ["Input"] + [
+        f"{v.replace('baseline', 'base')} p={p} (ms)"
+        for v in PARALLEL_VARIANTS for p in (1, 8, 32)
+    ]
+    table = format_table(
+        headers, rows,
+        title="Figs 3-6 (right) — simulated runtime by variant and threads",
+    )
+    return ExperimentResult(
+        experiment_id="fig3_6_runtime",
+        title="Figs 3-6: runtime vs cores",
+        tables=[table],
+        data={"runtime": runtime},
+        notes=[
+            "Times come from the simulated-machine cost model replaying each "
+            "run's recorded work (DESIGN.md §1); shapes, not seconds, are the "
+            "reproduction target.",
+            "Expected shape: +VF+Color fastest on most inputs; VF alone can "
+            "lose on Europe-osm/Rgg (longer convergence, §6.2).",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7
+# ---------------------------------------------------------------------------
+def fig7_speedup(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Fig. 7: relative (vs 2 threads) and absolute (vs serial) speedups."""
+    rel: dict[str, dict[int, float]] = {}
+    absolute: dict[str, dict[int, float]] = {}
+    rows_rel, rows_abs = [], []
+    for name in dataset_names():
+        res = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        times = _simulated_times(res)
+        rel[name] = relative_speedup(times, base_p=2)
+        rows_rel.append([name] + [round(rel[name][p], 2) for p in THREAD_COUNTS])
+        if name in NINE_INPUTS:
+            serial_t = _serial_time(name, scale, seed)
+            absolute[name] = absolute_speedup(times, serial_t)
+            rows_abs.append(
+                [name] + [round(absolute[name][p], 2) for p in THREAD_COUNTS]
+            )
+    headers = ["Input"] + [f"p={p}" for p in THREAD_COUNTS]
+    table_rel = format_table(
+        headers, rows_rel,
+        title="Fig 7 (left) — relative speedup of baseline+VF+Color vs 2 threads",
+    )
+    table_abs = format_table(
+        headers, rows_abs,
+        title="Fig 7 (right) — absolute speedup vs serial Louvain "
+              "(Europe-osm/friendster excluded, as in the paper)",
+    )
+    chart_inputs = [n for n in ("Rgg_n_2_24_s0", "NLPKKT240", "MG2",
+                                "Soc-LiveJournal1") if n in absolute]
+    chart = line_chart(
+        {
+            name: (list(THREAD_COUNTS),
+                   [absolute[name][p] for p in THREAD_COUNTS])
+            for name in chart_inputs
+        },
+        title="absolute speedup vs threads (cf. Fig 7 right)",
+        x_label="threads (log2)", y_label="speedup", log_x=True,
+    )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Fig 7: speedup curves",
+        tables=[table_rel, table_abs, chart],
+        data={"relative": rel, "absolute": absolute},
+        notes=[
+            "Expected shape: increasing but sub-linear beyond ~8 threads; "
+            "paper's peak absolute speedup is 16.5 (NLPKKT240, 32 threads).",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8
+# ---------------------------------------------------------------------------
+def fig8_breakdown(
+    *, datasets: Sequence[str] = BREAKDOWN_INPUTS, scale: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 8: runtime breakdown (clustering/rebuild/coloring) vs threads."""
+    breakdown: dict[str, dict[int, dict[str, float]]] = {}
+    rows = []
+    for name in datasets:
+        res = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        breakdown[name] = {}
+        for p in THREAD_COUNTS:
+            b = _MODEL.simulate(res.history, p)
+            breakdown[name][p] = {
+                "clustering": b.clustering, "rebuild": b.rebuild,
+                "coloring": b.coloring, "total": b.total,
+            }
+        for p in (2, 32):
+            b = breakdown[name][p]
+            rows.append([
+                f"{name} (p={p})",
+                round(1e3 * b["clustering"], 3),
+                round(1e3 * b["rebuild"], 3),
+                round(1e3 * b["coloring"], 3),
+                f"{100 * b['rebuild'] / b['total']:.0f}%",
+            ])
+    table = format_table(
+        ["Input", "clustering (ms)", "rebuild (ms)", "coloring (ms)",
+         "rebuild share"],
+        rows,
+        title="Fig 8 — simulated runtime breakdown by step",
+    )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Fig 8: runtime breakdown",
+        tables=[table],
+        data={"breakdown": breakdown},
+        notes=[
+            "Expected shape: clustering dominates for Rgg/MG2; the rebuild "
+            "share grows with p for Europe-osm/NLPKKT240 (low phase-1 "
+            "modularity -> inter-community edges -> two locks each, §6.2.1).",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9
+# ---------------------------------------------------------------------------
+def fig9_rebuild_speedup(
+    *, datasets: Sequence[str] = BREAKDOWN_INPUTS, scale: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 9: speedup of the graph-rebuild step alone."""
+    speedups: dict[str, dict[int, float]] = {}
+    rows = []
+    for name in datasets:
+        res = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        times = {
+            p: sum(_MODEL.rebuild_time(ph, p) for ph in res.history.phases)
+            for p in THREAD_COUNTS
+        }
+        speedups[name] = relative_speedup(times, base_p=2)
+        rows.append([name] + [round(speedups[name][p], 2) for p in THREAD_COUNTS])
+    table = format_table(
+        ["Input"] + [f"p={p}" for p in THREAD_COUNTS], rows,
+        title="Fig 9 — rebuild-phase relative speedup (vs 2 threads)",
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Fig 9: graph rebuild speedup",
+        tables=[table],
+        data={"speedups": speedups},
+        notes=[
+            "Expected shape: rebuild scales worse than clustering — the "
+            "serial renumbering floor plus lock contention cap it well below "
+            "linear, most visibly on low-modularity inputs.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+def table2_parallel_vs_serial(
+    *, scale: float = 1.0, seed: int = 0,
+) -> ExperimentResult:
+    """Table 2: final modularity and runtime, parallel (8 threads) vs serial."""
+    rows = []
+    data = {}
+    for name in dataset_names():
+        spec = DATASETS[name].paper
+        res = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        par_t = _simulated_times(res, (8,))[8]
+        if name in NINE_INPUTS:
+            serial = _run_serial(name, scale, seed)
+            ser_q: float | None = serial.modularity
+            ser_t: float | None = _serial_time(name, scale, seed)
+            speedup = ser_t / par_t
+        else:
+            # The paper's serial implementation crashed on these; mirror the
+            # N/A entries.
+            ser_q = ser_t = speedup = None
+        rows.append([
+            name, round(res.modularity, 6), ser_q if ser_q is None else round(ser_q, 6),
+            round(1e3 * par_t, 2), None if ser_t is None else round(1e3 * ser_t, 2),
+            None if speedup is None else round(speedup, 2),
+            spec.parallel_modularity, spec.serial_modularity,
+        ])
+        data[name] = {
+            "parallel_q": res.modularity, "serial_q": ser_q,
+            "parallel_time": par_t, "serial_time": ser_t, "speedup": speedup,
+        }
+    table = format_table(
+        ["Input", "par Q", "ser Q", "par t (ms, 8thr)", "ser t (ms)",
+         "speedup", "paper par Q", "paper ser Q"],
+        rows,
+        title="Table 2 — parallel (baseline+VF+Color, 8 simulated threads) "
+              "vs serial",
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table 2: comparison to serial Louvain",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: parallel modularity >= serial on most inputs "
+            "(paper: 7 of 11), with speedups of 1.4x-13x at 8 threads.",
+            "Serial columns are N/A for Europe-osm and friendster, mirroring "
+            "the paper's serial crashes.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10
+# ---------------------------------------------------------------------------
+def fig10_performance_profiles(
+    *, scale: float = 1.0, seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 10: performance profiles over the nine serial-comparable inputs."""
+    mod_values: dict[str, dict[str, float]] = {"serial": {}}
+    time_values: dict[str, dict[str, float]] = {"serial": {}}
+    for variant in PARALLEL_VARIANTS:
+        mod_values[variant] = {}
+        time_values[variant] = {}
+    for name in NINE_INPUTS:
+        serial = _run_serial(name, scale, seed)
+        mod_values["serial"][name] = serial.modularity
+        time_values["serial"][name] = _serial_time(name, scale, seed)
+        for variant in PARALLEL_VARIANTS:
+            res = _run_parallel(name, variant, scale, seed)
+            mod_values[variant][name] = res.modularity
+            # Paper plots 32-thread run-times for the parallel heuristics.
+            time_values[variant][name] = _simulated_times(res, (32,))[32]
+    mod_profiles = performance_profile(mod_values, better="max")
+    time_profiles = performance_profile(time_values, better="min")
+
+    rows_mod = [
+        [scheme, round(p.fraction_within(1.0), 2),
+         round(p.fraction_within(1.01), 2), round(float(p.ratios[-1]), 3)]
+        for scheme, p in mod_profiles.items()
+    ]
+    rows_time = [
+        [scheme, round(p.fraction_within(1.0), 2),
+         round(p.fraction_within(1.5), 2), round(p.fraction_within(3.0), 2),
+         round(float(p.ratios[-1]), 2)]
+        for scheme, p in time_profiles.items()
+    ]
+    table_mod = format_table(
+        ["Scheme", "frac best", "frac within 1%", "worst factor"], rows_mod,
+        title="Fig 10a — modularity profile (9 inputs)",
+    )
+    table_time = format_table(
+        ["Scheme", "frac best", "frac within 1.5x", "frac within 3x",
+         "worst factor"],
+        rows_time,
+        title="Fig 10b — runtime profile (32 threads, 9 inputs)",
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Fig 10: performance profiles",
+        tables=[table_mod, table_time],
+        data={
+            "modularity_profiles": mod_profiles,
+            "runtime_profiles": time_profiles,
+            "modularity_values": mod_values,
+            "runtime_values": time_values,
+        },
+        notes=[
+            "Expected shape: baseline+VF+Color dominates the runtime profile "
+            "(best on ~70% of inputs, paper §6.2.3); serial is the slowest "
+            "scheme (2-5x); all schemes are comparable on modularity.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+def table3_qualitative(
+    *, datasets: Sequence[str] = ("CNR", "MG1"), scale: float = 1.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 3: SP/SE/OQ/Rand of the parallel output vs the serial output."""
+    paper_values = {
+        "CNR": {"SP": 83.41, "SE": 89.71, "OQ": 76.13, "Rand": 99.42},
+        "MG1": {"SP": 99.60, "SE": 99.83, "OQ": 99.43, "Rand": 100.00},
+    }
+    rows = []
+    data = {}
+    for name in datasets:
+        serial = _run_serial(name, scale, seed)
+        parallel = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        pc = pair_counts(serial.communities, parallel.communities)
+        pct = pc.as_percentages()
+        paper = paper_values.get(name, {})
+        rows.append([
+            name,
+            round(pct["SP"], 2), round(pct["SE"], 2),
+            round(pct["OQ"], 2), round(pct["Rand"], 2),
+            paper.get("OQ"), paper.get("Rand"),
+        ])
+        data[name] = pc
+    table = format_table(
+        ["Input", "SP (%)", "SE (%)", "OQ (%)", "Rand (%)",
+         "paper OQ", "paper Rand"],
+        rows,
+        title="Table 3 — qualitative comparison vs serial output "
+              "(contingency-based, not Θ(n²))",
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Table 3: qualitative comparison by composition",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: community cores agree strongly (high OQ, Rand "
+            "near 100%) even though the partitions differ in detail.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4
+# ---------------------------------------------------------------------------
+def table4_multiphase_coloring(
+    *, datasets: Sequence[str] = MULTIPHASE_INPUTS, scale: float = 1.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """Table 4: coloring the first phase only vs every eligible phase."""
+    rows = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for name in datasets:
+        entry: dict[str, dict[str, float]] = {}
+        for label, multiphase in (("first-phase", False), ("multi-phase", True)):
+            qs, iters, times = [], [], []
+            for seed in seeds:
+                res = _run_parallel(name, "baseline+VF+Color", scale, seed,
+                                    multiphase=multiphase)
+                qs.append(res.modularity)
+                iters.append(res.total_iterations)
+                # Table 4 reports two-thread run-times.
+                times.append(_simulated_times(res, (2,))[2])
+            entry[label] = {
+                "q_min": min(qs), "q_max": max(qs),
+                "time": float(np.mean(times)), "iters": float(np.mean(iters)),
+            }
+        data[name] = entry
+        rows.append([
+            name,
+            f"[{entry['first-phase']['q_min']:.4f}, {entry['first-phase']['q_max']:.4f}]",
+            round(1e3 * entry["first-phase"]["time"], 2),
+            round(entry["first-phase"]["iters"], 1),
+            f"[{entry['multi-phase']['q_min']:.4f}, {entry['multi-phase']['q_max']:.4f}]",
+            round(1e3 * entry["multi-phase"]["time"], 2),
+            round(entry["multi-phase"]["iters"], 1),
+        ])
+    table = format_table(
+        ["Input", "1st-phase Q range", "t (ms)", "#iter",
+         "multi-phase Q range", "t (ms)", "#iter"],
+        rows,
+        title="Table 4 — first-phase-only vs multi-phase coloring "
+              "(2 simulated threads, min/max over seeds)",
+    )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Table 4: effect of multi-phase coloring",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: multi-phase coloring keeps modularity while "
+            "cutting iterations/time on inputs with long colored tails "
+            "(paper: Channel 96->58 iters, Europe-osm 306->38).",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5
+# ---------------------------------------------------------------------------
+def table5_threshold(
+    *, datasets: Sequence[str] = NINE_INPUTS, scale: float = 1.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """Table 5: colored-phase threshold 10^-2 vs 10^-4."""
+    rows = []
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for name in datasets:
+        entry: dict[str, dict[str, float]] = {}
+        for label, threshold in (("1e-4", 1e-4), ("1e-2", 1e-2)):
+            qs, iters, times = [], [], []
+            for seed in seeds:
+                res = _run_parallel(name, "baseline+VF+Color", scale, seed,
+                                    colored_threshold=threshold)
+                qs.append(res.modularity)
+                iters.append(res.total_iterations)
+                times.append(_simulated_times(res, (2,))[2])
+            entry[label] = {
+                "q_min": min(qs), "q_max": max(qs),
+                "time": float(np.mean(times)), "iters": float(np.mean(iters)),
+            }
+        data[name] = entry
+        rows.append([
+            name,
+            f"[{entry['1e-4']['q_min']:.4f}, {entry['1e-4']['q_max']:.4f}]",
+            round(1e3 * entry["1e-4"]["time"], 2),
+            round(entry["1e-4"]["iters"], 1),
+            f"[{entry['1e-2']['q_min']:.4f}, {entry['1e-2']['q_max']:.4f}]",
+            round(1e3 * entry["1e-2"]["time"], 2),
+            round(entry["1e-2"]["iters"], 1),
+        ])
+    table = format_table(
+        ["Input", "θ=1e-4 Q range", "t (ms)", "#iter",
+         "θ=1e-2 Q range", "t (ms)", "#iter"],
+        rows,
+        title="Table 5 — colored-phase modularity-gain threshold sweep",
+    )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Table 5: effect of the modularity gain threshold",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: θ=1e-2 gives highly comparable modularity with "
+            "markedly fewer iterations and lower runtime (paper §6.4).",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (beyond the paper's tables, motivated by its discussion)
+# ---------------------------------------------------------------------------
+def ablations(*, scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Design-choice ablations: min-label off, balanced coloring, VF chain
+    compression, distance-2 coloring."""
+    rows_ml = []
+    for name in ("CNR", "coPapersDBLP", "Rgg_n_2_24_s0"):
+        graph = _graph(name, scale, seed)
+        on = _run_parallel(name, "baseline", scale, seed)
+        off = louvain(graph, variant="baseline", use_min_label=False, seed=seed)
+        rows_ml.append([
+            name, round(on.modularity, 4), on.total_iterations,
+            round(off.modularity, 4), off.total_iterations,
+        ])
+    table_ml = format_table(
+        ["Input", "ML on Q", "#iter", "ML off Q", "#iter"], rows_ml,
+        title="Ablation — minimum-label heuristic (§5.1)",
+    )
+
+    rows_bc = []
+    for name in ("uk-2002", "CNR"):
+        graph = _graph(name, scale, seed)
+        plain = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        balanced = louvain(
+            graph, variant="baseline+VF+Color",
+            coloring_min_vertices=_cutoff(graph.num_vertices),
+            balanced_coloring=True, seed=seed,
+        )
+        def skew(res):
+            sizes = [np.asarray(p.color_class_sizes, dtype=np.float64)
+                     for p in res.history.phases if p.colored]
+            if not sizes:
+                return 0.0
+            s = sizes[0]
+            return float(s.std() / s.mean()) if s.mean() else 0.0
+        t_plain = _MODEL.simulate(plain.history, 32).total
+        t_bal = _MODEL.simulate(balanced.history, 32).total
+        rows_bc.append([
+            name, round(skew(plain), 3), round(1e3 * t_plain, 3),
+            round(skew(balanced), 3), round(1e3 * t_bal, 3),
+            round(balanced.modularity - plain.modularity, 4),
+        ])
+    table_bc = format_table(
+        ["Input", "color RSD", "t32 (ms)", "balanced RSD", "t32 (ms)", "ΔQ"],
+        rows_bc,
+        title="Ablation — balanced coloring (the §6.2 uk-2002 fix)",
+    )
+
+    rows_vf = []
+    for name in ("Europe-osm", "uk-2002"):
+        graph = _graph(name, scale, seed)
+        plain = _run_parallel(name, "baseline+VF", scale, seed)
+        chain = louvain(graph, variant="baseline+VF",
+                        vf_chain_compression=True, seed=seed)
+        rows_vf.append([
+            name,
+            plain.vf.num_merged if plain.vf else 0,
+            round(plain.modularity, 4),
+            chain.vf.num_merged if chain.vf else 0,
+            chain.vf.rounds if chain.vf else 0,
+            round(chain.modularity, 4),
+        ])
+    table_vf = format_table(
+        ["Input", "VF merged", "Q", "chain merged", "rounds", "Q"], rows_vf,
+        title="Ablation — VF chain compression (§5.3 extension)",
+    )
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="Ablations: design choices called out in the paper",
+        tables=[table_ml, table_bc, table_vf],
+        notes=[
+            "Min-label off replaces the tie-break with max-label and drops "
+            "the singlet guard — the swap/local-maxima failure modes of §4.2.",
+        ],
+    )
+
+
+def related_work(
+    *, datasets: Sequence[str] = ("coPapersDBLP", "uk-2002", "Soc-LiveJournal1"),
+    scale: float = 1.0, seed: int = 0, num_parts: int = 4,
+) -> ExperimentResult:
+    """§7 comparison: Grappolo's heuristics vs the related-work algorithms.
+
+    The paper states its baseline+VF+Color "delivers higher modularity than
+    PLM for the inputs both tested — viz. coPapersDBLP, uk-2002, and
+    Soc-LiveJournal"; this experiment reruns that comparison against the
+    PLM-style single-level sweep, plain label propagation (PLP), CNM
+    agglomeration [19], and the distributed partition-then-merge scheme
+    [25] on the same three stand-ins.
+    """
+    from repro.alternatives import (
+        cnm as run_cnm,
+        label_propagation,
+        partitioned_louvain,
+        plm_style,
+    )
+
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in datasets:
+        graph = _graph(name, scale, seed)
+        grappolo = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        plm = plm_style(graph)
+        plp = label_propagation(graph, seed=seed)
+        agglom = run_cnm(graph)
+        part = partitioned_louvain(graph, num_parts, seed=seed)
+        data[name] = {
+            "grappolo": grappolo.modularity,
+            "plm_style": plm.modularity,
+            "plp": plp.modularity,
+            "cnm": agglom.modularity,
+            "partitioned": part.modularity,
+            "partitioned_cut_fraction": part.cut_fraction,
+        }
+        rows.append([
+            name, round(grappolo.modularity, 4), round(plm.modularity, 4),
+            round(plp.modularity, 4), round(agglom.modularity, 4),
+            round(part.modularity, 4), f"{100 * part.cut_fraction:.0f}%",
+        ])
+    table = format_table(
+        ["Input", "Grappolo Q", "PLM-style Q", "PLP Q", "CNM Q",
+         f"partitioned({num_parts}) Q", "cut frac"],
+        rows,
+        title="§7 — modularity vs related-work algorithms",
+    )
+    return ExperimentResult(
+        experiment_id="related_work",
+        title="Related work (§7): modularity comparison",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: Grappolo (baseline+VF+Color) tops every "
+            "comparator; CNM trails Louvain (§7's stated trade-off); plain "
+            "label propagation trails everything; the distributed scheme "
+            "pays for its ignored cut edges.",
+        ],
+    )
+
+
+def distributed_scaling(
+    *, datasets: Sequence[str] = ("Soc-LiveJournal1", "Rgg_n_2_24_s0",
+                                  "Europe-osm"),
+    scale: float = 1.0, seed: int = 0,
+    rank_counts: Sequence[int] = (1, 2, 4, 8, 16),
+) -> ExperimentResult:
+    """Distributed-memory variant (§5's architecture-agnosticism claim):
+    identical output at every rank count, with communication volume and
+    α–β network time growing with ranks.
+
+    Not a paper table — the paper only claims the heuristics *can* be
+    implemented on distributed memory; this experiment runs that
+    implementation and quantifies its communication behaviour.
+    """
+    from repro.distributed import NetworkModel, distributed_louvain
+
+    network = NetworkModel()
+    rows = []
+    data: dict[str, dict[int, dict[str, float]]] = {}
+    for name in datasets:
+        graph = _graph(name, scale, seed)
+        shared = _run_parallel(name, "baseline+VF+Color", scale, seed)
+        data[name] = {}
+        for p in rank_counts:
+            dist = distributed_louvain(
+                graph, p, use_vf=True, use_coloring=True,
+                coloring_min_vertices=_cutoff(graph.num_vertices), seed=seed,
+            )
+            sparse = distributed_louvain(
+                graph, p, use_vf=True, use_coloring=True,
+                coloring_min_vertices=_cutoff(graph.num_vertices), seed=seed,
+                aggregation="sparse",
+            )
+            identical = bool(
+                np.array_equal(dist.communities, shared.communities)
+                and np.array_equal(sparse.communities, shared.communities)
+            )
+            cut = dist.partition_stats[0][0] if dist.partition_stats else 0
+            entry = {
+                "identical": float(identical),
+                "bytes": dist.traffic.total_bytes,
+                "sparse_bytes": sparse.traffic.total_bytes,
+                "messages": float(dist.traffic.total_messages),
+                "comm_time": dist.communication_time(network),
+                "cut_edges": float(cut),
+            }
+            data[name][p] = entry
+            rows.append([
+                f"{name} (p={p})", "yes" if identical else "NO",
+                round(entry["bytes"] / 1e6, 2),
+                round(entry["sparse_bytes"] / 1e6, 2),
+                int(entry["messages"]),
+                round(1e3 * entry["comm_time"], 3), int(cut),
+            ])
+    table = format_table(
+        ["Input", "output identical", "dense traffic (MB)",
+         "sparse traffic (MB)", "messages", "comm time (ms)",
+         "cut edges (phase 1)"],
+        rows,
+        title="Distributed-memory runs — identity and communication volume "
+              "(dense vs Vite-style sparse aggregation)",
+    )
+    return ExperimentResult(
+        experiment_id="distributed",
+        title="Distributed-memory implementation (§5 claim)",
+        tables=[table],
+        data=data,
+        notes=[
+            "Output must be identical to the shared-memory driver at every "
+            "rank count (the Jacobi sweep is partition-invariant).",
+            "Communication volume grows with ranks via halo traffic "
+            "(boundary labels) and allreduce replication.",
+        ],
+    )
+
+
+def streaming(
+    *, scale: float = 1.0, seed: int = 0, batches: int = 6,
+) -> ExperimentResult:
+    """Real-time community maintenance (paper future work i).
+
+    Two stream shapes: densification (growth) and community drift.  Per
+    batch we compare a *warm* refresh (previous assignment as Algorithm
+    1's ``C_init``) against a *cold* one, on iterations and quality; for
+    drift we also track agreement with the moving ground truth.
+    """
+    from repro.dynamic import (
+        IncrementalLouvain,
+        community_drift_stream,
+        growth_stream,
+    )
+    from repro.metrics.pairs import pair_counts
+
+    size = max(8, int(40 * scale))
+    rows_growth = []
+    dyn, stream = growth_stream(8, size, batches=batches,
+                                batch_size=3 * size, seed=seed)
+    tracker = IncrementalLouvain(dyn)
+    tracker.refresh(warm=False)
+    warm_total = cold_total = 0
+    data: dict[str, list] = {"growth": [], "drift": []}
+    for k, events in enumerate(stream):
+        tracker.apply_events(events)
+        warm = tracker.refresh(warm=True)
+        cold = IncrementalLouvain(dyn).refresh(warm=False)
+        warm_total += warm.iterations
+        cold_total += cold.iterations
+        data["growth"].append({"warm": warm, "cold": cold})
+        rows_growth.append([
+            f"batch {k + 1}", warm.iterations, round(warm.modularity, 4),
+            cold.iterations, round(cold.modularity, 4),
+        ])
+    rows_growth.append(["TOTAL", warm_total, "", cold_total, ""])
+    table_growth = format_table(
+        ["Growth stream", "warm #iter", "warm Q", "cold #iter", "cold Q"],
+        rows_growth,
+        title="Streaming (growth) — warm vs cold refresh per batch",
+    )
+
+    rows_drift = []
+    dyn2, stream2, truth = community_drift_stream(
+        8, size, batches=batches, movers_per_batch=max(2, size // 8),
+        seed=seed,
+    )
+    tracker2 = IncrementalLouvain(dyn2)
+    tracker2.refresh(warm=False)
+    for k, events in enumerate(stream2):
+        stats = tracker2.process(events)
+        rand = pair_counts(truth, tracker2.communities).rand_index
+        data["drift"].append({"stats": stats, "rand": rand})
+        rows_drift.append([
+            f"batch {k + 1}", stats.iterations, round(stats.modularity, 4),
+            round(100 * rand, 2),
+        ])
+    table_drift = format_table(
+        ["Drift stream", "#iter", "Q", "Rand vs moving truth (%)"],
+        rows_drift,
+        title="Streaming (drift) — tracking migrating communities",
+    )
+    return ExperimentResult(
+        experiment_id="streaming",
+        title="Streaming / real-time maintenance (future work i)",
+        tables=[table_growth, table_drift],
+        data=data,
+        notes=[
+            "Expected shape: warm refreshes need a small fraction of the "
+            "cold iterations at equal-or-better modularity; drift tracking "
+            "keeps Rand agreement with the moving ground truth near 100%.",
+        ],
+    )
+
+
+def stability(
+    *, datasets: Sequence[str] = ("CNR", "coPapersDBLP", "MG1",
+                                  "Rgg_n_2_24_s0"),
+    scale: float = 1.0, seeds: Sequence[int] = tuple(range(8)),
+) -> ExperimentResult:
+    """§5.4's stability claims, quantified.
+
+    Two claims: (a) without coloring the algorithm "always produces the
+    same output regardless of the number of cores used" — *exactly* zero
+    variance, which the backend-invariance tests already pin; (b) with
+    coloring, thread/decision ordering (here: the coloring seed) can vary
+    the output, but "the magnitudes of such variations [are] negligible".
+    This experiment measures (b): modularity spread and pairwise Rand
+    agreement across coloring seeds.
+    """
+    from repro.metrics.pairs import pair_counts
+
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in datasets:
+        # Same graph throughout; only the *coloring* seed varies (the one
+        # §5.4 names as the source of run-to-run variation).
+        graph = _graph(name, scale, 0)
+        runs = [
+            louvain(
+                graph, variant="baseline+VF+Color",
+                coloring_min_vertices=_cutoff(graph.num_vertices),
+                seed=seed,
+            )
+            for seed in seeds
+        ]
+        qs = np.asarray([r.modularity for r in runs])
+        rands = [
+            pair_counts(runs[i].communities, runs[j].communities).rand_index
+            for i in range(len(runs)) for j in range(i + 1, len(runs))
+        ]
+        entry = {
+            "q_min": float(qs.min()), "q_max": float(qs.max()),
+            "q_std": float(qs.std()),
+            "min_pairwise_rand": float(min(rands)),
+            "mean_pairwise_rand": float(np.mean(rands)),
+        }
+        data[name] = entry
+        rows.append([
+            name, round(entry["q_min"], 4), round(entry["q_max"], 4),
+            f"{entry['q_std']:.1e}",
+            round(100 * entry["min_pairwise_rand"], 2),
+        ])
+    table = format_table(
+        ["Input", "Q min", "Q max", "Q std",
+         "min pairwise Rand (%)"],
+        rows,
+        title=f"Seed stability of baseline+VF+Color ({len(seeds)} coloring "
+              "seeds)",
+    )
+    return ExperimentResult(
+        experiment_id="stability",
+        title="Stability across coloring seeds (§5.4)",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: modularity spreads of O(10^-2) or less and "
+            "pairwise Rand agreement near 100% — the paper's 'negligible "
+            "variations'.",
+            "Uncolored variants have exactly zero variance by construction "
+            "(Jacobi snapshot semantics); that is asserted in the "
+            "backend-invariance tests rather than measured here.",
+        ],
+    )
+
+
+def ordering_sensitivity(
+    *, datasets: Sequence[str] = ("Channel", "MG1", "Rgg_n_2_24_s0"),
+    scale: float = 1.0, seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> ExperimentResult:
+    """§6.2.2's vertex-ordering claim, measured.
+
+    The paper explains Channel's low speedup by ordering sensitivity:
+    uniform degrees mean "the vertex ordering is expected to have a more
+    pronounced effect on the convergence rate".  Here the *same* graph is
+    relabeled by random permutations and serial Louvain is run on each;
+    the spread of final Q and iteration count quantifies the sensitivity.
+    Strong-community inputs (MG1) should be nearly insensitive; uniform
+    meshes (Channel) should spread visibly.
+    """
+    from repro.graph.permute import permute_graph, random_permutation
+
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in datasets:
+        graph = _graph(name, scale, 0)
+        qs, iters = [], []
+        for seed in seeds:
+            if seed == 0:
+                g = graph
+            else:
+                g = permute_graph(
+                    graph, random_permutation(graph.num_vertices, seed=seed)
+                )
+            result = louvain_serial(g)
+            qs.append(result.modularity)
+            iters.append(result.history.total_iterations)
+        qs_arr = np.asarray(qs)
+        entry = {
+            "q_min": float(qs_arr.min()), "q_max": float(qs_arr.max()),
+            "q_spread": float(qs_arr.max() - qs_arr.min()),
+            "iter_min": int(min(iters)), "iter_max": int(max(iters)),
+        }
+        data[name] = entry
+        rows.append([
+            name, round(entry["q_min"], 4), round(entry["q_max"], 4),
+            f"{entry['q_spread']:.1e}", entry["iter_min"], entry["iter_max"],
+        ])
+    table = format_table(
+        ["Input", "Q min", "Q max", "Q spread", "iter min", "iter max"],
+        rows,
+        title=f"Serial Louvain under {len(seeds)} vertex orderings "
+              "(same graph, relabeled)",
+    )
+    return ExperimentResult(
+        experiment_id="ordering",
+        title="Vertex-ordering sensitivity (§6.2.2)",
+        tables=[table],
+        data=data,
+        notes=[
+            "Expected shape: the uniform-degree mesh (Channel) shows the "
+            "largest Q/iteration spread across orderings; the strongly "
+            "clustered input (MG1) is nearly ordering-insensitive.",
+        ],
+    )
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_input_stats,
+    "fig3_6_modularity": fig3_6_modularity_evolution,
+    "fig3_6_runtime": fig3_6_runtime_vs_cores,
+    "fig7": fig7_speedup,
+    "fig8": fig8_breakdown,
+    "fig9": fig9_rebuild_speedup,
+    "table2": table2_parallel_vs_serial,
+    "fig10": fig10_performance_profiles,
+    "table3": table3_qualitative,
+    "table4": table4_multiphase_coloring,
+    "table5": table5_threshold,
+    "ablations": ablations,
+    "related_work": related_work,
+    "distributed": distributed_scaling,
+    "streaming": streaming,
+    "stability": stability,
+    "ordering": ordering_sensitivity,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (see :data:`EXPERIMENTS` for the registry)."""
+    if experiment_id not in EXPERIMENTS:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](**kwargs)

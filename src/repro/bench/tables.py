@@ -1,0 +1,137 @@
+"""Plain-text table rendering for the experiment harness.
+
+Experiments print their results as aligned ASCII tables in the same
+row/column layout the paper uses, so the harness output can be compared to
+the paper side by side (and pasted into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "format_table", "to_jsonable"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment data to JSON-serializable values.
+
+    Handles the types experiment ``data`` dicts actually hold: NumPy
+    scalars/arrays, dataclass records (ConvergenceHistory entries,
+    PairCounts, ...), nested dicts/lists/tuples with non-string keys, and
+    objects exposing a dict via ``__dict__`` as a last resort.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "__dict__"):
+        return {
+            str(k): to_jsonable(v)
+            for k, v in vars(value).items()
+            if not k.startswith("_")
+        }
+    return repr(value)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats get 4 significant decimals (2 when large), ints get thousands
+    separators, ``None`` renders as ``N/A`` (the paper's marker for the
+    serial crashes on Europe-osm/friendster).
+    """
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for k, text in enumerate(row):
+            widths[k] = max(widths[k], len(text))
+
+    def fmt_row(items: Sequence[str]) -> str:
+        return "  ".join(text.rjust(widths[k]) if k else text.ljust(widths[k])
+                         for k, text in enumerate(items))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: tables for humans, data for programs."""
+
+    #: Experiment id (e.g. ``"table2"``, ``"fig7"``).
+    experiment_id: str
+    #: Human title, e.g. "Table 2: parallel vs serial".
+    title: str
+    #: Rendered tables (one or more).
+    tables: list[str] = field(default_factory=list)
+    #: Raw data for programmatic use (plotting, assertions).
+    data: dict[str, Any] = field(default_factory=dict)
+    #: What the paper reports and what shape we expect to match.
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full human-readable report."""
+        parts = [f"## {self.title}", ""]
+        for table in self.tables:
+            parts.append(table)
+            parts.append("")
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def as_json_dict(self) -> dict:
+        """JSON-serializable form (id, title, notes, converted data)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "notes": list(self.notes),
+            "data": to_jsonable(self.data),
+        }
+
+    def __str__(self) -> str:
+        return self.render()

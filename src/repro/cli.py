@@ -1,0 +1,363 @@
+"""Command-line interface: ``repro-louvain`` / ``python -m repro``.
+
+Subcommands
+-----------
+``detect``    Run community detection on a graph file (edge list / METIS /
+              Matrix Market / csrz) or a named dataset stand-in, printing
+              summary and optionally writing the assignment.
+``stats``     Print Table 1 statistics for a graph file or dataset.
+``analyze``   Detect (or load) communities and print per-community
+              structure: sizes, densities, conductance, hubs.
+``compare``   Compare two community-assignment files (Table 3's SP/SE/OQ/
+              Rand plus ARI/NMI/VI).
+``convert``   Convert a graph file between the supported formats.
+``datasets``  List the eleven stand-ins and their paper reference rows.
+``bench``     Run one experiment (or ``all``) from the §6 harness.
+
+Examples
+--------
+::
+
+    repro-louvain detect --dataset CNR --variant baseline+VF+Color
+    repro-louvain detect mygraph.txt --format edgelist --output comm.txt
+    repro-louvain stats --dataset MG1
+    repro-louvain bench table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main"]
+
+
+def _detect_format(path: str, fmt: str = "auto") -> str:
+    if fmt != "auto":
+        return fmt
+    lowered = path.lower()
+    if lowered.endswith((".npz", ".csrz")):
+        return "csrz"
+    if lowered.endswith((".metis", ".graph")):
+        return "metis"
+    if lowered.endswith((".mtx", ".mtx.gz")):
+        return "mtx"
+    return "edgelist"
+
+
+def _read_graph_file(path: str, fmt: str):
+    from repro.graph.io import (
+        load_csrz,
+        read_edge_list,
+        read_matrix_market,
+        read_metis,
+    )
+
+    readers = {
+        "edgelist": read_edge_list,
+        "metis": read_metis,
+        "mtx": read_matrix_market,
+        "csrz": load_csrz,
+    }
+    return readers[_detect_format(path, fmt)](path)
+
+
+def _load_graph(args):
+    from repro.datasets.catalog import load_dataset
+
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if not args.path:
+        raise SystemExit("error: pass a graph file or --dataset NAME")
+    return _read_graph_file(args.path, args.format)
+
+
+def _cmd_detect(args) -> int:
+    from repro.core.driver import louvain
+    from repro.core.louvain_serial import louvain_serial
+
+    graph = _load_graph(args)
+    print(f"graph: {graph}")
+    if args.variant == "serial":
+        result = louvain_serial(graph, threshold=args.final_threshold,
+                                seed=args.seed, resolution=args.resolution)
+        communities = result.communities
+        iters = result.history.total_iterations
+    else:
+        cutoff = (args.coloring_cutoff if args.coloring_cutoff is not None
+                  else max(64, graph.num_vertices // 16))
+        result = louvain(
+            graph,
+            variant=args.variant,
+            coloring_min_vertices=cutoff,
+            colored_threshold=args.colored_threshold,
+            final_threshold=args.final_threshold,
+            backend=args.backend,
+            num_threads=args.threads,
+            seed=args.seed,
+            resolution=args.resolution,
+        )
+        communities = result.communities
+        iters = result.total_iterations
+    k = int(communities.max()) + 1 if communities.size else 0
+    print(f"variant:     {args.variant}")
+    print(f"modularity:  {result.modularity:.6f}")
+    print(f"communities: {k}")
+    print(f"iterations:  {iters}")
+    if args.output:
+        np.savetxt(args.output, communities, fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.graph.stats import compute_stats
+
+    graph = _load_graph(args)
+    s = compute_stats(graph)
+    print(f"vertices:             {s.num_vertices:,}")
+    print(f"edges:                {s.num_edges:,}")
+    print(f"self loops:           {s.num_self_loops:,}")
+    print(f"total weight (m):     {s.total_weight:,.2f}")
+    print(f"max degree:           {s.max_degree:,}")
+    print(f"avg degree:           {s.avg_degree:.3f}")
+    print(f"degree RSD:           {s.degree_rsd:.3f}")
+    print(f"single-degree count:  {s.num_single_degree:,}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        community_hubs,
+        community_stats,
+        summarize_partition,
+    )
+    from repro.core.driver import louvain
+
+    graph = _load_graph(args)
+    print(f"graph: {graph}")
+    if args.communities:
+        comm = np.loadtxt(args.communities, dtype=np.int64)
+        if comm.shape != (graph.num_vertices,):
+            raise SystemExit(
+                f"error: assignment length {comm.shape[0]} != "
+                f"{graph.num_vertices} vertices"
+            )
+    else:
+        result = louvain(
+            graph, variant="baseline+VF+Color",
+            coloring_min_vertices=max(64, graph.num_vertices // 16),
+            seed=args.seed,
+        )
+        comm = result.communities
+        print(f"detected with baseline+VF+Color: Q={result.modularity:.6f}")
+
+    summary = summarize_partition(graph, comm)
+    print(f"communities:       {summary.num_communities:,} "
+          f"({summary.num_singlets:,} singlets)")
+    print(f"sizes:             {summary.size_min} .. {summary.size_max} "
+          f"(median {summary.size_median:.0f})")
+    print(f"coverage:          {100 * summary.coverage:.2f}% of edge weight")
+    print(f"mixing parameter:  {summary.mixing_parameter:.4f}")
+    print(f"modularity:        {summary.modularity:.6f}")
+
+    stats = sorted(community_stats(graph, comm), key=lambda s: -s.size)
+    hubs = community_hubs(graph, comm, top=args.hubs)
+    print(f"\nlargest {min(args.top, len(stats))} communities:")
+    print(f"{'size':>6} {'density':>8} {'conductance':>12} {'hubs'}")
+    for s in stats[:args.top]:
+        print(f"{s.size:>6} {s.internal_density:>8.3f} "
+              f"{s.conductance:>12.4f} {hubs[s.label].tolist()}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.metrics.information import (
+        adjusted_rand_index,
+        normalized_mutual_information,
+        variation_of_information,
+    )
+    from repro.metrics.pairs import pair_counts
+
+    benchmark = np.loadtxt(args.benchmark, dtype=np.int64)
+    test = np.loadtxt(args.test, dtype=np.int64)
+    if benchmark.shape != test.shape:
+        raise SystemExit(
+            f"error: assignments disagree on length "
+            f"({benchmark.shape[0]} vs {test.shape[0]})"
+        )
+    pc = pair_counts(benchmark, test)
+    pct = pc.as_percentages()
+    print(f"vertices:          {benchmark.shape[0]:,}")
+    print(f"specificity (SP):  {pct['SP']:.2f}%")
+    print(f"sensitivity (SE):  {pct['SE']:.2f}%")
+    print(f"overlap qual (OQ): {pct['OQ']:.2f}%")
+    print(f"Rand index:        {pct['Rand']:.2f}%")
+    print(f"adjusted Rand:     {adjusted_rand_index(benchmark, test):.4f}")
+    print(f"NMI:               "
+          f"{normalized_mutual_information(benchmark, test):.4f}")
+    print(f"VI:                {variation_of_information(benchmark, test):.4f}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.graph.io import (
+        save_csrz,
+        write_edge_list,
+        write_matrix_market,
+        write_metis,
+    )
+
+    graph = _read_graph_file(args.input, args.input_format)
+    out_fmt = _detect_format(args.output, args.output_format)
+    writers = {
+        "edgelist": write_edge_list,
+        "metis": write_metis,
+        "mtx": write_matrix_market,
+        "csrz": save_csrz,
+    }
+    writers[out_fmt](graph, args.output)
+    print(f"wrote {graph} to {args.output} ({out_fmt})")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.datasets.catalog import DATASETS
+
+    for name, spec in DATASETS.items():
+        p = spec.paper
+        print(f"{name:18s} {spec.domain}")
+        print(f"{'':18s}   paper: n={p.num_vertices:,} M={p.num_edges:,} "
+              f"RSD={p.degree_rsd}")
+        if args.verbose:
+            print(f"{'':18s}   {spec.rationale}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+    if args.experiment == "all":
+        ids = list(EXPERIMENTS)
+    elif args.experiment == "list":
+        for eid in EXPERIMENTS:
+            print(eid)
+        return 0
+    else:
+        ids = [args.experiment]
+    json_payload = []
+    for eid in ids:
+        result = run_experiment(eid, scale=args.scale)
+        print(result.render())
+        print()
+        if args.json:
+            json_payload.append(result.as_json_dict())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(json_payload, fh, indent=2)
+        print(f"raw experiment data written to {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-louvain",
+        description="Parallel heuristics for scalable community detection "
+                    "(Lu, Halappanavar, Kalyanaraman; ParCo 2015) — Python "
+                    "reproduction.",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument("path", nargs="?", help="graph file")
+        p.add_argument("--format",
+                       choices=["auto", "edgelist", "metis", "mtx", "csrz"],
+                       default="auto", help="input format (default: by suffix)")
+        p.add_argument("--dataset", help="use a named stand-in instead of a file")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="dataset size multiplier")
+        p.add_argument("--seed", type=int, default=0)
+
+    detect = sub.add_parser("detect", help="run community detection")
+    add_graph_args(detect)
+    detect.add_argument(
+        "--variant",
+        choices=["serial", "baseline", "baseline+VF", "baseline+VF+Color"],
+        default="baseline+VF+Color",
+    )
+    detect.add_argument("--resolution", type=float, default=1.0,
+                        help="modularity resolution parameter gamma")
+    detect.add_argument("--colored-threshold", type=float, default=1e-2)
+    detect.add_argument("--final-threshold", type=float, default=1e-6)
+    detect.add_argument("--coloring-cutoff", type=int, default=None,
+                        help="min vertices to keep coloring (default n/16)")
+    detect.add_argument("--backend",
+                        choices=["serial", "threads", "processes"],
+                        default="serial")
+    detect.add_argument("--threads", type=int, default=4)
+    detect.add_argument("--output", help="write the assignment to a file")
+    detect.set_defaults(func=_cmd_detect)
+
+    stats = sub.add_parser("stats", help="print Table 1 statistics")
+    add_graph_args(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    analyze = sub.add_parser(
+        "analyze", help="detect (or load) communities and print structure"
+    )
+    add_graph_args(analyze)
+    analyze.add_argument("--communities", metavar="FILE",
+                         help="analyze this assignment instead of detecting")
+    analyze.add_argument("--top", type=int, default=8,
+                         help="how many communities to list (default 8)")
+    analyze.add_argument("--hubs", type=int, default=3,
+                         help="hubs to show per community (default 3)")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare", help="compare two community-assignment files"
+    )
+    compare.add_argument("benchmark", help="reference assignment (one label "
+                         "per line, e.g. the serial output)")
+    compare.add_argument("test", help="assignment to evaluate")
+    compare.set_defaults(func=_cmd_compare)
+
+    convert = sub.add_parser("convert", help="convert between graph formats")
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.add_argument("--input-format", default="auto",
+                         choices=["auto", "edgelist", "metis", "mtx", "csrz"])
+    convert.add_argument("--output-format", default="auto",
+                         choices=["auto", "edgelist", "metis", "mtx", "csrz"])
+    convert.set_defaults(func=_cmd_convert)
+
+    datasets = sub.add_parser("datasets", help="list the dataset stand-ins")
+    datasets.add_argument("-v", "--verbose", action="store_true")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    bench = sub.add_parser("bench", help="run a §6 experiment")
+    bench.add_argument("experiment",
+                       help="experiment id, 'all', or 'list'")
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--json", metavar="FILE",
+                       help="also dump the raw experiment data as JSON")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for ``repro-louvain`` and ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

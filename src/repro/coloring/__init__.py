@@ -1,0 +1,49 @@
+"""Vertex coloring substrate (paper §5.2).
+
+Distance-1 coloring partitions the vertices into independent sets
+("color sets"); processing one set at a time guarantees no two adjacent
+vertices decide concurrently, which eliminates vertex-to-vertex swaps and
+empirically speeds convergence (at the price of less parallelism per set).
+
+``greedy``
+    Serial first-fit greedy coloring with selectable vertex orders.
+``jones_plassmann``
+    Parallel-semantics Jones–Plassmann coloring with random priorities.
+``speculative``
+    Speculate-then-resolve coloring — the Gebremedhin–Manne family the
+    paper's actual colorer (Catalyurek et al. [12]) belongs to.
+``distance_k``
+    Distance-k coloring via the k-th boolean power of the adjacency.
+``balanced``
+    A recoloring pass that evens out color-class sizes (addressing the
+    skewed color-set distribution the paper blames for uk-2002's poor
+    scaling, §6.2).
+``validate``
+    Validity checks and the color-class statistics (count, sizes, RSD).
+"""
+
+from repro.coloring.balanced import balance_colors
+from repro.coloring.distance_k import distance_k_coloring
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.speculative import speculative_coloring
+from repro.coloring.validate import (
+    color_class_sizes,
+    color_set_partition,
+    color_size_rsd,
+    is_valid_coloring,
+    num_colors,
+)
+
+__all__ = [
+    "balance_colors",
+    "color_class_sizes",
+    "color_set_partition",
+    "color_size_rsd",
+    "distance_k_coloring",
+    "greedy_coloring",
+    "is_valid_coloring",
+    "jones_plassmann_coloring",
+    "num_colors",
+    "speculative_coloring",
+]

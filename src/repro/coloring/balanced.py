@@ -1,0 +1,96 @@
+"""Balanced recoloring.
+
+The paper attributes uk-2002's poor coloring speedup to "highly skewed
+color size distributions" and says the authors "are exploring an
+alternative approaches to create balanced coloring sets" (§6.2).  This
+module implements that alternative: after an initial valid coloring, move
+vertices out of oversized color classes into any *feasible* (distance-1
+conflict-free) class that is below the average size, repeating until no
+move is possible or the pass limit is reached.
+
+The result is still a valid distance-1 coloring — only class sizes change —
+so it plugs into the pipeline unchanged; the ablation benchmark measures
+its effect on the simulated runtime of skewed inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coloring.validate import color_class_sizes
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ValidationError
+
+__all__ = ["balance_colors"]
+
+
+def balance_colors(
+    graph: CSRGraph,
+    colors,
+    *,
+    max_passes: int = 8,
+    max_colors: int | None = None,
+) -> np.ndarray:
+    """Even out color-class sizes while preserving coloring validity.
+
+    Parameters
+    ----------
+    colors:
+        A valid distance-1 coloring.
+    max_passes:
+        Upper bound on rebalance sweeps (each pass is O(n + M)).
+    max_colors:
+        Total colors the balancer may use.  Defaults to the input's color
+        count; a larger value lets the balancer open fresh classes when a
+        crowded vertex has no feasible existing class (balanced colorings
+        generally trade a few extra colors for evenness).
+
+    Returns
+    -------
+    A new color array using at most ``max_colors`` colors, with a
+    color-size RSD no larger than the input's.
+    """
+    colors = np.asarray(colors, dtype=np.int64).copy()
+    n = graph.num_vertices
+    if colors.shape != (n,):
+        raise ValidationError(f"colors must have shape ({n},)")
+    if n == 0:
+        return colors
+    sizes = color_class_sizes(colors).astype(np.int64).tolist()
+    k_init = len(sizes)
+    if max_colors is None:
+        max_colors = k_init
+    if max_colors < k_init:
+        raise ValidationError("max_colors cannot be below the input color count")
+    if k_init <= 1 and max_colors <= 1:
+        return colors
+    target = float(n) / max_colors
+
+    indptr, indices = graph.indptr, graph.indices
+    for _ in range(max_passes):
+        moved = 0
+        for v in range(n):
+            cv = int(colors[v])
+            if sizes[cv] <= target + 1:
+                continue
+            lo, hi = indptr[v], indptr[v + 1]
+            nbrs = indices[lo:hi]
+            used = set(colors[nbrs[nbrs != v]].tolist())
+            # Smallest under-target feasible class.
+            best = -1
+            for c in range(len(sizes)):
+                if c == cv or c in used:
+                    continue
+                if sizes[c] < target and (best < 0 or sizes[c] < sizes[best]):
+                    best = c
+            if best < 0 and len(sizes) < max_colors:
+                sizes.append(0)
+                best = len(sizes) - 1
+            if best >= 0:
+                sizes[cv] -= 1
+                sizes[best] += 1
+                colors[v] = best
+                moved += 1
+        if moved == 0:
+            break
+    return colors

@@ -1,0 +1,42 @@
+"""Core algorithm: the Louvain template and the paper's parallel heuristics.
+
+Modules
+-------
+``modularity``
+    Eq. 3 modularity and its building blocks (community degrees ``a_C``,
+    per-vertex community edge weights ``e_{i→C}``).
+``gain``
+    Eq. 4 single-move modularity gain and the Eq. 6–9 concurrent-move
+    algebra behind the negative-gain scenario (§4.1).
+``louvain_serial``
+    The serial Louvain method (§3) used as the quality/runtime baseline.
+``sweep``
+    One parallel iteration of Algorithm 1 with the minimum-label heuristics
+    (§5.1): reference, vectorized, and threaded kernels.
+``vf``
+    Vertex-following preprocessing (§5.3) and its chain-compression
+    extension.
+``phase``
+    The within-phase iteration loop of Algorithm 1 (with optional coloring).
+``driver``
+    The full multi-phase parallel algorithm (§5.4) and its public entry
+    point :func:`repro.core.driver.louvain`.
+``config`` / ``history`` / ``dendrogram``
+    Configuration presets, convergence/work records, and the phase
+    hierarchy.
+"""
+
+from repro.core.config import HeuristicVariant, LouvainConfig
+from repro.core.driver import LouvainResult, louvain
+from repro.core.louvain_serial import louvain_serial
+from repro.core.modularity import community_degrees, modularity
+
+__all__ = [
+    "HeuristicVariant",
+    "LouvainConfig",
+    "LouvainResult",
+    "community_degrees",
+    "louvain",
+    "louvain_serial",
+    "modularity",
+]

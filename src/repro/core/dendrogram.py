@@ -1,0 +1,91 @@
+"""Community hierarchy across phases.
+
+Each Louvain phase coarsens the graph, so the run produces "a hierarchy of
+communities" (§3) — one level per phase plus the optional VF level.  The
+:class:`Dendrogram` stores, per level, the map from that level's vertices
+to the next (coarser) level's vertices, and can flatten any prefix of
+levels back onto the original vertex ids, which is how intermediate
+resolutions of the hierarchy are extracted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.arrays import renumber_labels
+from repro.utils.errors import ValidationError
+
+__all__ = ["Dendrogram"]
+
+
+class Dendrogram:
+    """Stack of per-level vertex → coarser-vertex maps.
+
+    ``levels[0]`` maps original vertices to level-1 meta-vertices,
+    ``levels[1]`` maps those to level-2 meta-vertices, and so on.
+    """
+
+    def __init__(self) -> None:
+        self._levels: list[np.ndarray] = []
+        self._labels: list[str] = []
+
+    def push(self, mapping, label: str = "") -> None:
+        """Append one coarsening level.
+
+        ``mapping`` must be a dense integer map whose domain size matches
+        the previous level's codomain.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.ndim != 1:
+            raise ValidationError("a dendrogram level must be a 1-D map")
+        if self._levels:
+            expected = int(self._levels[-1].max()) + 1 if self._levels[-1].size else 0
+            if mapping.shape[0] != expected:
+                raise ValidationError(
+                    f"level domain {mapping.shape[0]} does not match previous "
+                    f"codomain {expected}"
+                )
+        self._levels.append(mapping)
+        self._labels.append(label or f"level-{len(self._levels)}")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._labels)
+
+    def level_sizes(self) -> list[int]:
+        """Number of communities after each level."""
+        return [int(lv.max()) + 1 if lv.size else 0 for lv in self._levels]
+
+    def flatten(self, level: int | None = None) -> np.ndarray:
+        """Dense community labels on the original vertices after ``level``
+        coarsenings (default: all of them).
+
+        >>> d = Dendrogram()
+        >>> d.push([0, 0, 1, 1])
+        >>> d.push([0, 0])
+        >>> d.flatten().tolist()
+        [0, 0, 0, 0]
+        >>> d.flatten(1).tolist()
+        [0, 0, 1, 1]
+        """
+        if level is None:
+            level = self.num_levels
+        if not 0 <= level <= self.num_levels:
+            raise ValidationError(
+                f"level must lie in [0, {self.num_levels}], got {level}"
+            )
+        if self.num_levels == 0 or level == 0:
+            n = self._levels[0].shape[0] if self._levels else 0
+            return np.arange(n, dtype=np.int64)
+        acc = self._levels[0]
+        for mapping in self._levels[1:level]:
+            acc = mapping[acc]
+        dense, _ = renumber_labels(acc)
+        return dense
+
+    def __repr__(self) -> str:
+        return f"Dendrogram(levels={self.num_levels}, sizes={self.level_sizes()})"

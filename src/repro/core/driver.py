@@ -1,0 +1,306 @@
+"""The full parallel community-detection pipeline (paper §5.4).
+
+Steps, exactly as the paper lists them:
+
+1. **VF preprocessing** (optional): merge single-degree vertices into their
+   neighbors, once, before phase 1 (§5.3, §6.1).
+2. **Coloring preprocessing** (optional): distance-1 color each phase's
+   input and process color sets one at a time (§5.2).  Coloring stays
+   active until the phase input drops below ``coloring_min_vertices`` or
+   the inter-phase modularity gain falls below ``colored_threshold``
+   (§6.1); colored phases use θ = ``colored_threshold``, later phases
+   θ = ``final_threshold``.
+3. **Phases**: Algorithm 1 per phase (:mod:`repro.core.phase`).
+4. **Graph rebuilding**: coarsen by the phase's final communities
+   (:mod:`repro.graph.coarsen`) and continue on the condensed graph.
+
+The driver records everything the evaluation section needs: per-iteration
+modularity, per-phase work counters, coloring statistics, rebuild lock
+counts, and wall-clock step timers (clustering / coloring / rebuild — the
+Fig. 8 buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coloring.balanced import balance_colors
+from repro.coloring.distance_k import distance_k_coloring
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.speculative import speculative_coloring
+from repro.coloring.validate import color_class_sizes, color_set_partition
+from repro.core.config import HeuristicVariant, LouvainConfig
+from repro.core.dendrogram import Dendrogram
+from repro.core.history import ConvergenceHistory, PhaseRecord
+from repro.core.phase import run_phase, state_modularity
+from repro.core.sweep import init_state
+from repro.core.vf import VFResult, chain_compress, vf_merge
+from repro.graph.coarsen import coarsen
+from repro.graph.csr import CSRGraph
+from repro.parallel.backends import make_backend
+from repro.utils.arrays import renumber_labels
+from repro.utils.errors import ValidationError
+from repro.utils.timing import StepTimer
+
+__all__ = ["LouvainResult", "louvain"]
+
+
+@dataclass
+class LouvainResult:
+    """Everything produced by one pipeline run.
+
+    Attributes
+    ----------
+    communities:
+        Dense labels ``0..k-1`` on the *original* input vertices.
+    modularity:
+        Eq. 3 modularity of ``communities`` on the input graph.
+    history:
+        Per-iteration and per-phase records (work counters included).
+    dendrogram:
+        The phase hierarchy (VF level included when VF ran).
+    config:
+        The configuration the run used.
+    timers:
+        Wall-clock step buckets: ``clustering``, ``coloring``, ``rebuild``.
+    vf:
+        VF preprocessing outcome (``None`` when VF was off).
+    """
+
+    communities: np.ndarray
+    modularity: float
+    history: ConvergenceHistory
+    dendrogram: Dendrogram
+    config: LouvainConfig
+    timers: StepTimer = field(default_factory=StepTimer)
+    vf: VFResult | None = None
+
+    @property
+    def num_communities(self) -> int:
+        return int(self.communities.max()) + 1 if self.communities.size else 0
+
+    @property
+    def num_phases(self) -> int:
+        return self.history.num_phases
+
+    @property
+    def total_iterations(self) -> int:
+        return self.history.total_iterations
+
+    def __repr__(self) -> str:
+        return (
+            f"LouvainResult(Q={self.modularity:.6f}, "
+            f"communities={self.num_communities}, phases={self.num_phases}, "
+            f"iterations={self.total_iterations}, "
+            f"variant={self.config.variant_name!r})"
+        )
+
+
+def _resolve_config(config, variant, overrides) -> LouvainConfig:
+    if config is not None and variant is not None:
+        raise ValidationError("pass either config or variant, not both")
+    if variant is not None:
+        if isinstance(variant, str):
+            variant = HeuristicVariant(variant)
+        return variant.config(**overrides)
+    if config is None:
+        config = LouvainConfig()
+    return config.with_(**overrides) if overrides else config
+
+
+def louvain(
+    graph: CSRGraph,
+    config: LouvainConfig | None = None,
+    *,
+    variant: "HeuristicVariant | str | None" = None,
+    initial_communities=None,
+    **overrides,
+) -> LouvainResult:
+    """Run parallel Louvain community detection on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    config:
+        Full configuration; defaults to :class:`LouvainConfig` defaults
+        (the paper's *baseline*: minimum-label heuristic only).
+    variant:
+        Alternative to ``config``: one of the paper's three presets
+        (:class:`HeuristicVariant` or its string value).
+    initial_communities:
+        Optional warm start: phase 1 begins from this assignment instead
+        of singletons (Algorithm 1's ``C_init``).  Labels may be arbitrary
+        integers; they are compacted to ``[0, n)``.  Incompatible with
+        ``use_vf`` (vertex following assumes a singleton start; a merged
+        meta-vertex has no well-defined inherited label) — the incremental
+        pipeline of :mod:`repro.dynamic` relies on this.
+    **overrides:
+        Individual :class:`LouvainConfig` fields to override.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import two_cliques_bridge
+    >>> result = louvain(two_cliques_bridge(4), variant="baseline+VF+Color",
+    ...                  coloring_min_vertices=4)
+    >>> result.num_communities
+    2
+    """
+    cfg = _resolve_config(config, variant, overrides)
+    timers = StepTimer()
+    history = ConvergenceHistory()
+    dendrogram = Dendrogram()
+
+    n_original = graph.num_vertices
+    warm_start = None
+    if initial_communities is not None:
+        if cfg.use_vf:
+            raise ValidationError(
+                "initial_communities cannot be combined with use_vf "
+                "(see the louvain() docstring)"
+            )
+        warm = np.asarray(initial_communities)
+        if warm.shape != (n_original,):
+            raise ValidationError(
+                f"initial_communities must have shape ({n_original},)"
+            )
+        if not np.issubdtype(warm.dtype, np.integer):
+            raise ValidationError("initial_communities must be integers")
+        warm_start, _ = renumber_labels(warm)
+    if n_original == 0:
+        return LouvainResult(
+            communities=np.zeros(0, dtype=np.int64),
+            modularity=0.0,
+            history=history,
+            dendrogram=dendrogram,
+            config=cfg,
+        )
+
+    backend = make_backend(cfg.backend, cfg.num_threads)
+    vf_result: VFResult | None = None
+    current = graph
+    mapping = np.arange(n_original, dtype=np.int64)
+
+    try:
+        # -- Step 1: VF preprocessing (optional, once, §6.1) ----------------
+        if cfg.use_vf:
+            with timers.step("rebuild"):
+                vf_result = (
+                    chain_compress(current)
+                    if cfg.vf_chain_compression
+                    else vf_merge(current)
+                )
+            if vf_result.num_merged:
+                dendrogram.push(vf_result.vertex_to_meta, "vf")
+                mapping = vf_result.vertex_to_meta[mapping]
+                current = vf_result.graph
+
+        # -- Steps 2-4: colored/uncolored phases + rebuilds -----------------
+        coloring_active = cfg.use_coloring
+        last_phase_gain = np.inf
+        for phase_index in range(cfg.max_phases):
+            n = current.num_vertices
+            color_this_phase = (
+                coloring_active
+                and n >= cfg.coloring_min_vertices
+                and last_phase_gain >= cfg.colored_threshold
+                and (cfg.multiphase_coloring or phase_index == 0)
+            )
+            if coloring_active and not color_this_phase:
+                # §6.1: once a stop condition fires, no further phase colors.
+                coloring_active = False
+
+            color_sets = None
+            colors = None
+            if color_this_phase:
+                with timers.step("coloring"):
+                    if cfg.distance_k > 1:
+                        colors = distance_k_coloring(
+                            current, cfg.distance_k, seed=cfg.seed
+                        )
+                    elif cfg.colorer == "speculative":
+                        colors = speculative_coloring(current, seed=cfg.seed)
+                    elif cfg.colorer == "greedy":
+                        colors = greedy_coloring(current, seed=cfg.seed)
+                    else:
+                        colors = jones_plassmann_coloring(current, seed=cfg.seed)
+                    if cfg.balanced_coloring:
+                        # Allow 50% color headroom: balanced colorings trade
+                        # a few extra (smaller) sets for evenness.
+                        headroom = int(colors.max()) + 1 if colors.size else 1
+                        colors = balance_colors(
+                            current, colors, max_colors=headroom + headroom // 2
+                        )
+                    color_sets = color_set_partition(colors)
+
+            threshold = (
+                cfg.colored_threshold if color_this_phase else cfg.final_threshold
+            )
+            state = init_state(
+                current, warm_start if phase_index == 0 else None
+            )
+            with timers.step("clustering"):
+                outcome = run_phase(
+                    current,
+                    state,
+                    threshold=threshold,
+                    phase_index=phase_index,
+                    color_sets=color_sets,
+                    kernel=cfg.kernel,
+                    use_min_label=cfg.use_min_label,
+                    backend=backend,
+                    max_iterations=cfg.max_iterations_per_phase,
+                    resolution=cfg.resolution,
+                )
+            history.iterations.extend(outcome.records)
+
+            with timers.step("rebuild"):
+                rebuild = coarsen(current, state.comm)
+            history.phases.append(
+                PhaseRecord(
+                    phase=phase_index,
+                    num_vertices=n,
+                    num_edges=current.num_edges,
+                    colored=color_this_phase,
+                    num_colors=len(color_sets) if color_sets else 0,
+                    threshold=threshold,
+                    iterations=len(outcome.records),
+                    start_modularity=outcome.start_modularity,
+                    end_modularity=outcome.end_modularity,
+                    rebuild_lock_ops=rebuild.lock_ops,
+                    rebuild_num_communities=rebuild.num_communities,
+                    color_class_sizes=(
+                        tuple(color_class_sizes(colors).tolist())
+                        if colors is not None
+                        else ()
+                    ),
+                )
+            )
+            dendrogram.push(rebuild.vertex_to_meta, f"phase-{phase_index}")
+            mapping = rebuild.vertex_to_meta[mapping]
+            last_phase_gain = outcome.end_modularity - outcome.start_modularity
+
+            made_progress = rebuild.num_communities < n
+            converged = last_phase_gain < cfg.final_threshold
+            current = rebuild.graph
+            if converged or not made_progress:
+                break
+    finally:
+        backend.close()
+
+    communities, _ = renumber_labels(mapping)
+    from repro.core.modularity import modularity as full_modularity
+
+    return LouvainResult(
+        communities=communities,
+        modularity=full_modularity(graph, communities,
+                                   resolution=cfg.resolution),
+        history=history,
+        dendrogram=dendrogram,
+        config=cfg,
+        timers=timers,
+        vf=vf_result,
+    )

@@ -1,0 +1,106 @@
+"""Convergence history and work accounting.
+
+The paper's evaluation reads almost everything off the *trajectory* of the
+algorithm: modularity per iteration (Figs 3–6 left), iteration counts
+(Tables 4–5), per-step runtime breakdowns (Fig 8), and rebuild lock counts
+(Fig 9).  The driver therefore records one :class:`IterationRecord` per
+iteration and one :class:`PhaseRecord` per phase, including the *work
+counters* (edges/vertices scanned per color set, rebuild lock operations)
+that the simulated-machine cost model later converts into runtimes for any
+thread count — so a single pipeline run can be "replayed" at p = 1..32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceHistory", "IterationRecord", "PhaseRecord"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Work and outcome of one iteration (one full sweep of the vertices).
+
+    ``color_set_vertices``/``color_set_edges`` hold per-color-set work: an
+    uncolored iteration is a single "set" covering every vertex.  Edges are
+    counted as CSR entries scanned (each undirected edge twice), matching
+    the per-iteration O(M) cost the paper analyzes in §5.6.
+    """
+
+    phase: int
+    iteration: int
+    modularity: float
+    vertices_moved: int
+    num_communities: int
+    color_set_vertices: tuple[int, ...]
+    color_set_edges: tuple[int, ...]
+
+    @property
+    def edges_scanned(self) -> int:
+        return int(sum(self.color_set_edges))
+
+    @property
+    def vertices_scanned(self) -> int:
+        return int(sum(self.color_set_vertices))
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Summary of one phase: its input size, coloring, and rebuild work."""
+
+    phase: int
+    num_vertices: int
+    num_edges: int
+    colored: bool
+    num_colors: int
+    threshold: float
+    iterations: int
+    start_modularity: float
+    end_modularity: float
+    #: Lock operations of the between-phase rebuild that follows this phase
+    #: (0 for the final phase, which is not followed by a rebuild).
+    rebuild_lock_ops: int
+    rebuild_num_communities: int
+    #: Color-class sizes (empty when the phase ran uncolored).
+    color_class_sizes: tuple[int, ...] = ()
+
+
+@dataclass
+class ConvergenceHistory:
+    """Full trajectory of one pipeline run."""
+
+    iterations: list[IterationRecord] = field(default_factory=list)
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    @property
+    def total_iterations(self) -> int:
+        """Iteration count across all phases (the "#iter" of Tables 4–5)."""
+        return len(self.iterations)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def final_modularity(self) -> float:
+        """Modularity after the last recorded iteration."""
+        return self.iterations[-1].modularity if self.iterations else 0.0
+
+    def modularity_trajectory(self) -> np.ndarray:
+        """Modularity after each iteration, across phases (Figs 3–6 left)."""
+        return np.asarray([r.modularity for r in self.iterations], dtype=np.float64)
+
+    def phase_boundaries(self) -> list[int]:
+        """Global iteration indices at which each phase ends (exclusive)."""
+        bounds: list[int] = []
+        count = 0
+        for phase in self.phases:
+            count += phase.iterations
+            bounds.append(count)
+        return bounds
+
+    def iterations_of_phase(self, phase: int) -> list[IterationRecord]:
+        """All iteration records belonging to one phase."""
+        return [r for r in self.iterations if r.phase == phase]

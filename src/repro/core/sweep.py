@@ -1,0 +1,388 @@
+"""One parallel Louvain iteration (Algorithm 1, lines 7–14).
+
+Semantics
+---------
+The paper's parallel sweep is *Jacobi-style*: every vertex evaluates its
+candidate moves against the community information "available from the
+previous iteration" (§5.4), with no locks.  We implement that literally:
+
+1. snapshot the community assignment, community degrees and community
+   sizes at the start of the sweep;
+2. compute, for every active vertex independently, the best destination
+   community per Eq. 4/Eq. 5 with the minimum-label heuristics of §5.1;
+3. apply all moves at once and update the aggregates.
+
+Because step 2 only reads the snapshot, the outcome is independent of how
+the active set is chunked across workers — the stability property the
+paper claims for its algorithm (everything except coloring order is
+deterministic).
+
+Minimum-label heuristics (§5.1)
+-------------------------------
+* *Generalized*: when several neighboring communities tie for the maximum
+  gain, pick the one with the smallest label.
+* *Singlet*: a vertex alone in its community may move into another
+  single-vertex community only if the destination label is smaller —
+  breaking the two-singlet swap cycle of Fig. 2 case 1.
+
+Kernels
+-------
+``compute_targets_reference``
+    Direct per-vertex Python loop; the executable specification.
+``compute_targets_vectorized``
+    The production kernel: one sort + segmented reductions over all CSR
+    entries of the active rows (no per-vertex Python work).
+Both produce identical targets (differentially tested); the vectorized
+kernel optionally fans chunks out over an execution backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.parallel.backends import ExecutionBackend, SerialBackend
+from repro.parallel.chunking import edge_balanced_partition
+from repro.utils.arrays import run_boundaries
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "SweepState",
+    "apply_moves",
+    "compute_targets",
+    "compute_targets_reference",
+    "compute_targets_vectorized",
+    "init_state",
+    "sweep",
+]
+
+
+@dataclass
+class SweepState:
+    """Mutable community state shared across iterations of one phase.
+
+    Labels live in ``[0, n)`` (a community keeps the label it started with;
+    labels of emptied communities are simply never reused), so label order
+    is well-defined for the minimum-label heuristic.
+    """
+
+    #: (n,) community label of each vertex.
+    comm: np.ndarray
+    #: (n,) community degree ``a_C`` indexed by label.
+    comm_degree: np.ndarray
+    #: (n,) member count indexed by label.
+    comm_size: np.ndarray
+
+    def copy(self) -> "SweepState":
+        return SweepState(
+            self.comm.copy(), self.comm_degree.copy(), self.comm_size.copy()
+        )
+
+    def num_communities(self) -> int:
+        return int(np.count_nonzero(self.comm_size))
+
+
+def init_state(graph: CSRGraph, initial=None) -> SweepState:
+    """Initial state: each vertex in its own community (or ``initial``).
+
+    ``initial`` may be any integer assignment with labels in ``[0, n)``;
+    the paper's ``C_init`` input of Algorithm 1.
+    """
+    n = graph.num_vertices
+    if initial is None:
+        comm = np.arange(n, dtype=np.int64)
+    else:
+        comm = np.asarray(initial, dtype=np.int64).copy()
+        if comm.shape != (n,):
+            raise ValidationError(f"initial assignment must have shape ({n},)")
+        if n and (comm.min() < 0 or comm.max() >= n):
+            raise ValidationError("initial labels must lie in [0, n)")
+    comm_degree = np.bincount(comm, weights=graph.degrees, minlength=n)
+    comm_size = np.bincount(comm, minlength=n)
+    return SweepState(comm, comm_degree, comm_size.astype(np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Reference kernel
+# ---------------------------------------------------------------------------
+def compute_targets_reference(
+    graph: CSRGraph,
+    state: SweepState,
+    vertices: np.ndarray,
+    *,
+    use_min_label: bool = True,
+    resolution: float = 1.0,
+) -> np.ndarray:
+    """Per-vertex Python implementation of lines 9–14 of Algorithm 1.
+
+    Returns the destination community for every vertex in ``vertices``
+    (its current community when it should not move).
+    """
+    m = graph.total_weight
+    if m <= 0:
+        return state.comm[np.asarray(vertices, dtype=np.int64)].copy()
+    two_m_sq = (2.0 * m) ** 2
+    comm = state.comm
+    a = state.comm_degree
+    size = state.comm_size
+    degrees = graph.degrees
+
+    targets = np.empty(len(vertices), dtype=np.int64)
+    for out_idx, v in enumerate(np.asarray(vertices, dtype=np.int64)):
+        cur = int(comm[v])
+        nbrs, ws = graph.neighbors(v)
+        k_v = float(degrees[v])
+        # e_{v→C} per neighboring community, self-loop excluded (it moves
+        # with the vertex and cancels in Eq. 4).
+        e_to: dict[int, float] = {}
+        for u, w in zip(nbrs.tolist(), ws.tolist()):
+            if u == v:
+                continue
+            cu = int(comm[u])
+            e_to[cu] = e_to.get(cu, 0.0) + float(w)
+        e_cur = e_to.get(cur, 0.0)
+        a_cur_excl = float(a[cur]) - k_v
+
+        best_gain = 0.0
+        best_comm = cur
+        for target in sorted(e_to):
+            if target == cur:
+                continue
+            gain = (e_to[target] - e_cur) / m + resolution * (
+                2.0 * k_v * (a_cur_excl - float(a[target]))
+            ) / two_m_sq
+            if gain > best_gain:
+                best_gain = gain
+                best_comm = target
+            elif gain == best_gain and best_gain > 0.0:
+                # Tie on the maximum: generalized minimum-label keeps the
+                # smaller label (already held, since targets are scanned in
+                # ascending label order); the ablation keeps the larger.
+                if not use_min_label:
+                    best_comm = target
+        if best_comm != cur and use_min_label:
+            # Singlet minimum-label rule (§5.1).
+            if size[cur] == 1 and size[best_comm] == 1 and best_comm > cur:
+                best_comm = cur
+        targets[out_idx] = best_comm
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernel
+# ---------------------------------------------------------------------------
+def _gather_rows(graph: CSRGraph, vertices: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Entry positions of all CSR rows in ``vertices``.
+
+    Returns ``(positions, owner)`` where ``positions`` indexes
+    ``graph.indices``/``graph.weights`` and ``owner[e]`` is the index into
+    ``vertices`` owning entry ``e``.
+    """
+    indptr = graph.indptr
+    starts = indptr[vertices]
+    lengths = (indptr[vertices + 1] - starts).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    owner = np.repeat(np.arange(len(vertices), dtype=np.int64), lengths)
+    ends = np.cumsum(lengths)
+    local = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+    positions = np.repeat(starts, lengths) + local
+    return positions, owner
+
+
+def compute_targets_vectorized(
+    graph: CSRGraph,
+    state: SweepState,
+    vertices: np.ndarray,
+    *,
+    use_min_label: bool = True,
+    resolution: float = 1.0,
+) -> np.ndarray:
+    """Vectorized implementation of lines 9–14 of Algorithm 1.
+
+    One argsort over the active CSR entries plus segmented reductions; no
+    per-vertex Python loop.  Produces exactly the targets of
+    :func:`compute_targets_reference`.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    m = graph.total_weight
+    cur = state.comm[vertices]
+    if m <= 0 or vertices.size == 0:
+        return cur.copy()
+    n = graph.num_vertices
+
+    positions, owner = _gather_rows(graph, vertices)
+    if positions.size == 0:
+        return cur.copy()
+    dst = graph.indices[positions]
+    w = graph.weights[positions]
+    src = vertices[owner]
+    non_loop = dst != src
+    owner = owner[non_loop]
+    dst_comm = state.comm[dst[non_loop]]
+    w = w[non_loop]
+    if owner.size == 0:
+        return cur.copy()
+
+    # Aggregate e_{v→C}: sort (owner, community) pairs, segment-sum weights.
+    key = owner * np.int64(n + 1) + dst_comm
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    w_s = w[order]
+    starts = run_boundaries(key_s)
+    e = np.add.reduceat(w_s, starts)
+    pair_owner = owner[order][starts]
+    pair_comm = dst_comm[order][starts]
+
+    num_active = vertices.size
+    k_v = graph.degrees[vertices]
+    cur_of_pair = cur[pair_owner]
+
+    # e_{v→C(v)\{v}} per active vertex (0 when no same-community neighbor).
+    e_cur = np.zeros(num_active, dtype=np.float64)
+    own_pairs = pair_comm == cur_of_pair
+    e_cur[pair_owner[own_pairs]] = e[own_pairs]
+
+    a_cur_excl = state.comm_degree[cur] - k_v
+
+    cand = ~own_pairs
+    cand_owner = pair_owner[cand]
+    cand_comm = pair_comm[cand]
+    two_m_sq = (2.0 * m) ** 2
+    gain = (e[cand] - e_cur[cand_owner]) / m + resolution * (
+        2.0 * k_v[cand_owner] * (a_cur_excl[cand_owner]
+                                 - state.comm_degree[cand_comm])
+    ) / two_m_sq
+
+    # Per-owner maximum gain.
+    best_gain = np.full(num_active, -np.inf, dtype=np.float64)
+    np.maximum.at(best_gain, cand_owner, gain)
+
+    # Among ties at the maximum, select the minimum (or, for the ablation,
+    # maximum) community label.
+    winners = gain == best_gain[cand_owner]
+    targets = cur.copy()
+    chosen = np.full(num_active, n if use_min_label else -1, dtype=np.int64)
+    if use_min_label:
+        np.minimum.at(chosen, cand_owner[winners], cand_comm[winners])
+    else:
+        np.maximum.at(chosen, cand_owner[winners], cand_comm[winners])
+    move = best_gain > 0.0
+    targets[move] = chosen[move]
+
+    if use_min_label:
+        # Singlet rule: both source and destination singlets → only allow a
+        # move toward a smaller label.
+        size = state.comm_size
+        moving = targets != cur
+        suppress = (
+            moving
+            & (size[cur] == 1)
+            & (size[targets] == 1)
+            & (targets > cur)
+        )
+        targets[suppress] = cur[suppress]
+    return targets
+
+
+def compute_targets(
+    graph: CSRGraph,
+    state: SweepState,
+    vertices: np.ndarray,
+    *,
+    kernel: str = "vectorized",
+    use_min_label: bool = True,
+    backend: ExecutionBackend | None = None,
+    resolution: float = 1.0,
+) -> np.ndarray:
+    """Dispatch to a kernel, optionally chunking over a backend.
+
+    With a multi-worker backend the active set is split into edge-balanced
+    chunks evaluated concurrently; because every chunk reads the same
+    snapshot the concatenated result is identical to a single-chunk run.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if kernel == "reference":
+        return compute_targets_reference(
+            graph, state, vertices, use_min_label=use_min_label,
+            resolution=resolution,
+        )
+    if kernel != "vectorized":
+        raise ValidationError(f"unknown kernel {kernel!r}")
+    sweep_targets = getattr(backend, "sweep_targets", None)
+    if sweep_targets is not None:
+        # Process-style backends own the whole sweep (shared-memory state
+        # scatter + chunked workers) rather than a generic chunk map.
+        return sweep_targets(
+            graph, state, vertices,
+            use_min_label=use_min_label, resolution=resolution,
+        )
+    if backend is None or backend.num_workers <= 1 or vertices.size < 2:
+        return compute_targets_vectorized(
+            graph, state, vertices, use_min_label=use_min_label,
+            resolution=resolution,
+        )
+    chunks = edge_balanced_partition(vertices, graph.indptr, backend.num_workers)
+    results = backend.map(
+        lambda chunk: compute_targets_vectorized(
+            graph, state, chunk, use_min_label=use_min_label,
+            resolution=resolution,
+        ),
+        chunks,
+    )
+    return np.concatenate(results) if results else np.zeros(0, np.int64)
+
+
+def apply_moves(
+    graph: CSRGraph,
+    state: SweepState,
+    vertices: np.ndarray,
+    targets: np.ndarray,
+) -> int:
+    """Commit the computed moves, updating degrees and sizes in place.
+
+    Returns the number of vertices that changed community.  The updates are
+    plain commutative adds — the deterministic equivalent of the paper's
+    atomic fetch-and-add bookkeeping (see :mod:`repro.parallel.atomic`).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if vertices.shape != targets.shape:
+        raise ValidationError("vertices and targets must be aligned")
+    cur = state.comm[vertices]
+    moved = targets != cur
+    if not moved.any():
+        return 0
+    mv = vertices[moved]
+    src = cur[moved]
+    dst = targets[moved]
+    k = graph.degrees[mv]
+    state.comm[mv] = dst
+    np.subtract.at(state.comm_degree, src, k)
+    np.add.at(state.comm_degree, dst, k)
+    np.subtract.at(state.comm_size, src, 1)
+    np.add.at(state.comm_size, dst, 1)
+    return int(moved.sum())
+
+
+def sweep(
+    graph: CSRGraph,
+    state: SweepState,
+    vertices: np.ndarray,
+    *,
+    kernel: str = "vectorized",
+    use_min_label: bool = True,
+    backend: ExecutionBackend | None = None,
+    resolution: float = 1.0,
+) -> int:
+    """Compute and apply one parallel sweep over ``vertices``; return #moved."""
+    targets = compute_targets(
+        graph, state, vertices,
+        kernel=kernel, use_min_label=use_min_label, backend=backend,
+        resolution=resolution,
+    )
+    return apply_moves(graph, state, vertices, targets)

@@ -1,0 +1,198 @@
+"""Vertex-following (VF) preprocessing — paper §5.3.
+
+Lemma 3: a *single-degree* vertex (exactly one incident edge ``(i, j)``
+with ``i != j`` and no self-loop) always ends up in its neighbor's
+community in the serial Louvain solution.  The VF heuristic therefore
+merges every single-degree vertex into its neighbor *a priori*, shrinking
+the phase-1 input and — more importantly in parallel — stopping hub
+vertices from being pulled into one of their degree-1 "spokes" (the Fig. 2
+hub/spoke scenario).
+
+Implementation: the merge is expressed as a community assignment
+(each vertex's representative) fed to :func:`repro.graph.coarsen.coarsen`,
+which already produces the merged graph with exact modularity-preserving
+weights.  Special case: a pair of single-degree vertices joined to each
+other (an isolated edge) collapses into its lower-id endpoint.
+
+The module also implements the *extension* the paper sketches at the end
+of §5.3 — recursive merging of single-neighbor chains ("fast compression
+of chains"): :func:`chain_compress` repeats VF rounds until no
+single-degree vertex remains (a path collapses in O(log length) rounds).
+The paper stops short of evaluating it; we expose it as an option and an
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.coarsen import coarsen
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "VFResult",
+    "chain_compress",
+    "single_degree_vertices",
+    "single_neighbor_vertices",
+    "vf_merge",
+]
+
+
+@dataclass(frozen=True)
+class VFResult:
+    """Outcome of VF preprocessing.
+
+    Attributes
+    ----------
+    graph:
+        The merged (smaller) graph.
+    vertex_to_meta:
+        ``(n_fine,)`` map from input vertices to merged-graph vertices.
+    num_merged:
+        How many vertices were folded away.
+    rounds:
+        Number of merge rounds performed (1 for plain VF).
+    """
+
+    graph: CSRGraph
+    vertex_to_meta: np.ndarray
+    num_merged: int
+    rounds: int
+
+
+def single_degree_vertices(graph: CSRGraph) -> np.ndarray:
+    """Ids of single-degree vertices in the paper's strict sense.
+
+    Exactly one incident edge, which joins the vertex to a *different*
+    vertex; a vertex whose only entry is a self-loop is isolated-with-loop,
+    and a vertex with one neighbor plus a self-loop is "single neighbor",
+    not single degree — Lemma 3 only covers the strict case.
+    """
+    deg1 = np.flatnonzero(graph.unweighted_degrees == 1)
+    if deg1.size == 0:
+        return deg1
+    only_nbr = graph.indices[graph.indptr[deg1]]
+    return deg1[only_nbr != deg1]
+
+
+def single_neighbor_vertices(
+    graph: CSRGraph,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Single-*neighbor* vertices (§5.3): one non-loop edge ``(i, j)``
+    (mandatory) plus at most a self-loop ``(i, i)``.
+
+    Returns ``(ids, neighbor, edge_weight)`` aligned arrays.  Every strict
+    single-degree vertex is included (its optional self-loop is absent).
+    """
+    deg = graph.unweighted_degrees
+    cand = np.flatnonzero((deg == 1) | (deg == 2))
+    if cand.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0, dtype=np.float64)
+    ids: list[int] = []
+    nbrs: list[int] = []
+    w_out: list[float] = []
+    # Candidate rows have <= 2 entries; inspect them directly.
+    for v in cand.tolist():
+        lo, hi = graph.indptr[v], graph.indptr[v + 1]
+        row = graph.indices[lo:hi]
+        w = graph.weights[lo:hi]
+        non_loop = row != v
+        if int(non_loop.sum()) != 1 or (hi - lo) - int(non_loop.sum()) > 1:
+            continue
+        ids.append(v)
+        nbrs.append(int(row[non_loop][0]))
+        w_out.append(float(w[non_loop][0]))
+    return (
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(nbrs, dtype=np.int64),
+        np.asarray(w_out, dtype=np.float64),
+    )
+
+
+def _pair_off(
+    n: int, singles: np.ndarray, neighbor: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Build a one-round representative map, resolving mutual merges.
+
+    When both endpoints of an edge want to merge into each other (isolated
+    edge, or a 2-cycle of single-neighbor vertices), the higher id merges
+    into the lower so exactly one survives.
+    """
+    rep = np.arange(n, dtype=np.int64)
+    if singles.size == 0:
+        return rep, 0
+    is_single = np.zeros(n, dtype=bool)
+    is_single[singles] = True
+    wants = np.full(n, -1, dtype=np.int64)
+    wants[singles] = neighbor
+    partner_mutual = is_single[neighbor] & (wants[neighbor] == singles)
+    keep = ~partner_mutual | (neighbor < singles)
+    rep[singles[keep]] = neighbor[keep]
+    return rep, int(keep.sum())
+
+
+def _representatives(graph: CSRGraph) -> tuple[np.ndarray, int]:
+    """Representative (merge target) per vertex for one strict-VF round."""
+    n = graph.num_vertices
+    singles = single_degree_vertices(graph)
+    if singles.size == 0:
+        return np.arange(n, dtype=np.int64), 0
+    neighbor = graph.indices[graph.indptr[singles]]
+    return _pair_off(n, singles, neighbor)
+
+
+def vf_merge(graph: CSRGraph) -> VFResult:
+    """One round of vertex following: merge all single-degree vertices.
+
+    The merged graph's meta-vertices carry self-loops holding the absorbed
+    edge weight, so community degrees and total weight are preserved and
+    any partition of the merged graph has exactly the modularity of the
+    partition it induces on the input (see :mod:`repro.graph.coarsen`).
+    """
+    rep, merged = _representatives(graph)
+    if merged == 0:
+        return VFResult(graph, rep, 0, 0)
+    result = coarsen(graph, rep)
+    return VFResult(result.graph, result.vertex_to_meta, merged, 1)
+
+
+def chain_compress(graph: CSRGraph, *, max_rounds: int | None = None) -> VFResult:
+    """Recursive single-neighbor VF — the extension sketched at the end of
+    §5.3 ("fast compression of chains").
+
+    Each round merges every single-*neighbor* vertex ``i`` (one non-loop
+    edge ``(i, j)``, optional self-loop) into its neighbor, but only while
+    the lower bound of inequality (10) stays positive, i.e. while
+
+        2m > k_i * a_{C(j)} / ω(i, j)
+
+    — the explicit termination test the paper proposes.  At preprocessing
+    time ``a_{C(j)} = k_j``.  Because a merged chain end re-appears as a
+    single-neighbor vertex with a self-loop, a pendant path collapses fully
+    over successive rounds, unlike the strict single-degree rule.
+    """
+    current = graph
+    mapping = np.arange(graph.num_vertices, dtype=np.int64)
+    total_merged = 0
+    rounds = 0
+    two_m = 2.0 * graph.total_weight
+    while max_rounds is None or rounds < max_rounds:
+        ids, neighbor, w_ij = single_neighbor_vertices(current)
+        if ids.size:
+            k = current.degrees
+            safe = two_m > k[ids] * k[neighbor] / w_ij
+            ids, neighbor = ids[safe], neighbor[safe]
+        if ids.size == 0:
+            break
+        rep, merged = _pair_off(current.num_vertices, ids, neighbor)
+        if merged == 0:
+            break
+        result = coarsen(current, rep)
+        mapping = result.vertex_to_meta[mapping]
+        total_merged += merged
+        current = result.graph
+        rounds += 1
+    return VFResult(current, mapping, total_merged, rounds)

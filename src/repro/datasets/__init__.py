@@ -1,0 +1,16 @@
+"""Synthetic stand-ins for the paper's eleven real-world inputs (Table 1).
+
+See DESIGN.md §1 for the substitution rationale: each stand-in matches the
+*structural fingerprint* (degree RSD, community strength, hub/spoke and
+clique content) that the paper's evaluation ties to the corresponding real
+input, at a laptop-friendly scale.
+"""
+
+from repro.datasets.catalog import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = ["DATASETS", "DatasetSpec", "dataset_names", "load_dataset"]

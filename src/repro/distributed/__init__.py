@@ -1,0 +1,36 @@
+"""Distributed-memory implementation of the paper's parallel heuristics.
+
+§5 states the algorithm "is a combination of heuristics that can be
+implemented on both shared and distributed memory machines" and that the
+heuristics "are agnostic to the underlying parallel architecture" (§5.5).
+This subpackage substantiates that claim: the same Jacobi sweep, minimum-
+label rules, VF preprocessing and coloring schedule run as a
+bulk-synchronous (MPI-style) program over a vertex-partitioned graph.
+
+``cluster``
+    The simulated message-passing substrate: ranks, collectives
+    (allreduce / allgatherv / halo exchange), per-operation traffic
+    accounting, and an α–β network cost model.
+``partition``
+    Vertex partitioning across ranks with ghost/boundary discovery.
+``louvain_dist``
+    The distributed pipeline.  Because the underlying sweep is Jacobi
+    (snapshot semantics), the distributed run produces **bitwise identical
+    communities** to the shared-memory driver for the same configuration —
+    the distributed analogue of the §5.4 stability property, and the
+    central correctness test of this subpackage.
+"""
+
+from repro.distributed.cluster import NetworkModel, SimCluster, TrafficLog
+from repro.distributed.louvain_dist import DistributedResult, distributed_louvain
+from repro.distributed.partition import RankPartition, partition_vertices
+
+__all__ = [
+    "DistributedResult",
+    "NetworkModel",
+    "RankPartition",
+    "SimCluster",
+    "TrafficLog",
+    "distributed_louvain",
+    "partition_vertices",
+]

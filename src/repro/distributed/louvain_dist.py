@@ -1,0 +1,366 @@
+"""Distributed-memory parallel Louvain (bulk-synchronous, MPI-style).
+
+The same pipeline as :mod:`repro.core.driver` — VF preprocessing, optional
+multi-phase coloring, Jacobi sweeps with the minimum-label heuristics,
+threshold schedule, graph rebuilds — organized as a BSP program over a
+vertex-partitioned graph:
+
+Per iteration (per color set):
+
+1. **local compute** — every rank evaluates Eq. 4 targets for its *owned*
+   active vertices against the snapshot (ghost labels arrived in the
+   previous halo exchange; community degrees are replicated);
+2. **apply + delta** — ranks apply their local moves and form sparse
+   community-degree deltas;
+3. **halo exchange** — each rank sends the changed labels of its boundary
+   vertices to the ranks that ghost them;
+4. **allreduce** — degree/size deltas and the moved count are summed so
+   every rank holds consistent aggregates; modularity follows from an
+   allreduce of per-rank intra-weight partials.
+
+Between phases the (much smaller) community assignment is allgathered and
+the coarse graph rebuilt replicated on every rank — the standard practice
+for multilevel distributed graph algorithms once the graph has collapsed.
+
+Because every superstep applies exactly the shared-memory Jacobi update,
+the distributed run returns **bitwise identical communities** to
+:func:`repro.core.driver.louvain` under the same configuration, for any
+rank count and partition scheme — verified by the test-suite.  What
+*changes* with the rank count is the communication volume, which the
+:class:`~repro.distributed.cluster.TrafficLog` captures and the α–β model
+prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.validate import color_set_partition
+from repro.core.history import ConvergenceHistory, IterationRecord, PhaseRecord
+from repro.core.phase import state_modularity
+from repro.core.sweep import SweepState, compute_targets_vectorized, init_state
+from repro.core.vf import vf_merge
+from repro.distributed.cluster import NetworkModel, SimCluster, TrafficLog
+from repro.distributed.partition import RankPartition, partition_vertices
+from repro.graph.coarsen import coarsen
+from repro.graph.csr import CSRGraph
+from repro.utils.arrays import renumber_labels
+from repro.utils.errors import ValidationError
+
+__all__ = ["DistributedResult", "distributed_louvain"]
+
+
+@dataclass
+class DistributedResult:
+    """Output of one distributed run."""
+
+    communities: np.ndarray
+    modularity: float
+    history: ConvergenceHistory
+    traffic: TrafficLog
+    num_ranks: int
+    #: Per-phase (cut_edges, replication_factor) of the rank partition.
+    partition_stats: list = field(default_factory=list)
+
+    @property
+    def num_communities(self) -> int:
+        return int(self.communities.max()) + 1 if self.communities.size else 0
+
+    def communication_time(self, network: NetworkModel | None = None) -> float:
+        """Simulated communication time under an α–β network model."""
+        return (network or NetworkModel()).time(self.traffic)
+
+
+def _distributed_phase(
+    graph: CSRGraph,
+    cluster: SimCluster,
+    part: RankPartition,
+    state: SweepState,
+    *,
+    threshold: float,
+    phase_index: int,
+    color_sets,
+    use_min_label: bool,
+    max_iterations: int,
+    resolution: float,
+    aggregation: str,
+) -> tuple[list[IterationRecord], float, float]:
+    """One phase as supersteps; mirrors :func:`repro.core.phase.run_phase`."""
+    n = graph.num_vertices
+    p = cluster.num_ranks
+    all_vertices = np.arange(n, dtype=np.int64)
+    sets = ([all_vertices] if color_sets is None
+            else [np.asarray(s, dtype=np.int64) for s in color_sets if len(s)])
+    set_vertex_counts = tuple(int(s.size) for s in sets)
+    deg = graph.unweighted_degrees
+    set_edge_counts = tuple(int(deg[s].sum()) for s in sets)
+    in_rank = [np.zeros(n, dtype=bool) for _ in range(p)]
+    for r in range(p):
+        in_rank[r][part.owned[r]] = True
+
+    q_prev = -1.0
+    start_q = state_modularity(graph, state, resolution=resolution)
+    records: list[IterationRecord] = []
+
+    for iteration in range(max_iterations):
+        moved_total = 0
+        for vertex_set in sets:
+            # -- superstep: local compute on every rank -------------------
+            targets_by_rank = []
+            active_by_rank = []
+            for r in range(p):
+                active = vertex_set[in_rank[r][vertex_set]]
+                active_by_rank.append(active)
+                targets_by_rank.append(
+                    compute_targets_vectorized(
+                        graph, state, active,
+                        use_min_label=use_min_label, resolution=resolution,
+                    )
+                )
+            # -- apply local moves, build deltas ---------------------------
+            sparse_idx = []
+            sparse_deg = []
+            sparse_size = []
+            moved_counts = []
+            changed_by_rank = []
+            k_arr = graph.degrees
+            for r in range(p):
+                active = active_by_rank[r]
+                targets = targets_by_rank[r]
+                cur = state.comm[active]
+                moved_mask = targets != cur
+                mv, src, dst = (active[moved_mask], cur[moved_mask],
+                                targets[moved_mask])
+                if mv.size:
+                    state.comm[mv] = dst
+                # Sparse (index, delta) pairs: -k at the source community,
+                # +k at the destination.
+                idx = np.concatenate([src, dst])
+                d_deg = np.concatenate([-k_arr[mv], k_arr[mv]])
+                d_size = np.concatenate([
+                    -np.ones(mv.size), np.ones(mv.size)
+                ])
+                sparse_idx.append(idx)
+                sparse_deg.append(d_deg)
+                sparse_size.append(d_size)
+                moved_counts.append(np.asarray([mv.size], dtype=np.int64))
+                changed_by_rank.append(set(mv.tolist()))
+            # -- halo exchange of changed boundary labels ------------------
+            sends: dict[tuple[int, int], np.ndarray] = {}
+            for r in range(p):
+                if not changed_by_rank[r]:
+                    continue
+                for s in range(p):
+                    if s == r:
+                        continue
+                    boundary = part.boundary_to[r][s]
+                    if boundary.size == 0:
+                        continue
+                    changed = np.asarray(
+                        [v for v in boundary.tolist()
+                         if v in changed_by_rank[r]],
+                        dtype=np.int64,
+                    )
+                    if changed.size:
+                        # Payload: (vertex id, new label) pairs.
+                        sends[(r, s)] = np.column_stack(
+                            [changed, state.comm[changed]]
+                        ).ravel()
+            cluster.halo_exchange(sends)
+            # -- allreduce aggregates --------------------------------------
+            if aggregation == "sparse":
+                state.comm_degree += cluster.sparse_allreduce_sum(
+                    sparse_idx, sparse_deg, n
+                )
+                state.comm_size += cluster.sparse_allreduce_sum(
+                    sparse_idx, sparse_size, n
+                ).astype(np.int64)
+            else:
+                dense_deg = []
+                dense_size = []
+                for idx, dd, ds in zip(sparse_idx, sparse_deg, sparse_size):
+                    buf_d = np.zeros(n, dtype=np.float64)
+                    buf_s = np.zeros(n, dtype=np.float64)
+                    if idx.size:
+                        np.add.at(buf_d, idx, dd)
+                        np.add.at(buf_s, idx, ds)
+                    dense_deg.append(buf_d)
+                    dense_size.append(buf_s)
+                state.comm_degree += cluster.allreduce_sum(dense_deg)
+                state.comm_size += cluster.allreduce_sum(dense_size).astype(
+                    np.int64
+                )
+            moved_total += int(cluster.allreduce_sum(moved_counts)[0])
+            cluster.barrier()
+
+        # -- modularity via per-rank intra partials ------------------------
+        m = graph.total_weight
+        row_of = graph.row_of_entry()
+        partials = []
+        for r in range(p):
+            mine = in_rank[r][row_of]
+            same = state.comm[row_of[mine]] == state.comm[graph.indices[mine]]
+            partials.append(
+                np.asarray([float(graph.weights[mine][same].sum())])
+            )
+        intra = float(cluster.allreduce_sum(partials)[0])
+        q_curr = (intra / (2.0 * m) - resolution * float(
+            np.square(state.comm_degree / (2.0 * m)).sum()
+        )) if m > 0 else 0.0
+        records.append(
+            IterationRecord(
+                phase=phase_index,
+                iteration=iteration,
+                modularity=q_curr,
+                vertices_moved=moved_total,
+                num_communities=state.num_communities(),
+                color_set_vertices=set_vertex_counts,
+                color_set_edges=set_edge_counts,
+            )
+        )
+        if moved_total == 0:
+            break
+        if (q_curr - q_prev) < threshold * abs(q_prev):
+            break
+        q_prev = q_curr
+
+    end_q = records[-1].modularity if records else start_q
+    return records, start_q, end_q
+
+
+def distributed_louvain(
+    graph: CSRGraph,
+    num_ranks: int,
+    *,
+    use_vf: bool = False,
+    use_coloring: bool = False,
+    multiphase_coloring: bool = True,
+    coloring_min_vertices: int = 100_000,
+    colored_threshold: float = 1e-2,
+    final_threshold: float = 1e-6,
+    use_min_label: bool = True,
+    partition_scheme: str = "edge_balanced",
+    aggregation: str = "dense",
+    max_phases: int = 32,
+    max_iterations_per_phase: int = 1000,
+    seed: int | None = 0,
+    resolution: float = 1.0,
+) -> DistributedResult:
+    """Run the paper's pipeline as a BSP program over ``num_ranks`` ranks.
+
+    Parameters mirror :class:`repro.core.config.LouvainConfig`, plus
+    ``aggregation``: ``"dense"`` allreduces full community-degree vectors
+    every superstep (the straightforward scheme), ``"sparse"`` ships only
+    the touched (community, delta) pairs — the Vite-style optimization
+    whose traffic tracks moves instead of community count.  Both produce
+    identical results; only the traffic log differs.
+    """
+    if num_ranks < 1:
+        raise ValidationError("num_ranks must be >= 1")
+    if aggregation not in ("dense", "sparse"):
+        raise ValidationError(f"unknown aggregation {aggregation!r}")
+    cluster = SimCluster(num_ranks)
+    history = ConvergenceHistory()
+    partition_stats: list[tuple[int, float]] = []
+
+    n_original = graph.num_vertices
+    if n_original == 0:
+        return DistributedResult(
+            communities=np.zeros(0, dtype=np.int64), modularity=0.0,
+            history=history, traffic=cluster.traffic, num_ranks=num_ranks,
+        )
+
+    current = graph
+    mapping = np.arange(n_original, dtype=np.int64)
+
+    if use_vf:
+        vf = vf_merge(current)
+        if vf.num_merged:
+            mapping = vf.vertex_to_meta[mapping]
+            current = vf.graph
+            # The merge map is computed from replicated input and agreed on
+            # via broadcast.
+            cluster.broadcast(vf.vertex_to_meta)
+
+    coloring_active = use_coloring
+    last_phase_gain = np.inf
+    for phase_index in range(max_phases):
+        n = current.num_vertices
+        part = partition_vertices(current, num_ranks, scheme=partition_scheme)
+        partition_stats.append(
+            (part.cut_edges(current), part.replication_factor())
+        )
+        color_this_phase = (
+            coloring_active
+            and n >= coloring_min_vertices
+            and last_phase_gain >= colored_threshold
+            and (multiphase_coloring or phase_index == 0)
+        )
+        if coloring_active and not color_this_phase:
+            coloring_active = False
+        color_sets = None
+        colors = None
+        if color_this_phase:
+            # Every rank colors the (replicated) phase graph with the same
+            # seed — deterministic, so no coordination traffic is needed.
+            colors = jones_plassmann_coloring(current, seed=seed)
+            color_sets = color_set_partition(colors)
+        threshold = colored_threshold if color_this_phase else final_threshold
+
+        state = init_state(current)
+        records, start_q, end_q = _distributed_phase(
+            current, cluster, part, state,
+            threshold=threshold,
+            phase_index=phase_index,
+            color_sets=color_sets,
+            use_min_label=use_min_label,
+            max_iterations=max_iterations_per_phase,
+            resolution=resolution,
+            aggregation=aggregation,
+        )
+        history.iterations.extend(records)
+
+        # Rebuild: allgather the owned label blocks, coarsen replicated.
+        blocks = [state.comm[part.owned[r]] for r in range(num_ranks)]
+        gathered = cluster.allgatherv(blocks)
+        assignment = np.empty(n, dtype=np.int64)
+        assignment[np.concatenate([part.owned[r] for r in range(num_ranks)])] \
+            = gathered
+        rebuild = coarsen(current, assignment)
+        history.phases.append(
+            PhaseRecord(
+                phase=phase_index,
+                num_vertices=n,
+                num_edges=current.num_edges,
+                colored=color_this_phase,
+                num_colors=len(color_sets) if color_sets else 0,
+                threshold=threshold,
+                iterations=len(records),
+                start_modularity=start_q,
+                end_modularity=end_q,
+                rebuild_lock_ops=rebuild.lock_ops,
+                rebuild_num_communities=rebuild.num_communities,
+            )
+        )
+        mapping = rebuild.vertex_to_meta[mapping]
+        last_phase_gain = end_q - start_q
+        made_progress = rebuild.num_communities < n
+        converged = last_phase_gain < final_threshold
+        current = rebuild.graph
+        if converged or not made_progress:
+            break
+
+    communities, _ = renumber_labels(mapping)
+    from repro.core.modularity import modularity as full_modularity
+
+    return DistributedResult(
+        communities=communities,
+        modularity=full_modularity(graph, communities, resolution=resolution),
+        history=history,
+        traffic=cluster.traffic,
+        num_ranks=num_ranks,
+        partition_stats=partition_stats,
+    )

@@ -1,0 +1,31 @@
+"""Streaming / real-time community detection (paper future work i).
+
+The paper's future work opens with "extending the experiments to
+larger-scale inputs ... and targeting community detection in real-time".
+This subpackage provides that extension:
+
+``dynamic_graph``
+    A mutable edge set with cheap snapshots to :class:`~repro.graph.csr.CSRGraph`.
+``incremental``
+    :class:`IncrementalLouvain`: maintain a community assignment across a
+    stream of edge insertions/deletions by *warm-starting* each refresh
+    from the previous assignment (Algorithm 1's ``C_init`` input — the
+    paper's own algorithm already accepts an initial assignment, which is
+    exactly what makes it incremental-ready).
+``stream``
+    Synthetic event streams: community growth, drift (vertices migrating
+    between planted blocks), and churn.
+"""
+
+from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.dynamic.incremental import IncrementalLouvain, RefreshStats
+from repro.dynamic.stream import EdgeEvent, community_drift_stream, growth_stream
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeEvent",
+    "IncrementalLouvain",
+    "RefreshStats",
+    "community_drift_stream",
+    "growth_stream",
+]

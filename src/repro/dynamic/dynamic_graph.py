@@ -1,0 +1,156 @@
+"""A mutable undirected weighted graph with CSR snapshots.
+
+The static pipeline operates on immutable :class:`CSRGraph` instances;
+:class:`DynamicGraph` is the mutable front-end for streaming workloads:
+edges are kept in a dictionary keyed by canonical pairs, mutations are
+O(1), and :meth:`snapshot` materializes (and caches) a CSR view for the
+detection pipeline.  The same input rules as everywhere else apply:
+positive weights, self-loops allowed, one edge per vertex pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import GraphStructureError, ValidationError
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """An editable edge set over a growable vertex range.
+
+    Examples
+    --------
+    >>> g = DynamicGraph(3)
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2, 2.0)
+    >>> g.snapshot().num_edges
+    2
+    >>> g.remove_edge(0, 1)
+    1.0
+    >>> g.snapshot().num_edges
+    1
+    """
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise ValidationError("num_vertices must be non-negative")
+        self._n = int(num_vertices)
+        self._edges: dict[tuple[int, int], float] = {}
+        self._snapshot: CSRGraph | None = None
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def version(self) -> int:
+        """Increments on every successful mutation."""
+        return self._version
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._snapshot = None
+
+    # ------------------------------------------------------------------
+    def add_vertices(self, count: int = 1) -> int:
+        """Append ``count`` isolated vertices; returns the new vertex count."""
+        if count < 0:
+            raise ValidationError("count must be non-negative")
+        if count:
+            self._n += count
+            self._touch()
+        return self._n
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Insert edge ``{u, v}`` (must not already exist)."""
+        self._check_ids(u, v)
+        if weight <= 0:
+            raise GraphStructureError("edge weights must be strictly positive")
+        key = self._key(u, v)
+        if key in self._edges:
+            raise GraphStructureError(
+                f"edge {key} already exists (use set_weight to change it)"
+            )
+        self._edges[key] = float(weight)
+        self._touch()
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        """Change the weight of an existing edge."""
+        self._check_ids(u, v)
+        if weight <= 0:
+            raise GraphStructureError("edge weights must be strictly positive")
+        key = self._key(u, v)
+        if key not in self._edges:
+            raise GraphStructureError(f"edge {key} does not exist")
+        self._edges[key] = float(weight)
+        self._touch()
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Delete edge ``{u, v}``; returns its weight."""
+        self._check_ids(u, v)
+        key = self._key(u, v)
+        if key not in self._edges:
+            raise GraphStructureError(f"edge {key} does not exist")
+        weight = self._edges.pop(key)
+        self._touch()
+        return weight
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_ids(u, v)
+        return self._key(u, v) in self._edges
+
+    def edge_weight(self, u: int, v: int) -> float:
+        self._check_ids(u, v)
+        return self._edges.get(self._key(u, v), 0.0)
+
+    def _check_ids(self, u: int, v: int) -> None:
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphStructureError(
+                f"vertex ids ({u}, {v}) out of range [0, {self._n})"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "DynamicGraph":
+        """Seed a dynamic graph from a static snapshot."""
+        dyn = cls(graph.num_vertices)
+        u, v, w = graph.edge_arrays()
+        for a, b, c in zip(u.tolist(), v.tolist(), w.tolist()):
+            dyn._edges[dyn._key(a, b)] = float(c)
+        dyn._touch()
+        return dyn
+
+    def snapshot(self) -> CSRGraph:
+        """Materialize the current edge set as an immutable CSR graph.
+
+        Cached until the next mutation.
+        """
+        if self._snapshot is None:
+            if not self._edges:
+                self._snapshot = CSRGraph.empty(self._n)
+            else:
+                pairs = np.asarray(list(self._edges.keys()), dtype=np.int64)
+                weights = np.asarray(list(self._edges.values()),
+                                     dtype=np.float64)
+                self._snapshot = from_edge_array(
+                    self._n, pairs, weights, combine="error"
+                )
+        return self._snapshot
+
+    def __repr__(self) -> str:
+        return (f"DynamicGraph(n={self._n}, edges={self.num_edges}, "
+                f"version={self._version})")

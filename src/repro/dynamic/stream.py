@@ -1,0 +1,162 @@
+"""Synthetic edge-event streams for the real-time experiments.
+
+Two stream shapes cover the dynamic phenomena the incremental pipeline
+must handle:
+
+* :func:`growth_stream` — a community-structured graph accretes new edges
+  over time (densification); communities stay put, so a warm start should
+  pay off maximally;
+* :func:`community_drift_stream` — vertices *migrate* between planted
+  blocks: their old intra-community edges are removed and re-created
+  toward the new block, so the assignment must genuinely change.
+
+Both emit batches of :class:`EdgeEvent`, deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.graph.generators import planted_partition
+from repro.utils.errors import ValidationError
+from repro.utils.rng import as_rng
+
+__all__ = ["EdgeEvent", "community_drift_stream", "growth_stream"]
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One stream event: ``kind`` is ``"add"`` or ``"remove"``."""
+
+    kind: str
+    u: int
+    v: int
+    weight: float = 1.0
+
+    def apply(self, graph: DynamicGraph) -> None:
+        if self.kind == "add":
+            if not graph.has_edge(self.u, self.v):
+                graph.add_edge(self.u, self.v, self.weight)
+        elif self.kind == "remove":
+            if graph.has_edge(self.u, self.v):
+                graph.remove_edge(self.u, self.v)
+        else:
+            raise ValidationError(f"unknown event kind {self.kind!r}")
+
+
+def growth_stream(
+    num_communities: int,
+    community_size: int,
+    *,
+    batches: int,
+    batch_size: int,
+    p_intra: float = 0.9,
+    seed=None,
+) -> tuple[DynamicGraph, "Iterator[list[EdgeEvent]]"]:
+    """A sparse planted-partition seed graph plus densifying add-batches.
+
+    Each batch adds ``batch_size`` new edges, a ``p_intra`` fraction of
+    them inside a random community and the rest across communities.
+    Returns ``(initial_graph, batch_iterator)``.
+    """
+    if batches < 0 or batch_size <= 0:
+        raise ValidationError("need batches >= 0 and batch_size >= 1")
+    rng = as_rng(seed)
+    base = planted_partition(num_communities, community_size, 0.12, 0.002,
+                             seed=rng)
+    dyn = DynamicGraph.from_csr(base)
+    n = dyn.num_vertices
+
+    def gen() -> Iterator[list[EdgeEvent]]:
+        for _ in range(batches):
+            events: list[EdgeEvent] = []
+            pending: set[tuple[int, int]] = set()
+            guard = 0
+            while len(events) < batch_size and guard < batch_size * 100:
+                guard += 1
+                if rng.random() < p_intra:
+                    c = int(rng.integers(num_communities))
+                    a, b = rng.integers(0, community_size, size=2)
+                    u, v = (c * community_size + int(a),
+                            c * community_size + int(b))
+                else:
+                    u, v = (int(x) for x in rng.integers(0, n, size=2))
+                pair = (min(u, v), max(u, v))
+                if u != v and pair not in pending and not dyn.has_edge(*pair):
+                    events.append(EdgeEvent("add", *pair))
+                    pending.add(pair)
+            yield events
+
+    return dyn, gen()
+
+
+def community_drift_stream(
+    num_communities: int,
+    community_size: int,
+    *,
+    batches: int,
+    movers_per_batch: int,
+    degree: int = 8,
+    seed=None,
+) -> tuple[DynamicGraph, "Iterator[list[EdgeEvent]]", np.ndarray]:
+    """Vertices migrate between communities over time.
+
+    Per batch, ``movers_per_batch`` random vertices cut their current
+    intra-community edges and wire ``degree`` fresh edges into a new
+    random community.  Returns ``(initial_graph, batch_iterator,
+    membership)`` where ``membership`` is updated in place as batches are
+    *generated* (it always reflects the ground truth after the most
+    recently yielded batch).
+    """
+    if batches < 0 or movers_per_batch <= 0:
+        raise ValidationError("need batches >= 0 and movers_per_batch >= 1")
+    rng = as_rng(seed)
+    base = planted_partition(num_communities, community_size, 0.35, 0.003,
+                             seed=rng)
+    dyn = DynamicGraph.from_csr(base)
+    n = dyn.num_vertices
+    membership = np.repeat(np.arange(num_communities), community_size
+                           ).astype(np.int64)
+    snapshot = dyn.snapshot()
+    adjacency: dict[int, set[int]] = {
+        v: set(snapshot.neighbors(v)[0].tolist()) - {v} for v in range(n)
+    }
+
+    def gen() -> Iterator[list[EdgeEvent]]:
+        for _ in range(batches):
+            events: list[EdgeEvent] = []
+            movers = rng.choice(n, size=min(movers_per_batch, n),
+                                replace=False)
+            for v in movers.tolist():
+                old_c = int(membership[v])
+                new_c = int(rng.integers(num_communities))
+                if new_c == old_c:
+                    new_c = (old_c + 1) % num_communities
+                # Cut ties to the old community.
+                for u in sorted(adjacency[v]):
+                    if membership[u] == old_c:
+                        events.append(EdgeEvent("remove", min(u, v),
+                                                max(u, v)))
+                        adjacency[v].discard(u)
+                        adjacency[u].discard(v)
+                # Wire into the new community.
+                added = 0
+                attempts = 0
+                while added < degree and attempts < degree * 20:
+                    attempts += 1
+                    u = new_c * community_size + int(
+                        rng.integers(community_size)
+                    )
+                    if u != v and u not in adjacency[v]:
+                        events.append(EdgeEvent("add", min(u, v), max(u, v)))
+                        adjacency[v].add(u)
+                        adjacency[u].add(v)
+                        added += 1
+                membership[v] = new_c
+            yield events
+
+    return dyn, gen(), membership

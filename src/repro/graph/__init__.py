@@ -1,0 +1,25 @@
+"""Graph substrate: CSR storage, construction, I/O, generators, statistics.
+
+The paper stores graphs in "a compressed storage format ... that stores the
+adjacency lists for all the vertices in a contiguous memory location"
+(§5.5); :class:`repro.graph.csr.CSRGraph` is that format, backed by NumPy
+arrays.  The rest of the subpackage provides construction
+(:mod:`repro.graph.build`), file formats (:mod:`repro.graph.io`), synthetic
+workload generators (:mod:`repro.graph.generators`), the degree statistics
+of Table 1 (:mod:`repro.graph.stats`) and the between-phase graph rebuild
+(:mod:`repro.graph.coarsen`).
+"""
+
+from repro.graph.build import GraphBuilder
+from repro.graph.coarsen import CoarsenResult, coarsen
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "CSRGraph",
+    "CoarsenResult",
+    "GraphBuilder",
+    "GraphStats",
+    "coarsen",
+    "compute_stats",
+]

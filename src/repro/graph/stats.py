@@ -1,0 +1,111 @@
+"""Graph statistics — the columns of the paper's Table 1.
+
+Table 1 reports, per input: number of vertices ``n``, number of edges ``M``,
+and unweighted-degree statistics (max, average, and RSD — the relative
+standard deviation, i.e. standard deviation divided by mean).  The paper
+uses degree RSD as the structural predictor of parallel behaviour
+(low RSD → uniform inputs like Channel/NLPKKT240; high RSD → hub-dominated
+inputs like CNR/friendster), so the same quantity drives the dataset
+stand-in calibration in :mod:`repro.datasets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "GraphStats",
+    "compute_stats",
+    "degree_rsd",
+    "pipeline_memory_estimate",
+    "single_degree_count",
+]
+
+
+def pipeline_memory_estimate(graph: CSRGraph) -> dict[str, int]:
+    """Byte estimate of one pipeline run's resident structures.
+
+    §5.6: "The space complexity is linear in the input for shared memory
+    implementation (i.e., O(m + n))."  Concretely, a run holds the CSR
+    arrays, the cached degree vector, the sweep state (labels, community
+    degrees, sizes), and one targets buffer; coarse-phase graphs are
+    strictly smaller than the input and the previous phase's graph is
+    dropped, so the phase-1 figures bound the whole run.
+    """
+    n = graph.num_vertices
+    per_vertex = 8  # int64/float64 elements throughout
+    return {
+        "graph": graph.nbytes,
+        "degrees": n * per_vertex,
+        "sweep_state": 3 * n * per_vertex,
+        "targets": n * per_vertex,
+        "total": graph.nbytes + 5 * n * per_vertex,
+    }
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for one graph (one row of Table 1)."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    avg_degree: float
+    degree_rsd: float
+    num_self_loops: int
+    num_single_degree: int
+    total_weight: float
+
+    def table1_row(self, name: str) -> str:
+        """Format as a Table 1 row: name, n, M, max, avg, RSD."""
+        return (
+            f"{name:<18} {self.num_vertices:>10,} {self.num_edges:>12,} "
+            f"{self.max_degree:>8,} {self.avg_degree:>9.3f} {self.degree_rsd:>8.3f}"
+        )
+
+
+def degree_rsd(graph: CSRGraph) -> float:
+    """Relative standard deviation of the unweighted degree distribution.
+
+    Defined in Table 1's caption as the ratio between the standard deviation
+    of the degree and its mean.  Returns 0.0 for degenerate (edge-free)
+    graphs.
+    """
+    deg = graph.unweighted_degrees.astype(np.float64)
+    mean = deg.mean() if deg.size else 0.0
+    if mean == 0.0:
+        return 0.0
+    return float(deg.std() / mean)
+
+
+def single_degree_count(graph: CSRGraph) -> int:
+    """Number of single-degree vertices (exactly one incident non-loop edge).
+
+    These are the vertices the vertex-following heuristic (§5.3) merges
+    away; counting them predicts how much VF can shrink an input.  A vertex
+    with one non-loop edge plus a self-loop is "single neighbor", not single
+    degree, and is excluded — matching the paper's distinction.
+    """
+    from repro.core.vf import single_degree_vertices
+
+    return int(single_degree_vertices(graph).size)
+
+
+def compute_stats(graph: CSRGraph) -> GraphStats:
+    """Compute all Table 1 statistics (plus VF-relevant extras) for a graph."""
+    deg = graph.unweighted_degrees
+    n = graph.num_vertices
+    return GraphStats(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        max_degree=int(deg.max()) if n else 0,
+        avg_degree=float(deg.mean()) if n else 0.0,
+        degree_rsd=degree_rsd(graph),
+        num_self_loops=graph.num_self_loops,
+        num_single_degree=single_degree_count(graph),
+        total_weight=graph.total_weight,
+    )

@@ -1,0 +1,32 @@
+"""Partition-quality metrics and cross-scheme performance profiles.
+
+``pairs``
+    Pair-counting comparison of two partitions (Table 3's specificity,
+    sensitivity, overlap quality and Rand index), computed from the
+    contingency table in O(n + cells) instead of the Θ(n²) pair enumeration
+    the paper resorts to.
+``information``
+    Chance-corrected and information-theoretic scores (ARI, NMI, VI) for
+    downstream users beyond Table 3.
+``profiles``
+    Relative performance profiles across schemes and inputs (Fig. 10).
+"""
+
+from repro.metrics.information import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    variation_of_information,
+)
+from repro.metrics.pairs import PairCounts, compare_partitions, pair_counts
+from repro.metrics.profiles import PerformanceProfile, performance_profile
+
+__all__ = [
+    "PairCounts",
+    "PerformanceProfile",
+    "adjusted_rand_index",
+    "compare_partitions",
+    "normalized_mutual_information",
+    "pair_counts",
+    "performance_profile",
+    "variation_of_information",
+]

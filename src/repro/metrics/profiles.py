@@ -1,0 +1,101 @@
+"""Performance profiles (paper Fig. 10, Dolan–Moré style).
+
+Given a value per (scheme, input) — runtime or final modularity — the
+profile of a scheme is the distribution of its ratio to the best scheme on
+each input.  Plotting the sorted ratios against the cumulative fraction of
+inputs shows how often, and by how much, each scheme trails the per-input
+winner; "the longer a heuristic's curve stays near the Y-axis the more
+superior its performance" (§6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["PerformanceProfile", "performance_profile"]
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """Profile of one scheme: sorted best-ratio factors over the inputs.
+
+    ``ratios[i]`` is how many times worse the scheme was than the per-input
+    best on its (i+1)-th easiest input; 1.0 means it *was* the best.
+    """
+
+    scheme: str
+    ratios: np.ndarray
+
+    def fraction_within(self, factor: float) -> float:
+        """Fraction of inputs where the scheme is within ``factor`` of best."""
+        if self.ratios.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.ratios <= factor) / self.ratios.size)
+
+    def curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, y) arrays for plotting: factor vs cumulative input fraction."""
+        y = np.arange(1, self.ratios.size + 1) / max(1, self.ratios.size)
+        return self.ratios, y
+
+
+def performance_profile(
+    values: dict[str, dict[str, float]],
+    *,
+    better: str = "min",
+) -> dict[str, PerformanceProfile]:
+    """Build performance profiles from per-scheme per-input values.
+
+    Parameters
+    ----------
+    values:
+        ``{scheme: {input_name: value}}``.  Every scheme must cover the
+        same inputs (the paper drops inputs lacking a serial result before
+        profiling; do the same upstream).
+    better:
+        ``"min"`` when smaller is better (runtime), ``"max"`` when larger
+        is better (modularity).
+
+    Returns
+    -------
+    ``{scheme: PerformanceProfile}`` with ratios sorted ascending.
+    """
+    if better not in ("min", "max"):
+        raise ValidationError("better must be 'min' or 'max'")
+    if not values:
+        return {}
+    schemes = list(values)
+    inputs = sorted(values[schemes[0]])
+    for scheme in schemes:
+        if sorted(values[scheme]) != inputs:
+            raise ValidationError(
+                f"scheme {scheme!r} does not cover the same inputs"
+            )
+    profiles: dict[str, PerformanceProfile] = {}
+    for scheme in schemes:
+        ratios = []
+        for name in inputs:
+            column = [values[s][name] for s in schemes]
+            mine = values[scheme][name]
+            if better == "min":
+                best = min(column)
+                if best <= 0:
+                    raise ValidationError(
+                        f"non-positive value for input {name!r} with better='min'"
+                    )
+                ratios.append(mine / best)
+            else:
+                best = max(column)
+                if mine <= 0:
+                    raise ValidationError(
+                        f"non-positive value for scheme {scheme!r}, "
+                        f"input {name!r} with better='max'"
+                    )
+                ratios.append(best / mine)
+        profiles[scheme] = PerformanceProfile(
+            scheme=scheme, ratios=np.sort(np.asarray(ratios, dtype=np.float64))
+        )
+    return profiles

@@ -1,0 +1,32 @@
+"""Parallel execution substrate.
+
+``chunking``
+    Vertex partitioners (block and edge-balanced) that split a sweep's
+    active vertex set into per-worker chunks.
+``backends``
+    Execution backends: :class:`SerialBackend` and :class:`ThreadBackend`
+    (a ``ThreadPoolExecutor`` over chunks — NumPy kernels release the GIL
+    during array operations, so chunked threading gives modest real
+    speedups despite CPython).
+``atomic``
+    Deterministic emulation of the paper's ``__sync_fetch_and_add``
+    community-degree updates: per-worker accumulation + single reduction.
+``costmodel``
+    The simulated 32-core machine used to regenerate the paper's scaling
+    figures (see DESIGN.md §1 for the substitution rationale).
+"""
+
+from repro.parallel.backends import ExecutionBackend, SerialBackend, ThreadBackend, make_backend
+from repro.parallel.chunking import block_partition, edge_balanced_partition
+from repro.parallel.costmodel import MachineModel, SimulatedBreakdown
+
+__all__ = [
+    "ExecutionBackend",
+    "MachineModel",
+    "SerialBackend",
+    "SimulatedBreakdown",
+    "ThreadBackend",
+    "block_partition",
+    "edge_balanced_partition",
+    "make_backend",
+]

@@ -1,0 +1,69 @@
+"""Deterministic emulation of atomic accumulation.
+
+The paper's OpenMP implementation updates source/target community degrees
+with ``__sync_fetch_and_add`` / ``__sync_fetch_and_sub`` intrinsics (§5.5).
+Those updates are commutative additions, so a deterministic and contention-
+free Python equivalent is: give each worker its own accumulation buffer and
+reduce the buffers once at the end of the parallel region.  The final state
+is exactly the atomic result, independent of scheduling.
+
+:class:`ThreadLocalAccumulator` packages that pattern for float and int
+arrays; the sweep's ``apply`` step and the rebuild use it when running on a
+thread backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["ThreadLocalAccumulator"]
+
+
+class ThreadLocalAccumulator:
+    """Per-worker add buffers with a single final reduction.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the accumulated array.
+    num_workers:
+        Number of independent buffers to allocate.
+    dtype:
+        Buffer dtype (float64 by default).
+
+    Examples
+    --------
+    >>> acc = ThreadLocalAccumulator(4, num_workers=2)
+    >>> acc.add(0, [0, 1], [1.0, 2.0])
+    >>> acc.add(1, [1, 3], [3.0, 4.0])
+    >>> acc.reduce().tolist()
+    [1.0, 5.0, 0.0, 4.0]
+    """
+
+    def __init__(self, shape, num_workers: int, dtype=np.float64):
+        if num_workers < 1:
+            raise ValidationError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._buffers = np.zeros((num_workers,) + tuple(np.atleast_1d(shape)), dtype=dtype)
+
+    def add(self, worker: int, index, values) -> None:
+        """Accumulate ``values`` at ``index`` into worker ``worker``'s buffer.
+
+        Duplicate indices within one call are summed (``np.add.at``
+        semantics), matching what repeated atomic adds would produce.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ValidationError(
+                f"worker id {worker} out of range [0, {self.num_workers})"
+            )
+        np.add.at(self._buffers[worker], index, values)
+
+    def reduce(self) -> np.ndarray:
+        """Sum all worker buffers into one array (buffers are left intact)."""
+        return self._buffers.sum(axis=0)
+
+    def reset(self) -> None:
+        """Zero every buffer for reuse."""
+        self._buffers[:] = 0

@@ -1,0 +1,106 @@
+"""Execution backends for the sweep kernels.
+
+A backend maps a pure function over a list of chunks.  The semantics of the
+parallel sweep (Algorithm 1) are Jacobi-style — every chunk reads the same
+previous-iteration snapshot — so chunk evaluation is embarrassingly
+parallel and the result is bitwise identical across backends and chunk
+counts (the stability property of §5.4, verified by tests).
+
+:class:`ThreadBackend` uses a shared ``ThreadPoolExecutor``.  CPython's GIL
+limits the achievable speedup (NumPy releases it inside array ops, so
+medium-grained kernels overlap partially); wall-clock *scaling* results are
+therefore produced by :mod:`repro.parallel.costmodel` instead, as described
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend", "make_backend"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ExecutionBackend:
+    """Interface: map a function over chunks, preserving chunk order."""
+
+    #: Worker count this backend models (1 for serial).
+    num_workers: int = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run chunks one after another on the calling thread."""
+
+    num_workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run chunks on a thread pool.
+
+    The pool is created lazily and reused across calls; call :meth:`close`
+    (or use the backend as a context manager) to shut it down.
+    """
+
+    def __init__(self, num_threads: int):
+        if num_threads < 1:
+            raise ValidationError("num_threads must be >= 1")
+        self.num_workers = int(num_threads)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="repro-sweep"
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ThreadBackend(num_threads={self.num_workers})"
+
+
+def make_backend(name: str, num_threads: int = 4) -> ExecutionBackend:
+    """Factory used by the driver: ``"serial"``, ``"threads"`` or
+    ``"processes"``."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadBackend(num_threads)
+    if name == "processes":
+        from repro.parallel.process_backend import ProcessBackend
+
+        return ProcessBackend(num_threads)
+    raise ValidationError(f"unknown backend {name!r}")

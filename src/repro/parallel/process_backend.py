@@ -1,0 +1,213 @@
+"""True parallel sweeps via worker processes (the GIL workaround).
+
+CPython threads cannot run the sweep kernel concurrently; worker
+*processes* can.  This backend gives each sweep real CPU parallelism with
+zero result difference (the Jacobi snapshot semantics make chunk order
+irrelevant):
+
+* the **read-only graph** reaches workers for free through ``fork``
+  (copy-on-write inheritance — no pickling, no copying);
+* the **per-iteration state** (community labels/degrees/sizes), the active
+  vertex list and the output targets live in ``multiprocessing.shared_memory``
+  buffers the parent refreshes before each sweep;
+* workers loop on a task queue of contiguous chunk slices, run the
+  ordinary vectorized kernel, and write their targets into their disjoint
+  output slice.
+
+Because phases run on different (coarsened) graphs, the backend keeps one
+:class:`_SweepExecutor` per graph and retires them on :meth:`close` — the
+driver's ``finally`` already does that.
+
+Limits: requires the ``fork`` start method (Linux/macOS), and the win is
+bounded by the machine (this repository's evaluation machine has 2 cores;
+the cost model, not this backend, produces the 32-thread figures — see
+DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.backends import ExecutionBackend
+from repro.parallel.chunking import edge_balanced_partition
+from repro.utils.errors import ValidationError
+
+__all__ = ["ProcessBackend"]
+
+
+def _worker_main(graph, shm_names, n, task_q, done_q):
+    """Worker loop: attach shared buffers, serve chunk tasks forever.
+
+    ``graph`` arrives through fork inheritance (read-only).  A task is
+    ``(offset, length, use_min_label, resolution)`` into the shared active
+    array; ``None`` shuts the worker down.
+    """
+    from repro.core.sweep import SweepState, compute_targets_vectorized
+
+    segs = {name: shared_memory.SharedMemory(name=shm_names[name])
+            for name in shm_names}
+    comm = np.ndarray((n,), dtype=np.int64, buffer=segs["comm"].buf)
+    degree = np.ndarray((n,), dtype=np.float64, buffer=segs["degree"].buf)
+    size = np.ndarray((n,), dtype=np.int64, buffer=segs["size"].buf)
+    active = np.ndarray((n,), dtype=np.int64, buffer=segs["active"].buf)
+    targets = np.ndarray((n,), dtype=np.int64, buffer=segs["targets"].buf)
+    state = SweepState(comm, degree, size)
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            offset, length, use_min_label, resolution = task
+            verts = active[offset:offset + length]
+            out = compute_targets_vectorized(
+                graph, state, verts,
+                use_min_label=use_min_label, resolution=resolution,
+            )
+            targets[offset:offset + length] = out
+            done_q.put(offset)
+    finally:
+        for seg in segs.values():
+            seg.close()
+
+
+class _SweepExecutor:
+    """Worker pool + shared buffers bound to one graph."""
+
+    def __init__(self, graph, num_workers: int):
+        self.graph = graph
+        self.num_workers = num_workers
+        n = max(1, graph.num_vertices)
+        self._n = n
+        ctx = mp.get_context("fork")
+        self._segments = {
+            "comm": shared_memory.SharedMemory(create=True, size=8 * n),
+            "degree": shared_memory.SharedMemory(create=True, size=8 * n),
+            "size": shared_memory.SharedMemory(create=True, size=8 * n),
+            "active": shared_memory.SharedMemory(create=True, size=8 * n),
+            "targets": shared_memory.SharedMemory(create=True, size=8 * n),
+        }
+        self._views = {
+            "comm": np.ndarray((n,), np.int64,
+                               buffer=self._segments["comm"].buf),
+            "degree": np.ndarray((n,), np.float64,
+                                 buffer=self._segments["degree"].buf),
+            "size": np.ndarray((n,), np.int64,
+                               buffer=self._segments["size"].buf),
+            "active": np.ndarray((n,), np.int64,
+                                 buffer=self._segments["active"].buf),
+            "targets": np.ndarray((n,), np.int64,
+                                  buffer=self._segments["targets"].buf),
+        }
+        self._task_q = ctx.Queue()
+        self._done_q = ctx.Queue()
+        names = {k: seg.name for k, seg in self._segments.items()}
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(graph, names, n, self._task_q, self._done_q),
+                daemon=True,
+            )
+            for _ in range(num_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    def compute_targets(self, state, vertices, *, use_min_label: bool,
+                        resolution: float) -> np.ndarray:
+        count = vertices.shape[0]
+        nv = state.comm.shape[0]
+        self._views["comm"][:nv] = state.comm
+        self._views["degree"][:nv] = state.comm_degree
+        self._views["size"][:nv] = state.comm_size
+        self._views["active"][:count] = vertices
+        chunks = edge_balanced_partition(
+            vertices, self.graph.indptr, self.num_workers
+        )
+        offset = 0
+        issued = 0
+        for chunk in chunks:
+            self._task_q.put((offset, chunk.shape[0], use_min_label,
+                              resolution))
+            offset += chunk.shape[0]
+            issued += 1
+        for _ in range(issued):
+            self._done_q.get()
+        return self._views["targets"][:count].copy()
+
+    def close(self) -> None:
+        for _ in self._workers:
+            self._task_q.put(None)
+        for w in self._workers:
+            w.join(timeout=5)
+            if w.is_alive():
+                w.terminate()
+        for seg in self._segments.values():
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._workers = []
+
+
+class ProcessBackend(ExecutionBackend):
+    """Execution backend running sweep chunks on worker processes.
+
+    Unlike :class:`ThreadBackend` this achieves genuine CPU concurrency;
+    the output is still bitwise identical to the serial backend (tested).
+    One executor (pool + shared buffers) is kept per graph; phases on new
+    coarse graphs fork fresh pools, which costs a few milliseconds each —
+    negligible next to a phase's sweeps on non-toy inputs.
+    """
+
+    def __init__(self, num_processes: "int | None" = None):
+        if "fork" not in mp.get_all_start_methods():
+            raise ValidationError(
+                "ProcessBackend requires the 'fork' start method"
+            )
+        if num_processes is None:
+            num_processes = max(1, os.cpu_count() or 1)
+        if num_processes < 1:
+            raise ValidationError("num_processes must be >= 1")
+        self.num_workers = int(num_processes)
+        self._executors: dict[int, _SweepExecutor] = {}
+
+    def sweep_targets(self, graph, state, vertices, *, use_min_label: bool,
+                      resolution: float) -> np.ndarray:
+        """Compute one sweep's targets on the worker pool."""
+        if self.num_workers <= 1 or vertices.size < 2:
+            from repro.core.sweep import compute_targets_vectorized
+
+            return compute_targets_vectorized(
+                graph, state, vertices,
+                use_min_label=use_min_label, resolution=resolution,
+            )
+        key = id(graph)
+        executor = self._executors.get(key)
+        if executor is None or executor.graph is not graph:
+            executor = _SweepExecutor(graph, self.num_workers)
+            self._executors[key] = executor
+        return executor.compute_targets(
+            state, vertices,
+            use_min_label=use_min_label, resolution=resolution,
+        )
+
+    def map(self, fn, items):
+        """Generic map falls back to serial execution.
+
+        The backend's value is :meth:`sweep_targets` (closures over NumPy
+        state don't pickle); anything else runs inline.
+        """
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def __repr__(self) -> str:
+        return f"ProcessBackend(num_processes={self.num_workers})"

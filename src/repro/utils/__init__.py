@@ -1,0 +1,20 @@
+"""Shared utilities: error types, validation helpers, timers, RNG handling."""
+
+from repro.utils.errors import (
+    GraphFormatError,
+    GraphStructureError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.rng import as_rng
+from repro.utils.timing import StepTimer, Timer
+
+__all__ = [
+    "GraphFormatError",
+    "GraphStructureError",
+    "ReproError",
+    "StepTimer",
+    "Timer",
+    "ValidationError",
+    "as_rng",
+]

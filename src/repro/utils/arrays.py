@@ -1,0 +1,77 @@
+"""Small NumPy array helpers shared across the package.
+
+These are the segmented-reduction primitives the vectorized Louvain sweep is
+built from.  They operate on *sorted key runs*: given an array of keys in
+which equal keys are contiguous, :func:`run_boundaries` finds the run starts
+and :func:`segment_sums`/:func:`segment_argmax` reduce values over runs using
+``np.add.reduceat``-style vectorized operations — the NumPy idiom for
+replacing per-element Python loops recommended by the HPC guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def run_boundaries(sorted_keys: np.ndarray) -> np.ndarray:
+    """Return the start indices of equal-key runs in a sorted key array.
+
+    >>> run_boundaries(np.array([3, 3, 5, 9, 9, 9]))
+    array([0, 2, 3])
+    """
+    keys = np.asarray(sorted_keys)
+    if keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    changed = np.empty(keys.size, dtype=bool)
+    changed[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=changed[1:])
+    return np.flatnonzero(changed).astype(np.int64)
+
+
+def segment_sums(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Sum ``values`` over the runs delimited by ``starts``.
+
+    ``starts`` must be the output of :func:`run_boundaries` for a key array
+    aligned with ``values``.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return np.zeros(0, dtype=values.dtype)
+    return np.add.reduceat(values, starts)
+
+
+def segment_max(values: np.ndarray, segment_of: np.ndarray, n_segments: int,
+                fill: float) -> np.ndarray:
+    """Per-segment maximum for arbitrarily ordered ``segment_of`` labels."""
+    out = np.full(n_segments, fill, dtype=np.asarray(values).dtype)
+    np.maximum.at(out, segment_of, values)
+    return out
+
+
+def check_permutation(perm: np.ndarray, n: int) -> None:
+    """Validate that ``perm`` is a permutation of ``0..n-1``."""
+    perm = np.asarray(perm)
+    if perm.shape != (n,):
+        raise ValidationError(f"permutation has shape {perm.shape}, expected ({n},)")
+    seen = np.zeros(n, dtype=bool)
+    if perm.size and (perm.min() < 0 or perm.max() >= n):
+        raise ValidationError("permutation entries out of range")
+    seen[perm] = True
+    if not seen.all():
+        raise ValidationError("array is not a permutation: repeated entries")
+
+
+def renumber_labels(labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """Compact arbitrary integer labels to the dense range ``0..k-1``.
+
+    Labels keep their relative numeric order (label 5 < label 9 implies the
+    compacted ids preserve that order), matching the paper's renumbering of
+    non-empty communities between phases (§5.5 step i).
+
+    Returns ``(dense_labels, k)``.
+    """
+    labels = np.asarray(labels)
+    uniq, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64), int(uniq.size)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library signals with a single ``except`` clause while
+built-in ``TypeError``/``ValueError`` from obviously-wrong Python usage still
+propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or data structure failed validation.
+
+    Also derives from :class:`ValueError` so generic callers that guard with
+    ``except ValueError`` keep working.
+    """
+
+
+class GraphStructureError(ValidationError):
+    """A graph violates a structural requirement of the algorithms.
+
+    Examples: multi-edges in strict mode, negative or zero edge weights,
+    an asymmetric CSR adjacency, vertex ids out of range.
+    """
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A graph file could not be parsed (bad header, token, or truncation)."""

@@ -1,0 +1,40 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`; :func:`as_rng` normalizes all three.
+Deterministic seeds are used throughout the test-suite and the benchmark
+harness so experiment tables are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` or :class:`numpy.random.SeedSequence`
+        to seed a fresh PCG64 generator, or an existing ``Generator`` which is
+        returned unchanged (shared, not copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used when a generator must be split across parallel work items so each
+    item draws from its own stream (the mpi4py/numba idiom of per-worker
+    streams, applied to thread chunks here).
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,92 @@
+"""Wall-clock timers used by the driver to record per-step runtime breakdowns.
+
+The paper's Fig. 8 decomposes total runtime into *coloring*, *graph rebuild*
+(including vertex-following preprocessing) and *clustering* (the Louvain
+iterations); :class:`StepTimer` accumulates named buckets in exactly that
+shape so the breakdown experiment can read them back.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started: float | None = None
+
+    def start(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StepTimer:
+    """Accumulates elapsed wall-clock time into named buckets.
+
+    >>> st = StepTimer()
+    >>> with st.step("coloring"):
+    ...     pass
+    >>> sorted(st.totals)
+    ['coloring']
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+
+    class _Step:
+        def __init__(self, owner: "StepTimer", name: str):
+            self._owner = owner
+            self._name = name
+            self._t0 = 0.0
+
+        def __enter__(self):
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            dt = time.perf_counter() - self._t0
+            self._owner.add(self._name, dt)
+
+    def step(self, name: str) -> "StepTimer._Step":
+        """Context manager that adds its elapsed time to bucket ``name``."""
+        return StepTimer._Step(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to bucket ``name`` (creating it if needed)."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        """Sum of every bucket."""
+        return sum(self.totals.values())
+
+    def get(self, name: str) -> float:
+        """Elapsed seconds in bucket ``name`` (0.0 if never used)."""
+        return self.totals.get(name, 0.0)
+
+    def merge(self, other: "StepTimer") -> None:
+        """Fold another timer's buckets into this one."""
+        for name, seconds in other.totals.items():
+            self.add(name, seconds)

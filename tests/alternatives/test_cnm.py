@@ -1,0 +1,94 @@
+"""Unit tests for the CNM agglomerative comparator."""
+
+import numpy as np
+import pytest
+
+from repro.alternatives.cnm import cnm
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    karate_club,
+    planted_partition,
+    two_cliques_bridge,
+)
+
+
+class TestCNM:
+    def test_two_cliques_exact(self, cliques8):
+        result = cnm(cliques8)
+        assert result.num_communities == 2
+        assert len(set(result.communities[:4])) == 1
+        assert len(set(result.communities[4:])) == 1
+
+    def test_modularity_consistent(self, karate):
+        result = cnm(karate)
+        assert result.modularity == pytest.approx(
+            modularity(karate, result.communities)
+        )
+
+    def test_karate_reasonable_quality(self, karate):
+        result = cnm(karate)
+        # The published CNM result on karate is Q ~ 0.38.
+        assert result.modularity > 0.33
+        assert 2 <= result.num_communities <= 8
+
+    def test_merges_monotone_gain_positive(self, karate):
+        result = cnm(karate)
+        assert result.num_merges == len(result.merges)
+        for _, _, gain in result.merges:
+            assert gain > 0
+
+    def test_merge_count_matches_communities(self, karate):
+        result = cnm(karate)
+        assert result.num_communities == 34 - result.num_merges
+
+    def test_every_merge_improved_q(self, planted):
+        """Replaying the merge list reproduces a monotone Q sequence."""
+        result = cnm(planted)
+        comm = np.arange(planted.num_vertices, dtype=np.int64)
+        q = modularity(planted, comm)
+        for a, b, gain in result.merges:
+            comm[comm == b] = a
+            q_new = modularity(planted, comm)
+            assert q_new == pytest.approx(q + gain, abs=1e-9)
+            q = q_new
+
+    def test_planted_recovery(self, planted, planted_truth):
+        result = cnm(planted)
+        assert result.modularity >= modularity(planted, planted_truth) - 0.06
+
+    def test_clique_single_community(self):
+        assert cnm(complete_graph(6)).num_communities == 1
+
+    def test_no_positive_merge_stays_singleton(self):
+        # Two isolated vertices joined by nothing: nothing to merge.
+        g = CSRGraph.empty(3)
+        result = cnm(g)
+        assert result.num_communities == 3
+        assert result.num_merges == 0
+
+    def test_empty_graph(self):
+        result = cnm(CSRGraph.empty(0))
+        assert result.communities.shape == (0,)
+
+    def test_self_loops_tolerated(self, loops_graph):
+        result = cnm(loops_graph)
+        assert result.modularity == pytest.approx(
+            modularity(loops_graph, result.communities)
+        )
+
+    def test_min_gain_cutoff(self, karate):
+        strict = cnm(karate, min_gain=0.05)
+        assert strict.num_merges <= cnm(karate).num_merges
+
+    def test_trails_louvain_on_average(self):
+        """§7: Louvain produces better modularity than CNM (usually)."""
+        from repro.core.louvain_serial import louvain_serial
+
+        wins = 0
+        for seed in range(3):
+            g = planted_partition(6, 25, 0.3, 0.02, seed=seed)
+            if louvain_serial(g).modularity >= cnm(g).modularity - 1e-9:
+                wins += 1
+        assert wins >= 2

@@ -1,0 +1,138 @@
+"""Unit tests for post-detection community analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.communities import (
+    community_hubs,
+    community_stats,
+    community_subgraph,
+    summarize_partition,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    karate_club,
+    planted_partition,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.utils.errors import ValidationError
+
+TWO_CLIQUES_COMM = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+
+
+class TestCommunityStats:
+    def test_two_cliques_values(self, cliques8):
+        stats = community_stats(cliques8, TWO_CLIQUES_COMM)
+        assert len(stats) == 2
+        for s in stats:
+            assert s.size == 4
+            assert s.internal_weight == 6.0  # C(4,2) clique edges
+            assert s.cut_weight == 1.0       # the bridge
+            assert s.volume == 13.0          # 3+3+3+4
+            assert s.internal_density == 1.0
+            # φ = 1 / min(13, 26-13) = 1/13.
+            assert s.conductance == pytest.approx(1 / 13)
+            assert not s.is_singlet
+
+    def test_singlet_flag_and_zero_density(self, karate):
+        comm = np.arange(34)
+        stats = community_stats(karate, comm)
+        assert all(s.is_singlet for s in stats)
+        assert all(s.internal_weight == 0.0 for s in stats)
+        assert all(s.internal_density == 0.0 for s in stats)
+
+    def test_self_loop_counts_internal_once(self, loops_graph):
+        stats = community_stats(loops_graph, np.array([0, 0, 1]))
+        # Community 0 = {0,1}: loop(0)=2 + edge(0,1)=3.
+        assert stats[0].internal_weight == 5.0
+        assert stats[0].cut_weight == 1.0
+        # Community 1 = {2}: loop 5; singlet, cut = edge to 1.
+        assert stats[1].internal_weight == 5.0
+        assert stats[1].cut_weight == 1.0
+
+    def test_internal_plus_cut_accounts_total(self, planted, planted_truth):
+        stats = community_stats(planted, planted_truth)
+        total = sum(s.internal_weight for s in stats) + sum(
+            s.cut_weight for s in stats
+        ) / 2.0
+        assert total == pytest.approx(planted.total_weight)
+
+    def test_whole_graph_zero_conductance(self, karate):
+        stats = community_stats(karate, np.zeros(34, dtype=np.int64))
+        assert stats[0].conductance == 0.0
+        assert stats[0].cut_weight == 0.0
+
+    def test_validation(self, karate):
+        with pytest.raises(ValidationError):
+            community_stats(karate, np.zeros(3, dtype=np.int64))
+
+    def test_empty_graph(self):
+        assert community_stats(CSRGraph.empty(0),
+                               np.zeros(0, dtype=np.int64)) == []
+
+
+class TestSummary:
+    def test_two_cliques(self, cliques8):
+        summary = summarize_partition(cliques8, TWO_CLIQUES_COMM)
+        assert summary.num_communities == 2
+        assert summary.num_singlets == 0
+        assert summary.size_min == summary.size_max == 4
+        # Coverage: 24 of 26 directed weight units are intra.
+        assert summary.coverage == pytest.approx(24 / 26)
+        assert summary.modularity == pytest.approx(24 / 26 - 2 * (13 / 26) ** 2)
+
+    def test_mixing_parameter_bounds(self, planted, planted_truth):
+        summary = summarize_partition(planted, planted_truth)
+        assert 0.0 <= summary.mixing_parameter <= 1.0
+        # The planted graph is strongly modular -> low mixing.
+        assert summary.mixing_parameter < 0.2
+
+    def test_mixing_matches_lfr_knob(self):
+        """On an LFR graph the recovered mixing tracks the generator's mu."""
+        from repro.graph.generators import lfr_like
+
+        g, truth = lfr_like(600, mu=0.25, seed=0)
+        summary = summarize_partition(g, truth.astype(np.int64))
+        assert summary.mixing_parameter == pytest.approx(0.25, abs=0.1)
+
+    def test_singleton_partition(self, karate):
+        summary = summarize_partition(karate, np.arange(34))
+        assert summary.num_singlets == 34
+        assert summary.coverage == 0.0
+        assert summary.mixing_parameter == pytest.approx(1.0)
+
+
+class TestSubgraphAndHubs:
+    def test_subgraph_of_clique(self, cliques8):
+        sub, members = community_subgraph(cliques8, TWO_CLIQUES_COMM, 0)
+        assert members.tolist() == [0, 1, 2, 3]
+        assert sub == complete_graph(4)
+
+    def test_subgraph_bad_label(self, cliques8):
+        with pytest.raises(ValidationError):
+            community_subgraph(cliques8, TWO_CLIQUES_COMM, 5)
+
+    def test_hubs_star(self):
+        g = star_graph(6)
+        hubs = community_hubs(g, np.zeros(7, dtype=np.int64), top=2)
+        assert hubs[0][0] == 0  # the hub has the top degree
+
+    def test_hubs_karate(self, karate):
+        comm = np.zeros(34, dtype=np.int64)
+        hubs = community_hubs(karate, comm, top=2)
+        assert set(hubs[0].tolist()) == {33, 0}  # instructor + president
+
+    def test_hubs_top_validation(self, karate):
+        with pytest.raises(ValidationError):
+            community_hubs(karate, np.zeros(34, dtype=np.int64), top=0)
+
+    def test_end_to_end_with_detection(self, planted):
+        from repro.core.driver import louvain
+
+        result = louvain(planted)
+        stats = community_stats(planted, result.communities)
+        assert len(stats) == result.num_communities
+        summary = summarize_partition(planted, result.communities)
+        assert summary.modularity == pytest.approx(result.modularity)

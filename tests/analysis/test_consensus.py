@@ -1,0 +1,87 @@
+"""Unit tests for consensus clustering and resolution scanning."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.consensus import consensus_communities, resolution_scan
+from repro.core.config import LouvainConfig
+from repro.core.modularity import modularity
+from repro.graph.generators import planted_partition
+from repro.metrics.pairs import pair_counts
+from repro.utils.errors import ValidationError
+
+from tests.core.test_resolution import ring_of_cliques
+
+
+class TestConsensus:
+    def test_recovers_planted_structure(self, planted, planted_truth):
+        result = consensus_communities(planted, runs=4)
+        assert result.final_agreement == pytest.approx(1.0)
+        rand = pair_counts(planted_truth, result.communities).rand_index
+        assert rand > 0.95
+
+    def test_modularity_consistent(self, planted):
+        result = consensus_communities(planted, runs=3)
+        assert result.modularity == pytest.approx(
+            modularity(planted, result.communities)
+        )
+
+    def test_agreement_at_least_single_run_quality(self, planted):
+        from repro.core.driver import louvain
+
+        single = louvain(planted, use_coloring=True,
+                         coloring_min_vertices=16, seed=0)
+        result = consensus_communities(planted, runs=4)
+        assert result.modularity >= single.modularity - 0.05
+
+    def test_unanimous_runs_need_no_levels(self, cliques8):
+        # Two cliques: every seed finds the same split immediately.
+        result = consensus_communities(cliques8, runs=3)
+        assert result.levels == 0
+        assert result.num_communities == 2
+
+    def test_level_cap_respected(self, planted):
+        result = consensus_communities(planted, runs=3, max_levels=1)
+        assert result.levels <= 1
+
+    def test_validation(self, planted):
+        with pytest.raises(ValidationError):
+            consensus_communities(planted, runs=1)
+        with pytest.raises(ValidationError):
+            consensus_communities(planted, threshold=0.0)
+
+
+class TestResolutionScan:
+    def test_counts_monotone_in_gamma(self):
+        """Higher γ never yields (much) coarser partitions on the ring."""
+        g = ring_of_cliques(20, 3)
+        points = resolution_scan(g, [0.5, 1.0, 3.0, 6.0])
+        counts = [p.num_communities for p in points]
+        assert counts == sorted(counts)
+
+    def test_plateau_at_clique_scale(self):
+        g = ring_of_cliques(20, 3)
+        points = resolution_scan(g, [5.0, 6.0, 7.0])
+        assert all(p.num_communities == 20 for p in points)
+
+    def test_standard_q_reported(self):
+        g = ring_of_cliques(12, 3)
+        (point,) = resolution_scan(g, [2.0])
+        assert point.modularity_standard == pytest.approx(
+            point.modularity_gamma, abs=1.0
+        )
+        assert point.resolution == 2.0
+
+    def test_gamma_one_matches_plain_run(self, planted):
+        from repro.core.driver import louvain
+
+        (point,) = resolution_scan(planted, [1.0])
+        plain = louvain(planted)
+        assert point.num_communities == plain.num_communities
+        assert point.modularity_gamma == pytest.approx(plain.modularity)
+
+    def test_validation(self, planted):
+        with pytest.raises(ValidationError):
+            resolution_scan(planted, [])
+        with pytest.raises(ValidationError):
+            resolution_scan(planted, [0.0, 1.0])

@@ -1,0 +1,80 @@
+"""Unit tests for the terminal chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_plot import line_chart, sparkline
+from repro.utils.errors import ValidationError
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+        # Monotone input -> non-decreasing block heights.
+        blocks = "▁▂▃▄▅▆▇█"
+        heights = [blocks.index(c) for c in sparkline(range(10))]
+        assert heights == sorted(heights)
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart(
+            {"a": ([1, 2, 3], [1.0, 2.0, 3.0])},
+            title="demo", x_label="x", y_label="y",
+        )
+        assert "demo" in out
+        assert "*" in out
+        assert "* a" in out
+        assert "[y: y]" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart({
+            "first": ([1, 2], [1.0, 2.0]),
+            "second": ([1, 2], [2.0, 1.0]),
+        })
+        assert "* first" in out and "o second" in out
+        assert "o" in out.splitlines()[1] or any(
+            "o" in line for line in out.splitlines()[:-2]
+        )
+
+    def test_log_x(self):
+        out = line_chart(
+            {"s": ([1, 2, 4, 8, 16, 32], [1, 2, 3, 4, 5, 6])}, log_x=True
+        )
+        assert "32" in out
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            line_chart({"s": ([0, 1], [1, 2])}, log_x=True)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValidationError):
+            line_chart({"s": ([1, 2], [1.0])})
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            line_chart({"s": ([1], [1])}, width=4, height=2)
+
+    def test_empty_series(self):
+        out = line_chart({"s": ([], [])}, title="t")
+        assert "(no data)" in out
+
+    def test_single_point(self):
+        out = line_chart({"s": ([5], [3.0])})
+        assert "*" in out
+
+    def test_constant_y(self):
+        out = line_chart({"s": ([1, 2, 3], [7.0, 7.0, 7.0])})
+        assert "*" in out
+
+    def test_grid_dimensions(self):
+        out = line_chart({"s": ([1, 2], [1, 2])}, width=40, height=10,
+                         title="")
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 10

@@ -1,0 +1,95 @@
+"""Unit tests for table rendering and JSON conversion."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.tables import ExperimentResult, format_table, to_jsonable
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        out = format_table(
+            ["Input", "n", "Q"],
+            [["karate", 34, 0.4188], ["big", 1_000_000, 0.99]],
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "Input" in lines[2]
+        assert "1,000,000" in out
+        assert "0.4188" in out
+
+    def test_none_renders_na(self):
+        out = format_table(["a", "b"], [["x", None]])
+        assert "N/A" in out
+
+    def test_float_formats(self):
+        out = format_table(["a", "v"], [["r1", 12345.678], ["r2", 0.000123],
+                                        ["r3", 42.0], ["r4", 0.0]])
+        assert "12,345.7" in out
+        assert "0.0001" in out
+        assert "42.00" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestExperimentResult:
+    def test_render(self):
+        r = ExperimentResult(
+            experiment_id="t", title="Table X", tables=["TBL"],
+            notes=["a note"],
+        )
+        text = r.render()
+        assert "## Table X" in text
+        assert "TBL" in text
+        assert "a note" in text
+        assert str(r) == text
+
+    def test_as_json_dict_serializes(self):
+        r = ExperimentResult(
+            experiment_id="t", title="T",
+            data={"arr": np.arange(3), "nested": {1: np.float64(0.5)}},
+        )
+        payload = r.as_json_dict()
+        text = json.dumps(payload)  # must not raise
+        assert '"arr": [0, 1, 2]' in text
+        assert payload["data"]["nested"]["1"] == 0.5
+
+
+class TestToJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float32(0.5)) == 0.5
+        assert to_jsonable(np.array([[1, 2]])) == [[1, 2]]
+
+    def test_dataclass(self):
+        @dataclass
+        class Row:
+            name: str
+            values: np.ndarray
+
+        out = to_jsonable(Row("x", np.arange(2)))
+        assert out == {"name": "x", "values": [0, 1]}
+
+    def test_containers_and_keys(self):
+        out = to_jsonable({(1, 2): [np.int64(7)], "s": {3}})
+        assert out == {"(1, 2)": [7], "s": [3]}
+
+    def test_object_fallback(self):
+        class Thing:
+            def __init__(self):
+                self.a = np.float64(1.5)
+                self._hidden = "skip"
+
+        assert to_jsonable(Thing()) == {"a": 1.5}
+
+    def test_real_experiment_data_serializes(self):
+        """Every experiment's data must survive json.dumps."""
+        from repro.bench.experiments import run_experiment
+
+        result = run_experiment("table1", scale=0.25)
+        json.dumps(result.as_json_dict())

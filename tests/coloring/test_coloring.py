@@ -1,0 +1,219 @@
+"""Unit tests for the coloring substrate."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.balanced import balance_colors
+from repro.coloring.distance_k import distance_k_coloring, power_graph
+from repro.coloring.greedy import greedy_coloring, vertex_order
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.validate import (
+    color_class_sizes,
+    color_set_partition,
+    color_size_rsd,
+    is_valid_coloring,
+    num_colors,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_lattice,
+    path_graph,
+    planted_partition,
+    star_graph,
+)
+from repro.utils.errors import ValidationError
+
+
+ALL_ORDERS = ["natural", "largest_first", "smallest_last", "random"]
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("order", ALL_ORDERS)
+    def test_valid_on_karate(self, karate, order):
+        colors = greedy_coloring(karate, order=order, seed=0)
+        assert is_valid_coloring(karate, colors)
+
+    @pytest.mark.parametrize("order", ALL_ORDERS)
+    def test_valid_on_planted(self, planted, order):
+        colors = greedy_coloring(planted, order=order, seed=0)
+        assert is_valid_coloring(planted, colors)
+
+    def test_complete_graph_needs_n_colors(self):
+        g = complete_graph(6)
+        assert num_colors(greedy_coloring(g)) == 6
+
+    def test_path_two_colors(self):
+        assert num_colors(greedy_coloring(path_graph(10))) == 2
+
+    def test_even_cycle_two_odd_three(self):
+        assert num_colors(greedy_coloring(cycle_graph(8))) <= 3
+        colors = greedy_coloring(cycle_graph(9))
+        assert is_valid_coloring(cycle_graph(9), colors)
+
+    def test_self_loops_ignored(self):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1)])
+        colors = greedy_coloring(g)
+        assert is_valid_coloring(g, colors)
+        assert colors[0] != colors[1]
+
+    def test_smallest_last_bounded_by_degeneracy_plus_one(self):
+        # A 2-D grid has degeneracy 2, so smallest-last uses <= 3 colors.
+        g = grid_lattice((8, 8))
+        assert num_colors(greedy_coloring(g, order="smallest_last")) <= 3
+
+    def test_deterministic_given_seed(self, karate):
+        c1 = greedy_coloring(karate, order="random", seed=9)
+        c2 = greedy_coloring(karate, order="random", seed=9)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_unknown_order_rejected(self, karate):
+        with pytest.raises(ValidationError):
+            vertex_order(karate, "bogus")
+
+    def test_empty_graph(self):
+        assert greedy_coloring(CSRGraph.empty(0)).shape == (0,)
+
+    def test_isolated_vertices_color_zero(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        colors = greedy_coloring(g, order="natural")
+        assert colors[2] == 0 and colors[3] == 0
+
+
+class TestJonesPlassmann:
+    def test_valid_on_karate(self, karate):
+        colors = jones_plassmann_coloring(karate, seed=1)
+        assert is_valid_coloring(karate, colors)
+
+    def test_valid_on_planted(self, planted):
+        colors = jones_plassmann_coloring(planted, seed=1)
+        assert is_valid_coloring(planted, colors)
+
+    def test_deterministic_given_seed(self, planted):
+        c1 = jones_plassmann_coloring(planted, seed=5)
+        c2 = jones_plassmann_coloring(planted, seed=5)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_work_log_rounds(self, karate):
+        log: list = []
+        jones_plassmann_coloring(karate, seed=0, work_log=log)
+        assert len(log) >= 1
+        # Every vertex is colored exactly once across rounds.
+        assert sum(c for c, _ in log) == karate.num_vertices
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        colors = jones_plassmann_coloring(g, seed=0)
+        assert num_colors(colors) == 5
+
+    def test_empty_graph(self):
+        assert jones_plassmann_coloring(CSRGraph.empty(0)).shape == (0,)
+
+    def test_edgeless_graph_single_round(self):
+        g = CSRGraph.empty(10)
+        colors = jones_plassmann_coloring(g, seed=0)
+        assert (colors == 0).all()
+
+
+class TestDistanceK:
+    def test_power_graph_path(self):
+        # Path 0-1-2-3: square adds (0,2),(1,3); distance<=2.
+        p2 = power_graph(path_graph(4), 2)
+        assert p2.has_edge(0, 2)
+        assert p2.has_edge(1, 3)
+        assert not p2.has_edge(0, 3)
+
+    def test_distance2_coloring_valid(self, karate):
+        colors = distance_k_coloring(karate, 2)
+        assert is_valid_coloring(karate, colors, k=2)
+        # Distance-2 validity is strictly stronger than distance-1.
+        assert is_valid_coloring(karate, colors, k=1)
+
+    def test_distance2_star_needs_leafcount_colors(self):
+        g = star_graph(6)
+        colors = distance_k_coloring(g, 2)
+        # All leaves are pairwise at distance 2 -> 7 distinct colors.
+        assert num_colors(colors) == 7
+
+    def test_k1_equals_greedy(self, karate):
+        np.testing.assert_array_equal(
+            distance_k_coloring(karate, 1), greedy_coloring(karate)
+        )
+
+    def test_bad_k(self, karate):
+        with pytest.raises(ValidationError):
+            power_graph(karate, 0)
+
+
+class TestBalanced:
+    def test_stays_valid(self, planted):
+        colors = greedy_coloring(planted)
+        balanced = balance_colors(planted, colors)
+        assert is_valid_coloring(planted, balanced)
+
+    def test_rsd_does_not_increase(self, planted):
+        colors = greedy_coloring(planted)
+        balanced = balance_colors(planted, colors)
+        assert color_size_rsd(balanced) <= color_size_rsd(colors) + 1e-12
+
+    def test_reduces_skew_on_star_with_extra_colors(self):
+        # Greedy on a star: hub one color, all 30 leaves the other -> very
+        # skewed.  Leaves are all adjacent to the hub, so rebalancing needs
+        # extra classes; leaves are mutually non-adjacent and spread freely.
+        g = star_graph(30)
+        colors = greedy_coloring(g, order="natural")
+        assert color_size_rsd(colors) > 0.9
+        balanced = balance_colors(g, colors, max_colors=4)
+        assert color_size_rsd(balanced) < color_size_rsd(colors)
+        assert is_valid_coloring(g, balanced)
+
+    def test_max_colors_below_input_rejected(self, karate):
+        colors = greedy_coloring(karate)
+        with pytest.raises(ValidationError):
+            balance_colors(karate, colors, max_colors=1)
+
+    def test_shape_validation(self, karate):
+        with pytest.raises(ValidationError):
+            balance_colors(karate, np.zeros(3, dtype=np.int64))
+
+    def test_single_color_noop(self):
+        g = CSRGraph.empty(5)
+        colors = np.zeros(5, dtype=np.int64)
+        np.testing.assert_array_equal(balance_colors(g, colors), colors)
+
+
+class TestValidate:
+    def test_invalid_coloring_detected(self, triangle):
+        assert not is_valid_coloring(triangle, np.array([0, 0, 1]))
+        assert is_valid_coloring(triangle, np.array([0, 1, 2]))
+
+    def test_class_sizes_and_count(self):
+        colors = np.array([0, 1, 0, 2, 1, 0])
+        assert color_class_sizes(colors).tolist() == [3, 2, 1]
+        assert num_colors(colors) == 3
+
+    def test_rsd_uniform_zero(self):
+        assert color_size_rsd(np.array([0, 1, 2, 0, 1, 2])) == 0.0
+
+    def test_partition_sorted_and_complete(self, karate):
+        colors = greedy_coloring(karate)
+        sets = color_set_partition(colors)
+        assert len(sets) == num_colors(colors)
+        all_vertices = np.sort(np.concatenate(sets))
+        np.testing.assert_array_equal(all_vertices, np.arange(34))
+        for s in sets:
+            assert (np.diff(s) > 0).all()  # sorted, unique
+        for color, s in enumerate(sets):
+            assert (colors[s] == color).all()
+
+    def test_partition_empty(self):
+        assert color_set_partition(np.zeros(0, dtype=np.int64)) == []
+
+    def test_negative_colors_rejected(self, triangle):
+        with pytest.raises(ValidationError):
+            is_valid_coloring(triangle, np.array([-1, 0, 1]))
+
+    def test_wrong_shape_rejected(self, triangle):
+        with pytest.raises(ValidationError):
+            is_valid_coloring(triangle, np.array([0, 1]))

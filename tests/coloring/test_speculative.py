@@ -1,0 +1,82 @@
+"""Unit tests for the speculative (conflict-resolution) colorer."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.speculative import speculative_coloring
+from repro.coloring.validate import is_valid_coloring, num_colors
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, planted_partition, rmat
+
+
+class TestSpeculativeColoring:
+    def test_valid_on_karate(self, karate):
+        colors = speculative_coloring(karate, seed=0)
+        assert is_valid_coloring(karate, colors)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_on_random_graphs(self, seed):
+        g = rmat(8, 6, seed=seed)
+        colors = speculative_coloring(g, seed=seed)
+        assert is_valid_coloring(g, colors)
+
+    def test_deterministic(self, planted):
+        c1 = speculative_coloring(planted, seed=9)
+        c2 = speculative_coloring(planted, seed=9)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        colors = speculative_coloring(g, seed=1)
+        assert is_valid_coloring(g, colors)
+        assert num_colors(colors) == 6
+
+    def test_empty_and_edgeless(self):
+        assert speculative_coloring(CSRGraph.empty(0)).shape == (0,)
+        colors = speculative_coloring(CSRGraph.empty(5), seed=0)
+        assert (colors == 0).all()
+
+    def test_work_log_first_round_covers_all(self, planted):
+        log: list = []
+        speculative_coloring(planted, seed=0, work_log=log)
+        # Round 1 speculates on every vertex; later rounds only conflicts.
+        assert log[0][0] == planted.num_vertices
+        for count, _edges in log[1:]:
+            assert count < planted.num_vertices
+
+    def test_conflicts_shrink(self, planted):
+        log: list = []
+        speculative_coloring(planted, seed=3, work_log=log)
+        counts = [c for c, _ in log]
+        assert counts == sorted(counts, reverse=True) or len(counts) <= 2
+
+    def test_self_loops_ignored(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 2)])
+        colors = speculative_coloring(g, seed=0)
+        assert is_valid_coloring(g, colors)
+
+    def test_pipeline_integration(self, planted):
+        from repro.core.driver import louvain
+
+        result = louvain(
+            planted, variant="baseline+VF+Color",
+            coloring_min_vertices=16, colorer="speculative",
+        )
+        assert result.modularity > 0.5
+        assert any(p.colored for p in result.history.phases)
+
+    def test_pipeline_greedy_colorer(self, planted):
+        from repro.core.driver import louvain
+
+        result = louvain(
+            planted, variant="baseline+VF+Color",
+            coloring_min_vertices=16, colorer="greedy",
+        )
+        assert result.modularity > 0.5
+
+    def test_unknown_colorer_rejected(self):
+        from repro.core.config import LouvainConfig
+        from repro.utils.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            LouvainConfig(colorer="rainbow")

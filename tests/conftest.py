@@ -1,0 +1,73 @@
+"""Shared fixtures: small graphs with hand-checkable structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    karate_club,
+    path_graph,
+    planted_partition,
+    star_graph,
+    two_cliques_bridge,
+)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    """3-cycle; every vertex has degree 2, m = 3."""
+    return CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> CSRGraph:
+    """Path 0-1-2-3."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def star5() -> CSRGraph:
+    """Hub 0 with 5 leaves — all leaves single-degree."""
+    return star_graph(5)
+
+
+@pytest.fixture
+def loops_graph() -> CSRGraph:
+    """Graph with self-loops and weighted edges for degree bookkeeping tests.
+
+    Edges: (0,0) w=2, (0,1) w=3, (1,2) w=1, (2,2) w=5.
+    Degrees: k0 = 2+3 = 5, k1 = 3+1 = 4, k2 = 1+5 = 6; m = 7.5.
+    """
+    return CSRGraph.from_edges(
+        3, [(0, 0), (0, 1), (1, 2), (2, 2)], [2.0, 3.0, 1.0, 5.0]
+    )
+
+
+@pytest.fixture
+def karate() -> CSRGraph:
+    return karate_club()
+
+
+@pytest.fixture
+def cliques8() -> CSRGraph:
+    """Two 4-cliques joined by a bridge; obvious 2-community structure."""
+    return two_cliques_bridge(4)
+
+
+@pytest.fixture
+def k5() -> CSRGraph:
+    return complete_graph(5)
+
+
+@pytest.fixture
+def planted() -> CSRGraph:
+    """Planted partition: 6 communities of 20, strong structure."""
+    return planted_partition(6, 20, 0.4, 0.01, seed=42)
+
+
+@pytest.fixture
+def planted_truth() -> np.ndarray:
+    return np.repeat(np.arange(6), 20).astype(np.int64)

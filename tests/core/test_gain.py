@@ -1,0 +1,119 @@
+"""Unit tests for the Eq. 4 gain identity and the Eq. 6–9 concurrent-move
+algebra (negative-gain scenario, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gain import (
+    concurrent_gain,
+    concurrent_gain_from_parts,
+    delta_q,
+    delta_q_vertex,
+)
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ValidationError
+
+
+def exact_delta(graph, comm, v, target):
+    """Q(after) - Q(before) computed from Eq. 3 directly."""
+    before = modularity(graph, comm)
+    moved = comm.copy()
+    moved[v] = target
+    return modularity(graph, moved) - before
+
+
+class TestGainIdentity:
+    def test_matches_exact_delta_karate(self, karate):
+        comm = (np.arange(34) % 5).astype(np.int64)
+        for v in [0, 7, 19, 33]:
+            for target in range(5):
+                if target == comm[v]:
+                    continue
+                assert delta_q_vertex(karate, comm, v, target) == pytest.approx(
+                    exact_delta(karate, comm, v, target), abs=1e-12
+                )
+
+    def test_matches_exact_delta_with_self_loops(self, loops_graph):
+        comm = np.array([0, 1, 1])
+        for v in range(3):
+            for target in range(2):
+                if target == comm[v]:
+                    continue
+                assert delta_q_vertex(loops_graph, comm, v, target) == (
+                    pytest.approx(exact_delta(loops_graph, comm, v, target),
+                                  abs=1e-12)
+                )
+
+    def test_move_to_own_community_is_zero(self, karate):
+        comm = (np.arange(34) % 3).astype(np.int64)
+        assert delta_q_vertex(karate, comm, 5, int(comm[5])) == 0.0
+
+    def test_singleton_join_gain(self, cliques8):
+        """A clique vertex split off as a singlet gains by rejoining."""
+        comm = np.array([0, 0, 0, 7, 1, 1, 1, 1])
+        gain = delta_q_vertex(cliques8, comm, 3, 0)
+        assert gain > 0
+        assert gain == pytest.approx(exact_delta(cliques8, comm, 3, 0), abs=1e-12)
+
+    def test_delta_q_direct_parts(self):
+        # Hand-computed: m=4, e_t=2, e_c=1, k=2, a_c'=3, a_t=2.
+        expected = (2 - 1) / 4 + (2 * 2 * 3 - 2 * 2 * 2) / 64
+        assert delta_q(4.0, 2.0, 1.0, 2.0, 3.0, 2.0) == pytest.approx(expected)
+
+    def test_nonpositive_m_rejected(self):
+        with pytest.raises(ValidationError):
+            delta_q(0.0, 1, 1, 1, 1, 1)
+
+
+class TestConcurrentGain:
+    def test_lemma1_three_vertex_negative_gain(self):
+        """The paper's Fig. 1 scenario: i and j both join C(k) concurrently;
+        with (i, j) not an edge the realized gain undershoots the sum of
+        individual gains and can be negative."""
+        # Star-ish: i-k and j-k edges plus enough ballast to keep m small.
+        g = CSRGraph.from_edges(5, [(0, 2), (1, 2), (3, 4)])
+        comm = np.arange(5)
+        gain_i = delta_q_vertex(g, comm, 0, 2)
+        gain_j = delta_q_vertex(g, comm, 1, 2)
+        assert gain_i > 0 and gain_j > 0
+        joint = concurrent_gain(g, comm, 0, 1, 2)
+        # Eq. 7: joint <= sum of parts when (i, j) is not an edge.
+        assert joint < gain_i + gain_j
+        # And it matches the exact Eq. 3 delta of the double move.
+        moved = comm.copy()
+        moved[0] = 2
+        moved[1] = 2
+        exact = modularity(g, moved) - modularity(g, comm)
+        assert joint == pytest.approx(exact, abs=1e-12)
+
+    def test_eq9_edge_bonus(self):
+        """With (i, j) an edge and ω/m > 2 k_i k_j/(2m)^2, the joint move
+        beats the sum of the parts (Eq. 9)."""
+        g = CSRGraph.from_edges(4, [(0, 2), (1, 2), (0, 1), (2, 3)])
+        comm = np.arange(4)
+        gain_i = delta_q_vertex(g, comm, 0, 2)
+        gain_j = delta_q_vertex(g, comm, 1, 2)
+        joint = concurrent_gain(g, comm, 0, 1, 2)
+        m = g.total_weight
+        bonus = g.edge_weight(0, 1) / m - 2 * g.degrees[0] * g.degrees[1] / (2 * m) ** 2
+        assert bonus > 0
+        assert joint == pytest.approx(gain_i + gain_j + bonus, abs=1e-12)
+        assert joint > gain_i + gain_j
+        moved = comm.copy()
+        moved[[0, 1]] = 2
+        assert joint == pytest.approx(
+            modularity(g, moved) - modularity(g, comm), abs=1e-12
+        )
+
+    def test_parts_formula(self):
+        assert concurrent_gain_from_parts(2.0, 0.1, 0.2, 0.0, 1.0, 1.0) == (
+            pytest.approx(0.3 - 2.0 / 16.0)
+        )
+
+    def test_validation(self, triangle):
+        comm = np.array([0, 1, 2])
+        with pytest.raises(ValidationError):
+            concurrent_gain(triangle, comm, 0, 1, 1)  # j already in target
+        with pytest.raises(ValidationError):
+            concurrent_gain(triangle, np.array([0, 0, 2]), 0, 1, 2)

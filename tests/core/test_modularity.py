@@ -1,0 +1,110 @@
+"""Unit tests for Eq. 3 modularity and its building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.modularity import (
+    communities_are_valid,
+    community_degrees,
+    community_sizes,
+    intra_community_weight,
+    modularity,
+    vertex_to_community_weight,
+)
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ValidationError
+
+
+class TestModularity:
+    def test_all_in_one_community_is_zero(self, karate):
+        """With P = {V}, the first term is 2m/2m and the second (2m/2m)^2."""
+        assert modularity(karate, np.zeros(34, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_singletons_negative_without_loops(self, karate):
+        """Singleton partition: no intra weight, only the degree penalty."""
+        q = modularity(karate, np.arange(34))
+        expected = -float(
+            np.square(karate.degrees / (2 * karate.total_weight)).sum()
+        )
+        assert q == pytest.approx(expected)
+        assert q < 0
+
+    def test_two_cliques_known_value(self, cliques8):
+        comm = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        # m = 13; intra = 24; a_C = 13 each.
+        expected = 24 / 26 - 2 * (13 / 26) ** 2
+        assert modularity(cliques8, comm) == pytest.approx(expected)
+
+    def test_upper_bound_one(self, planted, planted_truth):
+        assert modularity(planted, planted_truth) <= 1.0
+
+    def test_ground_truth_beats_random(self, planted, planted_truth):
+        rng = np.random.default_rng(0)
+        random_comm = rng.integers(0, 6, size=planted.num_vertices)
+        assert modularity(planted, planted_truth) > modularity(
+            planted, random_comm
+        )
+
+    def test_self_loop_handling(self, loops_graph):
+        """All vertices together: Q = 0 exactly (self-loops included)."""
+        assert modularity(loops_graph, np.zeros(3, dtype=np.int64)) == pytest.approx(
+            0.0
+        )
+
+    def test_label_values_irrelevant(self, karate):
+        comm = (np.arange(34) % 4).astype(np.int64)
+        shifted = comm * 17 + 3
+        assert modularity(karate, comm) == pytest.approx(
+            modularity(karate, shifted)
+        )
+
+    def test_empty_graph(self):
+        assert modularity(CSRGraph.empty(0), np.zeros(0, dtype=np.int64)) == 0.0
+        assert modularity(CSRGraph.empty(3), np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_invalid_assignment_rejected(self, karate):
+        with pytest.raises(ValidationError):
+            modularity(karate, np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValidationError):
+            modularity(karate, np.zeros(34, dtype=np.float64))
+        assert not communities_are_valid(karate, np.zeros(3, dtype=np.int64))
+        assert communities_are_valid(karate, np.zeros(34, dtype=np.int64))
+
+
+class TestBuildingBlocks:
+    def test_community_degrees(self, loops_graph):
+        comm = np.array([0, 0, 1])
+        a = community_degrees(loops_graph, comm)
+        # k = [5, 4, 6].
+        assert a.tolist() == [9.0, 6.0]
+
+    def test_community_degrees_padding(self, triangle):
+        a = community_degrees(triangle, np.zeros(3, dtype=np.int64), num_labels=5)
+        assert a.shape == (5,)
+        assert a[0] == 6.0 and (a[1:] == 0).all()
+
+    def test_community_sizes(self, triangle):
+        sizes = community_sizes(triangle, np.array([2, 0, 2]))
+        assert sizes.tolist() == [1, 0, 2]
+
+    def test_intra_weight_counts_loops_once(self, loops_graph):
+        comm = np.array([0, 0, 1])
+        # Community 0: loop(0)=2 once + edge(0,1)=3 twice = 8;
+        # community 1: loop(2)=5 once.
+        assert intra_community_weight(loops_graph, comm) == pytest.approx(13.0)
+
+    def test_vertex_to_community_weight(self, loops_graph):
+        comm = np.array([0, 0, 1])
+        # e_{0 -> C0} includes the self-loop once plus edge to 1.
+        assert vertex_to_community_weight(loops_graph, 0, comm, 0) == 5.0
+        assert vertex_to_community_weight(loops_graph, 1, comm, 1) == 1.0
+        assert vertex_to_community_weight(loops_graph, 1, comm, 0) == 3.0
+
+    def test_sum_of_e_equals_degrees(self, karate):
+        """sum_C e_{v→C} == k_v for every vertex (partition of edges)."""
+        comm = (np.arange(34) % 3).astype(np.int64)
+        for v in range(34):
+            total = sum(
+                vertex_to_community_weight(karate, v, comm, c) for c in range(3)
+            )
+            assert total == pytest.approx(karate.degrees[v])

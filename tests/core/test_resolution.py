@@ -1,0 +1,127 @@
+"""Tests for the resolution-parameter extension (paper future work iv).
+
+The standard modularity of Eq. 3 has a *resolution limit*: on a large ring
+of small cliques, merging adjacent cliques scores higher than keeping them
+separate, so Louvain reports merged pairs.  The γ-generalized objective
+(γ > 1) removes the incentive; these tests demonstrate exactly that, plus
+the algebraic consistency of the generalized gain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.core.gain import delta_q_vertex
+from repro.core.louvain_serial import louvain_serial
+from repro.core.modularity import modularity
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ValidationError
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> CSRGraph:
+    """Cliques joined in a ring by single bridge edges."""
+    n = num_cliques * clique_size
+    i, j = np.triu_indices(clique_size, k=1)
+    base = (np.arange(num_cliques) * clique_size)[:, None]
+    u = (base + i[None, :]).ravel()
+    v = (base + j[None, :]).ravel()
+    bridge_src = (np.arange(num_cliques) * clique_size + clique_size - 1)
+    bridge_dst = (np.arange(1, num_cliques + 1) % num_cliques) * clique_size
+    u = np.concatenate([u, np.minimum(bridge_src, bridge_dst)])
+    v = np.concatenate([v, np.maximum(bridge_src, bridge_dst)])
+    return from_edge_array(n, np.column_stack([u, v]), combine="error")
+
+
+class TestGeneralizedModularity:
+    def test_gamma_one_is_paper_definition(self, karate):
+        comm = (np.arange(34) % 4).astype(np.int64)
+        assert modularity(karate, comm) == modularity(karate, comm,
+                                                      resolution=1.0)
+
+    def test_higher_gamma_penalizes_merging(self, cliques8):
+        """γ scales the degree penalty, so coarse partitions score lower
+        relative to fine ones as γ grows."""
+        merged = np.zeros(8, dtype=np.int64)
+        split = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        for gamma in (0.5, 1.0, 2.0):
+            gap = modularity(cliques8, split, resolution=gamma) - modularity(
+                cliques8, merged, resolution=gamma
+            )
+            # The two-community split beats the single community more
+            # strongly at higher gamma.
+            assert gap > 0
+        gap_low = modularity(cliques8, split, resolution=0.5) - modularity(
+            cliques8, merged, resolution=0.5
+        )
+        gap_high = modularity(cliques8, split, resolution=2.0) - modularity(
+            cliques8, merged, resolution=2.0
+        )
+        assert gap_high > gap_low
+
+    def test_invalid_gamma(self, karate):
+        with pytest.raises(ValidationError):
+            modularity(karate, np.zeros(34, dtype=np.int64), resolution=0.0)
+
+
+class TestGainConsistency:
+    @pytest.mark.parametrize("gamma", [0.5, 1.0, 2.5])
+    def test_gain_identity_holds_for_any_gamma(self, karate, gamma):
+        comm = (np.arange(34) % 5).astype(np.int64)
+        for v, target in [(0, 1), (12, 3), (33, 0)]:
+            if target == comm[v]:
+                continue
+            gain = delta_q_vertex(karate, comm, v, target, resolution=gamma)
+            moved = comm.copy()
+            moved[v] = target
+            exact = modularity(karate, moved, resolution=gamma) - modularity(
+                karate, comm, resolution=gamma
+            )
+            assert gain == pytest.approx(exact, abs=1e-12)
+
+
+class TestResolutionLimit:
+    """The classic Fortunato–Barthélemy demonstration."""
+
+    def test_gamma_one_merges_small_cliques(self):
+        """30 triangles in a ring: standard modularity prefers merged
+        pairs, so Louvain finds fewer than 30 communities."""
+        g = ring_of_cliques(30, 3)
+        result = louvain_serial(g)
+        assert result.num_communities < 30
+
+    def test_high_gamma_resolves_each_clique(self):
+        # For 30 triangles (m = 120, merged-pair degree ~14), the bridge
+        # gain 1/m beats the penalty 2*gamma*a^2/(2m)^2 until gamma ~ 4.9.
+        g = ring_of_cliques(30, 3)
+        result = louvain_serial(g, resolution=5.0)
+        assert result.num_communities == 30
+        # Every triangle is one community.
+        comm = result.communities
+        for c in range(30):
+            members = comm[c * 3:(c + 1) * 3]
+            assert len(set(members.tolist())) == 1
+
+    def test_parallel_pipeline_matches(self):
+        """The parallel pipeline honors the resolution parameter too."""
+        g = ring_of_cliques(24, 3)
+        low = louvain(g, variant="baseline+VF+Color",
+                      coloring_min_vertices=8)
+        high = louvain(g, variant="baseline+VF+Color",
+                       coloring_min_vertices=8, resolution=5.0)
+        assert high.num_communities > low.num_communities
+        assert high.num_communities == 24
+
+    def test_low_gamma_coarsens(self):
+        """γ < 1 favors merging: fewer, larger communities."""
+        g = ring_of_cliques(24, 4)
+        standard = louvain_serial(g)
+        coarse = louvain_serial(g, resolution=0.25)
+        assert coarse.num_communities <= standard.num_communities
+
+    def test_reported_modularity_uses_gamma(self):
+        g = ring_of_cliques(12, 3)
+        result = louvain(g, resolution=2.0)
+        assert result.modularity == pytest.approx(
+            modularity(g, result.communities, resolution=2.0)
+        )

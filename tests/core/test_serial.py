@@ -1,0 +1,109 @@
+"""Unit tests for the serial Louvain baseline (§3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.louvain_serial import louvain_serial, serial_iteration
+from repro.core.modularity import modularity
+from repro.core.sweep import init_state
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ValidationError
+
+
+class TestSerialIteration:
+    def test_monotone_within_phase(self, karate):
+        """Serial (Gauss–Seidel) moves never decrease Q — the §3 guarantee
+        the parallel sweep gives up."""
+        state = init_state(karate)
+        order = np.arange(34, dtype=np.int64)
+        q = modularity(karate, state.comm)
+        for _ in range(10):
+            moved = serial_iteration(karate, state, order)
+            q_new = modularity(karate, state.comm)
+            assert q_new >= q - 1e-12
+            q = q_new
+            if moved == 0:
+                break
+
+    def test_aggregates_consistent(self, planted):
+        state = init_state(planted)
+        order = np.arange(planted.num_vertices, dtype=np.int64)
+        serial_iteration(planted, state, order)
+        np.testing.assert_allclose(
+            state.comm_degree,
+            np.bincount(state.comm, weights=planted.degrees,
+                        minlength=planted.num_vertices),
+        )
+
+    def test_empty_graph_iteration(self):
+        g = CSRGraph.empty(3)
+        state = init_state(g)
+        assert serial_iteration(g, state, np.arange(3)) == 0
+
+
+class TestLouvainSerial:
+    def test_karate_quality(self, karate):
+        result = louvain_serial(karate)
+        # Known optimum ~0.4198; Louvain reliably reaches >= 0.40.
+        assert result.modularity > 0.40
+        assert 2 <= result.num_communities <= 6
+
+    def test_two_cliques_exact(self, cliques8):
+        result = louvain_serial(cliques8)
+        assert result.num_communities == 2
+        comm = result.communities
+        assert len(set(comm[:4])) == 1
+        assert len(set(comm[4:])) == 1
+
+    def test_planted_recovery(self, planted, planted_truth):
+        result = louvain_serial(planted)
+        assert result.modularity >= modularity(planted, planted_truth) - 0.02
+
+    def test_communities_dense_labels(self, karate):
+        comm = louvain_serial(karate).communities
+        labels = np.unique(comm)
+        np.testing.assert_array_equal(labels, np.arange(labels.size))
+
+    def test_modularity_matches_assignment(self, karate):
+        result = louvain_serial(karate)
+        assert result.modularity == pytest.approx(
+            modularity(karate, result.communities)
+        )
+
+    def test_history_recorded(self, karate):
+        result = louvain_serial(karate)
+        h = result.history
+        assert h.total_iterations >= 2
+        assert h.num_phases >= 1
+        assert h.final_modularity == pytest.approx(result.modularity, abs=1e-9)
+        # Phase iteration counts sum to the total.
+        assert sum(p.iterations for p in h.phases) == h.total_iterations
+
+    def test_monotone_across_whole_run(self, planted):
+        """Q never decreases across iterations and phases in serial."""
+        traj = louvain_serial(planted).history.modularity_trajectory()
+        assert (np.diff(traj) >= -1e-12).all()
+
+    def test_deterministic_natural_order(self, karate):
+        r1 = louvain_serial(karate)
+        r2 = louvain_serial(karate)
+        np.testing.assert_array_equal(r1.communities, r2.communities)
+
+    def test_random_order_seeded(self, karate):
+        r1 = louvain_serial(karate, order="random", seed=3)
+        r2 = louvain_serial(karate, order="random", seed=3)
+        np.testing.assert_array_equal(r1.communities, r2.communities)
+
+    def test_unknown_order_rejected(self, karate):
+        with pytest.raises(ValidationError):
+            louvain_serial(karate, order="sideways")
+
+    def test_edgeless_graph(self):
+        result = louvain_serial(CSRGraph.empty(4))
+        assert result.modularity == 0.0
+        assert result.num_communities == 4
+
+    def test_timers_populated(self, karate):
+        timers = louvain_serial(karate).timers
+        assert timers.get("clustering") > 0
+        assert timers.get("rebuild") >= 0

@@ -1,0 +1,230 @@
+"""Unit tests for the parallel sweep (Algorithm 1 lines 7–14) and the
+minimum-label heuristics (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.modularity import modularity
+from repro.core.sweep import (
+    SweepState,
+    apply_moves,
+    compute_targets,
+    compute_targets_reference,
+    compute_targets_vectorized,
+    init_state,
+    sweep,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    karate_club,
+    planted_partition,
+    rmat,
+    two_cliques_bridge,
+)
+from repro.parallel.backends import SerialBackend, ThreadBackend
+from repro.utils.errors import ValidationError
+
+
+def all_vertices(graph):
+    return np.arange(graph.num_vertices, dtype=np.int64)
+
+
+class TestInitState:
+    def test_singletons(self, karate):
+        state = init_state(karate)
+        assert state.comm.tolist() == list(range(34))
+        np.testing.assert_allclose(state.comm_degree, karate.degrees)
+        assert (state.comm_size == 1).all()
+        assert state.num_communities() == 34
+
+    def test_custom_initial(self, triangle):
+        state = init_state(triangle, np.array([1, 1, 0]))
+        assert state.comm_size.tolist() == [1, 2, 0]
+        assert state.comm_degree.tolist() == [2.0, 4.0, 0.0]
+
+    def test_bad_initial(self, triangle):
+        with pytest.raises(ValidationError):
+            init_state(triangle, np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            init_state(triangle, np.array([0, 1, 3]))
+
+
+class TestKernelEquivalence:
+    """The vectorized kernel must replicate the reference bit-for-bit."""
+
+    @pytest.mark.parametrize("use_min_label", [True, False])
+    def test_karate_from_singletons(self, karate, use_min_label):
+        state = init_state(karate)
+        ref = compute_targets_reference(
+            karate, state, all_vertices(karate), use_min_label=use_min_label
+        )
+        vec = compute_targets_vectorized(
+            karate, state, all_vertices(karate), use_min_label=use_min_label
+        )
+        np.testing.assert_array_equal(ref, vec)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs_random_states(self, seed):
+        rng = np.random.default_rng(seed)
+        g = rmat(7, 6, seed=seed)
+        comm = rng.integers(0, g.num_vertices, size=g.num_vertices)
+        state = init_state(g, comm.astype(np.int64))
+        ref = compute_targets_reference(g, state, all_vertices(g))
+        vec = compute_targets_vectorized(g, state, all_vertices(g))
+        np.testing.assert_array_equal(ref, vec)
+
+    def test_after_iterations(self, planted):
+        """Equivalence holds mid-run, not just from singletons."""
+        state = init_state(planted)
+        verts = all_vertices(planted)
+        for _ in range(3):
+            ref = compute_targets_reference(planted, state, verts)
+            vec = compute_targets_vectorized(planted, state, verts)
+            np.testing.assert_array_equal(ref, vec)
+            apply_moves(planted, state, verts, vec)
+
+    def test_subset_of_vertices(self, karate):
+        state = init_state(karate)
+        subset = np.array([3, 7, 20, 33], dtype=np.int64)
+        ref = compute_targets_reference(karate, state, subset)
+        vec = compute_targets_vectorized(karate, state, subset)
+        np.testing.assert_array_equal(ref, vec)
+
+    def test_with_self_loops(self, loops_graph):
+        state = init_state(loops_graph)
+        ref = compute_targets_reference(loops_graph, state, all_vertices(loops_graph))
+        vec = compute_targets_vectorized(loops_graph, state, all_vertices(loops_graph))
+        np.testing.assert_array_equal(ref, vec)
+
+
+class TestStability:
+    """§5.4: the sweep outcome must not depend on chunking/threads."""
+
+    def test_thread_backend_identical(self, planted):
+        state = init_state(planted)
+        verts = all_vertices(planted)
+        serial = compute_targets(planted, state, verts, backend=SerialBackend())
+        with ThreadBackend(4) as tb:
+            threaded = compute_targets(planted, state, verts, backend=tb)
+        np.testing.assert_array_equal(serial, threaded)
+
+    def test_thread_counts_identical(self, planted):
+        state = init_state(planted)
+        verts = all_vertices(planted)
+        results = []
+        for p in (2, 3, 8):
+            with ThreadBackend(p) as tb:
+                results.append(compute_targets(planted, state, verts, backend=tb))
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+
+class TestMinLabelHeuristics:
+    def test_singlet_swap_prevented(self):
+        """Fig. 2 case 1: two singlets joined by an edge must not swap."""
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        state = init_state(g)
+        targets = compute_targets(g, state, all_vertices(g))
+        # Vertex 1 moves down to label 0; vertex 0 stays (target label
+        # larger).  Exactly one migration, no swap.
+        assert targets.tolist() == [0, 0]
+
+    def test_singlet_swap_happens_without_heuristic(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        state = init_state(g)
+        targets = compute_targets(g, state, all_vertices(g), use_min_label=False)
+        # Both move simultaneously: a swap, zero net progress.
+        assert targets.tolist() == [1, 0]
+
+    def test_clique_tie_break_min_label(self):
+        """Fig. 2 case 2: in a 4-clique of singlets, every vertex picks the
+        minimum-label neighbor community, so all gravitate to community 0."""
+        g = complete_graph(4)
+        state = init_state(g)
+        targets = compute_targets(g, state, all_vertices(g))
+        assert targets.tolist() == [0, 0, 0, 0]
+
+    def test_clique_local_maxima_without_heuristic(self):
+        """Without min-label ties resolve toward the max label: vertices
+        pair off ({0,3},{1,3}...) rather than converging to one community."""
+        g = complete_graph(4)
+        state = init_state(g)
+        targets = compute_targets(g, state, all_vertices(g), use_min_label=False)
+        assert targets.tolist() == [3, 3, 3, 2]
+
+    def test_singlet_rule_allows_downhill_move(self):
+        """The singlet rule only blocks moves toward *larger* labels."""
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        state = init_state(g)
+        targets = compute_targets(g, state, all_vertices(g))
+        assert targets[1] == 0  # 1 -> 0 allowed (label decreases)
+        assert targets[2] == 1  # 2 -> 1 allowed
+
+    def test_singlet_rule_inapplicable_to_nonsinglets(self, cliques8):
+        """Once communities have >1 member the rule no longer applies."""
+        # Left clique merged except vertex 3; right clique singletons.
+        comm = np.array([0, 0, 0, 3, 4, 5, 6, 7])
+        state = init_state(cliques8, comm)
+        targets = compute_targets(cliques8, state, all_vertices(cliques8))
+        assert targets[3] == 0  # joins the big community
+
+
+class TestApplyAndSweep:
+    def test_apply_updates_aggregates(self, triangle):
+        state = init_state(triangle)
+        targets = np.array([0, 0, 2])
+        moved = apply_moves(triangle, state, all_vertices(triangle), targets)
+        assert moved == 1
+        assert state.comm.tolist() == [0, 0, 2]
+        assert state.comm_degree.tolist() == [4.0, 0.0, 2.0]
+        assert state.comm_size.tolist() == [2, 0, 1]
+        assert state.num_communities() == 2
+
+    def test_apply_no_moves(self, triangle):
+        state = init_state(triangle)
+        assert apply_moves(triangle, state, all_vertices(triangle),
+                           state.comm.copy()) == 0
+
+    def test_aggregates_stay_consistent(self, planted):
+        state = init_state(planted)
+        verts = all_vertices(planted)
+        for _ in range(5):
+            sweep(planted, state, verts)
+            np.testing.assert_allclose(
+                state.comm_degree,
+                np.bincount(state.comm, weights=planted.degrees,
+                            minlength=planted.num_vertices),
+            )
+            np.testing.assert_array_equal(
+                state.comm_size,
+                np.bincount(state.comm, minlength=planted.num_vertices),
+            )
+
+    def test_sweep_improves_modularity_from_singletons(self, planted):
+        state = init_state(planted)
+        q0 = modularity(planted, state.comm)
+        sweep(planted, state, all_vertices(planted))
+        assert modularity(planted, state.comm) > q0
+
+    def test_mismatched_targets_rejected(self, triangle):
+        state = init_state(triangle)
+        with pytest.raises(ValidationError):
+            apply_moves(triangle, state, np.array([0, 1]), np.array([0]))
+
+    def test_unknown_kernel_rejected(self, triangle):
+        state = init_state(triangle)
+        with pytest.raises(ValidationError):
+            compute_targets(triangle, state, all_vertices(triangle),
+                            kernel="gpu")
+
+    def test_empty_active_set(self, karate):
+        state = init_state(karate)
+        out = compute_targets(karate, state, np.zeros(0, dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_isolated_vertices_never_move(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        state = init_state(g)
+        targets = compute_targets(g, state, all_vertices(g))
+        assert targets[2] == 2 and targets[3] == 3

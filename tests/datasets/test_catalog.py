@@ -1,0 +1,118 @@
+"""Tests pinning the structural fingerprints of the eleven stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import DATASETS, dataset_names, load_dataset
+from repro.graph.stats import compute_stats, degree_rsd
+from repro.utils.errors import ValidationError
+
+
+class TestCatalogBasics:
+    def test_eleven_inputs(self):
+        assert len(dataset_names()) == 11
+        assert dataset_names()[0] == "CNR"
+        assert dataset_names()[-1] == "friendster"
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_loads_and_is_nontrivial(self, name):
+        g = load_dataset(name, scale=0.3, seed=0)
+        assert g.num_vertices > 50
+        assert g.num_edges > 50
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic(self, name):
+        g1 = load_dataset(name, scale=0.3, seed=7)
+        g2 = load_dataset(name, scale=0.3, seed=7)
+        assert g1 == g2
+
+    def test_scale_grows_graph(self):
+        small = load_dataset("CNR", scale=0.3)
+        large = load_dataset("CNR", scale=1.0)
+        assert large.num_vertices > small.num_vertices
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            load_dataset("orkut")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValidationError):
+            load_dataset("CNR", scale=0.0)
+
+    def test_specs_have_paper_stats(self):
+        for spec in DATASETS.values():
+            assert spec.paper.num_vertices > 100_000
+            assert spec.paper.num_edges > spec.paper.num_vertices / 2
+            assert spec.rationale
+
+
+class TestStructuralFingerprints:
+    """The property each stand-in must match (DESIGN.md substitution)."""
+
+    def test_low_rsd_inputs(self):
+        """Channel/NLPKKT240/Rgg: near-uniform degrees (paper RSD <= 0.25)."""
+        for name in ("Channel", "NLPKKT240", "Rgg_n_2_24_s0"):
+            assert degree_rsd(load_dataset(name)) < 0.5, name
+
+    def test_high_rsd_inputs(self):
+        """CNR/uk-2002/friendster/LiveJournal: heavy degree tails."""
+        for name in ("CNR", "uk-2002", "friendster", "Soc-LiveJournal1"):
+            assert degree_rsd(load_dataset(name)) > 1.0, name
+
+    def test_friendster_most_skewed_social(self):
+        assert degree_rsd(load_dataset("friendster")) > degree_rsd(
+            load_dataset("Soc-LiveJournal1")
+        )
+
+    def test_europe_osm_road_profile(self):
+        """Avg degree ~2 with many single-degree spokes (paper: 2.123)."""
+        s = compute_stats(load_dataset("Europe-osm"))
+        assert 1.8 < s.avg_degree < 2.6
+        assert s.num_single_degree > s.num_vertices * 0.3
+
+    def test_vf_prepruned_inputs_have_no_single_degree(self):
+        """Channel/MG1/MG2 shipped pre-pruned in the paper (§6.1 footnote)."""
+        for name, spec in DATASETS.items():
+            if spec.vf_prepruned:
+                s = compute_stats(load_dataset(name))
+                assert s.num_single_degree == 0, name
+
+    def test_mg_inputs_are_dense(self):
+        """MG1/MG2: far denser than the rest (paper avg degree 122-160)."""
+        for name in ("MG1", "MG2"):
+            s = compute_stats(load_dataset(name))
+            assert s.avg_degree > 25, name
+
+    def test_mg_inputs_high_modularity(self):
+        from repro.core.louvain_serial import louvain_serial
+
+        for name in ("MG1", "MG2"):
+            g = load_dataset(name, scale=0.5)
+            assert louvain_serial(g).modularity > 0.85, name
+
+    def test_weak_structure_inputs(self):
+        """Channel/NLPKKT240: clearly lower modularity than the MG inputs."""
+        from repro.core.louvain_serial import louvain_serial
+
+        for name in ("Channel", "NLPKKT240"):
+            g = load_dataset(name, scale=0.5)
+            q = louvain_serial(g).modularity
+            assert q < 0.85, name
+
+    def test_copapers_clique_heavy(self):
+        """coPapersDBLP stand-in: clustering via cliques -> high modularity
+        and moderate degree RSD (paper: 1.17)."""
+        g = load_dataset("coPapersDBLP")
+        rsd = degree_rsd(g)
+        assert 0.3 < rsd < 2.0
+
+    def test_uk2002_coloring_skewed(self):
+        """uk-2002's signature: skewed color-class sizes (paper RSD 18.9)."""
+        from repro.coloring.greedy import greedy_coloring
+        from repro.coloring.validate import color_size_rsd
+
+        skews = {
+            name: color_size_rsd(greedy_coloring(load_dataset(name)))
+            for name in ("uk-2002", "Rgg_n_2_24_s0")
+        }
+        assert skews["uk-2002"] > skews["Rgg_n_2_24_s0"]

@@ -1,0 +1,82 @@
+"""Unit tests for the simulated message-passing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import NetworkModel, SimCluster, TrafficLog
+from repro.utils.errors import ValidationError
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        cluster = SimCluster(3)
+        out = cluster.allreduce_sum([
+            np.array([1.0, 0.0]), np.array([2.0, 5.0]), np.array([3.0, 1.0]),
+        ])
+        assert out.tolist() == [6.0, 6.0]
+        assert cluster.traffic.bytes_by_op["allreduce"] > 0
+
+    def test_allreduce_single_rank_free(self):
+        cluster = SimCluster(1)
+        cluster.allreduce_sum([np.array([1.0])])
+        assert cluster.traffic.total_bytes == 0
+
+    def test_allreduce_shape_mismatch(self):
+        cluster = SimCluster(2)
+        with pytest.raises(ValidationError):
+            cluster.allreduce_sum([np.zeros(2), np.zeros(3)])
+
+    def test_allreduce_wrong_rank_count(self):
+        cluster = SimCluster(2)
+        with pytest.raises(ValidationError):
+            cluster.allreduce_sum([np.zeros(2)])
+
+    def test_allgatherv(self):
+        cluster = SimCluster(2)
+        out = cluster.allgatherv([np.array([1, 2]), np.array([3])])
+        assert out.tolist() == [1, 2, 3]
+        assert cluster.traffic.bytes_by_op["allgatherv"] > 0
+
+    def test_halo_exchange_accounting(self):
+        cluster = SimCluster(3)
+        delivered = cluster.halo_exchange({
+            (0, 1): np.array([5, 7]),
+            (1, 2): np.array([9]),
+            (2, 2): np.array([1, 1, 1]),  # self-send: free
+        })
+        assert delivered[(0, 1)].tolist() == [5, 7]
+        assert cluster.traffic.messages_by_op["halo"] == 2
+        assert cluster.traffic.bytes_by_op["halo"] == 3 * 8
+
+    def test_halo_rank_validation(self):
+        cluster = SimCluster(2)
+        with pytest.raises(ValidationError):
+            cluster.halo_exchange({(0, 5): np.array([1])})
+
+    def test_broadcast(self):
+        cluster = SimCluster(4)
+        value = np.arange(10)
+        out = cluster.broadcast(value)
+        np.testing.assert_array_equal(out, value)
+        assert cluster.traffic.messages_by_op["broadcast"] == 3
+
+    def test_barrier_counts_supersteps(self):
+        cluster = SimCluster(2)
+        cluster.barrier()
+        cluster.barrier()
+        assert cluster.traffic.supersteps == 2
+
+    def test_bad_rank_count(self):
+        with pytest.raises(ValidationError):
+            SimCluster(0)
+
+
+class TestNetworkModel:
+    def test_alpha_beta_pricing(self):
+        log = TrafficLog()
+        log.charge("halo", 1000.0, 10)
+        model = NetworkModel(alpha=1e-6, beta=1e-9)
+        assert model.time(log) == pytest.approx(10e-6 + 1e-6)
+
+    def test_empty_log_free(self):
+        assert NetworkModel().time(TrafficLog()) == 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for vertex partitioning and ghost discovery."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition import partition_vertices
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_lattice, star_graph
+from repro.utils.errors import ValidationError
+
+
+class TestPartition:
+    def test_ownership_covers_all(self, planted):
+        part = partition_vertices(planted, 4)
+        merged = np.sort(np.concatenate(part.owned))
+        np.testing.assert_array_equal(merged, np.arange(planted.num_vertices))
+        for r, members in enumerate(part.owned):
+            assert (part.owner[members] == r).all()
+
+    def test_ghosts_are_foreign_neighbors(self, planted):
+        part = partition_vertices(planted, 3)
+        for r in range(3):
+            ghosts = part.ghosts[r]
+            assert (part.owner[ghosts] != r).all()
+            # Every ghost really is adjacent to an owned vertex.
+            owned_set = set(part.owned[r].tolist())
+            for g in ghosts.tolist():
+                nbrs, _ = planted.neighbors(g)
+                assert owned_set & set(nbrs.tolist())
+
+    def test_boundary_matches_ghosts(self, planted):
+        """boundary_to[r][s] is exactly rank s's ghosts owned by r."""
+        part = partition_vertices(planted, 3)
+        for r in range(3):
+            for s in range(3):
+                if r == s:
+                    assert part.boundary_to[r][s].size == 0
+                    continue
+                expected = part.ghosts[s][part.owner[part.ghosts[s]] == r]
+                np.testing.assert_array_equal(
+                    part.boundary_to[r][s], np.sort(expected)
+                )
+
+    def test_cut_edges_lattice(self):
+        # A 4x4 grid split in two blocks of 8 cuts exactly 4 row edges.
+        g = grid_lattice((4, 4))
+        part = partition_vertices(g, 2, scheme="block")
+        assert part.cut_edges(g) == 4
+
+    def test_single_rank_no_ghosts(self, planted):
+        part = partition_vertices(planted, 1)
+        assert part.cut_edges(planted) == 0
+        assert part.ghosts[0].size == 0
+        assert part.replication_factor() == 1.0
+
+    def test_more_ranks_than_vertices(self):
+        g = star_graph(2)
+        part = partition_vertices(g, 8)
+        assert part.num_ranks == 8
+        merged = np.sort(np.concatenate(part.owned))
+        np.testing.assert_array_equal(merged, np.arange(3))
+
+    def test_edge_balanced_on_star(self):
+        """Edge-balanced split isolates the hub; block split does not."""
+        g = star_graph(63)
+        balanced = partition_vertices(g, 2, scheme="edge_balanced")
+        work = [int(g.unweighted_degrees[m].sum()) for m in balanced.owned]
+        assert max(work) < 2 * 63  # hub (63) not lumped with many leaves
+
+    def test_validation(self, planted):
+        with pytest.raises(ValidationError):
+            partition_vertices(planted, 0)
+        with pytest.raises(ValidationError):
+            partition_vertices(planted, 2, scheme="metis")

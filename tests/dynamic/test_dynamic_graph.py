@@ -1,0 +1,89 @@
+"""Unit tests for the mutable dynamic graph."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.graph.generators import karate_club
+from repro.utils.errors import GraphStructureError, ValidationError
+
+
+class TestMutations:
+    def test_add_and_snapshot(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2, 2.5)
+        snap = g.snapshot()
+        assert snap.num_edges == 2
+        assert snap.edge_weight(1, 2) == 2.5
+
+    def test_remove(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1, 4.0)
+        assert g.remove_edge(1, 0) == 4.0  # orientation-insensitive
+        assert g.num_edges == 0
+        assert not g.has_edge(0, 1)
+
+    def test_set_weight(self):
+        g = DynamicGraph(2)
+        g.add_edge(0, 1)
+        g.set_weight(0, 1, 9.0)
+        assert g.edge_weight(1, 0) == 9.0
+
+    def test_self_loop(self):
+        g = DynamicGraph(2)
+        g.add_edge(1, 1, 3.0)
+        assert g.snapshot().self_loop_weight(1) == 3.0
+
+    def test_duplicate_add_rejected(self):
+        g = DynamicGraph(2)
+        g.add_edge(0, 1)
+        with pytest.raises(GraphStructureError):
+            g.add_edge(1, 0)
+
+    def test_missing_remove_rejected(self):
+        g = DynamicGraph(2)
+        with pytest.raises(GraphStructureError):
+            g.remove_edge(0, 1)
+        with pytest.raises(GraphStructureError):
+            g.set_weight(0, 1, 2.0)
+
+    def test_bad_weight_and_ids(self):
+        g = DynamicGraph(2)
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphStructureError):
+            g.add_edge(0, 5)
+
+    def test_add_vertices(self):
+        g = DynamicGraph(2)
+        assert g.add_vertices(3) == 5
+        g.add_edge(0, 4)
+        assert g.snapshot().num_vertices == 5
+        with pytest.raises(ValidationError):
+            g.add_vertices(-1)
+
+
+class TestSnapshotCaching:
+    def test_cache_reused_until_mutation(self):
+        g = DynamicGraph(3)
+        g.add_edge(0, 1)
+        s1 = g.snapshot()
+        assert g.snapshot() is s1
+        g.add_edge(1, 2)
+        assert g.snapshot() is not s1
+
+    def test_version_increments(self):
+        g = DynamicGraph(3)
+        v0 = g.version
+        g.add_edge(0, 1)
+        g.remove_edge(0, 1)
+        assert g.version == v0 + 2
+
+    def test_from_csr_roundtrip(self):
+        karate = karate_club()
+        dyn = DynamicGraph.from_csr(karate)
+        assert dyn.snapshot() == karate
+
+    def test_empty_snapshot(self):
+        assert DynamicGraph(4).snapshot().num_vertices == 4

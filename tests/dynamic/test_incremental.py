@@ -1,0 +1,184 @@
+"""Tests for streams and incremental community maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LouvainConfig
+from repro.core.modularity import modularity
+from repro.dynamic import (
+    DynamicGraph,
+    EdgeEvent,
+    IncrementalLouvain,
+    community_drift_stream,
+    growth_stream,
+)
+from repro.metrics.pairs import pair_counts
+from repro.utils.errors import ValidationError
+
+
+class TestStreams:
+    def test_growth_stream_shapes(self):
+        dyn, batches = growth_stream(4, 20, batches=3, batch_size=30, seed=0)
+        assert dyn.num_vertices == 80
+        batch_list = list(batches)
+        assert len(batch_list) == 3
+        for batch in batch_list:
+            assert len(batch) == 30
+            for e in batch:
+                assert e.kind == "add"
+                assert e.u < e.v
+
+    def test_growth_stream_deterministic(self):
+        def collect(seed):
+            dyn, batches = growth_stream(3, 15, batches=2, batch_size=10,
+                                         seed=seed)
+            return [(e.kind, e.u, e.v) for b in batches for e in b]
+
+        assert collect(7) == collect(7)
+
+    def test_growth_batches_applicable(self):
+        dyn, batches = growth_stream(3, 15, batches=3, batch_size=20, seed=1)
+        before = dyn.num_edges
+        total = 0
+        for batch in batches:
+            for e in batch:
+                e.apply(dyn)
+            total += len(batch)
+        assert dyn.num_edges == before + total
+
+    def test_drift_stream_moves_membership(self):
+        dyn, batches, membership = community_drift_stream(
+            4, 20, batches=2, movers_per_batch=5, seed=3
+        )
+        original = membership.copy()
+        for batch in batches:
+            for e in batch:
+                e.apply(dyn)
+        assert (membership != original).sum() >= 1
+
+    def test_event_validation(self):
+        g = DynamicGraph(3)
+        with pytest.raises(ValidationError):
+            EdgeEvent("toggle", 0, 1).apply(g)
+
+    def test_stream_validation(self):
+        with pytest.raises(ValidationError):
+            growth_stream(2, 5, batches=-1, batch_size=3)
+        with pytest.raises(ValidationError):
+            community_drift_stream(2, 5, batches=1, movers_per_batch=0)
+
+
+class TestIncrementalLouvain:
+    def _tracker(self, seed=0):
+        dyn, batches = growth_stream(5, 24, batches=4, batch_size=60,
+                                     seed=seed)
+        return IncrementalLouvain(dyn), batches
+
+    def test_first_refresh_is_cold(self):
+        tracker, _ = self._tracker()
+        stats = tracker.refresh()
+        assert not stats.warm
+        assert stats.modularity > 0.3
+
+    def test_warm_uses_previous_assignment(self):
+        tracker, batches = self._tracker()
+        tracker.refresh()
+        for batch in batches:
+            stats = tracker.process(batch)
+            assert stats.warm
+            assert stats.events_since_last == len(batch)
+
+    def test_warm_fewer_iterations_than_cold(self):
+        """The future-work-(i) payoff: warm restarts converge much faster."""
+        tracker, batches = self._tracker(seed=11)
+        tracker.refresh()
+        warm_total = 0
+        cold_total = 0
+        for batch in batches:
+            tracker.apply_events(batch)
+            warm_total += tracker.refresh(warm=True).iterations
+            cold_total += IncrementalLouvain(
+                tracker.graph
+            ).refresh(warm=False).iterations
+        assert warm_total < cold_total
+
+    def test_warm_quality_matches_cold(self):
+        tracker, batches = self._tracker(seed=5)
+        tracker.refresh()
+        for batch in batches:
+            tracker.apply_events(batch)
+        warm_q = tracker.refresh(warm=True).modularity
+        cold_q = IncrementalLouvain(tracker.graph).refresh().modularity
+        assert warm_q >= cold_q - 0.03
+
+    def test_modularity_consistent_with_assignment(self):
+        tracker, batches = self._tracker()
+        stats = tracker.refresh()
+        snap = tracker.graph.snapshot()
+        assert stats.modularity == pytest.approx(
+            modularity(snap, tracker.communities)
+        )
+
+    def test_drift_tracking(self):
+        dyn, batches, truth = community_drift_stream(
+            5, 24, batches=3, movers_per_batch=4, seed=7
+        )
+        tracker = IncrementalLouvain(dyn)
+        tracker.refresh()
+        for batch in batches:
+            tracker.process(batch)
+            rand = pair_counts(truth, tracker.communities).rand_index
+            assert rand > 0.9
+
+    def test_warm_without_previous_rejected(self):
+        tracker, _ = self._tracker()
+        with pytest.raises(ValidationError):
+            tracker.refresh(warm=True)
+
+    def test_vf_config_rejected(self):
+        dyn = DynamicGraph(4)
+        with pytest.raises(ValidationError):
+            IncrementalLouvain(dyn, LouvainConfig(use_vf=True))
+
+    def test_grow_to_extends_assignment(self):
+        tracker, _ = self._tracker()
+        tracker.refresh()
+        n = tracker.graph.num_vertices
+        tracker.grow_to(n + 3)
+        assert tracker.communities.shape == (n + 3,)
+        # New singleton labels are distinct from existing ones.
+        assert len(np.unique(tracker.communities[-3:])) == 3
+        with pytest.raises(ValidationError):
+            tracker.grow_to(2)
+
+    def test_history_recorded(self):
+        tracker, batches = self._tracker()
+        tracker.refresh()
+        for batch in batches:
+            tracker.process(batch)
+        assert len(tracker.history) == 5
+
+    def test_warm_start_via_driver_argument(self):
+        """The driver-level warm start the tracker builds on."""
+        from repro.core.driver import louvain
+        from repro.graph.generators import planted_partition
+
+        g = planted_partition(4, 20, 0.4, 0.02, seed=0)
+        cold = louvain(g)
+        warm = louvain(g, initial_communities=cold.communities)
+        assert warm.total_iterations < cold.total_iterations
+        assert warm.total_iterations <= 4
+        assert warm.modularity >= cold.modularity - 1e-9
+
+    def test_warm_start_with_vf_rejected(self, karate):
+        from repro.core.driver import louvain
+
+        with pytest.raises(ValidationError):
+            louvain(karate, variant="baseline+VF",
+                    initial_communities=np.zeros(34, dtype=np.int64))
+
+    def test_warm_start_bad_shape_rejected(self, karate):
+        from repro.core.driver import louvain
+
+        with pytest.raises(ValidationError):
+            louvain(karate, initial_communities=np.zeros(3, dtype=np.int64))

@@ -1,0 +1,95 @@
+"""Unit tests for graph construction (GraphBuilder and converters)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import GraphBuilder, from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import GraphStructureError
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        g = (
+            GraphBuilder(4)
+            .add_edge(0, 1)
+            .add_edge(1, 2, 2.5)
+            .add_edge(3, 3)
+            .build()
+        )
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.edge_weight(1, 2) == 2.5
+        assert g.self_loop_weight(3) == 1.0
+
+    def test_auto_vertex_count(self):
+        g = GraphBuilder().add_edge(2, 7).build()
+        assert g.num_vertices == 8
+
+    def test_empty_build(self):
+        assert GraphBuilder(3).build().num_edges == 0
+        assert GraphBuilder().build().num_vertices == 0
+
+    def test_add_edges_bulk(self):
+        g = GraphBuilder(3).add_edges([(0, 1), (1, 2)], [1.0, 4.0]).build()
+        assert g.edge_weight(1, 2) == 4.0
+
+    def test_add_edges_weights_length_mismatch(self):
+        with pytest.raises(GraphStructureError):
+            GraphBuilder(3).add_edges([(0, 1)], [1.0, 2.0])
+
+    def test_duplicate_rejected_then_merged(self):
+        b = GraphBuilder(2).add_edge(0, 1).add_edge(1, 0, 2.0)
+        with pytest.raises(GraphStructureError):
+            b.build()
+        assert b.build(combine="sum").edge_weight(0, 1) == 3.0
+
+    def test_negative_inputs_rejected_eagerly(self):
+        b = GraphBuilder(2)
+        with pytest.raises(GraphStructureError):
+            b.add_edge(-1, 0)
+        with pytest.raises(GraphStructureError):
+            b.add_edge(0, 1, 0.0)
+
+    def test_buffered_count_and_repr(self):
+        b = GraphBuilder(5).add_edge(0, 1)
+        assert b.buffered_edges == 1
+        assert "buffered_edges=1" in repr(b)
+
+    def test_builder_matches_from_edges(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 1)]
+        weights = [1.0, 2.0, 3.0, 4.0, 5.0]
+        g1 = GraphBuilder(4).add_edges(edges, weights).build()
+        g2 = CSRGraph.from_edges(4, edges, weights)
+        assert g1 == g2
+
+
+class TestFromEdgeArray:
+    def test_empty_edge_list(self):
+        g = from_edge_array(3, np.zeros((0, 2), dtype=np.int64))
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_self_loops_kept_single(self):
+        g = from_edge_array(2, [(0, 0), (0, 1)], [3.0, 1.0])
+        assert g.self_loop_weight(0) == 3.0
+        assert g.degrees.tolist() == [4.0, 1.0]
+
+    def test_duplicate_self_loop_merge(self):
+        g = from_edge_array(1, [(0, 0), (0, 0)], [1.0, 2.0], combine="sum")
+        assert g.self_loop_weight(0) == 3.0
+
+    def test_duplicate_same_orientation(self):
+        with pytest.raises(GraphStructureError):
+            from_edge_array(2, [(0, 1), (0, 1)])
+
+    def test_large_random_consistency(self):
+        rng = np.random.default_rng(7)
+        n = 200
+        edges = rng.integers(0, n, size=(2000, 2))
+        g = from_edge_array(n, edges, combine="sum")
+        # Total weight equals number of sampled pairs (each weight 1, merged
+        # by summing; self-loop halving matches the degree convention).
+        loops = edges[:, 0] == edges[:, 1]
+        expected_m = (2000 - loops.sum()) + loops.sum() / 2.0
+        assert g.total_weight == pytest.approx(expected_m)

@@ -1,0 +1,108 @@
+"""Unit tests for the between-phase graph rebuild (paper §5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.modularity import community_degrees, modularity
+from repro.graph.coarsen import coarsen, project_assignment
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import karate_club, two_cliques_bridge
+from repro.utils.errors import ValidationError
+
+
+class TestCoarsenStructure:
+    def test_two_cliques_collapse(self, cliques8):
+        comm = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        result = coarsen(cliques8, comm)
+        g = result.graph
+        assert g.num_vertices == 2
+        # One inter-community bridge edge of weight 1.
+        assert g.edge_weight(0, 1) == 1.0
+        # Intra weight appears as self-loops; degree convention makes the
+        # self-loop weight equal the sum over directed intra entries (12).
+        assert g.self_loop_weight(0) == 12.0
+        assert result.num_communities == 2
+        assert result.intra_weight == 12.0
+        assert result.inter_weight == 1.0
+
+    def test_label_renumbering_preserves_order(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        # Labels 7 and 3 — non-dense, out of order.
+        result = coarsen(g, np.array([7, 7, 3, 3]))
+        # Label 3 < 7, so community {2,3} becomes meta-vertex 0.
+        assert result.vertex_to_meta.tolist() == [1, 1, 0, 0]
+
+    def test_all_singletons_identity(self, karate):
+        result = coarsen(karate, np.arange(34))
+        assert result.graph == karate
+        assert result.lock_ops == 2 * 78  # every edge inter-community
+
+    def test_all_one_community(self, karate):
+        result = coarsen(karate, np.zeros(34, dtype=np.int64))
+        g = result.graph
+        assert g.num_vertices == 1
+        assert g.self_loop_weight(0) == 2 * 78
+        assert result.lock_ops == 78  # every edge intra: one lock each
+
+    def test_degree_preservation(self, karate):
+        """Coarse vertex degrees equal fine community degrees a_C."""
+        comm = (np.arange(34) % 5).astype(np.int64)
+        result = coarsen(karate, comm)
+        a_fine = community_degrees(karate, comm, 5)
+        np.testing.assert_allclose(result.graph.degrees, a_fine)
+
+    def test_total_weight_preserved(self, karate):
+        comm = (np.arange(34) % 7).astype(np.int64)
+        assert coarsen(karate, comm).graph.total_weight == pytest.approx(
+            karate.total_weight
+        )
+
+    def test_modularity_invariance(self, karate):
+        """Q of a coarse partition == Q of the induced fine partition."""
+        comm = (np.arange(34) % 6).astype(np.int64)
+        result = coarsen(karate, comm)
+        # Partition the 6 meta-vertices into 2 groups.
+        meta_assign = np.array([0, 0, 0, 1, 1, 1])
+        fine = project_assignment(result.vertex_to_meta, meta_assign)
+        assert modularity(result.graph, meta_assign) == pytest.approx(
+            modularity(karate, fine), abs=1e-12
+        )
+
+    def test_self_loops_in_fine_graph(self, loops_graph):
+        comm = np.array([0, 0, 1])
+        result = coarsen(loops_graph, comm)
+        g = result.graph
+        # Community 0 = {0, 1}: intra entries are loop(0,0)=2 once and edge
+        # (0,1)=3 twice -> self-loop 8; community 1 = {2}: loop 5.
+        assert g.self_loop_weight(0) == 2.0 + 2 * 3.0
+        assert g.self_loop_weight(1) == 5.0
+        assert g.edge_weight(0, 1) == 1.0
+        assert g.total_weight == pytest.approx(loops_graph.total_weight)
+
+    def test_lock_accounting(self, cliques8):
+        comm = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        result = coarsen(cliques8, comm)
+        # 12 intra edges (1 lock each) + 1 inter edge (2 locks).
+        assert result.lock_ops == 12 + 2
+
+    def test_empty_graph(self):
+        result = coarsen(CSRGraph.empty(0), np.zeros(0, dtype=np.int64))
+        assert result.num_communities == 0
+        assert result.graph.num_vertices == 0
+
+    def test_validation(self, karate):
+        with pytest.raises(ValidationError):
+            coarsen(karate, np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValidationError):
+            coarsen(karate, np.zeros(34, dtype=np.float64))
+
+
+class TestProjectAssignment:
+    def test_composition(self):
+        v2m = np.array([0, 0, 1, 2])
+        meta = np.array([5, 5, 9])
+        assert project_assignment(v2m, meta).tolist() == [5, 5, 5, 9]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            project_assignment(np.array([0, 3]), np.array([1, 2]))

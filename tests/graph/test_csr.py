@@ -1,0 +1,209 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import GraphStructureError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.num_entries == 4  # each edge stored twice
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.total_weight == 0.0
+        assert list(g.edges()) == []
+
+    def test_zero_vertex_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.num_vertices == 0
+        assert g.degrees.shape == (0,)
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph.empty(-1)
+
+    def test_edge_order_in_pair_irrelevant(self):
+        g1 = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        g2 = CSRGraph.from_edges(3, [(1, 0), (2, 1)])
+        assert g1 == g2
+
+    def test_rows_sorted(self):
+        g = CSRGraph.from_edges(4, [(0, 3), (0, 1), (0, 2)])
+        nbrs, _ = g.neighbors(0)
+        assert nbrs.tolist() == [1, 2, 3]
+
+    def test_self_loop_stored_once(self):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1)])
+        assert g.num_entries == 3
+        assert g.num_edges == 2
+        assert g.num_self_loops == 1
+
+    def test_multi_edge_rejected_by_default(self):
+        with pytest.raises(GraphStructureError, match="multi-edge"):
+            CSRGraph.from_edges(2, [(0, 1), (1, 0)])
+
+    def test_multi_edge_sum(self):
+        g = CSRGraph.from_edges(2, [(0, 1), (1, 0)], [1.0, 2.5], combine="sum")
+        assert g.edge_weight(0, 1) == 3.5
+        assert g.num_edges == 1
+
+    def test_multi_edge_min_max(self):
+        gmin = CSRGraph.from_edges(2, [(0, 1), (1, 0)], [1.0, 2.5], combine="min")
+        gmax = CSRGraph.from_edges(2, [(0, 1), (1, 0)], [1.0, 2.5], combine="max")
+        assert gmin.edge_weight(0, 1) == 1.0
+        assert gmax.edge_weight(0, 1) == 2.5
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(2, [(0, 2)])
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(2, [(0, 1)], [0.0])
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(2, [(0, 1)], [-1.0])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(3, [(0, 1), (1, 2)], [1.0])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(3, np.zeros((2, 3), dtype=np.int64))
+
+    def test_asymmetric_csr_rejected(self):
+        # Entry (0 -> 1) without the reverse.
+        with pytest.raises(GraphStructureError):
+            CSRGraph([0, 1, 1], [1], [1.0])
+
+    def test_asymmetric_weights_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph([0, 1, 2], [1, 0], [1.0, 2.0])
+
+    def test_unsorted_row_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph([0, 2, 3, 4], [2, 1, 0, 0], [1.0, 1.0, 1.0, 1.0])
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph([0, 2], [0], [1.0])  # indptr[-1] != nnz
+        with pytest.raises(GraphStructureError):
+            CSRGraph([0, 2, 1], [0, 1, 1], [1.0, 1.0, 1.0])
+
+
+class TestProperties:
+    def test_degrees_unweighted(self, triangle):
+        assert triangle.degrees.tolist() == [2.0, 2.0, 2.0]
+        assert triangle.total_weight == 3.0
+
+    def test_degrees_weighted_with_loops(self, loops_graph):
+        assert loops_graph.degrees.tolist() == [5.0, 4.0, 6.0]
+        assert loops_graph.total_weight == pytest.approx(7.5)
+
+    def test_degree_singleton_matches_array(self, loops_graph):
+        for v in range(3):
+            assert loops_graph.degree(v) == loops_graph.degrees[v]
+
+    def test_unweighted_degrees(self, loops_graph):
+        # Entries per row: v0 -> {0, 1}, v1 -> {0, 2}, v2 -> {1, 2}.
+        assert loops_graph.unweighted_degrees.tolist() == [2, 2, 2]
+
+    def test_trailing_isolated_vertices(self):
+        g = CSRGraph.from_edges(5, [(0, 1)])
+        assert g.degrees.tolist() == [1.0, 1.0, 0.0, 0.0, 0.0]
+        assert g.isolated_vertices().tolist() == [2, 3, 4]
+        assert g.is_isolated(4)
+        assert not g.is_isolated(0)
+
+    def test_num_edges_counts_loops_once(self, loops_graph):
+        assert loops_graph.num_edges == 4
+
+    def test_arrays_readonly(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 2
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 9.0
+
+    def test_repr(self, triangle):
+        assert "n=3" in repr(triangle)
+        assert "M=3" in repr(triangle)
+
+
+class TestAccess:
+    def test_edge_weight_present_and_absent(self, loops_graph):
+        assert loops_graph.edge_weight(0, 1) == 3.0
+        assert loops_graph.edge_weight(1, 0) == 3.0
+        assert loops_graph.edge_weight(0, 2) == 0.0
+        assert loops_graph.self_loop_weight(0) == 2.0
+        assert loops_graph.self_loop_weight(1) == 0.0
+
+    def test_has_edge(self, path4):
+        assert path4.has_edge(0, 1)
+        assert not path4.has_edge(0, 3)
+
+    def test_self_loop_weights_array(self, loops_graph):
+        assert loops_graph.self_loop_weights().tolist() == [2.0, 0.0, 5.0]
+
+    def test_neighbors(self, path4):
+        nbrs, w = path4.neighbors(1)
+        assert nbrs.tolist() == [0, 2]
+        assert w.tolist() == [1.0, 1.0]
+
+    def test_edges_iterator_each_once(self, triangle):
+        edges = sorted((u, v) for u, v, _ in triangle.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_arrays_roundtrip(self, loops_graph):
+        u, v, w = loops_graph.edge_arrays()
+        g2 = CSRGraph.from_edges(3, np.column_stack([u, v]), w)
+        assert g2 == loops_graph
+
+    def test_row_of_entry(self, path4):
+        row = path4.row_of_entry()
+        # Row lengths: 1, 2, 2, 1.
+        assert row.tolist() == [0, 1, 1, 2, 2, 3]
+
+
+class TestConversions:
+    def test_scipy_roundtrip(self, loops_graph):
+        mat = loops_graph.to_scipy()
+        g2 = CSRGraph.from_scipy(mat)
+        assert g2 == loops_graph
+
+    def test_scipy_shape_and_symmetry(self, karate):
+        mat = karate.to_scipy()
+        assert mat.shape == (34, 34)
+        dense = mat.toarray()
+        assert np.array_equal(dense, dense.T)
+
+    def test_networkx_roundtrip(self, karate):
+        nx_graph = karate.to_networkx()
+        g2 = CSRGraph.from_networkx(nx_graph)
+        assert g2 == karate
+
+    def test_networkx_weights_preserved(self, loops_graph):
+        nx_graph = loops_graph.to_networkx()
+        g2 = CSRGraph.from_networkx(nx_graph)
+        assert g2 == loops_graph
+
+    def test_from_scipy_asymmetric_rejected_on_conflict(self):
+        import scipy.sparse as sp
+
+        mat = sp.coo_array(
+            (np.array([1.0, 2.0]), (np.array([0, 1]), np.array([1, 0]))),
+            shape=(2, 2),
+        )
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_scipy(mat)
+        g = CSRGraph.from_scipy(mat, combine="max")
+        assert g.edge_weight(0, 1) == 2.0

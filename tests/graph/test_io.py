@@ -1,0 +1,159 @@
+"""Unit tests for graph file formats."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import (
+    load_csrz,
+    read_edge_list,
+    read_metis,
+    save_csrz,
+    write_edge_list,
+    write_metis,
+)
+from repro.utils.errors import GraphFormatError
+
+
+class TestEdgeList:
+    def test_roundtrip_weighted(self, loops_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(loops_graph, path)
+        g2 = read_edge_list(path)
+        assert g2 == loops_graph
+
+    def test_roundtrip_unweighted(self, karate, tmp_path):
+        path = tmp_path / "k.txt"
+        write_edge_list(karate, path, write_weights=False)
+        assert read_edge_list(path) == karate
+
+    def test_gzip_roundtrip(self, karate, tmp_path):
+        path = tmp_path / "k.txt.gz"
+        write_edge_list(karate, path)
+        assert read_edge_list(path) == karate
+        # File really is gzip-compressed.
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#")
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2 2.5\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.edge_weight(1, 2) == 2.5
+
+    def test_one_indexed(self, tmp_path):
+        path = tmp_path / "o.txt"
+        path.write_text("1 2\n2 3\n")
+        g = read_edge_list(path, zero_indexed=False)
+        assert g.num_vertices == 3
+        assert g.has_edge(0, 1)
+
+    def test_num_vertices_override(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path, num_vertices=10).num_vertices == 10
+
+    def test_bad_token(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 x\n")
+        with pytest.raises(GraphFormatError, match="bad token"):
+            read_edge_list(path)
+
+    def test_bad_arity(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert read_edge_list(path).num_vertices == 0
+
+    def test_negative_after_shift(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_edge_list(path, zero_indexed=False)
+
+
+class TestMetis:
+    def test_roundtrip_weighted(self, loops_graph, tmp_path):
+        path = tmp_path / "g.metis"
+        write_metis(loops_graph, path)
+        assert read_metis(path) == loops_graph
+
+    def test_roundtrip_unweighted(self, karate, tmp_path):
+        path = tmp_path / "k.metis"
+        write_metis(karate, path, write_weights=False)
+        assert read_metis(path) == karate
+
+    def test_hand_written_file(self, tmp_path):
+        # Triangle in DIMACS10/METIS format (1-indexed, symmetric lists).
+        path = tmp_path / "t.metis"
+        path.write_text("3 3 0\n2 3\n1 3\n1 2\n")
+        g = read_metis(path)
+        assert g.num_edges == 3
+        assert g.has_edge(0, 2)
+
+    def test_comment_lines(self, tmp_path):
+        path = tmp_path / "c.metis"
+        path.write_text("% header comment\n2 1 0\n2\n1\n")
+        assert read_metis(path).num_edges == 1
+
+    def test_wrong_vertex_count(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1 0\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="vertex lines"):
+            read_metis(path)
+
+    def test_wrong_edge_count(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 5 0\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="declares m="):
+            read_metis(path)
+
+    def test_vertex_id_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 1 0\n3\n1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_metis(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_metis(path)
+
+    def test_vertex_weights_unsupported(self, tmp_path):
+        path = tmp_path / "vw.metis"
+        path.write_text("2 1 11\n1 2\n1 1\n")
+        with pytest.raises(GraphFormatError, match="unsupported"):
+            read_metis(path)
+
+    def test_odd_tokens_in_weighted(self, tmp_path):
+        path = tmp_path / "odd.metis"
+        path.write_text("2 1 1\n2 1.0 3\n1 1.0\n")
+        with pytest.raises(GraphFormatError, match="odd token"):
+            read_metis(path)
+
+
+class TestCsrz:
+    def test_roundtrip(self, loops_graph, tmp_path):
+        path = tmp_path / "g.csrz.npz"
+        save_csrz(loops_graph, path)
+        assert load_csrz(path) == loops_graph
+
+    def test_roundtrip_large(self, planted, tmp_path):
+        path = tmp_path / "p.csrz.npz"
+        save_csrz(planted, path)
+        assert load_csrz(path) == planted
+
+    def test_not_a_container(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError, match="not a csrz"):
+            load_csrz(path)

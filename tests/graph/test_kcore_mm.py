@@ -1,0 +1,180 @@
+"""Unit tests for k-core decomposition and Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    two_cliques_bridge,
+)
+from repro.graph.io import read_matrix_market, write_matrix_market
+from repro.graph.kcore import core_numbers, degeneracy, k_core, peel_layers
+from repro.utils.errors import GraphFormatError, ValidationError
+
+
+class TestCoreNumbers:
+    def test_path(self):
+        # A path is 1-degenerate: every vertex has core number 1.
+        assert core_numbers(path_graph(6)).tolist() == [1] * 6
+
+    def test_star(self):
+        core = core_numbers(star_graph(5))
+        assert (core == 1).all()
+
+    def test_cycle(self):
+        assert core_numbers(cycle_graph(7)).tolist() == [2] * 7
+
+    def test_clique(self):
+        assert core_numbers(complete_graph(5)).tolist() == [4] * 5
+
+    def test_clique_with_pendant(self):
+        # 4-clique (core 3) plus a pendant vertex (core 1).
+        g = CSRGraph.from_edges(
+            5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]
+        )
+        core = core_numbers(g)
+        assert core.tolist() == [3, 3, 3, 3, 1]
+
+    def test_matches_networkx(self, karate):
+        import networkx as nx
+
+        expected = nx.core_number(karate.to_networkx())
+        core = core_numbers(karate)
+        for v, k in expected.items():
+            assert core[v] == k
+
+    def test_self_loops_ignored(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 2)])
+        assert core_numbers(g).tolist() == [1, 1, 1]
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        assert core_numbers(g).tolist() == [1, 1, 0, 0]
+
+    def test_degeneracy(self, karate):
+        assert degeneracy(karate) == 4
+        assert degeneracy(CSRGraph.empty(3)) == 0
+
+
+class TestKCoreExtraction:
+    def test_two_core_drops_pendants(self):
+        g = CSRGraph.from_edges(
+            5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        )
+        sub, members = k_core(g, 2)
+        assert members.tolist() == [0, 1, 2]
+        assert sub.num_edges == 3
+
+    def test_zero_core_is_everything(self, karate):
+        sub, members = k_core(karate, 0)
+        assert members.size == 34
+        assert sub == karate
+
+    def test_too_deep_core_empty(self, karate):
+        sub, members = k_core(karate, 100)
+        assert members.size == 0
+        assert sub.num_vertices == 0
+
+    def test_negative_k_rejected(self, karate):
+        with pytest.raises(ValidationError):
+            k_core(karate, -1)
+
+    def test_peel_layers_cover_all(self, karate):
+        layers = peel_layers(karate)
+        merged = np.sort(np.concatenate(layers))
+        np.testing.assert_array_equal(merged, np.arange(34))
+
+    def test_layer_zero_is_vf_candidates(self):
+        from repro.core.vf import single_degree_vertices
+        from repro.graph.generators import road_with_spokes
+
+        g = road_with_spokes(20, 2)
+        layers = peel_layers(g)
+        # Core-1 layer contains every single-degree spoke (§5.3 analogy).
+        spoke_set = set(single_degree_vertices(g).tolist())
+        layer1 = set(layers[0].tolist())
+        assert spoke_set <= layer1
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, loops_graph, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(loops_graph, path)
+        assert read_matrix_market(path) == loops_graph
+
+    def test_roundtrip_karate(self, karate, tmp_path):
+        path = tmp_path / "k.mtx"
+        write_matrix_market(karate, path)
+        assert read_matrix_market(path) == karate
+
+    def test_pattern_symmetric(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_general_with_both_triangles(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 2 3.5\n2 1 3.5\n"
+        )
+        g = read_matrix_market(path)
+        assert g.edge_weight(0, 1) == 3.5
+
+    def test_general_conflicting_weights(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 2 1.0\n2 1 2.0\n"
+        )
+        with pytest.raises(GraphFormatError, match="asymmetric"):
+            read_matrix_market(path)
+        assert read_matrix_market(path, combine="max").edge_weight(0, 1) == 2.0
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_nonsquare_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 2 1.0\n"
+        )
+        with pytest.raises(GraphFormatError, match="square"):
+            read_matrix_market(path)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 2 1.0\n"
+        )
+        with pytest.raises(GraphFormatError, match="declares 2"):
+            read_matrix_market(path)
+
+    def test_comment_lines_between(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% a comment\n2 2 1\n% another\n2 1 4.0\n"
+        )
+        assert read_matrix_market(path).edge_weight(0, 1) == 4.0
+
+    def test_diagonal_entries_become_loops(self, tmp_path):
+        path = tmp_path / "d.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n1 1 2.0\n2 1 1.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.self_loop_weight(0) == 2.0

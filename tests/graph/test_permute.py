@@ -1,0 +1,70 @@
+"""Unit tests for graph permutation and ordering effects."""
+
+import numpy as np
+import pytest
+
+from repro.core.modularity import modularity
+from repro.graph.permute import (
+    degree_order_permutation,
+    permute_graph,
+    random_permutation,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestPermuteGraph:
+    def test_isomorphism_preserved(self, karate):
+        perm = random_permutation(34, seed=1)
+        g2 = permute_graph(karate, perm)
+        assert g2.num_edges == karate.num_edges
+        assert g2.total_weight == karate.total_weight
+        # Degrees map through the permutation.
+        np.testing.assert_allclose(g2.degrees[perm], karate.degrees)
+        # Edges map through the permutation.
+        for u, v, w in list(karate.edges())[:20]:
+            assert g2.edge_weight(int(perm[u]), int(perm[v])) == w
+
+    def test_identity_permutation(self, karate):
+        assert permute_graph(karate, np.arange(34)) == karate
+
+    def test_modularity_invariant_under_relabel(self, planted, planted_truth):
+        perm = random_permutation(planted.num_vertices, seed=2)
+        g2 = permute_graph(planted, perm)
+        comm2 = np.empty_like(planted_truth)
+        comm2[perm] = planted_truth
+        assert modularity(g2, comm2) == pytest.approx(
+            modularity(planted, planted_truth)
+        )
+
+    def test_weights_preserved(self, loops_graph):
+        perm = np.array([2, 0, 1])
+        g2 = permute_graph(loops_graph, perm)
+        assert g2.self_loop_weight(2) == 2.0  # old vertex 0's loop
+        assert g2.edge_weight(2, 0) == 3.0    # old edge (0, 1)
+
+    def test_invalid_permutation(self, karate):
+        with pytest.raises(ValidationError):
+            permute_graph(karate, np.zeros(34, dtype=np.int64))
+        with pytest.raises(ValidationError):
+            permute_graph(karate, np.arange(10))
+
+
+class TestOrderings:
+    def test_random_permutation_seeded(self):
+        np.testing.assert_array_equal(
+            random_permutation(20, seed=5), random_permutation(20, seed=5)
+        )
+
+    def test_degree_order_puts_hub_first(self):
+        from repro.graph.generators import star_graph
+
+        g = star_graph(6)
+        perm = degree_order_permutation(g)
+        assert perm[0] == 0  # the hub keeps id 0 (largest degree)
+        ascending = degree_order_permutation(g, descending=False)
+        assert ascending[0] == 6  # the hub gets the largest id
+
+    def test_degree_order_is_permutation(self, karate):
+        from repro.utils.arrays import check_permutation
+
+        check_permutation(degree_order_permutation(karate), 34)

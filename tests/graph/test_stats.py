@@ -1,0 +1,86 @@
+"""Unit tests for graph statistics (Table 1 columns)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_lattice, star_graph
+from repro.graph.stats import compute_stats, degree_rsd, single_degree_count
+
+
+class TestDegreeRSD:
+    def test_uniform_degrees_zero_rsd(self, triangle):
+        assert degree_rsd(triangle) == 0.0
+
+    def test_star_high_rsd(self):
+        g = star_graph(20)
+        # Degrees: one 20, twenty 1s — RSD well above 1.
+        deg = g.unweighted_degrees.astype(float)
+        assert degree_rsd(g) == pytest.approx(deg.std() / deg.mean())
+        assert degree_rsd(g) > 1.0
+
+    def test_empty_graph(self):
+        assert degree_rsd(CSRGraph.empty(3)) == 0.0
+        assert degree_rsd(CSRGraph.empty(0)) == 0.0
+
+
+class TestSingleDegree:
+    def test_star_leaves(self):
+        assert single_degree_count(star_graph(6)) == 6
+
+    def test_grid_has_none(self):
+        assert single_degree_count(grid_lattice((4, 4))) == 0
+
+    def test_self_loop_only_not_single_degree(self):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1)])
+        # Vertex 1 is single-degree; vertex 0 is not (loop + edge).
+        assert single_degree_count(g) == 1
+
+
+class TestMemoryAccounting:
+    def test_nbytes_linear_in_input(self):
+        """§5.6: storage is O(m + n) — doubling edges ~doubles bytes."""
+        from repro.graph.generators import grid_lattice
+
+        small = grid_lattice((10, 10))
+        large = grid_lattice((10, 20))
+        ratio = large.nbytes / small.nbytes
+        assert 1.5 < ratio < 2.5
+
+    def test_nbytes_matches_arrays(self, karate):
+        expected = (karate.indptr.nbytes + karate.indices.nbytes
+                    + karate.weights.nbytes)
+        assert karate.nbytes == expected
+
+    def test_pipeline_estimate(self, karate):
+        from repro.graph.stats import pipeline_memory_estimate
+
+        est = pipeline_memory_estimate(karate)
+        assert est["total"] == sum(
+            v for k, v in est.items() if k != "total"
+        )
+        assert est["graph"] == karate.nbytes
+        # O(m + n): a 34-vertex, 78-edge graph stays in the kilobytes.
+        assert est["total"] < 10_000
+
+
+class TestComputeStats:
+    def test_karate_row(self, karate):
+        s = compute_stats(karate)
+        assert s.num_vertices == 34
+        assert s.num_edges == 78
+        assert s.max_degree == 17
+        assert s.avg_degree == pytest.approx(2 * 78 / 34)
+        assert s.num_self_loops == 0
+        assert s.total_weight == 78.0
+
+    def test_table1_row_formatting(self, karate):
+        row = compute_stats(karate).table1_row("karate")
+        assert "karate" in row
+        assert "34" in row and "78" in row
+
+    def test_empty(self):
+        s = compute_stats(CSRGraph.empty(0))
+        assert s.num_vertices == 0
+        assert s.max_degree == 0
+        assert s.avg_degree == 0.0

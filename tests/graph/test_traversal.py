@@ -1,0 +1,117 @@
+"""Unit tests for BFS / connected components / eccentricity."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    cycle_graph,
+    grid_lattice,
+    karate_club,
+    path_graph,
+    two_cliques_bridge,
+)
+from repro.graph.traversal import (
+    bfs_levels,
+    connected_components,
+    eccentricity_estimate,
+    is_connected,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestBFS:
+    def test_path_distances(self):
+        levels = bfs_levels(path_graph(5), 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_middle_source(self):
+        levels = bfs_levels(path_graph(5), 2)
+        assert levels.tolist() == [2, 1, 0, 1, 2]
+
+    def test_unreachable_minus_one(self):
+        g = CSRGraph.from_edges(4, [(0, 1)])
+        levels = bfs_levels(g, 0)
+        assert levels.tolist() == [0, 1, -1, -1]
+
+    def test_cycle(self):
+        levels = bfs_levels(cycle_graph(6), 0)
+        assert levels.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_matches_networkx(self, karate):
+        import networkx as nx
+
+        expected = nx.single_source_shortest_path_length(
+            karate.to_networkx(), 0
+        )
+        levels = bfs_levels(karate, 0)
+        for v, d in expected.items():
+            assert levels[v] == d
+
+    def test_self_loop_harmless(self):
+        g = CSRGraph.from_edges(2, [(0, 0), (0, 1)])
+        assert bfs_levels(g, 0).tolist() == [0, 1]
+
+    def test_bad_source(self, karate):
+        with pytest.raises(ValidationError):
+            bfs_levels(karate, 99)
+
+
+class TestComponents:
+    def test_connected_graph(self, karate):
+        labels, count = connected_components(karate)
+        assert count == 1
+        assert (labels == 0).all()
+        assert is_connected(karate)
+
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3)])
+        labels, count = connected_components(g)
+        assert count == 3  # {0,1}, {2,3}, {4}
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+        assert not is_connected(g)
+
+    def test_labels_ordered_by_smallest_member(self):
+        g = CSRGraph.from_edges(4, [(2, 3)])
+        labels, count = connected_components(g)
+        assert labels.tolist() == [0, 1, 2, 2]
+
+    def test_empty(self):
+        labels, count = connected_components(CSRGraph.empty(0))
+        assert count == 0
+        assert is_connected(CSRGraph.empty(0))
+
+    def test_communities_respect_components(self):
+        """Detected communities never straddle components."""
+        from repro.core.driver import louvain
+
+        g = CSRGraph.from_edges(
+            8,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 7)],
+        )
+        comp, _ = connected_components(g)
+        comm = louvain(g).communities
+        for c in np.unique(comm):
+            members = np.flatnonzero(comm == c)
+            assert len(set(comp[members].tolist())) == 1
+
+
+class TestEccentricity:
+    def test_path_diameter_exact(self):
+        assert eccentricity_estimate(path_graph(9)) == 8
+
+    def test_clique(self):
+        assert eccentricity_estimate(two_cliques_bridge(4)) >= 3
+
+    def test_grid_lower_bound(self):
+        # 5x5 grid diameter is 8; the double sweep finds it.
+        assert eccentricity_estimate(grid_lattice((5, 5))) == 8
+
+    def test_edge_free(self):
+        assert eccentricity_estimate(CSRGraph.empty(3)) == 0
+
+    def test_validation(self, karate):
+        with pytest.raises(ValidationError):
+            eccentricity_estimate(karate, sweeps=0)

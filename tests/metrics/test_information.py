@@ -1,0 +1,123 @@
+"""Unit tests for ARI / NMI / VI."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.information import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    variation_of_information,
+)
+from repro.utils.errors import ValidationError
+
+
+IDENT = np.array([0, 0, 1, 1, 2, 2])
+RELABELED = np.array([7, 7, 3, 3, 9, 9])
+
+
+class TestARI:
+    def test_identical(self):
+        assert adjusted_rand_index(IDENT, IDENT) == pytest.approx(1.0)
+
+    def test_relabel_invariant(self):
+        assert adjusted_rand_index(IDENT, RELABELED) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=50)
+        b = rng.integers(0, 5, size=50)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_matches_known_value(self):
+        # Classic textbook example.
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        # Contingency: [[2,1,0],[0,1,2]].
+        # sum_cells C2 = 1+0+0+0+0+1 = 2; rows (3,3) -> C2 = 6;
+        # cols (2,2,2) -> C2 = 3; total C2 = 15.
+        expected = (2 - 6 * 3 / 15) / ((6 + 3) / 2 - 6 * 3 / 15)
+        assert adjusted_rand_index(a, b) == pytest.approx(expected)
+
+    def test_both_trivial(self):
+        assert adjusted_rand_index([0, 0, 0], [5, 5, 5]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            adjusted_rand_index([0, 1], [0])
+        with pytest.raises(ValidationError):
+            adjusted_rand_index([], [])
+
+
+class TestNMI:
+    def test_identical(self):
+        assert normalized_mutual_information(IDENT, RELABELED) == (
+            pytest.approx(1.0)
+        )
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, size=4000)
+        b = rng.integers(0, 4, size=4000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_range(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 3, size=60)
+        b = rng.integers(0, 6, size=60)
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+
+    def test_trivial_vs_informative(self):
+        # One partition constant: MI = 0, but not "identical" -> NMI 0.
+        assert normalized_mutual_information([0, 0, 0, 0], [0, 1, 0, 1]) == 0.0
+
+    def test_both_trivial(self):
+        assert normalized_mutual_information([0, 0], [3, 3]) == 1.0
+
+
+class TestVI:
+    def test_identical_zero(self):
+        assert variation_of_information(IDENT, RELABELED) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 3, size=40)
+        b = rng.integers(0, 4, size=40)
+        assert variation_of_information(a, b) == pytest.approx(
+            variation_of_information(b, a)
+        )
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 3, size=40)
+        b = rng.integers(0, 3, size=40)
+        c = rng.integers(0, 3, size=40)
+        assert variation_of_information(a, c) <= (
+            variation_of_information(a, b) + variation_of_information(b, c)
+            + 1e-12
+        )
+
+    def test_bounded_by_log_n(self):
+        rng = np.random.default_rng(6)
+        n = 64
+        a = rng.integers(0, n, size=n)
+        b = rng.integers(0, n, size=n)
+        assert variation_of_information(a, b) <= np.log(n) + 1e-9
+
+    def test_refinement_distance(self):
+        """VI between a partition and its refinement equals the entropy
+        added by the refinement."""
+        coarse = np.array([0, 0, 0, 0])
+        fine = np.array([0, 0, 1, 1])
+        assert variation_of_information(coarse, fine) == pytest.approx(
+            np.log(2)
+        )

@@ -1,0 +1,102 @@
+"""Unit tests for pair-counting partition comparison (Table 3 metrics)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.metrics.pairs import PairCounts, compare_partitions, pair_counts
+from repro.utils.errors import ValidationError
+
+
+def brute_force(benchmark, test):
+    """The paper's Θ(n²) pair enumeration, as ground truth."""
+    s = np.asarray(benchmark)
+    p = np.asarray(test)
+    tp = fp = fn = tn = 0
+    for i, j in itertools.combinations(range(s.size), 2):
+        same_s = s[i] == s[j]
+        same_p = p[i] == p[j]
+        if same_s and same_p:
+            tp += 1
+        elif same_p:
+            fp += 1
+        elif same_s:
+            fn += 1
+        else:
+            tn += 1
+    return tp, fp, fn, tn
+
+
+class TestPairCounts:
+    def test_identical_partitions(self):
+        pc = pair_counts([0, 0, 1, 1, 2], [5, 5, 9, 9, 7])
+        assert pc.fp == 0 and pc.fn == 0
+        assert pc.rand_index == 1.0
+        assert pc.overlap_quality == 1.0
+
+    def test_completely_split(self):
+        """Test partition is all singletons: no pairs together in P."""
+        pc = pair_counts([0, 0, 0, 0], [0, 1, 2, 3])
+        assert pc.tp == 0 and pc.fp == 0
+        assert pc.fn == 6
+        assert pc.sensitivity == 0.0
+        assert pc.specificity == 1.0  # vacuous: P claims nothing
+
+    def test_completely_merged(self):
+        pc = pair_counts([0, 1, 2, 3], [0, 0, 0, 0])
+        assert pc.fp == 6 and pc.tp == 0
+        assert pc.specificity == 0.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 40
+        s = rng.integers(0, 5, size=n)
+        p = rng.integers(0, 7, size=n)
+        tp, fp, fn, tn = brute_force(s, p)
+        pc = pair_counts(s, p)
+        assert (pc.tp, pc.fp, pc.fn, pc.tn) == (tp, fp, fn, tn)
+
+    def test_total_pairs(self):
+        pc = pair_counts(np.zeros(10, dtype=np.int64),
+                         np.arange(10))
+        assert pc.total_pairs == 45
+
+    def test_arbitrary_label_values(self):
+        a = np.array([100, 100, -5, -5])
+        b = np.array([0, 0, 1, 1])
+        assert pair_counts(a, b).rand_index == 1.0
+
+    def test_symmetry_of_rand(self):
+        rng = np.random.default_rng(3)
+        s = rng.integers(0, 4, size=30)
+        p = rng.integers(0, 4, size=30)
+        assert pair_counts(s, p).rand_index == pytest.approx(
+            pair_counts(p, s).rand_index
+        )
+
+    def test_empty(self):
+        pc = pair_counts(np.zeros(0, np.int64), np.zeros(0, np.int64))
+        assert pc.rand_index == 1.0
+
+    def test_single_vertex(self):
+        pc = pair_counts([0], [0])
+        assert pc.total_pairs == 0
+        assert pc.rand_index == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            pair_counts([0, 1], [0])
+        with pytest.raises(ValidationError):
+            pair_counts([0.5, 1.0], [0, 1])
+
+    def test_percentages(self):
+        pct = compare_partitions([0, 0, 1, 1], [0, 0, 1, 1])
+        assert pct == {"SP": 100.0, "SE": 100.0, "OQ": 100.0, "Rand": 100.0}
+
+    def test_known_half_overlap(self):
+        # S = {01}{23}, P = {02}{13}: TP=0, FP=2, FN=2, TN=2.
+        pc = pair_counts([0, 0, 1, 1], [0, 1, 0, 1])
+        assert (pc.tp, pc.fp, pc.fn, pc.tn) == (0, 2, 2, 2)
+        assert pc.rand_index == pytest.approx(2 / 6)

@@ -1,0 +1,58 @@
+"""Unit tests for performance profiles (Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.profiles import performance_profile
+from repro.utils.errors import ValidationError
+
+
+VALUES = {
+    "fast": {"a": 1.0, "b": 2.0, "c": 1.0},
+    "slow": {"a": 2.0, "b": 2.0, "c": 4.0},
+}
+
+
+class TestPerformanceProfile:
+    def test_runtime_profile(self):
+        profiles = performance_profile(VALUES, better="min")
+        fast = profiles["fast"]
+        slow = profiles["slow"]
+        np.testing.assert_allclose(fast.ratios, [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(slow.ratios, [1.0, 2.0, 4.0])
+        assert fast.fraction_within(1.0) == 1.0
+        assert slow.fraction_within(1.0) == pytest.approx(1 / 3)
+        assert slow.fraction_within(2.0) == pytest.approx(2 / 3)
+
+    def test_modularity_profile(self):
+        values = {
+            "good": {"a": 0.9, "b": 0.8},
+            "bad": {"a": 0.45, "b": 0.8},
+        }
+        profiles = performance_profile(values, better="max")
+        np.testing.assert_allclose(profiles["good"].ratios, [1.0, 1.0])
+        np.testing.assert_allclose(profiles["bad"].ratios, [1.0, 2.0])
+
+    def test_curve_shape(self):
+        profiles = performance_profile(VALUES, better="min")
+        x, y = profiles["slow"].curve()
+        assert x.shape == y.shape == (3,)
+        assert y[-1] == 1.0
+        assert (np.diff(x) >= 0).all()
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            performance_profile(
+                {"a": {"x": 1.0}, "b": {"y": 1.0}}, better="min"
+            )
+
+    def test_bad_better(self):
+        with pytest.raises(ValidationError):
+            performance_profile(VALUES, better="median")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError):
+            performance_profile({"s": {"a": 0.0}}, better="min")
+
+    def test_empty(self):
+        assert performance_profile({}, better="min") == {}

@@ -1,0 +1,135 @@
+"""Unit tests for partitioners, backends, and the atomic emulation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import rmat, star_graph
+from repro.parallel.atomic import ThreadLocalAccumulator
+from repro.parallel.backends import SerialBackend, ThreadBackend, make_backend
+from repro.parallel.chunking import block_partition, edge_balanced_partition
+from repro.utils.errors import ValidationError
+
+
+class TestBlockPartition:
+    def test_covers_all_exactly_once(self):
+        verts = np.arange(100)
+        chunks = block_partition(verts, 7)
+        merged = np.concatenate(chunks)
+        np.testing.assert_array_equal(merged, verts)
+
+    def test_near_equal_sizes(self):
+        chunks = block_partition(np.arange(100), 4)
+        assert all(len(c) == 25 for c in chunks)
+
+    def test_more_chunks_than_items(self):
+        chunks = block_partition(np.arange(3), 10)
+        assert len(chunks) == 3
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_empty(self):
+        assert block_partition(np.zeros(0, dtype=np.int64), 4) == []
+
+    def test_bad_count(self):
+        with pytest.raises(ValidationError):
+            block_partition(np.arange(3), 0)
+
+
+class TestEdgeBalancedPartition:
+    def test_covers_all_exactly_once(self):
+        g = rmat(8, 8, seed=1)
+        verts = np.arange(g.num_vertices)
+        chunks = edge_balanced_partition(verts, g.indptr, 6)
+        np.testing.assert_array_equal(np.concatenate(chunks), verts)
+
+    def test_balances_skewed_degrees(self):
+        """On a star, block split puts all edge work in the hub chunk;
+        edge-balanced split isolates the hub."""
+        g = star_graph(99)  # hub 0 degree 99, leaves degree 1
+        verts = np.arange(100)
+        chunks = edge_balanced_partition(verts, g.indptr, 2)
+        work = [int(g.unweighted_degrees[c].sum()) for c in chunks]
+        assert max(work) <= 100  # hub alone ~99, rest ~99
+
+    def test_subset_vertices(self):
+        g = rmat(7, 4, seed=2)
+        subset = np.arange(0, g.num_vertices, 3)
+        chunks = edge_balanced_partition(subset, g.indptr, 4)
+        np.testing.assert_array_equal(np.concatenate(chunks), subset)
+
+    def test_empty_and_validation(self):
+        g = star_graph(3)
+        assert edge_balanced_partition(np.zeros(0, np.int64), g.indptr, 2) == []
+        with pytest.raises(ValidationError):
+            edge_balanced_partition(np.arange(2), g.indptr, 0)
+
+
+class TestBackends:
+    def test_serial_map(self):
+        assert SerialBackend().map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_thread_map_order_preserved(self):
+        with ThreadBackend(4) as tb:
+            out = tb.map(lambda x: x * x, list(range(20)))
+        assert out == [x * x for x in range(20)]
+
+    def test_thread_pool_reused_and_closed(self):
+        tb = ThreadBackend(2)
+        tb.map(lambda x: x, [1, 2])
+        pool = tb._pool
+        tb.map(lambda x: x, [3, 4])
+        assert tb._pool is pool
+        tb.close()
+        assert tb._pool is None
+        tb.close()  # idempotent
+
+    def test_single_item_shortcut(self):
+        tb = ThreadBackend(4)
+        assert tb.map(lambda x: x + 1, [41]) == [42]
+        assert tb._pool is None  # no pool spun up for one item
+        tb.close()
+
+    def test_factory(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        backend = make_backend("threads", 3)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.num_workers == 3
+        with pytest.raises(ValidationError):
+            make_backend("mpi")
+        with pytest.raises(ValidationError):
+            ThreadBackend(0)
+
+
+class TestAtomicEmulation:
+    def test_reduce_matches_sequential(self):
+        acc = ThreadLocalAccumulator(5, num_workers=3)
+        acc.add(0, [0, 1, 1], [1.0, 2.0, 3.0])
+        acc.add(1, [1, 4], [10.0, 4.0])
+        acc.add(2, [0], [0.5])
+        assert acc.reduce().tolist() == [1.5, 15.0, 0.0, 0.0, 4.0]
+
+    def test_order_invariance(self):
+        """Any assignment of updates to workers reduces identically —
+        the determinism property replacing real atomics."""
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 10, size=100)
+        vals = rng.random(100)
+        a = ThreadLocalAccumulator(10, num_workers=1)
+        a.add(0, idx, vals)
+        b = ThreadLocalAccumulator(10, num_workers=4)
+        for w in range(4):
+            sel = slice(w * 25, (w + 1) * 25)
+            b.add(w, idx[sel], vals[sel])
+        np.testing.assert_allclose(a.reduce(), b.reduce())
+
+    def test_reset(self):
+        acc = ThreadLocalAccumulator(3, num_workers=2)
+        acc.add(0, [0], [1.0])
+        acc.reset()
+        assert acc.reduce().tolist() == [0.0, 0.0, 0.0]
+
+    def test_bad_worker(self):
+        acc = ThreadLocalAccumulator(3, num_workers=2)
+        with pytest.raises(ValidationError):
+            acc.add(2, [0], [1.0])
+        with pytest.raises(ValidationError):
+            ThreadLocalAccumulator(3, num_workers=0)

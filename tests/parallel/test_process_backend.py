@@ -1,0 +1,123 @@
+"""Tests for the fork + shared-memory process backend (real parallelism)."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.core.sweep import compute_targets, init_state
+from repro.parallel.backends import make_backend
+from repro.parallel.process_backend import ProcessBackend
+from repro.utils.errors import ValidationError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+
+class TestSweepIdentity:
+    def test_targets_match_serial(self, planted):
+        state = init_state(planted)
+        verts = np.arange(planted.num_vertices, dtype=np.int64)
+        serial = compute_targets(planted, state, verts)
+        backend = ProcessBackend(2)
+        try:
+            parallel = compute_targets(planted, state, verts, backend=backend)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_targets_match_over_iterations(self, planted):
+        from repro.core.sweep import apply_moves
+
+        s_serial = init_state(planted)
+        s_proc = init_state(planted)
+        verts = np.arange(planted.num_vertices, dtype=np.int64)
+        backend = ProcessBackend(2)
+        try:
+            for _ in range(3):
+                a = compute_targets(planted, s_serial, verts)
+                b = compute_targets(planted, s_proc, verts, backend=backend)
+                np.testing.assert_array_equal(a, b)
+                apply_moves(planted, s_serial, verts, a)
+                apply_moves(planted, s_proc, verts, b)
+        finally:
+            backend.close()
+
+    def test_subset_and_resolution(self, planted):
+        state = init_state(planted)
+        subset = np.arange(0, planted.num_vertices, 3, dtype=np.int64)
+        backend = ProcessBackend(2)
+        try:
+            a = compute_targets(planted, state, subset, resolution=2.0)
+            b = compute_targets(planted, state, subset, backend=backend,
+                                resolution=2.0)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFullPipeline:
+    def test_driver_identity(self, planted):
+        serial = louvain(planted, variant="baseline")
+        proc = louvain(planted, variant="baseline", backend="processes",
+                       num_threads=2)
+        np.testing.assert_array_equal(serial.communities, proc.communities)
+
+    def test_driver_with_coloring(self, planted):
+        cutoff = max(16, planted.num_vertices // 8)
+        serial = louvain(planted, variant="baseline+VF+Color",
+                         coloring_min_vertices=cutoff)
+        proc = louvain(planted, variant="baseline+VF+Color",
+                       coloring_min_vertices=cutoff,
+                       backend="processes", num_threads=2)
+        np.testing.assert_array_equal(serial.communities, proc.communities)
+
+
+class TestLifecycle:
+    def test_factory(self):
+        backend = make_backend("processes", 2)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.num_workers == 2
+        backend.close()
+
+    def test_default_worker_count(self):
+        backend = ProcessBackend()
+        assert backend.num_workers >= 1
+        backend.close()
+
+    def test_single_worker_inline(self, planted):
+        backend = ProcessBackend(1)
+        try:
+            state = init_state(planted)
+            verts = np.arange(planted.num_vertices, dtype=np.int64)
+            out = backend.sweep_targets(planted, state, verts,
+                                        use_min_label=True, resolution=1.0)
+            np.testing.assert_array_equal(
+                out, compute_targets(planted, state, verts)
+            )
+            assert backend._executors == {}  # never forked
+        finally:
+            backend.close()
+
+    def test_close_idempotent(self, planted):
+        backend = ProcessBackend(2)
+        state = init_state(planted)
+        verts = np.arange(planted.num_vertices, dtype=np.int64)
+        backend.sweep_targets(planted, state, verts, use_min_label=True,
+                              resolution=1.0)
+        backend.close()
+        backend.close()
+
+    def test_map_runs_inline(self):
+        backend = ProcessBackend(2)
+        try:
+            assert backend.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        finally:
+            backend.close()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ProcessBackend(0)

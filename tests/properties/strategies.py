@@ -1,0 +1,60 @@
+"""Shared hypothesis strategies: random undirected weighted graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def graphs(
+    draw,
+    min_vertices: int = 1,
+    max_vertices: int = 24,
+    max_extra_edges: int = 40,
+    weighted: bool = True,
+    allow_self_loops: bool = True,
+):
+    """Random small graphs: a random subset of possible edges, optional
+    self-loops, strictly positive (optionally non-unit) weights."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    possible: list[tuple[int, int]] = [
+        (i, j) for i in range(n) for j in range(i + 1, n)
+    ]
+    if allow_self_loops:
+        possible += [(i, i) for i in range(n)]
+    if not possible:
+        return CSRGraph.empty(n)
+    count = draw(st.integers(0, min(len(possible), max_extra_edges)))
+    picked = draw(
+        st.lists(
+            st.sampled_from(possible), min_size=count, max_size=count,
+            unique=True,
+        )
+    )
+    if not picked:
+        return CSRGraph.empty(n)
+    if weighted:
+        weights = draw(
+            st.lists(
+                st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False),
+                min_size=len(picked), max_size=len(picked),
+            )
+        )
+    else:
+        weights = [1.0] * len(picked)
+    return CSRGraph.from_edges(n, np.asarray(picked, dtype=np.int64),
+                               np.asarray(weights))
+
+
+@st.composite
+def graphs_with_assignments(draw, **kwargs):
+    """A graph plus a random community assignment with labels in [0, n)."""
+    g = draw(graphs(**kwargs))
+    n = g.num_vertices
+    comm = draw(
+        st.lists(st.integers(0, max(0, n - 1)), min_size=n, max_size=n)
+    )
+    return g, np.asarray(comm, dtype=np.int64)

@@ -1,0 +1,83 @@
+"""Property-based tests for the analysis layer's accounting identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.communities import community_stats, summarize_partition
+from repro.core.modularity import modularity
+
+from tests.properties.strategies import graphs_with_assignments
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestAccountingIdentities:
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_weight_conservation(self, gc):
+        """Σ internal + Σ cut/2 accounts every edge once at full weight.
+
+        That total equals m + W_self/2 under this package's convention
+        (a self-loop contributes w/2 to m but w to its community's
+        internal weight).
+        """
+        g, comm = gc
+        stats = community_stats(g, comm)
+        total = sum(s.internal_weight for s in stats) + sum(
+            s.cut_weight for s in stats
+        ) / 2.0
+        w_self = float(g.self_loop_weights().sum())
+        assert total == pytest.approx(g.total_weight + w_self / 2.0,
+                                      abs=1e-9)
+
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_volume_decomposition(self, gc):
+        """vol(C) splits into internal (x2 for non-self) and cut weight.
+
+        With self-loops counted once in degrees, the identity is
+        vol(C) = 2*W_in(C) - W_self(C) + W_cut(C); we check the looser
+        conservation Σ vol = 2m plus per-community non-negativity.
+        """
+        g, comm = gc
+        stats = community_stats(g, comm)
+        assert sum(s.volume for s in stats) == pytest.approx(
+            2 * g.total_weight, abs=1e-9
+        )
+        for s in stats:
+            assert s.internal_weight >= 0
+            assert s.cut_weight >= 0
+
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_conductance_bounds(self, gc):
+        g, comm = gc
+        for s in community_stats(g, comm):
+            assert 0.0 <= s.conductance <= 1.0 + 1e-9
+
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_summary_consistency(self, gc):
+        g, comm = gc
+        summary = summarize_partition(g, comm)
+        assert 0.0 <= summary.coverage <= 1.0
+        assert 0.0 <= summary.mixing_parameter <= 1.0 + 1e-9
+        if g.total_weight > 0:
+            assert summary.modularity == pytest.approx(
+                modularity(g, comm), abs=1e-9
+            )
+        assert summary.size_min <= summary.size_median <= summary.size_max
+
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_coverage_complements_mixing_weighted(self, gc):
+        """Degree-weighted mean mixing == 1 - coverage (self-loops intra)."""
+        g, comm = gc
+        if g.total_weight <= 0:
+            return
+        summary = summarize_partition(g, comm)
+        row_of = g.row_of_entry()
+        inter = comm[row_of] != comm[g.indices]
+        inter_frac = float(g.weights[inter].sum()) / float(g.weights.sum())
+        assert summary.coverage == pytest.approx(1.0 - inter_frac, abs=1e-9)

@@ -1,0 +1,199 @@
+"""Property-based tests of the core mathematical invariants.
+
+These are the identities DESIGN.md §4 commits to: the Eq. 4 gain identity,
+coarsening exactness, coloring validity, kernel equivalence, serial
+monotonicity, and pair-metric consistency — each checked over randomly
+generated weighted graphs with self-loops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gain import delta_q_vertex
+from repro.core.louvain_serial import serial_iteration
+from repro.core.modularity import community_degrees, modularity
+from repro.core.sweep import (
+    apply_moves,
+    compute_targets_reference,
+    compute_targets_vectorized,
+    init_state,
+)
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.jones_plassmann import jones_plassmann_coloring
+from repro.coloring.validate import color_set_partition, is_valid_coloring
+from repro.graph.coarsen import coarsen, project_assignment
+from repro.metrics.pairs import pair_counts
+from repro.utils.arrays import renumber_labels
+
+from tests.properties.strategies import graphs, graphs_with_assignments
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+
+class TestGainIdentity:
+    @given(gc=graphs_with_assignments(min_vertices=2), data=st.data())
+    @settings(**SETTINGS)
+    def test_eq4_equals_exact_q_delta(self, gc, data):
+        """Eq. 4 == Q(after) - Q(before) for ANY single move."""
+        g, comm = gc
+        if g.total_weight <= 0:
+            return
+        n = g.num_vertices
+        v = data.draw(st.integers(0, n - 1))
+        target = data.draw(st.integers(0, n - 1))
+        if target == comm[v]:
+            return
+        gain = delta_q_vertex(g, comm, v, target)
+        moved = comm.copy()
+        moved[v] = target
+        exact = modularity(g, moved) - modularity(g, comm)
+        assert gain == pytest.approx(exact, abs=1e-9)
+
+
+class TestModularityBounds:
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_q_at_most_one(self, gc):
+        g, comm = gc
+        assert modularity(g, comm) <= 1.0
+
+    @given(g=graphs(min_vertices=1))
+    @settings(**SETTINGS)
+    def test_single_community_zero(self, g):
+        assert modularity(
+            g, np.zeros(g.num_vertices, dtype=np.int64)
+        ) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCoarsening:
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_total_weight_preserved(self, gc):
+        g, comm = gc
+        assert coarsen(g, comm).graph.total_weight == pytest.approx(
+            g.total_weight
+        )
+
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_degrees_equal_community_degrees(self, gc):
+        g, comm = gc
+        result = coarsen(g, comm)
+        dense, k = renumber_labels(comm)
+        np.testing.assert_allclose(
+            result.graph.degrees, community_degrees(g, dense, k), atol=1e-9
+        )
+
+    @given(gc=graphs_with_assignments(), data=st.data())
+    @settings(**SETTINGS)
+    def test_modularity_invariance(self, gc, data):
+        """Q(coarse partition) == Q(induced fine partition), always."""
+        g, comm = gc
+        result = coarsen(g, comm)
+        k = result.num_communities
+        if k == 0:
+            return
+        meta = np.asarray(
+            data.draw(st.lists(st.integers(0, max(0, k - 1)),
+                               min_size=k, max_size=k)),
+            dtype=np.int64,
+        )
+        fine = project_assignment(result.vertex_to_meta, meta)
+        assert modularity(result.graph, meta) == pytest.approx(
+            modularity(g, fine), abs=1e-9
+        )
+
+    @given(gc=graphs_with_assignments())
+    @settings(**SETTINGS)
+    def test_identity_when_all_singletons(self, gc):
+        g, _ = gc
+        result = coarsen(g, np.arange(g.num_vertices))
+        assert result.graph == g
+
+
+class TestColoring:
+    @given(g=graphs(), seed=st.integers(0, 10))
+    @settings(**SETTINGS)
+    def test_greedy_always_valid(self, g, seed):
+        assert is_valid_coloring(g, greedy_coloring(g, order="random",
+                                                    seed=seed))
+
+    @given(g=graphs(), seed=st.integers(0, 10))
+    @settings(**SETTINGS)
+    def test_jones_plassmann_always_valid(self, g, seed):
+        colors = jones_plassmann_coloring(g, seed=seed)
+        assert is_valid_coloring(g, colors)
+        # Partition covers every vertex exactly once.
+        sets = color_set_partition(colors)
+        if g.num_vertices:
+            merged = np.sort(np.concatenate(sets))
+            np.testing.assert_array_equal(merged, np.arange(g.num_vertices))
+
+
+class TestKernelEquivalence:
+    @given(gc=graphs_with_assignments(), use_ml=st.booleans())
+    @settings(**SETTINGS)
+    def test_vectorized_equals_reference(self, gc, use_ml):
+        g, comm = gc
+        state = init_state(g, comm)
+        verts = np.arange(g.num_vertices, dtype=np.int64)
+        ref = compute_targets_reference(g, state, verts, use_min_label=use_ml)
+        vec = compute_targets_vectorized(g, state, verts, use_min_label=use_ml)
+        np.testing.assert_array_equal(ref, vec)
+
+    @given(gc=graphs_with_assignments())
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_over_multiple_sweeps(self, gc):
+        g, comm = gc
+        s_ref = init_state(g, comm)
+        s_vec = init_state(g, comm)
+        verts = np.arange(g.num_vertices, dtype=np.int64)
+        for _ in range(3):
+            t_ref = compute_targets_reference(g, s_ref, verts)
+            t_vec = compute_targets_vectorized(g, s_vec, verts)
+            np.testing.assert_array_equal(t_ref, t_vec)
+            apply_moves(g, s_ref, verts, t_ref)
+            apply_moves(g, s_vec, verts, t_vec)
+
+
+class TestSerialMonotonicity:
+    @given(g=graphs(min_vertices=2))
+    @settings(max_examples=40, deadline=None)
+    def test_never_decreases(self, g):
+        state = init_state(g)
+        order = np.arange(g.num_vertices, dtype=np.int64)
+        q = modularity(g, state.comm)
+        for _ in range(4):
+            moved = serial_iteration(g, state, order)
+            q_new = modularity(g, state.comm)
+            assert q_new >= q - 1e-9
+            q = q_new
+            if moved == 0:
+                break
+
+
+class TestPairMetrics:
+    @given(
+        labels=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            min_size=0, max_size=30,
+        )
+    )
+    @settings(**SETTINGS)
+    def test_bins_partition_all_pairs(self, labels):
+        s = np.asarray([a for a, _ in labels], dtype=np.int64)
+        p = np.asarray([b for _, b in labels], dtype=np.int64)
+        pc = pair_counts(s, p)
+        n = len(labels)
+        assert pc.total_pairs == n * (n - 1) / 2
+        for value in (pc.tp, pc.fp, pc.fn, pc.tn):
+            assert value >= 0
+
+    @given(labels=st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    @settings(**SETTINGS)
+    def test_self_comparison_perfect(self, labels):
+        arr = np.asarray(labels, dtype=np.int64)
+        pc = pair_counts(arr, arr)
+        assert pc.rand_index == 1.0
+        assert pc.fp == 0 and pc.fn == 0

@@ -1,0 +1,116 @@
+"""Property-based round-trip and consistency tests: file formats, dynamic
+graphs, and the coarsen/dendrogram composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic.dynamic_graph import DynamicGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.io import (
+    load_csrz,
+    read_edge_list,
+    read_matrix_market,
+    read_metis,
+    save_csrz,
+    write_edge_list,
+    write_matrix_market,
+    write_metis,
+)
+
+from tests.properties.strategies import graphs
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestFormatRoundTrips:
+    @given(g=graphs())
+    @settings(**SETTINGS)
+    def test_edge_list(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path, num_vertices=g.num_vertices) == g
+
+    @given(g=graphs())
+    @settings(**SETTINGS)
+    def test_metis(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.metis"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    @given(g=graphs())
+    @settings(**SETTINGS)
+    def test_matrix_market(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path) == g
+
+    @given(g=graphs())
+    @settings(**SETTINGS)
+    def test_csrz(self, g, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "g.npz"
+        save_csrz(g, path)
+        assert load_csrz(path) == g
+
+    @given(g=graphs())
+    @settings(**SETTINGS)
+    def test_scipy(self, g):
+        assert CSRGraph.from_scipy(g.to_scipy()) == g
+
+    @given(g=graphs())
+    @settings(**SETTINGS)
+    def test_networkx(self, g):
+        assert CSRGraph.from_networkx(g.to_networkx()) == g
+
+
+class TestDynamicGraphConsistency:
+    @given(
+        g=graphs(min_vertices=2, max_vertices=12, max_extra_edges=15),
+        ops=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11),
+                      st.floats(0.1, 5.0)),
+            max_size=20,
+        ),
+    )
+    @settings(**SETTINGS)
+    def test_mutation_sequence_matches_rebuild(self, g, ops):
+        """After any mutation sequence, the snapshot equals a graph built
+        from scratch with the same final edge set."""
+        dyn = DynamicGraph.from_csr(g)
+        mirror = {}
+        u_arr, v_arr, w_arr = g.edge_arrays()
+        for a, b, c in zip(u_arr.tolist(), v_arr.tolist(), w_arr.tolist()):
+            mirror[(a, b)] = c
+        n = g.num_vertices
+        for u, v, w in ops:
+            u %= n
+            v %= n
+            key = (min(u, v), max(u, v))
+            if key in mirror:
+                dyn.remove_edge(u, v)
+                del mirror[key]
+            else:
+                dyn.add_edge(u, v, w)
+                mirror[key] = w
+        snap = dyn.snapshot()
+        if mirror:
+            pairs = np.asarray(list(mirror.keys()), dtype=np.int64)
+            weights = np.asarray(list(mirror.values()))
+            rebuilt = CSRGraph.from_edges(n, pairs, weights)
+        else:
+            rebuilt = CSRGraph.empty(n)
+        assert snap == rebuilt
+
+
+class TestWarmStartProperty:
+    @given(g=graphs(min_vertices=3, max_vertices=16, max_extra_edges=30))
+    @settings(max_examples=20, deadline=None)
+    def test_warm_start_from_own_output_cannot_regress(self, g):
+        """Feeding a result back as C_init never lowers modularity."""
+        from repro.core.driver import louvain
+
+        if g.total_weight <= 0:
+            return
+        cold = louvain(g)
+        warm = louvain(g, initial_communities=cold.communities)
+        assert warm.modularity >= cold.modularity - 1e-9

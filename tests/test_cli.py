@@ -1,0 +1,172 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import write_edge_list, write_metis, save_csrz
+from repro.graph.generators import karate_club
+
+
+@pytest.fixture
+def karate_file(tmp_path):
+    path = tmp_path / "karate.txt"
+    write_edge_list(karate_club(), path)
+    return str(path)
+
+
+class TestDetect:
+    def test_detect_dataset(self, capsys):
+        assert main(["detect", "--dataset", "MG1", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "modularity:" in out
+        assert "communities:" in out
+
+    def test_detect_file(self, karate_file, capsys):
+        assert main(["detect", karate_file, "--variant", "baseline"]) == 0
+        assert "modularity:" in capsys.readouterr().out
+
+    def test_detect_serial(self, karate_file, capsys):
+        assert main(["detect", karate_file, "--variant", "serial"]) == 0
+        assert "serial" in capsys.readouterr().out
+
+    def test_detect_output_file(self, karate_file, tmp_path, capsys):
+        out_file = tmp_path / "comm.txt"
+        assert main(["detect", karate_file, "--output", str(out_file)]) == 0
+        comm = np.loadtxt(out_file, dtype=np.int64)
+        assert comm.shape == (34,)
+
+    def test_detect_threads(self, karate_file, capsys):
+        assert main(["detect", karate_file, "--backend", "threads",
+                     "--threads", "2"]) == 0
+
+    def test_detect_metis_and_csrz(self, tmp_path, capsys):
+        metis = tmp_path / "k.metis"
+        write_metis(karate_club(), metis)
+        assert main(["detect", str(metis)]) == 0
+        csrz = tmp_path / "k.csrz.npz"
+        save_csrz(karate_club(), csrz)
+        assert main(["detect", str(csrz), "--format", "csrz"]) == 0
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            main(["detect"])
+
+
+class TestStats:
+    def test_stats_file(self, karate_file, capsys):
+        assert main(["stats", karate_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:" in out and "34" in out
+        assert "degree RSD:" in out
+
+    def test_stats_dataset(self, capsys):
+        assert main(["stats", "--dataset", "Channel", "--scale", "0.3"]) == 0
+        assert "single-degree count:  0" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_list(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CNR", "friendster", "MG2"):
+            assert name in out
+
+    def test_verbose(self, capsys):
+        assert main(["datasets", "-v"]) == 0
+        assert "LFR" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_with_detection(self, karate_file, capsys):
+        assert main(["analyze", karate_file, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "detected with baseline+VF+Color" in out
+        assert "coverage:" in out
+        assert "hubs" in out
+
+    def test_analyze_given_assignment(self, karate_file, tmp_path, capsys):
+        comm = tmp_path / "comm.txt"
+        main(["detect", karate_file, "--output", str(comm)])
+        capsys.readouterr()
+        assert main(["analyze", karate_file, "--communities",
+                     str(comm)]) == 0
+        out = capsys.readouterr().out
+        assert "detected" not in out  # no re-detection
+        assert "modularity:" in out
+
+    def test_analyze_length_mismatch(self, karate_file, tmp_path):
+        bad = tmp_path / "bad.txt"
+        np.savetxt(bad, np.zeros(3), fmt="%d")
+        with pytest.raises(SystemExit):
+            main(["analyze", karate_file, "--communities", str(bad)])
+
+
+class TestCompare:
+    def test_identical_assignments(self, tmp_path, capsys):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        np.savetxt(a, np.array([0, 0, 1, 1]), fmt="%d")
+        np.savetxt(b, np.array([5, 5, 9, 9]), fmt="%d")
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "Rand index:        100.00%" in out
+        assert "adjusted Rand:     1.0000" in out
+
+    def test_serial_vs_parallel_flow(self, karate_file, tmp_path, capsys):
+        ser = tmp_path / "serial.txt"
+        par = tmp_path / "parallel.txt"
+        main(["detect", karate_file, "--variant", "serial",
+              "--output", str(ser)])
+        main(["detect", karate_file, "--variant", "baseline",
+              "--output", str(par)])
+        assert main(["compare", str(ser), str(par)]) == 0
+        assert "NMI:" in capsys.readouterr().out
+
+    def test_length_mismatch(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        np.savetxt(a, np.array([0, 1]), fmt="%d")
+        np.savetxt(b, np.array([0, 1, 2]), fmt="%d")
+        with pytest.raises(SystemExit):
+            main(["compare", str(a), str(b)])
+
+
+class TestConvert:
+    @pytest.mark.parametrize("suffix,fmt", [
+        ("metis", "metis"), ("mtx", "mtx"), ("csrz.npz", "csrz"),
+    ])
+    def test_roundtrip_via_convert(self, karate_file, tmp_path, suffix, fmt,
+                                   capsys):
+        out = tmp_path / f"k.{suffix}"
+        assert main(["convert", karate_file, str(out)]) == 0
+        back = tmp_path / "back.txt"
+        assert main(["convert", str(out), str(back),
+                     "--input-format", fmt]) == 0
+        from repro.graph.io import read_edge_list
+
+        assert read_edge_list(back) == karate_club()
+
+
+class TestBench:
+    def test_list_experiments(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("table1", "table2", "fig7", "fig10"):
+            assert eid in out
+
+    def test_run_table1(self, capsys):
+        assert main(["bench", "table1", "--scale", "0.3"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        from repro.utils.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["bench", "fig99"])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

@@ -1,0 +1,85 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are the public face of the library; a broken one is a bug.  Each
+is executed in-process (``runpy``) with its stdout captured; the
+parameterizable ones are pointed at smaller inputs to keep the suite
+quick.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: "list[str] | None" = None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "karate" in out
+        assert "recovery vs ground truth" in out
+
+    def test_social_network_analysis(self, capsys):
+        run_example("social_network_analysis.py")
+        out = capsys.readouterr().out
+        assert "overlap quality" in out
+        assert "simulated runtime breakdown" in out
+
+    def test_metagenomics_clustering(self, capsys):
+        run_example("metagenomics_clustering.py")
+        out = capsys.readouterr().out
+        assert "dendrogram" in out
+        assert "family sizes" in out
+
+    def test_road_network_vf(self, capsys):
+        run_example("road_network_vf.py")
+        out = capsys.readouterr().out
+        assert "chain compression" in out
+        assert "baseline+VF+Color" in out
+
+    def test_scaling_study_small_input(self, capsys):
+        run_example("scaling_study.py", ["NLPKKT240"])
+        out = capsys.readouterr().out
+        assert "rel speedup" in out
+
+    def test_comparing_algorithms_small_input(self, capsys):
+        run_example("comparing_algorithms.py", ["MG1"])
+        out = capsys.readouterr().out
+        assert "Grappolo" in out
+        assert "CNM" in out
+
+    def test_streaming_communities(self, capsys):
+        run_example("streaming_communities.py")
+        out = capsys.readouterr().out
+        assert "fewer iterations warm" in out
+        assert "Rand vs truth" in out
+
+    def test_community_analysis_small_input(self, capsys):
+        run_example("community_analysis.py", ["MG1"])
+        out = capsys.readouterr().out
+        assert "consensus over" in out
+        assert "resolution scan" in out
+
+    def test_resolution_limit(self, capsys):
+        run_example("resolution_limit.py")
+        out = capsys.readouterr().out
+        assert "resolution limit" in out
+        assert "yes" in out  # some gamma resolves every clique
+
+    @pytest.mark.slow
+    def test_distributed_memory_small_input(self, capsys):
+        run_example("distributed_memory.py", ["NLPKKT240"])
+        out = capsys.readouterr().out
+        assert "identical" in out

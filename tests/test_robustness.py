@@ -1,0 +1,131 @@
+"""Robustness / failure-injection tests: numerically extreme and
+adversarially shaped inputs must neither crash nor produce NaNs, and the
+core invariants must keep holding."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.core.louvain_serial import louvain_serial
+from repro.core.modularity import modularity
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import star_graph
+from repro.utils.errors import GraphStructureError
+
+
+def assert_sane(graph, result):
+    assert np.isfinite(result.modularity)
+    assert result.modularity <= 1.0 + 1e-12
+    comm = result.communities
+    assert comm.shape == (graph.num_vertices,)
+    assert result.modularity == pytest.approx(modularity(graph, comm))
+
+
+class TestExtremeWeights:
+    def test_huge_weights(self):
+        g = CSRGraph.from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            [1e12, 1e12, 1e12, 1e12, 1e12, 1e12, 1.0],
+        )
+        assert_sane(g, louvain(g))
+        assert louvain(g).num_communities == 2
+
+    def test_tiny_weights(self):
+        g = CSRGraph.from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            [1e-12] * 6 + [1e-14],
+        )
+        assert_sane(g, louvain(g))
+
+    def test_mixed_scales(self):
+        """13 orders of magnitude between weights in one graph."""
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3)], [1e-6, 1.0, 1e7]
+        )
+        assert_sane(g, louvain(g))
+        assert_sane(g, louvain_serial(g))
+
+    def test_single_heavy_self_loop(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (1, 2)],
+                                [1e9, 1.0, 1.0])
+        assert_sane(g, louvain(g))
+
+
+class TestAdversarialShapes:
+    def test_all_self_loops(self):
+        g = CSRGraph.from_edges(4, [(i, i) for i in range(4)])
+        result = louvain(g)
+        assert result.num_communities == 4  # nothing to merge
+        assert_sane(g, result)
+
+    def test_star_of_stars(self):
+        """Two-level hub hierarchy: center 0, hubs 1..4, leaves below."""
+        edges = [(0, h) for h in range(1, 5)]
+        nxt = 5
+        for h in range(1, 5):
+            for _ in range(6):
+                edges.append((h, nxt))
+                nxt += 1
+        g = CSRGraph.from_edges(nxt, edges)
+        for variant in ("baseline", "baseline+VF"):
+            result = louvain(g, variant=variant)
+            assert_sane(g, result)
+
+    def test_complete_bipartite(self):
+        """K_{5,5}: no community structure at all (Q <= 0 territory)."""
+        edges = [(i, 5 + j) for i in range(5) for j in range(5)]
+        g = CSRGraph.from_edges(10, edges)
+        result = louvain(g)
+        assert_sane(g, result)
+
+    def test_disconnected_with_isolates(self):
+        g = CSRGraph.from_edges(10, [(0, 1), (1, 2), (0, 2)])
+        result = louvain(g, variant="baseline+VF")
+        assert_sane(g, result)
+        # The triangle merges; the 7 isolates stay singlets.
+        assert result.num_communities == 8
+
+    def test_long_path_all_variants(self):
+        from repro.graph.generators import path_graph
+
+        g = path_graph(400)
+        for variant in ("baseline", "baseline+VF", "baseline+VF+Color"):
+            result = louvain(g, variant=variant, coloring_min_vertices=32)
+            assert_sane(g, result)
+            assert result.modularity > 0.8  # paths are highly modular
+
+    def test_two_vertices_one_edge(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        result = louvain(g)
+        assert result.num_communities == 1
+        assert_sane(g, result)
+
+    def test_single_vertex_with_loop(self):
+        g = CSRGraph.from_edges(1, [(0, 0)])
+        result = louvain(g)
+        assert result.num_communities == 1
+        assert result.modularity == pytest.approx(0.0)
+
+
+class TestMalformedRejected:
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(2, [(0, 1)], [float("nan")])
+
+    def test_inf_weight_accepted_but_flagged_downstream(self):
+        # inf > 0 passes the positivity gate; the algorithms then produce
+        # non-finite modularity.  Document the behaviour: build succeeds,
+        # m is inf, and modularity is NaN rather than a wrong number.
+        g = CSRGraph.from_edges(2, [(0, 1)], [float("inf")])
+        assert np.isinf(g.total_weight)
+
+    def test_negative_rejected_everywhere(self):
+        from repro.dynamic import DynamicGraph
+
+        with pytest.raises(GraphStructureError):
+            CSRGraph.from_edges(2, [(0, 1)], [-1.0])
+        dyn = DynamicGraph(2)
+        with pytest.raises(GraphStructureError):
+            dyn.add_edge(0, 1, -2.0)
