@@ -88,6 +88,21 @@ class LouvainConfig:
     kernel:
         Sweep kernel: ``"vectorized"`` (NumPy segmented reductions, default)
         or ``"reference"`` (pure-Python, used for differential testing).
+    aggregation:
+        e_{v→C} aggregation path of the vectorized kernel: ``"auto"``
+        (default: pick per sweep), ``"bincount"``/``"matmul"`` (the O(E)
+        paths) or ``"sort"`` (the argsort path, the differential-testing
+        baseline).  See :mod:`repro.core.workspace`.
+    prune:
+        Frontier pruning: after each sweep only vertices adjacent to a
+        mover (plus the movers) are re-evaluated; a pruned fixed point is
+        verified with one full sweep, so the converged partition is a
+        genuine full-sweep fixed point.  Disable to sweep every vertex
+        every iteration.
+    incremental_modularity:
+        Track per-iteration modularity from the per-sweep deltas (O(edges
+        touched by movers)) instead of an O(M) recount per iteration; the
+        phase-boundary exact recount runs either way as a drift guard.
     backend:
         ``"serial"``, ``"threads"`` (chunked thread pool; partial overlap
         only, NumPy releases the GIL inside array ops) or ``"processes"``
@@ -120,6 +135,9 @@ class LouvainConfig:
     balanced_coloring: bool = False
     use_min_label: bool = True
     kernel: str = "vectorized"
+    aggregation: str = "auto"
+    prune: bool = True
+    incremental_modularity: bool = True
     backend: str = "serial"
     num_threads: int = 4
     max_phases: int = 32
@@ -132,6 +150,8 @@ class LouvainConfig:
             raise ValidationError("thresholds must be positive")
         if self.kernel not in ("vectorized", "reference"):
             raise ValidationError(f"unknown kernel {self.kernel!r}")
+        if self.aggregation not in ("auto", "sort", "bincount", "matmul"):
+            raise ValidationError(f"unknown aggregation {self.aggregation!r}")
         if self.backend not in ("serial", "threads", "processes"):
             raise ValidationError(f"unknown backend {self.backend!r}")
         if self.distance_k < 1:

@@ -37,6 +37,7 @@ from repro.core.dendrogram import Dendrogram
 from repro.core.history import ConvergenceHistory, PhaseRecord
 from repro.core.phase import run_phase, state_modularity
 from repro.core.sweep import init_state
+from repro.core.workspace import SweepWorkspace
 from repro.core.vf import VFResult, chain_compress, vf_merge
 from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
@@ -242,6 +243,12 @@ def louvain(
             state = init_state(
                 current, warm_start if phase_index == 0 else None
             )
+            # One workspace per phase: gather plans and scratch buffers are
+            # graph-bound, and each phase runs on a new coarsened graph.
+            workspace = (
+                SweepWorkspace(current, aggregation=cfg.aggregation)
+                if cfg.kernel == "vectorized" else None
+            )
             with timers.step("clustering"):
                 outcome = run_phase(
                     current,
@@ -254,6 +261,10 @@ def louvain(
                     backend=backend,
                     max_iterations=cfg.max_iterations_per_phase,
                     resolution=cfg.resolution,
+                    workspace=workspace,
+                    aggregation=cfg.aggregation,
+                    prune=cfg.prune,
+                    incremental=cfg.incremental_modularity,
                 )
             history.iterations.extend(outcome.records)
 

@@ -27,6 +27,15 @@ class IterationRecord:
     uncolored iteration is a single "set" covering every vertex.  Edges are
     counted as CSR entries scanned (each undirected edge twice), matching
     the per-iteration O(M) cost the paper analyzes in §5.6.
+
+    With frontier pruning (:func:`repro.core.phase.run_phase`) an iteration
+    only re-evaluates vertices adjacent to the previous iteration's movers;
+    ``active_vertices``/``active_edges`` record the work *actually done*
+    (``None`` on records produced before pruning existed, meaning "all of
+    it"), while the ``color_set_*`` tuples keep the full set sizes so the
+    sweep structure stays visible.  ``aggregation`` names the e_{v→C}
+    aggregation path the iteration used (``"sort"``, ``"bincount"``,
+    ``"matmul"``; empty for the reference kernel).
     """
 
     phase: int
@@ -36,6 +45,12 @@ class IterationRecord:
     num_communities: int
     color_set_vertices: tuple[int, ...]
     color_set_edges: tuple[int, ...]
+    #: Vertices actually re-evaluated this iteration (None = all).
+    active_vertices: "int | None" = None
+    #: CSR entries actually scanned this iteration (None = all).
+    active_edges: "int | None" = None
+    #: e_{v→C} aggregation path used ("" when not applicable).
+    aggregation: str = ""
 
     @property
     def edges_scanned(self) -> int:
@@ -44,6 +59,22 @@ class IterationRecord:
     @property
     def vertices_scanned(self) -> int:
         return int(sum(self.color_set_vertices))
+
+    @property
+    def active_vertex_fraction(self) -> float:
+        """Share of the sweepable vertices this iteration re-evaluated."""
+        total = self.vertices_scanned
+        if self.active_vertices is None or total == 0:
+            return 1.0
+        return self.active_vertices / total
+
+    @property
+    def active_edge_fraction(self) -> float:
+        """Share of the scannable CSR entries this iteration touched."""
+        total = self.edges_scanned
+        if self.active_edges is None or total == 0:
+            return 1.0
+        return self.active_edges / total
 
 
 @dataclass(frozen=True)

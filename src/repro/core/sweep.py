@@ -30,10 +30,14 @@ Kernels
 ``compute_targets_reference``
     Direct per-vertex Python loop; the executable specification.
 ``compute_targets_vectorized``
-    The production kernel: one sort + segmented reductions over all CSR
-    entries of the active rows (no per-vertex Python work).
-Both produce identical targets (differentially tested); the vectorized
-kernel optionally fans chunks out over an execution backend.
+    The production kernel: an e_{v→C} aggregation over all CSR entries of
+    the active rows (no per-vertex Python work).  The aggregation path —
+    seed ``argsort`` vs the O(E) bincount/sparse-matmul paths — lives in
+    :mod:`repro.core.workspace` and is selected automatically; passing a
+    :class:`~repro.core.workspace.SweepWorkspace` additionally reuses the
+    gather plan and scratch buffers across the iterations of a phase.
+All paths produce identical targets (differentially tested); the
+vectorized kernel optionally fans chunks out over an execution backend.
 """
 
 from __future__ import annotations
@@ -42,15 +46,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.workspace import SweepWorkspace, aggregate_pairs, build_plan, gather_rows
 from repro.graph.csr import CSRGraph
+from repro.utils.arrays import run_boundaries
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.chunking import edge_balanced_partition
-from repro.utils.arrays import run_boundaries
 from repro.utils.errors import ValidationError
 
 __all__ = [
+    "MoveResult",
     "SweepState",
     "apply_moves",
+    "apply_moves_tracked",
     "compute_targets",
     "compute_targets_reference",
     "compute_targets_vectorized",
@@ -173,25 +180,9 @@ def compute_targets_reference(
 # ---------------------------------------------------------------------------
 # Vectorized kernel
 # ---------------------------------------------------------------------------
-def _gather_rows(graph: CSRGraph, vertices: np.ndarray
-                 ) -> tuple[np.ndarray, np.ndarray]:
-    """Entry positions of all CSR rows in ``vertices``.
-
-    Returns ``(positions, owner)`` where ``positions`` indexes
-    ``graph.indices``/``graph.weights`` and ``owner[e]`` is the index into
-    ``vertices`` owning entry ``e``.
-    """
-    indptr = graph.indptr
-    starts = indptr[vertices]
-    lengths = (indptr[vertices + 1] - starts).astype(np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        return np.zeros(0, np.int64), np.zeros(0, np.int64)
-    owner = np.repeat(np.arange(len(vertices), dtype=np.int64), lengths)
-    ends = np.cumsum(lengths)
-    local = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
-    positions = np.repeat(starts, lengths) + local
-    return positions, owner
+#: Backward-compatible alias — the gather helper moved to
+#: :mod:`repro.core.workspace` so plans can be cached across iterations.
+_gather_rows = gather_rows
 
 
 def compute_targets_vectorized(
@@ -201,12 +192,25 @@ def compute_targets_vectorized(
     *,
     use_min_label: bool = True,
     resolution: float = 1.0,
+    workspace: "SweepWorkspace | None" = None,
+    aggregation: "str | None" = None,
+    plan_key: object = None,
 ) -> np.ndarray:
     """Vectorized implementation of lines 9–14 of Algorithm 1.
 
-    One argsort over the active CSR entries plus segmented reductions; no
-    per-vertex Python loop.  Produces exactly the targets of
-    :func:`compute_targets_reference`.
+    One e_{v→C} aggregation over the active CSR entries plus scatter
+    reductions; no per-vertex Python loop.  Produces exactly the targets of
+    :func:`compute_targets_reference` for every aggregation path.
+
+    Parameters
+    ----------
+    workspace:
+        Optional :class:`~repro.core.workspace.SweepWorkspace`; when given,
+        the gather plan for ``vertices`` is cached (keyed by ``plan_key``
+        or array identity) and scratch buffers are reused across calls.
+    aggregation:
+        ``"auto"`` (default), ``"sort"``, ``"bincount"`` or ``"matmul"``;
+        ``None`` inherits the workspace's mode (or ``"auto"``).
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     m = graph.total_weight
@@ -215,62 +219,82 @@ def compute_targets_vectorized(
         return cur.copy()
     n = graph.num_vertices
 
-    positions, owner = _gather_rows(graph, vertices)
-    if positions.size == 0:
-        return cur.copy()
-    dst = graph.indices[positions]
-    w = graph.weights[positions]
-    src = vertices[owner]
-    non_loop = dst != src
-    owner = owner[non_loop]
-    dst_comm = state.comm[dst[non_loop]]
-    w = w[non_loop]
-    if owner.size == 0:
+    if workspace is not None:
+        plan = workspace.plan(vertices, key=plan_key)
+        mode = aggregation if aggregation is not None else workspace.aggregation
+    else:
+        plan = build_plan(graph, vertices)
+        mode = aggregation if aggregation is not None else "auto"
+    if plan.owner.size == 0:
         return cur.copy()
 
-    # Aggregate e_{v→C}: sort (owner, community) pairs, segment-sum weights.
-    key = owner * np.int64(n + 1) + dst_comm
-    order = np.argsort(key, kind="stable")
-    key_s = key[order]
-    w_s = w[order]
-    starts = run_boundaries(key_s)
-    e = np.add.reduceat(w_s, starts)
-    pair_owner = owner[order][starts]
-    pair_comm = dst_comm[order][starts]
+    pair_owner, pair_comm, e, mode_used = aggregate_pairs(
+        plan, state.comm, n, mode
+    )
+    if workspace is not None:
+        workspace.last_aggregation = mode_used
 
     num_active = vertices.size
-    k_v = graph.degrees[vertices]
-    cur_of_pair = cur[pair_owner]
+    k_v = plan.degrees
 
     # e_{v→C(v)\{v}} per active vertex (0 when no same-community neighbor).
-    e_cur = np.zeros(num_active, dtype=np.float64)
-    own_pairs = pair_comm == cur_of_pair
+    if workspace is not None:
+        e_cur = workspace.f64("e_cur", num_active)
+        e_cur.fill(0.0)
+    else:
+        e_cur = np.zeros(num_active, dtype=np.float64)
+    own_pairs = pair_comm == cur[pair_owner]
     e_cur[pair_owner[own_pairs]] = e[own_pairs]
 
     a_cur_excl = state.comm_degree[cur] - k_v
 
-    cand = ~own_pairs
-    cand_owner = pair_owner[cand]
-    cand_comm = pair_comm[cand]
+    # Eq. 4 gain of every pair, with the exact operation order of the
+    # reference kernel (bitwise-identical rounding is what makes the
+    # kernels differentially testable for *equality*).  Own pairs are
+    # masked to −inf instead of filtered out — cheaper than materializing
+    # four candidate-compacted copies, and harmless: an all-own segment
+    # reduces to −inf, which never passes ``best > 0``.
     two_m_sq = (2.0 * m) ** 2
-    gain = (e[cand] - e_cur[cand_owner]) / m + resolution * (
-        2.0 * k_v[cand_owner] * (a_cur_excl[cand_owner]
-                                 - state.comm_degree[cand_comm])
+    gain = (e - e_cur[pair_owner]) / m + resolution * (
+        2.0 * k_v[pair_owner] * (a_cur_excl[pair_owner]
+                                 - state.comm_degree[pair_comm])
     ) / two_m_sq
+    gain[own_pairs] = -np.inf
 
-    # Per-owner maximum gain.
-    best_gain = np.full(num_active, -np.inf, dtype=np.float64)
-    np.maximum.at(best_gain, cand_owner, gain)
+    # Per-owner maximum gain.  Pairs arrive grouped by owner (the
+    # aggregate_pairs ordering guarantee), so contiguous reduceat segment
+    # reductions replace the far slower ``np.maximum.at``/``np.minimum.at``
+    # scatter loops.
+    if workspace is not None:
+        best_gain = workspace.f64("best_gain", num_active)
+        best_gain.fill(-np.inf)
+        chosen = workspace.i64("chosen", num_active)
+        chosen.fill(n if use_min_label else -1)
+    else:
+        best_gain = np.full(num_active, -np.inf, dtype=np.float64)
+        chosen = np.full(num_active, n if use_min_label else -1, dtype=np.int64)
+    seg_starts = run_boundaries(pair_owner)
+    if seg_starts.size:
+        best_gain[pair_owner[seg_starts]] = np.maximum.reduceat(
+            gain, seg_starts
+        )
 
     # Among ties at the maximum, select the minimum (or, for the ablation,
     # maximum) community label.
-    winners = gain == best_gain[cand_owner]
+    winners = gain == best_gain[pair_owner]
     targets = cur.copy()
-    chosen = np.full(num_active, n if use_min_label else -1, dtype=np.int64)
-    if use_min_label:
-        np.minimum.at(chosen, cand_owner[winners], cand_comm[winners])
-    else:
-        np.maximum.at(chosen, cand_owner[winners], cand_comm[winners])
+    win_owner = pair_owner[winners]
+    win_starts = run_boundaries(win_owner)
+    if win_starts.size:
+        win_comm = pair_comm[winners]
+        if use_min_label:
+            chosen[win_owner[win_starts]] = np.minimum.reduceat(
+                win_comm, win_starts
+            )
+        else:
+            chosen[win_owner[win_starts]] = np.maximum.reduceat(
+                win_comm, win_starts
+            )
     move = best_gain > 0.0
     targets[move] = chosen[move]
 
@@ -298,12 +322,19 @@ def compute_targets(
     use_min_label: bool = True,
     backend: ExecutionBackend | None = None,
     resolution: float = 1.0,
+    workspace: "SweepWorkspace | None" = None,
+    aggregation: "str | None" = None,
+    plan_key: object = None,
 ) -> np.ndarray:
     """Dispatch to a kernel, optionally chunking over a backend.
 
     With a multi-worker backend the active set is split into edge-balanced
     chunks evaluated concurrently; because every chunk reads the same
     snapshot the concatenated result is identical to a single-chunk run.
+    The workspace is only consulted on the single-threaded path — chunk
+    workers either own a private workspace (process backend) or run
+    workspace-free (thread backend), since scratch buffers are not
+    shareable between concurrent chunks.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     if kernel == "reference":
@@ -320,21 +351,163 @@ def compute_targets(
         return sweep_targets(
             graph, state, vertices,
             use_min_label=use_min_label, resolution=resolution,
+            aggregation=aggregation,
         )
     if backend is None or backend.num_workers <= 1 or vertices.size < 2:
         return compute_targets_vectorized(
             graph, state, vertices, use_min_label=use_min_label,
-            resolution=resolution,
+            resolution=resolution, workspace=workspace,
+            aggregation=aggregation, plan_key=plan_key,
         )
     chunks = edge_balanced_partition(vertices, graph.indptr, backend.num_workers)
     results = backend.map(
         lambda chunk: compute_targets_vectorized(
             graph, state, chunk, use_min_label=use_min_label,
-            resolution=resolution,
+            resolution=resolution, aggregation=aggregation,
         ),
         chunks,
     )
     return np.concatenate(results) if results else np.zeros(0, np.int64)
+
+
+@dataclass(frozen=True)
+class MoveResult:
+    """Outcome of one committed sweep, with the incremental-update data.
+
+    ``delta_intra``/``delta_degree_sq`` are the exact changes to the two
+    modularity ingredients (Eq. 3's ``Σ_i e_{i→C(i)}`` and ``Σ_C a_C²``)
+    caused by this batch of moves, computed in O(edges touched by movers) —
+    the §5.5 pre-aggregation idea applied to the Q recount, which lets
+    :func:`repro.core.phase.run_phase` track modularity incrementally
+    instead of recounting O(M) per iteration.  ``frontier`` is the moved
+    vertices plus their neighbors — exactly the vertices whose candidate
+    moves may have changed locally, the active set of the next pruned
+    sweep.
+    """
+
+    #: Vertices that changed community.
+    moved: np.ndarray
+    #: Exact change of ``Σ_i e_{i→C(i)}``.
+    delta_intra: float
+    #: Exact change of ``Σ_C a_C²``.
+    delta_degree_sq: float
+    #: Moved vertices plus their neighbors (sorted, unique) — empty when
+    #: the caller passed ``frontier_out`` (the frontier was OR-ed into the
+    #: mask instead, skipping an edge-sized sort+unique).
+    frontier: np.ndarray
+
+    @property
+    def num_moved(self) -> int:
+        return int(self.moved.size)
+
+
+_NO_MOVES = None  # lazily built empty MoveResult
+
+
+def _empty_move_result() -> MoveResult:
+    global _NO_MOVES
+    if _NO_MOVES is None:
+        empty = np.zeros(0, dtype=np.int64)
+        _NO_MOVES = MoveResult(empty, 0.0, 0.0, empty)
+    return _NO_MOVES
+
+
+def apply_moves_tracked(
+    graph: CSRGraph,
+    state: SweepState,
+    vertices: np.ndarray,
+    targets: np.ndarray,
+    *,
+    workspace: "SweepWorkspace | None" = None,
+    frontier_out: "np.ndarray | None" = None,
+) -> MoveResult:
+    """Commit moves like :func:`apply_moves`, returning incremental data.
+
+    The extra cost over :func:`apply_moves` is one gather over the movers'
+    CSR rows — O(edges incident to movers), which shrinks with the frontier
+    as a phase converges.
+
+    ``frontier_out`` — optional (n,) bool mask; when given, the frontier
+    (movers + their neighbors) is OR-ed into it and the returned
+    ``frontier`` array is left empty.  The mask form is O(edges touched)
+    with no sort, where materializing the unique array costs an
+    O(E log E) sort+unique over an edge-sized scratch — the dominant cost
+    of the whole commit on large sweeps.
+
+    Derivation of ``delta_intra``: only entries incident to a mover can
+    change their intra/inter status.  Let ``S`` be the indicator-weighted
+    sum over the movers' *own* rows and ``P`` its restriction to entries
+    whose neighbor also moved.  Every mover↔non-mover entry appears once in
+    ``S`` but twice in the full Eq. 3 sum (once per direction), while a
+    mover↔mover entry appears twice in ``S`` (and twice in ``P``), so
+    ``Δintra = 2·ΔS − ΔP`` counts each direction exactly once.  Self-loops
+    sit in both ``S`` and ``P`` and are always intra, so they cancel.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if vertices.shape != targets.shape:
+        raise ValidationError("vertices and targets must be aligned")
+    cur = state.comm[vertices]
+    moved_mask = targets != cur
+    if not moved_mask.any():
+        return _empty_move_result()
+    mv = vertices[moved_mask]
+    src = cur[moved_mask]
+    dst_comm = targets[moved_mask]
+    k = graph.degrees[mv]
+    n = graph.num_vertices
+
+    positions, owner = gather_rows(graph, mv)
+    nbr = graph.indices[positions]
+    w = graph.weights[positions]
+
+    if workspace is not None:
+        mover_mask = workspace.zeros_bool("mover_mask", n)
+    else:
+        mover_mask = np.zeros(n, dtype=bool)
+    mover_mask[mv] = True
+    both_moved = mover_mask[nbr]
+
+    nbr_comm = state.comm[nbr]  # fancy indexing copies: pre-move snapshot
+    own_comm = src[owner]
+    intra_entries = nbr_comm == own_comm
+    s_before = float(w[intra_entries].sum())
+    p_before = float(w[intra_entries & both_moved].sum())
+
+    # Commit, snapshotting the affected community degrees around the
+    # update.  Affected labels are collected through an O(n) mask rather
+    # than a sort-based unique over the mover-sized label arrays.
+    if workspace is not None:
+        affected_mask = workspace.zeros_bool("affected_mask", n)
+    else:
+        affected_mask = np.zeros(n, dtype=bool)
+    affected_mask[src] = True
+    affected_mask[dst_comm] = True
+    affected = np.flatnonzero(affected_mask)
+    affected_mask[affected] = False  # reset the scratch for the next call
+    a_before = state.comm_degree[affected].copy()
+    state.comm[mv] = dst_comm
+    np.subtract.at(state.comm_degree, src, k)
+    np.add.at(state.comm_degree, dst_comm, k)
+    np.subtract.at(state.comm_size, src, 1)
+    np.add.at(state.comm_size, dst_comm, 1)
+    a_after = state.comm_degree[affected]
+    delta_degree_sq = float((a_after * a_after - a_before * a_before).sum())
+
+    nbr_comm_after = state.comm[nbr]
+    intra_after = nbr_comm_after == dst_comm[owner]
+    s_after = float(w[intra_after].sum())
+    p_after = float(w[intra_after & both_moved].sum())
+    delta_intra = 2.0 * (s_after - s_before) - (p_after - p_before)
+
+    mover_mask[mv] = False  # reset the scratch for the next call
+    if frontier_out is not None:
+        frontier_out[mv] = True
+        frontier_out[nbr] = True
+        frontier = mv[:0]
+    else:
+        frontier = np.unique(np.concatenate((mv, nbr)))
+    return MoveResult(mv, delta_intra, delta_degree_sq, frontier)
 
 
 def apply_moves(
@@ -348,6 +521,8 @@ def apply_moves(
     Returns the number of vertices that changed community.  The updates are
     plain commutative adds — the deterministic equivalent of the paper's
     atomic fetch-and-add bookkeeping (see :mod:`repro.parallel.atomic`).
+    Use :func:`apply_moves_tracked` when the caller also needs the
+    incremental-modularity deltas and the pruning frontier.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     targets = np.asarray(targets, dtype=np.int64)
@@ -378,11 +553,13 @@ def sweep(
     use_min_label: bool = True,
     backend: ExecutionBackend | None = None,
     resolution: float = 1.0,
+    workspace: "SweepWorkspace | None" = None,
+    aggregation: "str | None" = None,
 ) -> int:
     """Compute and apply one parallel sweep over ``vertices``; return #moved."""
     targets = compute_targets(
         graph, state, vertices,
         kernel=kernel, use_min_label=use_min_label, backend=backend,
-        resolution=resolution,
+        resolution=resolution, workspace=workspace, aggregation=aggregation,
     )
     return apply_moves(graph, state, vertices, targets)

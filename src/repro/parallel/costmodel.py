@@ -136,17 +136,29 @@ class MachineModel:
     # Per-step costs
     # ------------------------------------------------------------------
     def iteration_time(self, record: IterationRecord, p: int) -> float:
-        """Simulated time of one iteration (all color sets + Q recount)."""
+        """Simulated time of one iteration (all color sets + Q tracking).
+
+        Frontier pruning (records carrying ``active_vertices``/
+        ``active_edges``) shrinks the charged sweep work by the active
+        fraction: only the re-evaluated vertices and their CSR entries are
+        scanned.  Records without the counters (pre-pruning histories)
+        charge the full color-set work, preserving old replays.
+        """
         self._check_p(p)
+        v_frac = record.active_vertex_fraction
+        e_frac = record.active_edge_fraction
         time = 0.0
         for vertices, edges in zip(record.color_set_vertices,
                                    record.color_set_edges):
-            p_eff = self.effective_parallelism(p, vertices)
-            work = edges * self.t_edge + vertices * self.t_vertex
+            active_v = vertices * v_frac
+            p_eff = self.effective_parallelism(p, int(active_v) or 1)
+            work = edges * e_frac * self.t_edge + active_v * self.t_vertex
             time += work / p_eff + (self.t_sync if p > 1 else 0.0)
-        # Modularity recount: one parallel O(M) pass (pre-aggregated, §5.5).
-        total_edges = record.edges_scanned
-        total_vertices = record.vertices_scanned
+        # Modularity tracking: with the active counters present the update
+        # is incremental — O(edges touched) instead of the full O(M)
+        # recount pass (§5.5's pre-aggregation taken one step further).
+        total_edges = record.edges_scanned * e_frac
+        total_vertices = max(1, int(record.vertices_scanned * v_frac))
         p_eff = self.effective_parallelism(p, total_vertices)
         time += total_edges * self.t_edge / p_eff
         # Community-degree updates for the moved vertices behave like

@@ -43,10 +43,18 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
     """Worker loop: attach shared buffers, serve chunk tasks forever.
 
     ``graph`` arrives through fork inheritance (read-only).  A task is
-    ``(offset, length, use_min_label, resolution)`` into the shared active
-    array; ``None`` shuts the worker down.
+    ``(offset, length, use_min_label, resolution, aggregation)`` into the
+    shared active array; ``None`` shuts the worker down.
+
+    Each worker owns a private :class:`SweepWorkspace` (scratch buffers are
+    process-local, so no sharing hazards).  Gather plans are keyed by the
+    chunk's ``(offset, length)`` slice; the workspace verifies a keyed hit
+    against the actual vertex contents, so plans are reused across the
+    iterations of a phase and transparently rebuilt when frontier pruning
+    changes the active set.
     """
     from repro.core.sweep import SweepState, compute_targets_vectorized
+    from repro.core.workspace import SweepWorkspace
 
     segs = {name: shared_memory.SharedMemory(name=shm_names[name])
             for name in shm_names}
@@ -56,16 +64,21 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
     active = np.ndarray((n,), dtype=np.int64, buffer=segs["active"].buf)
     targets = np.ndarray((n,), dtype=np.int64, buffer=segs["targets"].buf)
     state = SweepState(comm, degree, size)
+    workspace = SweepWorkspace(graph)
     try:
         while True:
             task = task_q.get()
             if task is None:
                 break
-            offset, length, use_min_label, resolution = task
-            verts = active[offset:offset + length]
+            offset, length, use_min_label, resolution, aggregation = task
+            # Copy the slice out of shared memory: plan caching compares
+            # (and retains) the vertex array, so it must be stable.
+            verts = active[offset:offset + length].copy()
             out = compute_targets_vectorized(
                 graph, state, verts,
                 use_min_label=use_min_label, resolution=resolution,
+                workspace=workspace, aggregation=aggregation,
+                plan_key=(offset, length),
             )
             targets[offset:offset + length] = out
             done_q.put(offset)
@@ -117,7 +130,8 @@ class _SweepExecutor:
             w.start()
 
     def compute_targets(self, state, vertices, *, use_min_label: bool,
-                        resolution: float) -> np.ndarray:
+                        resolution: float,
+                        aggregation: "str | None" = None) -> np.ndarray:
         count = vertices.shape[0]
         nv = state.comm.shape[0]
         self._views["comm"][:nv] = state.comm
@@ -131,7 +145,7 @@ class _SweepExecutor:
         issued = 0
         for chunk in chunks:
             self._task_q.put((offset, chunk.shape[0], use_min_label,
-                              resolution))
+                              resolution, aggregation))
             offset += chunk.shape[0]
             issued += 1
         for _ in range(issued):
@@ -177,7 +191,8 @@ class ProcessBackend(ExecutionBackend):
         self._executors: dict[int, _SweepExecutor] = {}
 
     def sweep_targets(self, graph, state, vertices, *, use_min_label: bool,
-                      resolution: float) -> np.ndarray:
+                      resolution: float,
+                      aggregation: "str | None" = None) -> np.ndarray:
         """Compute one sweep's targets on the worker pool."""
         if self.num_workers <= 1 or vertices.size < 2:
             from repro.core.sweep import compute_targets_vectorized
@@ -185,6 +200,7 @@ class ProcessBackend(ExecutionBackend):
             return compute_targets_vectorized(
                 graph, state, vertices,
                 use_min_label=use_min_label, resolution=resolution,
+                aggregation=aggregation,
             )
         key = id(graph)
         executor = self._executors.get(key)
@@ -194,6 +210,7 @@ class ProcessBackend(ExecutionBackend):
         return executor.compute_targets(
             state, vertices,
             use_min_label=use_min_label, resolution=resolution,
+            aggregation=aggregation,
         )
 
     def map(self, fn, items):

@@ -1,0 +1,61 @@
+"""Smoke test of the machine-readable kernel benchmark (BENCH_kernels.json).
+
+Marked ``bench_smoke`` so CI can select it alone (``-m bench_smoke``); the
+quick configuration — one graph, one repeat, no seed worktree — keeps it
+well under the 60-second budget.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+REQUIRED_FIELDS = {"graph", "n", "M", "kernel", "seconds", "iterations", "Q"}
+
+
+@pytest.mark.bench_smoke
+def test_bench_kernels_cli_emits_json(tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    subprocess.run(
+        [sys.executable,
+         os.path.join(REPO_ROOT, "benchmarks", "bench_kernels.py"),
+         "--no-seed", "--graphs", "planted-50k", "--repeats", "1",
+         "--out", str(out)],
+        check=True, env=env, cwd=REPO_ROOT, timeout=55,
+    )
+    records = json.loads(out.read_text())
+    assert len(records) == 2
+    kernels = {r["kernel"] for r in records}
+    assert kernels == {"seed-flags", "optimized"}
+    for rec in records:
+        assert REQUIRED_FIELDS <= set(rec)
+        assert rec["graph"] == "planted-50k"
+        assert rec["n"] >= 50_000
+        assert rec["seconds"] > 0
+        assert rec["iterations"] >= 1
+        assert 0.0 <= rec["Q"] <= 1.0
+
+
+@pytest.mark.bench_smoke
+def test_committed_bench_results_meet_speedup_target():
+    """The committed BENCH_kernels.json must show the ≥2× phase speedup on
+    at least one ≥50k-vertex graph (the PR's acceptance criterion)."""
+    path = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+    records = json.loads(open(path).read())
+    by_graph = {}
+    for rec in records:
+        by_graph.setdefault(rec["graph"], {})[rec["kernel"]] = rec
+    speedups = {}
+    for graph, kernels in by_graph.items():
+        base = kernels.get("seed") or kernels.get("seed-flags")
+        opt = kernels.get("optimized")
+        assert base and opt, f"incomplete records for {graph}"
+        if base["n"] >= 50_000:
+            speedups[graph] = base["seconds"] / opt["seconds"]
+    assert speedups and max(speedups.values()) >= 2.0, speedups
