@@ -24,11 +24,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.lint.sanitizer import snapshot_kernel
 from repro.utils.rng import as_rng
 
 __all__ = ["jones_plassmann_coloring"]
 
 
+@snapshot_kernel("graph")
 def jones_plassmann_coloring(
     graph: CSRGraph,
     *,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.lint.sanitizer import sanitize_default
 from repro.utils.errors import ValidationError
 
 __all__ = ["HeuristicVariant", "LouvainConfig"]
@@ -112,6 +113,14 @@ class LouvainConfig:
         Worker count for the thread/process backends.
     max_phases / max_iterations_per_phase:
         Safety caps; the algorithm normally terminates on thresholds alone.
+    sanitize:
+        Runtime snapshot sanitizer (:mod:`repro.lint.sanitizer`): freeze
+        the community/degree/size arrays while each sweep's targets are
+        computed so a stray in-place write raises instead of silently
+        corrupting the Jacobi snapshot.  Defaults to the
+        ``REPRO_SANITIZE`` environment setting — on across the
+        test-suite (``tests/conftest.py``), off for benchmarks.  Results
+        are bitwise identical with the guard on or off.
     seed:
         Seed for the randomized coloring priorities (the only stochastic
         component; the paper notes this is the one source of run-to-run
@@ -139,6 +148,7 @@ class LouvainConfig:
     prune: bool = True
     incremental_modularity: bool = True
     backend: str = "serial"
+    sanitize: bool = field(default_factory=sanitize_default)
     num_threads: int = 4
     max_phases: int = 32
     max_iterations_per_phase: int = 1000

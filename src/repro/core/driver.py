@@ -265,6 +265,7 @@ def louvain(
                     aggregation=cfg.aggregation,
                     prune=cfg.prune,
                     incremental=cfg.incremental_modularity,
+                    sanitize=cfg.sanitize,
                 )
             history.iterations.extend(outcome.records)
 

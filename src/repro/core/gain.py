@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.core.modularity import community_degrees, vertex_to_community_weight
+from repro.lint.sanitizer import snapshot_kernel
 from repro.utils.errors import ValidationError
 
 __all__ = [
@@ -77,6 +78,7 @@ def delta_q(
     ) / (two_m * two_m)
 
 
+@snapshot_kernel
 def delta_q_arrays(
     m: float,
     e_to_target: np.ndarray,

@@ -47,6 +47,7 @@ from repro.core.sweep import (
 )
 from repro.core.workspace import SweepWorkspace
 from repro.graph.csr import CSRGraph
+from repro.lint.sanitizer import resolve_sanitize
 from repro.parallel.backends import ExecutionBackend
 
 __all__ = ["PhaseOutcome", "run_phase", "state_modularity"]
@@ -101,6 +102,7 @@ def run_phase(
     aggregation: str = "auto",
     prune: bool = True,
     incremental: bool = True,
+    sanitize: "bool | None" = None,
 ) -> PhaseOutcome:
     """Iterate sweeps until the relative modularity gain drops below θ.
 
@@ -132,6 +134,13 @@ def run_phase(
         Track modularity via the per-sweep deltas of
         :func:`~repro.core.sweep.apply_moves_tracked` instead of an O(M)
         recount per iteration.  The phase-boundary recount runs either way.
+    sanitize:
+        Freeze the community/degree/size snapshot arrays while each
+        sweep's targets are computed, so an accidental in-place write in
+        any kernel raises immediately (:mod:`repro.lint.sanitizer`).
+        ``None`` defers to the ``REPRO_SANITIZE`` environment default
+        (on in the test-suite, off in benchmarks); results are bitwise
+        identical either way.
 
     Returns
     -------
@@ -151,6 +160,7 @@ def run_phase(
     if workspace is None and kernel == "vectorized":
         workspace = SweepWorkspace(graph, aggregation=aggregation)
 
+    sanitize = resolve_sanitize(sanitize)
     track = incremental or prune
 
     # Incremental Q ingredients (exact O(M) once at the phase start).
@@ -201,6 +211,7 @@ def run_phase(
                 kernel=kernel, use_min_label=use_min_label, backend=backend,
                 resolution=resolution, workspace=workspace,
                 aggregation=aggregation, plan_key=("set", set_index),
+                sanitize=sanitize,
             )
             if track:
                 result = apply_moves_tracked(

@@ -42,12 +42,14 @@ vectorized kernel optionally fans chunks out over an execution backend.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.workspace import SweepWorkspace, aggregate_pairs, build_plan, gather_rows
 from repro.graph.csr import CSRGraph
+from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
 from repro.utils.arrays import run_boundaries
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.chunking import edge_balanced_partition
@@ -114,6 +116,7 @@ def init_state(graph: CSRGraph, initial=None) -> SweepState:
 # ---------------------------------------------------------------------------
 # Reference kernel
 # ---------------------------------------------------------------------------
+@snapshot_kernel("graph", "state")
 def compute_targets_reference(
     graph: CSRGraph,
     state: SweepState,
@@ -185,6 +188,7 @@ def compute_targets_reference(
 _gather_rows = gather_rows
 
 
+@snapshot_kernel("graph", "state")
 def compute_targets_vectorized(
     graph: CSRGraph,
     state: SweepState,
@@ -313,6 +317,7 @@ def compute_targets_vectorized(
     return targets
 
 
+@snapshot_kernel("graph", "state")
 def compute_targets(
     graph: CSRGraph,
     state: SweepState,
@@ -325,6 +330,7 @@ def compute_targets(
     workspace: "SweepWorkspace | None" = None,
     aggregation: "str | None" = None,
     plan_key: object = None,
+    sanitize: "bool | None" = None,
 ) -> np.ndarray:
     """Dispatch to a kernel, optionally chunking over a backend.
 
@@ -335,39 +341,54 @@ def compute_targets(
     workers either own a private workspace (process backend) or run
     workspace-free (thread backend), since scratch buffers are not
     shareable between concurrent chunks.
+
+    ``sanitize`` (``None`` = the ``REPRO_SANITIZE`` default) freezes the
+    state arrays for the duration of the target computation: a stray
+    in-place write anywhere in the kernel stack raises instead of
+    corrupting the Jacobi snapshot (:mod:`repro.lint.sanitizer`).  The
+    guard changes no results — target computation is read-only by
+    contract — and costs O(1) flag flips per sweep.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
-    if kernel == "reference":
-        return compute_targets_reference(
-            graph, state, vertices, use_min_label=use_min_label,
-            resolution=resolution,
+    sanitize = resolve_sanitize(sanitize)
+    guard = frozen_snapshot(state) if sanitize else nullcontext()
+    with guard:
+        if kernel == "reference":
+            return compute_targets_reference(
+                graph, state, vertices, use_min_label=use_min_label,
+                resolution=resolution,
+            )
+        if kernel != "vectorized":
+            raise ValidationError(f"unknown kernel {kernel!r}")
+        sweep_targets = getattr(backend, "sweep_targets", None)
+        if sweep_targets is not None:
+            # Process-style backends own the whole sweep (shared-memory
+            # state scatter + chunked workers) rather than a generic chunk
+            # map.  The parent-side freeze above does not reach the
+            # workers' shared-memory views, so the flag is forwarded and
+            # each worker freezes its own views around its kernel call.
+            return sweep_targets(
+                graph, state, vertices,
+                use_min_label=use_min_label, resolution=resolution,
+                aggregation=aggregation, sanitize=sanitize,
+            )
+        if backend is None or backend.num_workers <= 1 or vertices.size < 2:
+            return compute_targets_vectorized(
+                graph, state, vertices, use_min_label=use_min_label,
+                resolution=resolution, workspace=workspace,
+                aggregation=aggregation, plan_key=plan_key,
+            )
+        chunks = edge_balanced_partition(
+            vertices, graph.indptr, backend.num_workers
         )
-    if kernel != "vectorized":
-        raise ValidationError(f"unknown kernel {kernel!r}")
-    sweep_targets = getattr(backend, "sweep_targets", None)
-    if sweep_targets is not None:
-        # Process-style backends own the whole sweep (shared-memory state
-        # scatter + chunked workers) rather than a generic chunk map.
-        return sweep_targets(
-            graph, state, vertices,
-            use_min_label=use_min_label, resolution=resolution,
-            aggregation=aggregation,
+        results = backend.map(
+            lambda chunk: compute_targets_vectorized(
+                graph, state, chunk, use_min_label=use_min_label,
+                resolution=resolution, aggregation=aggregation,
+            ),
+            chunks,
         )
-    if backend is None or backend.num_workers <= 1 or vertices.size < 2:
-        return compute_targets_vectorized(
-            graph, state, vertices, use_min_label=use_min_label,
-            resolution=resolution, workspace=workspace,
-            aggregation=aggregation, plan_key=plan_key,
-        )
-    chunks = edge_balanced_partition(vertices, graph.indptr, backend.num_workers)
-    results = backend.map(
-        lambda chunk: compute_targets_vectorized(
-            graph, state, chunk, use_min_label=use_min_label,
-            resolution=resolution, aggregation=aggregation,
-        ),
-        chunks,
-    )
-    return np.concatenate(results) if results else np.zeros(0, np.int64)
+        return np.concatenate(results) if results else np.zeros(0, np.int64)
 
 
 @dataclass(frozen=True)
@@ -555,11 +576,13 @@ def sweep(
     resolution: float = 1.0,
     workspace: "SweepWorkspace | None" = None,
     aggregation: "str | None" = None,
+    sanitize: "bool | None" = None,
 ) -> int:
     """Compute and apply one parallel sweep over ``vertices``; return #moved."""
     targets = compute_targets(
         graph, state, vertices,
         kernel=kernel, use_min_label=use_min_label, backend=backend,
         resolution=resolution, workspace=workspace, aggregation=aggregation,
+        sanitize=sanitize,
     )
     return apply_moves(graph, state, vertices, targets)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.lint.sanitizer import snapshot_kernel
 from repro.utils.arrays import run_boundaries
 from repro.utils.errors import ValidationError
 
@@ -65,6 +66,7 @@ except ImportError:  # pragma: no cover - exercised only on stripped installs
     _sparse = None
 
 
+@snapshot_kernel("graph")
 def gather_rows(graph: CSRGraph, vertices: np.ndarray
                 ) -> tuple[np.ndarray, np.ndarray]:
     """Entry positions of all CSR rows in ``vertices``.
@@ -125,6 +127,7 @@ class GatherPlan:
         return self._matrix
 
 
+@snapshot_kernel("graph")
 def build_plan(graph: CSRGraph, vertices: np.ndarray) -> GatherPlan:
     """Build the gather plan for one vertex set (one O(E_active) pass)."""
     vertices = np.asarray(vertices, dtype=np.int64)
@@ -166,6 +169,7 @@ def _resolve_mode(mode: str, num_active: int, n: int, num_pairs: int) -> str:
     return "sort"
 
 
+@snapshot_kernel("plan", "comm")
 def aggregate_pairs(
     plan: GatherPlan,
     comm: np.ndarray,

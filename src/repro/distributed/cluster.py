@@ -143,7 +143,7 @@ class SimCluster:
         """Concatenate per-rank blocks; every rank receives the result."""
         if len(blocks) != self.num_ranks:
             raise ValidationError("one block per rank required")
-        out = np.concatenate(blocks) if blocks else np.zeros(0)
+        out = np.concatenate(blocks) if blocks else np.zeros(0, dtype=np.float64)
         if self.num_ranks > 1:
             p = self.num_ranks
             nbytes = out.size * _ELEMENT_BYTES

@@ -33,6 +33,7 @@ prices.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,10 +48,33 @@ from repro.distributed.cluster import NetworkModel, SimCluster, TrafficLog
 from repro.distributed.partition import RankPartition, partition_vertices
 from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
+from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
 from repro.utils.arrays import renumber_labels
 from repro.utils.errors import ValidationError
 
 __all__ = ["DistributedResult", "distributed_louvain"]
+
+
+@snapshot_kernel("graph", "state")
+def _rank_local_targets(
+    graph: CSRGraph,
+    state: SweepState,
+    active: np.ndarray,
+    *,
+    use_min_label: bool,
+    resolution: float,
+) -> np.ndarray:
+    """Superstep 1 kernel: Eq. 4 targets for one rank's owned vertices.
+
+    Reads only the replicated snapshot (labels from the previous halo
+    exchange, replicated community degrees) — the BSP equivalent of the
+    shared-memory Jacobi sweep, and the region the snapshot sanitizer
+    freezes when ``sanitize`` is on.
+    """
+    return compute_targets_vectorized(
+        graph, state, active,
+        use_min_label=use_min_label, resolution=resolution,
+    )
 
 
 @dataclass
@@ -87,6 +111,7 @@ def _distributed_phase(
     max_iterations: int,
     resolution: float,
     aggregation: str,
+    sanitize: bool = False,
 ) -> tuple[list[IterationRecord], float, float]:
     """One phase as supersteps; mirrors :func:`repro.core.phase.run_phase`."""
     n = graph.num_vertices
@@ -109,17 +134,23 @@ def _distributed_phase(
         moved_total = 0
         for vertex_set in sets:
             # -- superstep: local compute on every rank -------------------
+            # Every rank reads the same snapshot; freezing it for the
+            # whole superstep asserts exactly that (no rank may see
+            # another rank's in-flight writes before the halo exchange).
             targets_by_rank = []
             active_by_rank = []
-            for r in range(p):
-                active = vertex_set[in_rank[r][vertex_set]]
-                active_by_rank.append(active)
-                targets_by_rank.append(
-                    compute_targets_vectorized(
-                        graph, state, active,
-                        use_min_label=use_min_label, resolution=resolution,
+            guard = frozen_snapshot(state) if sanitize else nullcontext()
+            with guard:
+                for r in range(p):
+                    active = vertex_set[in_rank[r][vertex_set]]
+                    active_by_rank.append(active)
+                    targets_by_rank.append(
+                        _rank_local_targets(
+                            graph, state, active,
+                            use_min_label=use_min_label,
+                            resolution=resolution,
+                        )
                     )
-                )
             # -- apply local moves, build deltas ---------------------------
             sparse_idx = []
             sparse_deg = []
@@ -248,6 +279,7 @@ def distributed_louvain(
     max_iterations_per_phase: int = 1000,
     seed: int | None = 0,
     resolution: float = 1.0,
+    sanitize: "bool | None" = None,
 ) -> DistributedResult:
     """Run the paper's pipeline as a BSP program over ``num_ranks`` ranks.
 
@@ -256,8 +288,12 @@ def distributed_louvain(
     every superstep (the straightforward scheme), ``"sparse"`` ships only
     the touched (community, delta) pairs — the Vite-style optimization
     whose traffic tracks moves instead of community count.  Both produce
-    identical results; only the traffic log differs.
+    identical results; only the traffic log differs.  ``sanitize``
+    (``None`` = the ``REPRO_SANITIZE`` default) freezes the replicated
+    snapshot during each local-compute superstep
+    (:mod:`repro.lint.sanitizer`).
     """
+    sanitize = resolve_sanitize(sanitize)
     if num_ranks < 1:
         raise ValidationError("num_ranks must be >= 1")
     if aggregation not in ("dense", "sparse"):
@@ -320,6 +356,7 @@ def distributed_louvain(
             max_iterations=max_iterations_per_phase,
             resolution=resolution,
             aggregation=aggregation,
+            sanitize=sanitize,
         )
         history.iterations.extend(records)
 

@@ -86,8 +86,10 @@ class IncrementalLouvain:
         """The current assignment (refreshing first if never computed)."""
         if self._communities is None:
             self.refresh()
-        assert self._communities is not None
-        return self._communities
+        communities = self._communities
+        if communities is None:  # pragma: no cover - refresh() always assigns
+            raise ValidationError("refresh() produced no assignment")
+        return communities
 
     def apply_events(self, events: "list[EdgeEvent]") -> None:
         """Apply a batch of stream events to the underlying graph."""

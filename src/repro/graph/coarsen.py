@@ -129,7 +129,8 @@ def coarsen(graph: CSRGraph, communities) -> CoarsenResult:
     key_sorted = key[order]
     w_sorted = w[order]
     starts = run_boundaries(key_sorted)
-    agg_w = np.add.reduceat(w_sorted, starts) if starts.size else np.zeros(0)
+    agg_w = (np.add.reduceat(w_sorted, starts) if starts.size
+             else np.zeros(0, dtype=np.float64))
     agg_key = key_sorted[starts] if starts.size else key_sorted
     agg_src = (agg_key // k).astype(np.int64)
     agg_dst = (agg_key % k).astype(np.int64)

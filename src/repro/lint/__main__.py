@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — run the snapshot-discipline linter."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,153 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status: 0 when every finding is suppressed or baselined, 1 when new
+findings exist, 2 on usage errors.  Typical invocations::
+
+    python -m repro.lint src/                 # gate the library tree
+    python -m repro.lint src/ --write-baseline  # accept current findings
+    repro-lint src/ --select SNAP001,ATOM001  # only the race rules
+    repro-lint src/ --format json             # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.engine import Baseline, LintReport, lint_paths
+from repro.lint.rules import RULES
+
+__all__ = ["main"]
+
+#: Default committed baseline, resolved relative to the working directory.
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+def _parse_codes(value: "str | None") -> "list[str] | None":
+    if not value:
+        return None
+    return [c.strip().upper() for c in value.split(",") if c.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Snapshot-discipline linter for the repro codebase: flags "
+            "snapshot writes in @snapshot_kernel functions, unseeded "
+            "np.random usage, order-dependent array construction, and "
+            "accumulator bypasses in parallel workers."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE} "
+             "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-finding output; summary + exit status only",
+    )
+    return parser
+
+
+def _list_rules(out) -> None:
+    for rule in RULES:
+        print(f"{rule.code}: {rule.description}", file=out)
+
+
+def _run(args, out) -> int:
+    findings = lint_paths(
+        args.paths,
+        select=_parse_codes(args.select),
+        ignore=_parse_codes(args.ignore),
+    )
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}", file=out
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        baseline = Baseline.load(baseline_path)
+    new, num_baselined = baseline.filter_new(findings)
+    report = LintReport(findings=findings, new=new, num_baselined=num_baselined)
+
+    if args.format == "json":
+        payload = {
+            "new": [vars(f) for f in report.new],
+            "num_findings": len(report.findings),
+            "num_baselined": report.num_baselined,
+            "ok": report.ok,
+        }
+        print(json.dumps(payload, indent=2), file=out)
+        return 0 if report.ok else 1
+
+    if not args.quiet:
+        for finding in report.new:
+            print(finding.render(), file=out)
+    by_code = Counter(f.code for f in report.new)
+    breakdown = (
+        " (" + ", ".join(f"{c}: {n}" for c, n in sorted(by_code.items())) + ")"
+        if by_code else ""
+    )
+    print(
+        f"{len(report.new)} new finding(s){breakdown}, "
+        f"{report.num_baselined} baselined",
+        file=out,
+    )
+    return 0 if report.ok else 1
+
+
+def main(argv: "list[str] | None" = None, out=None) -> int:
+    """Entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits on usage errors
+        return int(exc.code or 0)
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+    return _run(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""Lint engine: file walking, suppression, and the committed baseline.
+
+The engine parses each file once and runs every applicable rule from
+:mod:`repro.lint.rules` over the tree.  Two suppression mechanisms keep
+the gate usable:
+
+* **inline** — a trailing ``# noqa`` comment suppresses every finding on
+  that line; ``# noqa: SNAP001,DET001`` suppresses only those codes;
+* **baseline** — a committed JSON file of accepted findings.  Entries are
+  keyed by a *fingerprint* of ``(path, code, stripped source line)`` —
+  deliberately not the line number, so unrelated edits above a finding
+  don't invalidate the baseline — with a count per fingerprint so
+  duplicate-identical lines are budgeted, not blanket-allowed.  A
+  finding beyond its baselined count is *new* and fails the run.
+
+``python -m repro.lint src/ --write-baseline`` (re)generates the file;
+see :mod:`repro.lint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.rules import RULES, LintContext, Rule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+]
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9_,\s]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, carrying enough context to fingerprint itself."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    source_line: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity: path + code + normalized source text.
+
+        Line numbers are deliberately excluded so edits elsewhere in the
+        file don't churn the baseline.
+        """
+        payload = f"{self.path}::{self.code}::{self.source_line.strip()}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+def _noqa_codes(line: str) -> "frozenset[str] | None":
+    """Codes suppressed on ``line``: ``frozenset()`` = all, ``None`` = none."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+
+
+def _select_rules(
+    select: "Sequence[str] | None", ignore: "Sequence[str] | None"
+) -> list[Rule]:
+    rules = list(RULES)
+    if select:
+        wanted = {c.upper() for c in select}
+        rules = [r for r in rules if r.code in wanted]
+    if ignore:
+        dropped = {c.upper() for c in ignore}
+        rules = [r for r in rules if r.code not in dropped]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    select: "Sequence[str] | None" = None,
+    ignore: "Sequence[str] | None" = None,
+) -> list[Finding]:
+    """Lint one source string; ``path`` drives rule scoping.
+
+    Fixture tests pass synthetic paths like ``"repro/core/bad.py"`` to opt
+    snippets into the package-scoped rules.
+    """
+    norm = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=norm,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="PARSE001",
+                message=f"syntax error: {exc.msg}",
+                source_line=(exc.text or "").rstrip("\n"),
+            )
+        ]
+    lines = source.splitlines()
+    ctx = LintContext(path=norm)
+    findings: list[Finding] = []
+    for rule in _select_rules(select, ignore):
+        if not rule.applies(ctx):
+            continue
+        for hit in rule.check(tree, ctx):
+            text = lines[hit.line - 1] if 0 < hit.line <= len(lines) else ""
+            suppressed = _noqa_codes(text)
+            if suppressed is not None and (
+                not suppressed or hit.code in suppressed
+            ):
+                continue
+            findings.append(
+                Finding(
+                    path=norm,
+                    line=hit.line,
+                    col=hit.col,
+                    code=hit.code,
+                    message=hit.message,
+                    source_line=text,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def _iter_py_files(paths: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen: set[Path] = set()
+    unique = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    select: "Sequence[str] | None" = None,
+    ignore: "Sequence[str] | None" = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    for file in _iter_py_files(paths):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source, file.as_posix(), select=select, ignore=ignore
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+class Baseline:
+    """Accepted findings, keyed by fingerprint with a per-key budget."""
+
+    VERSION = 1
+
+    def __init__(self, counts: "Counter[str] | None" = None,
+                 notes: "dict[str, dict] | None" = None):
+        self.counts: Counter[str] = counts or Counter()
+        #: Human-readable context per fingerprint (code/path/text), kept so
+        #: the baseline file reviews well in diffs.
+        self.notes: dict[str, dict] = notes or {}
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text(encoding="utf-8"))
+        counts: Counter[str] = Counter()
+        notes: dict[str, dict] = {}
+        for fp, entry in data.get("findings", {}).items():
+            counts[fp] = int(entry.get("count", 1))
+            notes[fp] = {
+                k: entry[k] for k in ("code", "path", "text") if k in entry
+            }
+        return cls(counts, notes)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = finding.fingerprint()
+            baseline.counts[fp] += 1
+            baseline.notes.setdefault(fp, {
+                "code": finding.code,
+                "path": finding.path,
+                "text": finding.source_line.strip(),
+            })
+        return baseline
+
+    def save(self, path: "str | Path") -> None:
+        payload = {
+            "version": self.VERSION,
+            "tool": "repro.lint",
+            "findings": {
+                fp: {**self.notes.get(fp, {}), "count": count}
+                for fp, count in sorted(self.counts.items())
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter_new(self, findings: Sequence[Finding]
+                   ) -> tuple[list[Finding], int]:
+        """Split findings into (new, num_baselined).
+
+        The first ``count`` occurrences of each fingerprint are consumed
+        by the baseline budget; anything beyond is new.
+        """
+        budget = Counter(self.counts)
+        new: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        return new, baselined
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run against a baseline."""
+
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    num_baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new

@@ -1,0 +1,172 @@
+"""Runtime snapshot sanitizer: freeze the sweep's inputs while it reads.
+
+The parallel sweep's contract (§5.4) is that target computation reads the
+previous-iteration community snapshot and writes nothing.  The static
+analyzer (:mod:`repro.lint.rules`) checks that textually; this module
+enforces it at runtime: :func:`frozen_snapshot` clears the ``writeable``
+flag of the snapshot arrays for the duration of a kernel call, so any
+in-place write — however deeply buried — raises ``ValueError`` at the
+offending statement instead of silently producing an order-dependent
+trajectory.
+
+The flag flip is O(1) per array and touches no data, so the sanitizer is
+cheap enough to leave on for the whole test-suite (the ``REPRO_SANITIZE``
+environment variable, set in ``tests/conftest.py``) while benchmarks run
+with it off.  Results are bitwise identical either way — the sanitizer
+only changes whether a discipline violation raises, never what correct
+code computes.
+
+:func:`snapshot_kernel` is the marker the static analyzer keys on: it
+tags a function's snapshot-state parameters without wrapping the function
+(same object back, zero call overhead, fork/pickle-transparent).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "frozen_snapshot",
+    "resolve_sanitize",
+    "sanitize_default",
+    "snapshot_kernel",
+]
+
+#: Environment variable that flips the library-wide sanitize default.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Attribute attached by :func:`snapshot_kernel`.
+SNAPSHOT_ATTR = "__snapshot_params__"
+
+#: Attribute names probed on non-array objects passed to
+#: :func:`frozen_snapshot` (the :class:`~repro.core.sweep.SweepState`
+#: triple).
+_STATE_ARRAYS = ("comm", "comm_degree", "comm_size")
+
+
+def snapshot_kernel(*params):
+    """Mark a function as a snapshot-reading kernel.
+
+    Usable bare or with the names of the parameters that carry snapshot
+    state::
+
+        @snapshot_kernel("state")
+        def compute_targets_vectorized(graph, state, vertices, ...): ...
+
+        @snapshot_kernel          # every parameter is snapshot state
+        def delta_q_arrays(m, e_to_target, ...): ...
+
+    The decorated function is returned *unchanged* — only the
+    ``__snapshot_params__`` attribute is attached (``()`` for the bare
+    form, meaning "all parameters").  The static rule SNAP001 flags any
+    write rooted at a marked parameter inside the function body; the
+    runtime guard is :func:`frozen_snapshot`, applied by the caller.
+
+    Examples
+    --------
+    >>> @snapshot_kernel("comm")
+    ... def kernel(comm, out):
+    ...     return comm.sum()
+    >>> kernel.__snapshot_params__
+    ('comm',)
+    >>> @snapshot_kernel
+    ... def bare(arr):
+    ...     return arr + 1
+    >>> bare.__snapshot_params__
+    ()
+    """
+    if len(params) == 1 and callable(params[0]) and not isinstance(params[0], str):
+        fn = params[0]
+        setattr(fn, SNAPSHOT_ATTR, ())
+        return fn
+    for p in params:
+        if not isinstance(p, str):
+            raise TypeError(
+                "snapshot_kernel takes parameter names (str), got "
+                f"{type(p).__name__}"
+            )
+
+    def mark(fn):
+        setattr(fn, SNAPSHOT_ATTR, tuple(params))
+        return fn
+
+    return mark
+
+
+def _collect_arrays(targets) -> list[np.ndarray]:
+    arrays: list[np.ndarray] = []
+    for target in targets:
+        if target is None:
+            continue
+        if isinstance(target, np.ndarray):
+            arrays.append(target)
+            continue
+        found = False
+        for name in _STATE_ARRAYS:
+            arr = getattr(target, name, None)
+            if isinstance(arr, np.ndarray):
+                arrays.append(arr)
+                found = True
+        if not found:
+            raise TypeError(
+                "frozen_snapshot expects ndarrays or objects exposing "
+                f"{_STATE_ARRAYS}, got {type(target).__name__}"
+            )
+    return arrays
+
+
+@contextmanager
+def frozen_snapshot(*targets):
+    """Clear ``writeable`` on the snapshot arrays for the ``with`` body.
+
+    Accepts ndarrays and/or state objects exposing ``comm`` /
+    ``comm_degree`` / ``comm_size`` (a :class:`~repro.core.sweep.SweepState`).
+    Arrays that are already read-only are left alone (so nesting is safe
+    and only the outermost guard restores); every array this guard froze
+    is restored to writeable on exit, **including on exception** — the
+    sweep's commit step must be able to write the moment the guard exits.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> snap = np.arange(3)
+    >>> with frozen_snapshot(snap):
+    ...     try:
+    ...         snap[0] = 99
+    ...     except ValueError:
+    ...         print("write blocked")
+    write blocked
+    >>> snap.flags.writeable
+    True
+    """
+    frozen: list[np.ndarray] = []
+    try:
+        for arr in _collect_arrays(targets):
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+                frozen.append(arr)
+        yield
+    finally:
+        for arr in frozen:
+            arr.flags.writeable = True
+
+
+def sanitize_default() -> bool:
+    """Library-wide sanitize default, read from ``REPRO_SANITIZE``.
+
+    Unset/empty/``0``/``false``/``off`` (case-insensitive) mean off —
+    the benchmark-friendly default; anything else means on.  The
+    test-suite sets ``REPRO_SANITIZE=1`` in ``tests/conftest.py`` so
+    every test runs under the guard.
+    """
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() not in (
+        "", "0", "false", "off",
+    )
+
+
+def resolve_sanitize(flag: "bool | None") -> bool:
+    """Resolve a tri-state sanitize argument (``None`` → env default)."""
+    return sanitize_default() if flag is None else bool(flag)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from contextlib import nullcontext
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -43,8 +44,8 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
     """Worker loop: attach shared buffers, serve chunk tasks forever.
 
     ``graph`` arrives through fork inheritance (read-only).  A task is
-    ``(offset, length, use_min_label, resolution, aggregation)`` into the
-    shared active array; ``None`` shuts the worker down.
+    ``(offset, length, use_min_label, resolution, aggregation, sanitize)``
+    into the shared active array; ``None`` shuts the worker down.
 
     Each worker owns a private :class:`SweepWorkspace` (scratch buffers are
     process-local, so no sharing hazards).  Gather plans are keyed by the
@@ -52,9 +53,16 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
     against the actual vertex contents, so plans are reused across the
     iterations of a phase and transparently rebuilt when frontier pruning
     changes the active set.
+
+    With ``sanitize`` the worker freezes its *own* shared-memory state
+    views around the kernel call — the parent's freeze covers only the
+    parent's arrays, and the snapshot contract must hold on both sides of
+    the fork.  The targets view stays writable: disjoint output slices
+    are each worker's sanctioned write.
     """
     from repro.core.sweep import SweepState, compute_targets_vectorized
     from repro.core.workspace import SweepWorkspace
+    from repro.lint.sanitizer import frozen_snapshot
 
     segs = {name: shared_memory.SharedMemory(name=shm_names[name])
             for name in shm_names}
@@ -70,16 +78,19 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
             task = task_q.get()
             if task is None:
                 break
-            offset, length, use_min_label, resolution, aggregation = task
+            (offset, length, use_min_label, resolution, aggregation,
+             sanitize) = task
             # Copy the slice out of shared memory: plan caching compares
             # (and retains) the vertex array, so it must be stable.
             verts = active[offset:offset + length].copy()
-            out = compute_targets_vectorized(
-                graph, state, verts,
-                use_min_label=use_min_label, resolution=resolution,
-                workspace=workspace, aggregation=aggregation,
-                plan_key=(offset, length),
-            )
+            guard = frozen_snapshot(state) if sanitize else nullcontext()
+            with guard:
+                out = compute_targets_vectorized(
+                    graph, state, verts,
+                    use_min_label=use_min_label, resolution=resolution,
+                    workspace=workspace, aggregation=aggregation,
+                    plan_key=(offset, length),
+                )
             targets[offset:offset + length] = out
             done_q.put(offset)
     finally:
@@ -131,7 +142,8 @@ class _SweepExecutor:
 
     def compute_targets(self, state, vertices, *, use_min_label: bool,
                         resolution: float,
-                        aggregation: "str | None" = None) -> np.ndarray:
+                        aggregation: "str | None" = None,
+                        sanitize: bool = False) -> np.ndarray:
         count = vertices.shape[0]
         nv = state.comm.shape[0]
         self._views["comm"][:nv] = state.comm
@@ -145,7 +157,7 @@ class _SweepExecutor:
         issued = 0
         for chunk in chunks:
             self._task_q.put((offset, chunk.shape[0], use_min_label,
-                              resolution, aggregation))
+                              resolution, aggregation, sanitize))
             offset += chunk.shape[0]
             issued += 1
         for _ in range(issued):
@@ -192,8 +204,14 @@ class ProcessBackend(ExecutionBackend):
 
     def sweep_targets(self, graph, state, vertices, *, use_min_label: bool,
                       resolution: float,
-                      aggregation: "str | None" = None) -> np.ndarray:
-        """Compute one sweep's targets on the worker pool."""
+                      aggregation: "str | None" = None,
+                      sanitize: bool = False) -> np.ndarray:
+        """Compute one sweep's targets on the worker pool.
+
+        ``sanitize`` is forwarded to the workers, which freeze their own
+        shared-memory state views around the kernel call (the caller's
+        freeze covers only the caller's process).
+        """
         if self.num_workers <= 1 or vertices.size < 2:
             from repro.core.sweep import compute_targets_vectorized
 
@@ -210,7 +228,7 @@ class ProcessBackend(ExecutionBackend):
         return executor.compute_targets(
             state, vertices,
             use_min_label=use_min_label, resolution=resolution,
-            aggregation=aggregation,
+            aggregation=aggregation, sanitize=sanitize,
         )
 
     def map(self, fn, items):

@@ -1,20 +1,29 @@
 """Random-number-generator plumbing.
 
 Every stochastic entry point in the library accepts a ``seed`` argument that
-may be ``None`` (fresh entropy), an integer, or an existing
-:class:`numpy.random.Generator`; :func:`as_rng` normalizes all three.
+may be ``None`` (fresh entropy), an integer, a
+:class:`numpy.random.SeedSequence`, or an existing
+:class:`numpy.random.Generator`; :func:`as_rng` normalizes all four.
 Deterministic seeds are used throughout the test-suite and the benchmark
 harness so experiment tables are reproducible run to run.
+
+This module is the **only** place the library touches ``np.random``
+directly — everywhere else, the RNG001 lint rule rejects module-level
+``np.random`` calls (see :mod:`repro.lint.rules`), which is what makes
+runs seedable and thread-count-invariant by construction.
 """
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+#: Anything :func:`as_rng` accepts as a seed.
+SeedLike: TypeAlias = int | None | np.random.Generator | np.random.SeedSequence
 
 
-def as_rng(seed=None) -> np.random.Generator:
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any accepted seed form.
 
     Parameters
@@ -23,9 +32,21 @@ def as_rng(seed=None) -> np.random.Generator:
         ``None`` for OS entropy, an ``int`` or :class:`numpy.random.SeedSequence`
         to seed a fresh PCG64 generator, or an existing ``Generator`` which is
         returned unchanged (shared, not copied).
+
+    Examples
+    --------
+    >>> int(as_rng(42).integers(0, 100))  # int seed: deterministic stream
+    8
+    >>> int(as_rng(np.random.SeedSequence(42)).integers(0, 100))
+    8
+    >>> rng = as_rng(7)
+    >>> as_rng(rng) is rng  # generators pass through unchanged
+    True
     """
     if isinstance(seed, np.random.Generator):
         return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
     return np.random.default_rng(seed)
 
 
@@ -35,6 +56,14 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     Used when a generator must be split across parallel work items so each
     item draws from its own stream (the mpi4py/numba idiom of per-worker
     streams, applied to thread chunks here).
+
+    Examples
+    --------
+    >>> children = spawn(as_rng(0), 3)
+    >>> len(children)
+    3
+    >>> children[0] is not children[1]
+    True
     """
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]

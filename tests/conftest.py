@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Run the whole suite under the runtime snapshot sanitizer
+# (repro.lint.sanitizer): sweep kernels compute targets against *frozen*
+# community snapshots, so any in-place write a change sneaks into the
+# read path raises here instead of passing silently.  Benchmarks run
+# without the variable, i.e. with the guard off.  Set before any test
+# module constructs a LouvainConfig (the default is read lazily, but the
+# conftest import is the earliest hook either way).
+os.environ.setdefault("REPRO_SANITIZE", "1")
 
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import (

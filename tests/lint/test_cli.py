@@ -1,0 +1,159 @@
+"""CLI gate: exit statuses, the baseline workflow, and the real tree."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A fixture file violating each of the race rules at once: a snapshot
+#: write in a marked kernel, module-level np.random, a set feeding an
+#: array, and a worker scattering past the accumulator.
+BAD_SOURCE = '''\
+import numpy as np
+
+
+@snapshot_kernel("state")
+def kernel(graph, state, vertices):
+    state.comm[vertices] = 0
+    return state.comm[vertices]
+
+
+def shuffle(order):
+    np.random.shuffle(order)
+
+
+def labels(values):
+    return np.array(list(set(values)))
+
+
+def _worker_main(shared, idx, vals):
+    np.add.at(shared, idx, vals)
+'''
+
+
+def write_bad_fixture(tmp_path: Path) -> Path:
+    # The synthetic path lives under repro/parallel/ so every scoped rule
+    # (SNAP001/RNG001/DET001/ATOM001) applies to it.
+    pkg = tmp_path / "repro" / "parallel"
+    pkg.mkdir(parents=True)
+    target = pkg / "bad.py"
+    target.write_text(BAD_SOURCE, encoding="utf-8")
+    return target
+
+
+class TestExitStatus:
+    def test_bad_fixture_fails(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        out = io.StringIO()
+        assert main([str(target), "--no-baseline"], out=out) == 1
+        text = out.getvalue()
+        for code in ("SNAP001", "RNG001", "DET001", "ATOM001"):
+            assert code in text
+
+    def test_clean_fixture_passes(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x + 1\n", encoding="utf-8")
+        assert main([str(clean), "--no-baseline"], out=io.StringIO()) == 0
+
+    def test_select_narrows_the_gate(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        out = io.StringIO()
+        assert main(
+            [str(target), "--no-baseline", "--select", "SNAP001"], out=out
+        ) == 1
+        assert "SNAP001" in out.getvalue()
+        assert "RNG001" not in out.getvalue()
+
+    def test_ignore_all_codes_passes(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        code = main(
+            [str(target), "--no-baseline",
+             "--ignore", "SNAP001,RNG001,DET001,ATOM001"],
+            out=io.StringIO(),
+        )
+        assert code == 0
+
+
+class TestBaselineWorkflow:
+    def test_write_then_rerun_passes(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        out = io.StringIO()
+        assert main(
+            [str(target), "--baseline", str(baseline), "--write-baseline"],
+            out=out,
+        ) == 0
+        assert baseline.exists()
+
+        # Accepted findings no longer fail the gate...
+        assert main(
+            [str(target), "--baseline", str(baseline)], out=io.StringIO()
+        ) == 0
+
+        # ...but a fresh violation does.
+        target.write_text(
+            BAD_SOURCE + "\n\ndef g(x, acc=[]):\n    return acc\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        assert main(
+            [str(target), "--baseline", str(baseline)], out=out
+        ) == 1
+        assert "MUT001" in out.getvalue()
+
+    def test_no_baseline_overrides_file(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(
+            [str(target), "--baseline", str(baseline), "--write-baseline"],
+            out=io.StringIO(),
+        )
+        assert main(
+            [str(target), "--baseline", str(baseline), "--no-baseline"],
+            out=io.StringIO(),
+        ) == 1
+
+
+class TestOutputFormats:
+    def test_json_format(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        out = io.StringIO()
+        assert main(
+            [str(target), "--no-baseline", "--format", "json"], out=out
+        ) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["ok"] is False
+        assert payload["num_findings"] == len(payload["new"]) > 0
+        codes = {f["code"] for f in payload["new"]}
+        assert {"SNAP001", "RNG001", "DET001", "ATOM001"} <= codes
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert main(["--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for code in ("SNAP001", "RNG001", "DET001", "ATOM001",
+                     "MUT001", "ASSERT001", "DTYPE001"):
+            assert code in text
+
+    def test_quiet_prints_summary_only(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        out = io.StringIO()
+        assert main([str(target), "--no-baseline", "-q"], out=out) == 1
+        text = out.getvalue()
+        assert "new finding(s)" in text
+        assert "bad.py:" not in text
+
+
+class TestRealTree:
+    """The shipped tree must be clean against its committed baseline."""
+
+    def test_src_is_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert (REPO_ROOT / ".lint-baseline.json").exists()
+        assert main(["src", "-q"], out=io.StringIO()) == 0

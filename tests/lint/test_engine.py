@@ -1,0 +1,119 @@
+"""Engine mechanics: noqa suppression, fingerprints, and the baseline."""
+
+from __future__ import annotations
+
+from repro.lint.engine import Baseline, Finding, lint_source
+
+BAD_ASSERT = "def f(x):\n    assert x > 0\n"
+PATH = "src/repro/core/fixture.py"
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_everything(self):
+        source = "def f(x):\n    assert x > 0  # noqa\n"
+        assert lint_source(source, PATH) == []
+
+    def test_targeted_noqa_suppresses_named_code(self):
+        source = "def f(x):\n    assert x > 0  # noqa: ASSERT001\n"
+        assert lint_source(source, PATH) == []
+
+    def test_targeted_noqa_keeps_other_codes(self):
+        source = "def f(x):\n    assert x > 0  # noqa: DTYPE001\n"
+        assert [f.code for f in lint_source(source, PATH)] == ["ASSERT001"]
+
+    def test_multiple_codes(self):
+        source = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    assert n > 0\n"
+            "    return np.zeros(n)  # noqa: DTYPE001, ASSERT001\n"
+        )
+        assert [f.code for f in lint_source(source, PATH)] == ["ASSERT001"]
+
+
+class TestFindings:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def f(:\n", PATH)
+        assert [f.code for f in findings] == ["PARSE001"]
+
+    def test_sorted_by_position(self):
+        source = (
+            "import numpy as np\n"
+            "def f(n, acc=[]):\n"
+            "    assert n > 0\n"
+            "    return np.zeros(n)\n"
+        )
+        findings = lint_source(source, PATH)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert {f.code for f in findings} == {"MUT001", "ASSERT001", "DTYPE001"}
+
+    def test_render_is_editor_clickable(self):
+        (finding,) = lint_source(BAD_ASSERT, PATH)
+        assert finding.render().startswith(f"{PATH}:2:")
+        assert "ASSERT001" in finding.render()
+
+    def test_select_and_ignore(self):
+        source = "def f(n, acc=[]):\n    assert n > 0\n"
+        only = lint_source(source, PATH, select=["MUT001"])
+        assert [f.code for f in only] == ["MUT001"]
+        rest = lint_source(source, PATH, ignore=["MUT001"])
+        assert [f.code for f in rest] == ["ASSERT001"]
+
+
+class TestFingerprints:
+    def test_line_number_free(self):
+        (a,) = lint_source(BAD_ASSERT, PATH)
+        shifted = "# a comment\n\n\n" + BAD_ASSERT
+        (b,) = lint_source(shifted, PATH)
+        assert a.line != b.line
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinguishes_path_code_and_text(self):
+        base = Finding(PATH, 1, 0, "ASSERT001", "m", "assert x")
+        assert base.fingerprint() != Finding(
+            "src/repro/core/other.py", 1, 0, "ASSERT001", "m", "assert x"
+        ).fingerprint()
+        assert base.fingerprint() != Finding(
+            PATH, 1, 0, "DTYPE001", "m", "assert x"
+        ).fingerprint()
+        assert base.fingerprint() != Finding(
+            PATH, 1, 0, "ASSERT001", "m", "assert y"
+        ).fingerprint()
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint_source(BAD_ASSERT, PATH)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        new, baselined = loaded.filter_new(findings)
+        assert new == []
+        assert baselined == len(findings)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        findings = lint_source(BAD_ASSERT, PATH)
+        new, baselined = baseline.filter_new(findings)
+        assert new == findings
+        assert baselined == 0
+
+    def test_count_budget(self):
+        # Two identical lines share a fingerprint; baselining one of them
+        # budgets exactly one occurrence, so the second is still new.
+        twice = "def f(x):\n    assert x > 0\n    assert x > 0\n"
+        both = lint_source(twice, PATH)
+        assert len(both) == 2
+        assert both[0].fingerprint() == both[1].fingerprint()
+
+        baseline = Baseline.from_findings(both[:1])
+        new, baselined = baseline.filter_new(both)
+        assert baselined == 1
+        assert len(new) == 1
+
+    def test_new_findings_not_covered(self, tmp_path):
+        baseline = Baseline.from_findings(lint_source(BAD_ASSERT, PATH))
+        grown = BAD_ASSERT + "def g(y, acc=[]):\n    return acc\n"
+        new, baselined = baseline.filter_new(lint_source(grown, PATH))
+        assert baselined == 1
+        assert [f.code for f in new] == ["MUT001"]

@@ -1,0 +1,341 @@
+"""Rule-by-rule fixtures: each bad snippet triggers, each good one passes.
+
+Fixture paths are synthetic (``repro/core/…``-style) so the snippets opt
+into the package-scoped rules without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import lint_source
+
+
+def codes(source: str, path: str = "src/repro/core/fixture.py") -> list[str]:
+    return [f.code for f in lint_source(textwrap.dedent(source), path)]
+
+
+# ---------------------------------------------------------------------------
+# SNAP001 — snapshot writes inside @snapshot_kernel functions
+# ---------------------------------------------------------------------------
+class TestSnapshotWriteRule:
+    def test_subscript_assignment_triggers(self):
+        bad = """
+            @snapshot_kernel("state")
+            def kernel(graph, state, vertices):
+                state.comm[vertices] = 0
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_augmented_assignment_triggers(self):
+        bad = """
+            @snapshot_kernel("comm")
+            def kernel(comm, out):
+                comm += 1
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_ufunc_at_scatter_triggers(self):
+        bad = """
+            import numpy as np
+
+            @snapshot_kernel("state")
+            def kernel(graph, state, src, k):
+                np.subtract.at(state.comm_degree, src, k)
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_mutating_method_triggers(self):
+        bad = """
+            @snapshot_kernel("snapshot")
+            def kernel(snapshot):
+                snapshot.sort()
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_fill_on_attribute_triggers(self):
+        bad = """
+            @snapshot_kernel("state")
+            def kernel(state):
+                state.comm_size.fill(0)
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_np_copyto_into_snapshot_triggers(self):
+        bad = """
+            import numpy as np
+
+            @snapshot_kernel("state")
+            def kernel(state, fresh):
+                np.copyto(state.comm, fresh)
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_bare_decorator_marks_all_params(self):
+        bad = """
+            @snapshot_kernel
+            def kernel(a, b):
+                b[0] = 1.0
+        """
+        assert "SNAP001" in codes(bad)
+
+    def test_read_only_kernel_passes(self):
+        good = """
+            import numpy as np
+
+            @snapshot_kernel("state")
+            def kernel(graph, state, vertices):
+                cur = state.comm[vertices]
+                targets = cur.copy()
+                targets[0] = 5      # local copy: fine
+                scratch = np.zeros(3, dtype=np.int64)
+                np.add.at(scratch, cur % 3, 1)   # local scatter: fine
+                return targets
+        """
+        assert codes(good) == []
+
+    def test_writes_outside_marked_functions_ignored(self):
+        good = """
+            def apply_moves(graph, state, vertices, targets):
+                state.comm[vertices] = targets   # commit step: sanctioned
+        """
+        assert codes(good) == []
+
+    def test_unmarked_params_may_be_written(self):
+        good = """
+            @snapshot_kernel("state")
+            def kernel(graph, state, out):
+                out[:] = state.comm
+        """
+        assert codes(good) == []
+
+    def test_qualified_decorator_detected(self):
+        bad = """
+            from repro.lint import sanitizer
+
+            @sanitizer.snapshot_kernel("state")
+            def kernel(state):
+                state.comm[0] = 1
+        """
+        assert "SNAP001" in codes(bad)
+
+
+# ---------------------------------------------------------------------------
+# RNG001 — unseeded numpy randomness
+# ---------------------------------------------------------------------------
+class TestUnseededRNGRule:
+    def test_module_level_call_triggers(self):
+        bad = """
+            import numpy as np
+
+            def shuffle(order):
+                np.random.shuffle(order)
+        """
+        assert "RNG001" in codes(bad, "src/repro/coloring/fixture.py")
+
+    def test_default_rng_outside_rng_module_triggers(self):
+        bad = """
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        assert "RNG001" in codes(bad, "src/repro/graph/fixture.py")
+
+    def test_import_of_callable_triggers(self):
+        bad = "from numpy.random import default_rng\n"
+        assert "RNG001" in codes(bad, "src/repro/graph/fixture.py")
+
+    def test_allowed_inside_rng_module(self):
+        good = """
+            import numpy as np
+
+            def as_rng(seed=None):
+                return np.random.default_rng(seed)
+        """
+        assert codes(good, "src/repro/utils/rng.py") == []
+
+    def test_type_references_pass(self):
+        good = """
+            import numpy as np
+
+            def check(seed):
+                if isinstance(seed, np.random.Generator):
+                    return seed
+                return np.random.SeedSequence(seed)
+        """
+        assert codes(good, "src/repro/utils/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# DET001 — unordered iteration feeding arrays
+# ---------------------------------------------------------------------------
+class TestUnorderedToArrayRule:
+    def test_array_of_set_triggers(self):
+        bad = """
+            import numpy as np
+
+            def labels(values):
+                return np.array(list(set(values)))
+        """
+        assert "DET001" in codes(bad)
+
+    def test_comprehension_over_set_triggers(self):
+        bad = """
+            import numpy as np
+
+            def weights(table):
+                return np.asarray([w for w in table.keys()])
+        """
+        assert "DET001" in codes(bad)
+
+    def test_fromiter_over_values_triggers(self):
+        bad = """
+            import numpy as np
+
+            def weights(table):
+                return np.fromiter(table.values(), dtype=np.float64)
+        """
+        assert "DET001" in codes(bad)
+
+    def test_sorted_wrapping_passes(self):
+        good = """
+            import numpy as np
+
+            def labels(values):
+                return np.array(sorted(set(values)))
+        """
+        assert codes(good) == []
+
+    def test_scoped_to_deterministic_packages(self):
+        bad = """
+            import numpy as np
+
+            def labels(values):
+                return np.array(list(set(values)))
+        """
+        # Same snippet outside core/parallel/coloring: not this rule's job.
+        assert codes(bad, "src/repro/bench/fixture.py") == []
+
+    def test_membership_tests_pass(self):
+        good = """
+            import numpy as np
+
+            def pick(colors, used):
+                used = set(used)
+                c = 0
+                while c in used:
+                    c += 1
+                return c
+        """
+        assert codes(good) == []
+
+
+# ---------------------------------------------------------------------------
+# ATOM001 — accumulator bypass in parallel workers
+# ---------------------------------------------------------------------------
+class TestWorkerScatterRule:
+    def test_ufunc_at_in_worker_triggers(self):
+        bad = """
+            import numpy as np
+
+            def _worker_main(shared, idx, vals):
+                np.add.at(shared, idx, vals)
+        """
+        assert "ATOM001" in codes(bad, "src/repro/parallel/fixture.py")
+
+    def test_augassign_into_param_subscript_triggers(self):
+        bad = """
+            def worker_loop(shared, i, v):
+                shared[i] += v
+        """
+        assert "ATOM001" in codes(bad, "src/repro/parallel/fixture.py")
+
+    def test_non_worker_function_passes(self):
+        good = """
+            import numpy as np
+
+            def apply_moves(degree, src, k):
+                np.subtract.at(degree, src, k)
+        """
+        assert codes(good, "src/repro/parallel/fixture.py") == []
+
+    def test_atomic_module_exempt(self):
+        good = """
+            import numpy as np
+
+            def worker_add(buffers, worker, index, values):
+                np.add.at(buffers[worker], index, values)
+        """
+        assert codes(good, "src/repro/parallel/atomic.py") == []
+
+    def test_scoped_to_parallel_package(self):
+        good = """
+            import numpy as np
+
+            def _worker_main(shared, idx, vals):
+                np.add.at(shared, idx, vals)
+        """
+        assert codes(good, "src/repro/graph/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Generic rules
+# ---------------------------------------------------------------------------
+class TestGenericRules:
+    def test_mutable_default_triggers(self):
+        assert "MUT001" in codes("def f(x, acc=[]):\n    return acc\n")
+
+    def test_dict_call_default_triggers(self):
+        assert "MUT001" in codes("def f(x, table=dict()):\n    return table\n")
+
+    def test_none_default_passes(self):
+        assert codes("def f(x, acc=None):\n    return acc or []\n") == []
+
+    def test_bare_assert_triggers(self):
+        assert "ASSERT001" in codes("def f(x):\n    assert x > 0\n")
+
+    def test_assert_outside_library_passes(self):
+        source = "def f(x):\n    assert x > 0\n"
+        assert codes(source, "tests/fixture.py") == []
+
+    def test_missing_dtype_triggers(self):
+        bad = """
+            import numpy as np
+
+            def alloc(n):
+                return np.zeros(n)
+        """
+        assert "DTYPE001" in codes(bad)
+
+    def test_positional_dtype_passes(self):
+        good = """
+            import numpy as np
+
+            def alloc(n):
+                return np.zeros(n, np.int64)
+        """
+        assert codes(good) == []
+
+    def test_full_needs_third_argument(self):
+        bad = """
+            import numpy as np
+
+            def alloc(n):
+                return np.full(n, -1)
+        """
+        good = """
+            import numpy as np
+
+            def alloc(n):
+                return np.full(n, -1, dtype=np.int64)
+        """
+        assert "DTYPE001" in codes(bad)
+        assert codes(good) == []
+
+    def test_dtype_scoped_to_hot_modules(self):
+        source = """
+            import numpy as np
+
+            def alloc(n):
+                return np.zeros(n)
+        """
+        assert codes(source, "src/repro/bench/fixture.py") == []

@@ -1,0 +1,225 @@
+"""Runtime sanitizer: frozen snapshots, restoration, and end-to-end wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LouvainConfig
+from repro.core.driver import louvain
+from repro.core.phase import run_phase
+from repro.core.sweep import SweepState, compute_targets, init_state
+from repro.lint.sanitizer import (
+    frozen_snapshot,
+    resolve_sanitize,
+    sanitize_default,
+    snapshot_kernel,
+)
+
+
+class TestFrozenSnapshot:
+    def test_write_raises_inside_guard(self):
+        snap = np.arange(5)
+        with frozen_snapshot(snap):
+            with pytest.raises(ValueError):
+                snap[0] = 99
+
+    def test_writeable_restored_on_exit(self):
+        snap = np.arange(5)
+        with frozen_snapshot(snap):
+            assert not snap.flags.writeable
+        assert snap.flags.writeable
+        snap[0] = 99  # must not raise
+
+    def test_writeable_restored_on_exception(self):
+        snap = np.arange(5)
+        with pytest.raises(RuntimeError):
+            with frozen_snapshot(snap):
+                raise RuntimeError("kernel blew up")
+        assert snap.flags.writeable
+
+    def test_views_taken_inside_guard_are_frozen(self):
+        # Views created from a frozen base inherit writeable=False — the
+        # case that matters for kernels, which slice the snapshot inside
+        # the guard.  (Views taken *before* the freeze keep their own
+        # flag; the static SNAP001 rule covers that hole.)
+        snap = np.arange(6)
+        with frozen_snapshot(snap):
+            view = snap[2:]
+            with pytest.raises(ValueError):
+                view[0] = -1
+
+    def test_nesting_only_outermost_restores(self):
+        snap = np.arange(4)
+        with frozen_snapshot(snap):
+            with frozen_snapshot(snap):
+                assert not snap.flags.writeable
+            # Inner guard froze nothing, so the array stays frozen here.
+            assert not snap.flags.writeable
+        assert snap.flags.writeable
+
+    def test_accepts_state_objects(self, triangle):
+        state = init_state(triangle)
+        with frozen_snapshot(state):
+            for arr in (state.comm, state.comm_degree, state.comm_size):
+                assert not arr.flags.writeable
+        for arr in (state.comm, state.comm_degree, state.comm_size):
+            assert arr.flags.writeable
+
+    def test_mixed_arrays_and_states(self, triangle):
+        state = init_state(triangle)
+        extra = np.zeros(3, dtype=np.float64)
+        with frozen_snapshot(state, extra, None):
+            assert not state.comm.flags.writeable
+            assert not extra.flags.writeable
+        assert state.comm.flags.writeable
+        assert extra.flags.writeable
+
+    def test_rejects_unknown_objects(self):
+        with pytest.raises(TypeError):
+            with frozen_snapshot(object()):
+                pass
+
+    def test_already_readonly_array_left_readonly(self):
+        snap = np.arange(3)
+        snap.flags.writeable = False
+        with frozen_snapshot(snap):
+            pass
+        assert not snap.flags.writeable
+
+
+class TestSnapshotKernelMarker:
+    def test_named_form_records_params(self):
+        @snapshot_kernel("graph", "state")
+        def kernel(graph, state):
+            return None
+
+        assert kernel.__snapshot_params__ == ("graph", "state")
+
+    def test_bare_form_means_all_params(self):
+        @snapshot_kernel
+        def kernel(a, b):
+            return None
+
+        assert kernel.__snapshot_params__ == ()
+
+    def test_returns_same_object(self):
+        def kernel(x):
+            return x
+
+        assert snapshot_kernel("x")(kernel) is kernel
+        assert snapshot_kernel(kernel) is kernel
+
+    def test_non_string_params_rejected(self):
+        with pytest.raises(TypeError):
+            snapshot_kernel(3)
+
+
+class TestSanitizeDefaults:
+    def test_env_values(self, monkeypatch):
+        for value, expected in [
+            ("1", True), ("on", True), ("yes", True),
+            ("0", False), ("false", False), ("off", False), ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize_default() is expected
+
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitize_default() is False
+
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert resolve_sanitize(False) is False
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert resolve_sanitize(True) is True
+        assert resolve_sanitize(None) is False
+
+    def test_config_default_tracks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert LouvainConfig().sanitize is True
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert LouvainConfig().sanitize is False
+
+
+def _writing_kernel(graph, state, vertices, **kwargs):
+    """A sabotaged kernel that violates the snapshot contract."""
+    state.comm[np.asarray(vertices, dtype=np.int64)] = 0
+    return state.comm[np.asarray(vertices, dtype=np.int64)].copy()
+
+
+class TestSweepWiring:
+    def test_write_raises_inside_compute_targets(self, karate, monkeypatch):
+        import repro.core.sweep as sweep_mod
+
+        monkeypatch.setattr(
+            sweep_mod, "compute_targets_vectorized", _writing_kernel
+        )
+        state = init_state(karate)
+        vertices = np.arange(karate.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError):
+            compute_targets(karate, state, vertices, sanitize=True)
+
+    def test_sanitize_off_lets_write_through(self, karate, monkeypatch):
+        import repro.core.sweep as sweep_mod
+
+        monkeypatch.setattr(
+            sweep_mod, "compute_targets_vectorized", _writing_kernel
+        )
+        state = init_state(karate)
+        vertices = np.arange(karate.num_vertices, dtype=np.int64)
+        # Without the guard the violation passes silently — exactly the
+        # race class the sanitizer exists to surface.
+        compute_targets(karate, state, vertices, sanitize=False)
+        assert (state.comm == 0).all()
+
+    def test_write_raises_inside_run_phase(self, karate, monkeypatch):
+        import repro.core.sweep as sweep_mod
+
+        monkeypatch.setattr(
+            sweep_mod, "compute_targets_vectorized", _writing_kernel
+        )
+        state = init_state(karate)
+        with pytest.raises(ValueError):
+            run_phase(karate, state, threshold=1e-6, sanitize=True)
+
+    def test_state_writeable_after_run_phase_exception(self, karate,
+                                                       monkeypatch):
+        import repro.core.sweep as sweep_mod
+
+        monkeypatch.setattr(
+            sweep_mod, "compute_targets_vectorized", _writing_kernel
+        )
+        state = init_state(karate)
+        with pytest.raises(ValueError):
+            run_phase(karate, state, threshold=1e-6, sanitize=True)
+        # The guard's finally block must have restored the commit path.
+        for arr in (state.comm, state.comm_degree, state.comm_size):
+            assert arr.flags.writeable
+        state.comm[0] = 0  # and writes must actually work again
+
+    def test_clean_phase_leaves_state_writeable(self, karate):
+        state = init_state(karate)
+        run_phase(karate, state, threshold=1e-6, sanitize=True)
+        for arr in (state.comm, state.comm_degree, state.comm_size):
+            assert arr.flags.writeable
+
+
+class TestBitwiseEquivalence:
+    """The sanitizer changes failure behavior, never results."""
+
+    @pytest.mark.parametrize("graph_name", ["karate", "cliques8", "planted"])
+    def test_partitions_identical(self, graph_name, request):
+        graph = request.getfixturevalue(graph_name)
+        on = louvain(graph, LouvainConfig(sanitize=True))
+        off = louvain(graph, LouvainConfig(sanitize=False))
+        np.testing.assert_array_equal(on.communities, off.communities)
+        assert on.modularity == off.modularity  # bitwise, not approx
+
+    def test_targets_identical(self, karate):
+        vertices = np.arange(karate.num_vertices, dtype=np.int64)
+        state_a = init_state(karate)
+        state_b = init_state(karate)
+        t_on = compute_targets(karate, state_a, vertices, sanitize=True)
+        t_off = compute_targets(karate, state_b, vertices, sanitize=False)
+        np.testing.assert_array_equal(t_on, t_off)

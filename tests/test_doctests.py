@@ -16,9 +16,11 @@ MODULE_NAMES = [
     "repro.core.modularity",
     "repro.dynamic.dynamic_graph",
     "repro.graph.build",
+    "repro.lint.sanitizer",
     "repro.metrics.pairs",
     "repro.parallel.atomic",
     "repro.utils.arrays",
+    "repro.utils.rng",
     "repro.utils.timing",
 ]
 
