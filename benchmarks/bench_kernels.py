@@ -183,20 +183,30 @@ def _build_graph(spec):
     return getattr(generators, name)(*args, **kwargs)
 
 
-def time_phase(graph, repeats=3, **kwargs):
-    """Best-of-``repeats`` wall clock of one ``run_phase`` configuration."""
+def time_phase(graph, repeats=3, traced=False, **kwargs):
+    """Best-of-``repeats`` wall clock of one ``run_phase`` configuration.
+
+    With ``traced=True`` an *enabled* :class:`repro.obs.trace.Tracer` is
+    installed as the ambient tracer for the timed region, so the figure
+    includes the full span/metric recording cost (the observability PR's
+    overhead acceptance criterion compares this against ``traced=False``).
+    """
     import time
+    from contextlib import nullcontext
 
     from repro.core.phase import run_phase
     from repro.core.sweep import init_state
+    from repro.obs.trace import Tracer, use_tracer
 
     best = None
     iters = q = None
     for _ in range(repeats):
         state = init_state(graph)
-        t0 = time.perf_counter()
-        out = run_phase(graph, state, threshold=PHASE_THRESHOLD, **kwargs)
-        dt = time.perf_counter() - t0
+        scope = use_tracer(Tracer(enabled=True)) if traced else nullcontext()
+        with scope:
+            t0 = time.perf_counter()
+            out = run_phase(graph, state, threshold=PHASE_THRESHOLD, **kwargs)
+            dt = time.perf_counter() - t0
         if best is None or dt < best:
             best = dt
         iters, q = len(out.records), out.end_modularity
@@ -251,6 +261,9 @@ def run_phase_suite(graph_names=None, repeats=3, use_seed_worktree=True,
     ``Q``.  Kernels: ``"seed"`` (root-commit code in a worktree),
     ``"seed-flags"`` (current code, optimizations disabled — only when the
     worktree baseline is unavailable or disabled) and ``"optimized"``.
+    For ``planted-100k`` an extra ``"optimized+trace"`` record times the
+    same kernel with the :mod:`repro.obs` tracer enabled, quantifying the
+    tracing overhead.
     """
     import os
 
@@ -277,6 +290,15 @@ def run_phase_suite(graph_names=None, repeats=3, use_seed_worktree=True,
             f"{base['kernel']}={base['seconds']:.3f}s "
             f"optimized={opt['seconds']:.3f}s "
             f"speedup={base['seconds'] / opt['seconds']:.2f}x")
+        if name == "planted-100k":
+            records.append({
+                **meta, "kernel": "optimized+trace",
+                **time_phase(graph, repeats, traced=True),
+            })
+            traced = records[-1]
+            overhead = traced["seconds"] / opt["seconds"] - 1.0
+            log(f"{name}: optimized+trace={traced['seconds']:.3f}s "
+                f"(tracer overhead {overhead:+.1%})")
     return records
 
 

@@ -13,6 +13,10 @@ Subcommands
 ``convert``   Convert a graph file between the supported formats.
 ``datasets``  List the eleven stand-ins and their paper reference rows.
 ``bench``     Run one experiment (or ``all``) from the §6 harness.
+``obs``       Observability: capture a traced run (``obs trace``), print a
+              Fig 8-style breakdown + span tree from a trace file
+              (``obs report``), or schema-check a Chrome trace
+              (``obs validate``).
 
 Examples
 --------
@@ -22,6 +26,8 @@ Examples
     repro-louvain detect mygraph.txt --format edgelist --output comm.txt
     repro-louvain stats --dataset MG1
     repro-louvain bench table2
+    repro-louvain obs trace --dataset MG1 --scale 0.5 --out trace.json
+    repro-louvain obs report trace.json
 """
 
 from __future__ import annotations
@@ -265,6 +271,77 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_obs_trace(args) -> int:
+    from repro.core.driver import louvain
+    from repro.core.louvain_serial import louvain_serial
+    from repro.obs.export import (
+        to_flat_text,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.report import render_breakdown
+
+    graph = _load_graph(args)
+    print(f"graph: {graph}")
+    if args.variant == "serial":
+        result = louvain_serial(graph, threshold=args.final_threshold,
+                                seed=args.seed, trace=True)
+    else:
+        cutoff = (args.coloring_cutoff if args.coloring_cutoff is not None
+                  else max(64, graph.num_vertices // 16))
+        result = louvain(
+            graph,
+            variant=args.variant,
+            coloring_min_vertices=cutoff,
+            backend=args.backend,
+            num_threads=args.threads,
+            seed=args.seed,
+            trace=True,
+        )
+    tracer = result.trace
+    print(f"modularity:  {result.modularity:.6f}")
+    print(f"spans:       {len(tracer.events)}")
+    if args.trace_format == "jsonl":
+        write_jsonl(tracer, args.out, history=result.history)
+    elif args.trace_format == "flat":
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(to_flat_text(tracer))
+    else:
+        write_chrome_trace(tracer, args.out, history=result.history)
+    print(f"trace written to {args.out} ({args.trace_format})")
+    print()
+    print(render_breakdown(tracer), end="")
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs.export import load_trace
+    from repro.obs.report import render_report
+
+    data = load_trace(args.trace)
+    print(render_report(data, tree=not args.no_tree,
+                        max_depth=args.max_depth), end="")
+    return 0
+
+
+def _cmd_obs_validate(args) -> int:
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    events = (payload.get("traceEvents", payload)
+              if isinstance(payload, dict) else payload)
+    print(f"OK: {len(events)} trace events, schema valid")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-louvain",
@@ -350,6 +427,53 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="FILE",
                        help="also dump the raw experiment data as JSON")
     bench.set_defaults(func=_cmd_bench)
+
+    obs = sub.add_parser(
+        "obs", help="tracing and metrics (capture / report / validate)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="run traced Louvain and write the trace to a file"
+    )
+    add_graph_args(obs_trace)
+    obs_trace.add_argument(
+        "--variant",
+        choices=["serial", "baseline", "baseline+VF", "baseline+VF+Color"],
+        default="baseline+VF+Color",
+    )
+    obs_trace.add_argument("--coloring-cutoff", type=int, default=None,
+                           help="min vertices to keep coloring (default n/16)")
+    obs_trace.add_argument("--final-threshold", type=float, default=1e-6)
+    obs_trace.add_argument("--backend",
+                           choices=["serial", "threads", "processes"],
+                           default="serial")
+    obs_trace.add_argument("--threads", type=int, default=4)
+    obs_trace.add_argument("--out", required=True,
+                           help="output trace file")
+    obs_trace.add_argument("--trace-format", dest="trace_format",
+                           choices=["chrome", "jsonl", "flat"],
+                           default="chrome",
+                           help="chrome = Perfetto/chrome://tracing JSON "
+                                "(default), jsonl = lossless event log, "
+                                "flat = key/value text")
+    obs_trace.set_defaults(func=_cmd_obs_trace)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="Fig 8-style breakdown + span tree from a trace file"
+    )
+    obs_report.add_argument("trace", help="trace file (chrome JSON or JSONL)")
+    obs_report.add_argument("--no-tree", action="store_true",
+                            help="omit the span tree")
+    obs_report.add_argument("--max-depth", type=int, default=None,
+                            help="span-tree depth limit")
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    obs_validate = obs_sub.add_parser(
+        "validate", help="schema-check a Chrome trace-event JSON file"
+    )
+    obs_validate.add_argument("trace", help="Chrome trace JSON file")
+    obs_validate.set_defaults(func=_cmd_obs_validate)
     return parser
 
 

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field, replace
 
 from repro.lint.sanitizer import sanitize_default
+from repro.obs.trace import trace_default
 from repro.utils.errors import ValidationError
 
 __all__ = ["HeuristicVariant", "LouvainConfig"]
@@ -125,6 +126,13 @@ class LouvainConfig:
         Seed for the randomized coloring priorities (the only stochastic
         component; the paper notes this is the one source of run-to-run
         variation, §5.4).
+    trace:
+        Record the run into the unified observability layer
+        (:mod:`repro.obs`): nested spans, Fig. 8 step buckets, and the
+        metric registry, exportable as Chrome-trace JSON / JSONL
+        (``repro obs``).  Defaults to the ``REPRO_TRACE`` environment
+        setting, mirroring ``sanitize``; off means the near-zero-overhead
+        null path.  Results are bitwise identical traced or not.
     resolution:
         Resolution parameter γ of the generalized modularity objective
         (1.0 = the paper's Eq. 3).  The paper lists alternative modularity
@@ -149,6 +157,7 @@ class LouvainConfig:
     incremental_modularity: bool = True
     backend: str = "serial"
     sanitize: bool = field(default_factory=sanitize_default)
+    trace: bool = field(default_factory=trace_default)
     num_threads: int = 4
     max_phases: int = 32
     max_iterations_per_phase: int = 1000

@@ -17,11 +17,17 @@ Steps, exactly as the paper lists them:
 The driver records everything the evaluation section needs: per-iteration
 modularity, per-phase work counters, coloring statistics, rebuild lock
 counts, and wall-clock step timers (clustering / coloring / rebuild — the
-Fig. 8 buckets).
+Fig. 8 buckets).  Timing flows through the unified observability layer
+(:mod:`repro.obs`): the driver installs its :class:`~repro.obs.trace.Tracer`
+as ambient for the whole run, and ``result.timers`` is a live
+:class:`~repro.utils.timing.StepTimer` view over the tracer's step
+buckets.  With ``config.trace`` enabled the same clock reads additionally
+produce the span stream behind ``repro obs`` reports and Chrome traces.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,10 +47,11 @@ from repro.core.workspace import SweepWorkspace
 from repro.core.vf import VFResult, chain_compress, vf_merge
 from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import Tracer, use_tracer
 from repro.parallel.backends import make_backend
 from repro.utils.arrays import renumber_labels
 from repro.utils.errors import ValidationError
-from repro.utils.timing import StepTimer
+from repro.utils.timing import StepTimer, step_timer_view
 
 __all__ = ["LouvainResult", "louvain"]
 
@@ -66,9 +73,14 @@ class LouvainResult:
     config:
         The configuration the run used.
     timers:
-        Wall-clock step buckets: ``clustering``, ``coloring``, ``rebuild``.
+        Wall-clock step buckets: ``clustering``, ``coloring``, ``rebuild``
+        (a live view over ``trace``'s step buckets).
     vf:
         VF preprocessing outcome (``None`` when VF was off).
+    trace:
+        The run's :class:`~repro.obs.trace.Tracer` when ``config.trace``
+        was enabled (feed it to :mod:`repro.obs.export` /
+        :mod:`repro.obs.report`); ``None`` otherwise.
     """
 
     communities: np.ndarray
@@ -78,6 +90,7 @@ class LouvainResult:
     config: LouvainConfig
     timers: StepTimer = field(default_factory=StepTimer)
     vf: VFResult | None = None
+    trace: "Tracer | None" = None
 
     @property
     def num_communities(self) -> int:
@@ -151,7 +164,8 @@ def louvain(
     2
     """
     cfg = _resolve_config(config, variant, overrides)
-    timers = StepTimer()
+    tracer = Tracer(enabled=cfg.trace)
+    timers = step_timer_view(tracer)
     history = ConvergenceHistory()
     dendrogram = Dendrogram()
 
@@ -185,10 +199,18 @@ def louvain(
     current = graph
     mapping = np.arange(n_original, dtype=np.int64)
 
+    # The tracer stays ambient for the whole run so nested kernels and
+    # forked workers can emit without threading it through signatures.
+    _obs = ExitStack()
+    _obs.enter_context(use_tracer(tracer))
+    _obs.enter_context(tracer.span(
+        "louvain", cat="pipeline", variant=cfg.variant_name,
+        n=n_original, backend=cfg.backend,
+    ))
     try:
         # -- Step 1: VF preprocessing (optional, once, §6.1) ----------------
         if cfg.use_vf:
-            with timers.step("rebuild"):
+            with tracer.step("rebuild", stage="vf"):
                 vf_result = (
                     chain_compress(current)
                     if cfg.vf_chain_compression
@@ -217,7 +239,7 @@ def louvain(
             color_sets = None
             colors = None
             if color_this_phase:
-                with timers.step("coloring"):
+                with tracer.step("coloring", phase=phase_index):
                     if cfg.distance_k > 1:
                         colors = distance_k_coloring(
                             current, cfg.distance_k, seed=cfg.seed
@@ -236,6 +258,9 @@ def louvain(
                             current, colors, max_colors=headroom + headroom // 2
                         )
                     color_sets = color_set_partition(colors)
+                if tracer.enabled:
+                    for size in color_class_sizes(colors).tolist():
+                        tracer.observe("coloring.set_size", size)
 
             threshold = (
                 cfg.colored_threshold if color_this_phase else cfg.final_threshold
@@ -249,7 +274,7 @@ def louvain(
                 SweepWorkspace(current, aggregation=cfg.aggregation)
                 if cfg.kernel == "vectorized" else None
             )
-            with timers.step("clustering"):
+            with tracer.step("clustering", phase=phase_index):
                 outcome = run_phase(
                     current,
                     state,
@@ -269,7 +294,7 @@ def louvain(
                 )
             history.iterations.extend(outcome.records)
 
-            with timers.step("rebuild"):
+            with tracer.step("rebuild", phase=phase_index):
                 rebuild = coarsen(current, state.comm)
             history.phases.append(
                 PhaseRecord(
@@ -297,11 +322,17 @@ def louvain(
 
             made_progress = rebuild.num_communities < n
             converged = last_phase_gain < cfg.final_threshold
+            tracer.instant(
+                "phase_end", phase=phase_index,
+                Q=outcome.end_modularity,
+                communities=rebuild.num_communities,
+            )
             current = rebuild.graph
             if converged or not made_progress:
                 break
     finally:
         backend.close()
+        _obs.close()
 
     communities, _ = renumber_labels(mapping)
     from repro.core.modularity import modularity as full_modularity
@@ -315,4 +346,5 @@ def louvain(
         config=cfg,
         timers=timers,
         vf=vf_result,
+        trace=tracer if cfg.trace else None,
     )

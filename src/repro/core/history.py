@@ -12,7 +12,8 @@ thread count — so a single pipeline run can be "replayed" at p = 1..32.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -135,3 +136,39 @@ class ConvergenceHistory:
     def iterations_of_phase(self, phase: int) -> list[IterationRecord]:
         """All iteration records belonging to one phase."""
         return [r for r in self.iterations if r.phase == phase]
+
+    # -- JSON round-trip (consumed by the repro.obs trace exporters) --------
+    def to_json_dict(self) -> dict:
+        """Plain-dict form embeddable in a trace file (lossless)."""
+        return {
+            "iterations": [asdict(r) for r in self.iterations],
+            "phases": [asdict(r) for r in self.phases],
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialize to a JSON string (see :meth:`from_json`)."""
+        return json.dumps(self.to_json_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ConvergenceHistory":
+        """Inverse of :meth:`to_json_dict`: rebuild the dataclass records.
+
+        Tuple-valued fields (JSON arrays) are converted back to tuples, so
+        a round-tripped history compares equal to the original.
+        """
+        history = cls()
+        for rec in data.get("iterations", []):
+            rec = dict(rec)
+            for key in ("color_set_vertices", "color_set_edges"):
+                rec[key] = tuple(rec.get(key, ()))
+            history.iterations.append(IterationRecord(**rec))
+        for rec in data.get("phases", []):
+            rec = dict(rec)
+            rec["color_class_sizes"] = tuple(rec.get("color_class_sizes", ()))
+            history.phases.append(PhaseRecord(**rec))
+        return history
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConvergenceHistory":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))

@@ -13,6 +13,7 @@ the next phase starts from singleton communities of the coarse graph.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,10 +23,11 @@ from repro.core.phase import state_modularity
 from repro.core.sweep import SweepState, init_state
 from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import Tracer, resolve_trace, use_tracer
 from repro.utils.arrays import renumber_labels
 from repro.utils.errors import ValidationError
 from repro.utils.rng import as_rng
-from repro.utils.timing import StepTimer
+from repro.utils.timing import StepTimer, step_timer_view
 
 __all__ = ["SerialLouvainResult", "louvain_serial", "serial_iteration"]
 
@@ -104,6 +106,8 @@ class SerialLouvainResult:
     modularity: float
     history: ConvergenceHistory = field(default_factory=ConvergenceHistory)
     timers: StepTimer = field(default_factory=StepTimer)
+    #: The run's tracer when tracing was enabled (``None`` otherwise).
+    trace: "Tracer | None" = None
 
     @property
     def num_communities(self) -> int:
@@ -119,6 +123,7 @@ def louvain_serial(
     max_phases: int = 32,
     max_iterations_per_phase: int = 1000,
     resolution: float = 1.0,
+    trace: "bool | None" = None,
 ) -> SerialLouvainResult:
     """Run the full serial Louvain method.
 
@@ -132,6 +137,9 @@ def louvain_serial(
         predefined order" of §3).
     seed:
         Seed for ``order="random"``.
+    trace:
+        Record the run into the observability layer (:mod:`repro.obs`);
+        ``None`` defers to the ``REPRO_TRACE`` environment default.
 
     Returns
     -------
@@ -140,71 +148,86 @@ def louvain_serial(
     if order not in ("natural", "random"):
         raise ValidationError(f"unknown order {order!r}")
     rng = as_rng(seed)
-    timers = StepTimer()
+    tracer = Tracer(enabled=resolve_trace(trace))
+    timers = step_timer_view(tracer)
     history = ConvergenceHistory()
 
     current = graph
     mapping = np.arange(graph.num_vertices, dtype=np.int64)
 
-    for phase_index in range(max_phases):
-        n = current.num_vertices
-        state = init_state(current)
-        visit = (
-            np.arange(n, dtype=np.int64)
-            if order == "natural"
-            else rng.permutation(n).astype(np.int64)
-        )
-        q_prev = -1.0
-        start_q = state_modularity(current, state, resolution=resolution)
-        iterations = 0
-        with timers.step("clustering"):
-            for iteration in range(max_iterations_per_phase):
-                moved = serial_iteration(current, state, visit,
-                                         resolution=resolution)
-                q_curr = state_modularity(current, state,
-                                          resolution=resolution)
-                history.iterations.append(
-                    IterationRecord(
-                        phase=phase_index,
-                        iteration=iteration,
-                        modularity=q_curr,
-                        vertices_moved=moved,
-                        num_communities=state.num_communities(),
-                        color_set_vertices=(n,),
-                        color_set_edges=(current.num_entries,),
-                    )
-                )
-                iterations += 1
-                if moved == 0 or (q_curr - q_prev) < threshold * abs(q_prev):
-                    break
-                q_prev = q_curr
-
-        end_q = history.iterations[-1].modularity if iterations else start_q
-        with timers.step("rebuild"):
-            result = coarsen(current, state.comm)
-        history.phases.append(
-            PhaseRecord(
-                phase=phase_index,
-                num_vertices=n,
-                num_edges=current.num_edges,
-                colored=False,
-                num_colors=0,
-                threshold=threshold,
-                iterations=iterations,
-                start_modularity=start_q,
-                end_modularity=end_q,
-                rebuild_lock_ops=result.lock_ops,
-                rebuild_num_communities=result.num_communities,
+    _obs = ExitStack()
+    _obs.enter_context(use_tracer(tracer))
+    _obs.enter_context(tracer.span(
+        "louvain_serial", cat="pipeline", n=graph.num_vertices, order=order,
+    ))
+    try:
+        for phase_index in range(max_phases):
+            n = current.num_vertices
+            state = init_state(current)
+            visit = (
+                np.arange(n, dtype=np.int64)
+                if order == "natural"
+                else rng.permutation(n).astype(np.int64)
             )
-        )
-        mapping = result.vertex_to_meta[mapping]
-        stop = (
-            result.num_communities == n
-            or end_q - start_q < threshold
-        )
-        current = result.graph
-        if stop:
-            break
+            q_prev = -1.0
+            start_q = state_modularity(current, state, resolution=resolution)
+            iterations = 0
+            with tracer.step("clustering", phase=phase_index):
+                for iteration in range(max_iterations_per_phase):
+                    with tracer.span("iteration", phase=phase_index,
+                                     iteration=iteration):
+                        moved = serial_iteration(current, state, visit,
+                                                 resolution=resolution)
+                    q_curr = state_modularity(current, state,
+                                              resolution=resolution)
+                    if tracer.enabled:
+                        tracer.count("sweep.moves", moved)
+                        tracer.observe("iteration.moves", moved)
+                        tracer.observe("iteration.active_vertices", n)
+                    history.iterations.append(
+                        IterationRecord(
+                            phase=phase_index,
+                            iteration=iteration,
+                            modularity=q_curr,
+                            vertices_moved=moved,
+                            num_communities=state.num_communities(),
+                            color_set_vertices=(n,),
+                            color_set_edges=(current.num_entries,),
+                        )
+                    )
+                    iterations += 1
+                    if moved == 0 or (q_curr - q_prev) < threshold * abs(q_prev):
+                        break
+                    q_prev = q_curr
+
+            end_q = history.iterations[-1].modularity if iterations else start_q
+            with tracer.step("rebuild", phase=phase_index):
+                result = coarsen(current, state.comm)
+            history.phases.append(
+                PhaseRecord(
+                    phase=phase_index,
+                    num_vertices=n,
+                    num_edges=current.num_edges,
+                    colored=False,
+                    num_colors=0,
+                    threshold=threshold,
+                    iterations=iterations,
+                    start_modularity=start_q,
+                    end_modularity=end_q,
+                    rebuild_lock_ops=result.lock_ops,
+                    rebuild_num_communities=result.num_communities,
+                )
+            )
+            mapping = result.vertex_to_meta[mapping]
+            stop = (
+                result.num_communities == n
+                or end_q - start_q < threshold
+            )
+            current = result.graph
+            if stop:
+                break
+    finally:
+        _obs.close()
 
     communities, _ = renumber_labels(mapping)
     from repro.core.modularity import modularity as full_modularity
@@ -214,4 +237,5 @@ def louvain_serial(
         modularity=full_modularity(graph, communities, resolution=resolution),
         history=history,
         timers=timers,
+        trace=tracer if tracer.enabled else None,
     )

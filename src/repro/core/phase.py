@@ -48,6 +48,7 @@ from repro.core.sweep import (
 from repro.core.workspace import SweepWorkspace
 from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import resolve_sanitize
+from repro.obs.trace import get_tracer
 from repro.parallel.backends import ExecutionBackend
 
 __all__ = ["PhaseOutcome", "run_phase", "state_modularity"]
@@ -193,6 +194,7 @@ def run_phase(
     q_prev = -1.0  # Algorithm 1 line 4.
     records: list[IterationRecord] = []
     converged = False
+    tracer = get_tracer()
 
     for iteration in range(max_iterations):
         moved = 0
@@ -201,31 +203,40 @@ def run_phase(
         full_sweep = all(
             act.size == full.size for act, full in zip(active_sets, sets)
         )
-        for set_index, act in enumerate(active_sets):
-            if act.size == 0:
-                continue
-            active_vertices += int(act.size)
-            active_edges += int(unweighted_deg[act].sum())
-            targets = compute_targets(
-                graph, state, act,
-                kernel=kernel, use_min_label=use_min_label, backend=backend,
-                resolution=resolution, workspace=workspace,
-                aggregation=aggregation, plan_key=("set", set_index),
-                sanitize=sanitize,
-            )
-            if track:
-                result = apply_moves_tracked(
-                    graph, state, act, targets, workspace=workspace,
-                    frontier_out=frontier_mask,
-                )
-                moved += result.num_moved
-                intra += result.delta_intra
-                degree_sq += result.delta_degree_sq
-            else:
-                moved += apply_moves(graph, state, act, targets)
+        with tracer.span("iteration", phase=phase_index, iteration=iteration):
+            for set_index, act in enumerate(active_sets):
+                if act.size == 0:
+                    continue
+                active_vertices += int(act.size)
+                active_edges += int(unweighted_deg[act].sum())
+                with tracer.span("sweep", set=set_index, vertices=int(act.size)):
+                    targets = compute_targets(
+                        graph, state, act,
+                        kernel=kernel, use_min_label=use_min_label,
+                        backend=backend,
+                        resolution=resolution, workspace=workspace,
+                        aggregation=aggregation, plan_key=("set", set_index),
+                        sanitize=sanitize,
+                    )
+                    if track:
+                        result = apply_moves_tracked(
+                            graph, state, act, targets, workspace=workspace,
+                            frontier_out=frontier_mask,
+                        )
+                        moved += result.num_moved
+                        intra += result.delta_intra
+                        degree_sq += result.delta_degree_sq
+                    else:
+                        moved += apply_moves(graph, state, act, targets)
 
         q_curr = (current_q() if incremental
                   else state_modularity(graph, state, resolution=resolution))
+        if tracer.enabled:
+            tracer.count("sweep.moves", moved)
+            tracer.observe("iteration.moves", moved)
+            tracer.observe("iteration.active_vertices", active_vertices)
+            if workspace is not None and workspace.last_aggregation:
+                tracer.count(f"aggregation.{workspace.last_aggregation}")
         records.append(
             IterationRecord(
                 phase=phase_index,

@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.workspace import SweepWorkspace, aggregate_pairs, build_plan, gather_rows
 from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
+from repro.obs.trace import get_tracer
 from repro.utils.arrays import run_boundaries
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.chunking import edge_balanced_partition
@@ -352,7 +353,10 @@ def compute_targets(
     vertices = np.asarray(vertices, dtype=np.int64)
     sanitize = resolve_sanitize(sanitize)
     guard = frozen_snapshot(state) if sanitize else nullcontext()
-    with guard:
+    span = get_tracer().span(
+        "compute_targets", vertices=int(vertices.size), kernel=kernel,
+    )
+    with span, guard:
         if kernel == "reference":
             return compute_targets_reference(
                 graph, state, vertices, use_min_label=use_min_label,

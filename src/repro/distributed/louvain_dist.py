@@ -49,6 +49,7 @@ from repro.distributed.partition import RankPartition, partition_vertices
 from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
+from repro.obs.trace import Tracer, get_tracer, resolve_trace, use_tracer
 from repro.utils.arrays import renumber_labels
 from repro.utils.errors import ValidationError
 
@@ -88,6 +89,8 @@ class DistributedResult:
     num_ranks: int
     #: Per-phase (cut_edges, replication_factor) of the rank partition.
     partition_stats: list = field(default_factory=list)
+    #: The run's tracer when tracing was enabled (``None`` otherwise).
+    trace: "Tracer | None" = None
 
     @property
     def num_communities(self) -> int:
@@ -129,10 +132,11 @@ def _distributed_phase(
     q_prev = -1.0
     start_q = state_modularity(graph, state, resolution=resolution)
     records: list[IterationRecord] = []
+    tracer = get_tracer()
 
     for iteration in range(max_iterations):
         moved_total = 0
-        for vertex_set in sets:
+        for set_index, vertex_set in enumerate(sets):
             # -- superstep: local compute on every rank -------------------
             # Every rank reads the same snapshot; freezing it for the
             # whole superstep asserts exactly that (no rank may see
@@ -140,7 +144,11 @@ def _distributed_phase(
             targets_by_rank = []
             active_by_rank = []
             guard = frozen_snapshot(state) if sanitize else nullcontext()
-            with guard:
+            compute_span = tracer.span(
+                "local_compute", phase=phase_index, iteration=iteration,
+                set=set_index,
+            )
+            with compute_span, guard:
                 for r in range(p):
                     active = vertex_set[in_rank[r][vertex_set]]
                     active_by_rank.append(active)
@@ -200,31 +208,36 @@ def _distributed_phase(
                         sends[(r, s)] = np.column_stack(
                             [changed, state.comm[changed]]
                         ).ravel()
-            cluster.halo_exchange(sends)
+            with tracer.span("halo_exchange", phase=phase_index,
+                             iteration=iteration, messages=len(sends)):
+                cluster.halo_exchange(sends)
             # -- allreduce aggregates --------------------------------------
-            if aggregation == "sparse":
-                state.comm_degree += cluster.sparse_allreduce_sum(
-                    sparse_idx, sparse_deg, n
-                )
-                state.comm_size += cluster.sparse_allreduce_sum(
-                    sparse_idx, sparse_size, n
-                ).astype(np.int64)
-            else:
-                dense_deg = []
-                dense_size = []
-                for idx, dd, ds in zip(sparse_idx, sparse_deg, sparse_size):
-                    buf_d = np.zeros(n, dtype=np.float64)
-                    buf_s = np.zeros(n, dtype=np.float64)
-                    if idx.size:
-                        np.add.at(buf_d, idx, dd)
-                        np.add.at(buf_s, idx, ds)
-                    dense_deg.append(buf_d)
-                    dense_size.append(buf_s)
-                state.comm_degree += cluster.allreduce_sum(dense_deg)
-                state.comm_size += cluster.allreduce_sum(dense_size).astype(
-                    np.int64
-                )
-            moved_total += int(cluster.allreduce_sum(moved_counts)[0])
+            with tracer.span("allreduce", phase=phase_index,
+                             iteration=iteration, aggregation=aggregation):
+                if aggregation == "sparse":
+                    state.comm_degree += cluster.sparse_allreduce_sum(
+                        sparse_idx, sparse_deg, n
+                    )
+                    state.comm_size += cluster.sparse_allreduce_sum(
+                        sparse_idx, sparse_size, n
+                    ).astype(np.int64)
+                else:
+                    dense_deg = []
+                    dense_size = []
+                    for idx, dd, ds in zip(sparse_idx, sparse_deg,
+                                           sparse_size):
+                        buf_d = np.zeros(n, dtype=np.float64)
+                        buf_s = np.zeros(n, dtype=np.float64)
+                        if idx.size:
+                            np.add.at(buf_d, idx, dd)
+                            np.add.at(buf_s, idx, ds)
+                        dense_deg.append(buf_d)
+                        dense_size.append(buf_s)
+                    state.comm_degree += cluster.allreduce_sum(dense_deg)
+                    state.comm_size += cluster.allreduce_sum(
+                        dense_size
+                    ).astype(np.int64)
+                moved_total += int(cluster.allreduce_sum(moved_counts)[0])
             cluster.barrier()
 
         # -- modularity via per-rank intra partials ------------------------
@@ -280,6 +293,7 @@ def distributed_louvain(
     seed: int | None = 0,
     resolution: float = 1.0,
     sanitize: "bool | None" = None,
+    trace: "bool | None" = None,
 ) -> DistributedResult:
     """Run the paper's pipeline as a BSP program over ``num_ranks`` ranks.
 
@@ -291,9 +305,13 @@ def distributed_louvain(
     identical results; only the traffic log differs.  ``sanitize``
     (``None`` = the ``REPRO_SANITIZE`` default) freezes the replicated
     snapshot during each local-compute superstep
-    (:mod:`repro.lint.sanitizer`).
+    (:mod:`repro.lint.sanitizer`).  ``trace`` (``None`` = the
+    ``REPRO_TRACE`` default) records the run into the observability layer
+    (:mod:`repro.obs`): step buckets per phase plus
+    ``local_compute``/``halo_exchange``/``allreduce`` spans per superstep.
     """
     sanitize = resolve_sanitize(sanitize)
+    tracer = Tracer(enabled=resolve_trace(trace))
     if num_ranks < 1:
         raise ValidationError("num_ranks must be >= 1")
     if aggregation not in ("dense", "sparse"):
@@ -342,22 +360,27 @@ def distributed_louvain(
         if color_this_phase:
             # Every rank colors the (replicated) phase graph with the same
             # seed — deterministic, so no coordination traffic is needed.
-            colors = jones_plassmann_coloring(current, seed=seed)
-            color_sets = color_set_partition(colors)
+            with tracer.step("coloring", phase=phase_index):
+                colors = jones_plassmann_coloring(current, seed=seed)
+                color_sets = color_set_partition(colors)
         threshold = colored_threshold if color_this_phase else final_threshold
 
         state = init_state(current)
-        records, start_q, end_q = _distributed_phase(
-            current, cluster, part, state,
-            threshold=threshold,
-            phase_index=phase_index,
-            color_sets=color_sets,
-            use_min_label=use_min_label,
-            max_iterations=max_iterations_per_phase,
-            resolution=resolution,
-            aggregation=aggregation,
-            sanitize=sanitize,
-        )
+        # The tracer goes ambient only for the phase call: the superstep
+        # loop's local_compute/halo_exchange/allreduce spans nest under
+        # this clustering step.
+        with tracer.step("clustering", phase=phase_index), use_tracer(tracer):
+            records, start_q, end_q = _distributed_phase(
+                current, cluster, part, state,
+                threshold=threshold,
+                phase_index=phase_index,
+                color_sets=color_sets,
+                use_min_label=use_min_label,
+                max_iterations=max_iterations_per_phase,
+                resolution=resolution,
+                aggregation=aggregation,
+                sanitize=sanitize,
+            )
         history.iterations.extend(records)
 
         # Rebuild: allgather the owned label blocks, coarsen replicated.
@@ -366,7 +389,8 @@ def distributed_louvain(
         assignment = np.empty(n, dtype=np.int64)
         assignment[np.concatenate([part.owned[r] for r in range(num_ranks)])] \
             = gathered
-        rebuild = coarsen(current, assignment)
+        with tracer.step("rebuild", phase=phase_index):
+            rebuild = coarsen(current, assignment)
         history.phases.append(
             PhaseRecord(
                 phase=phase_index,
@@ -400,4 +424,5 @@ def distributed_louvain(
         traffic=cluster.traffic,
         num_ranks=num_ranks,
         partition_stats=partition_stats,
+        trace=tracer if tracer.enabled else None,
     )

@@ -27,6 +27,13 @@ ATOM001
     a parameter) inside worker functions (name contains ``worker``) of
     ``repro/parallel`` outside ``atomic.py`` — concurrent accumulation
     must go through :class:`repro.parallel.atomic.ThreadLocalAccumulator`.
+OBS001
+    Direct wall-clock reads (``time.perf_counter()``, ``time.time()``,
+    ``time.monotonic()`` and their ``_ns`` variants, or the equivalent
+    ``from time import …``) in library code outside ``utils/timing.py``
+    and ``repro/obs/`` — all timing flows through the instrumented path
+    (:class:`repro.utils.timing.Timer`/``StepTimer`` or the
+    :mod:`repro.obs` tracer) so every measurement lands in one stream.
 
 Generic rules
 -------------
@@ -422,6 +429,59 @@ class WorkerScatterRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — wall-clock reads outside the instrumented timing path
+# ---------------------------------------------------------------------------
+#: ``time`` module attributes that read the wall/monotonic clock.
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+})
+
+
+class DirectTimingRule(Rule):
+    code = "OBS001"
+    description = (
+        "direct time.perf_counter()/time.time() outside utils/timing.py "
+        "and repro/obs/ — route timing through the obs tracer or "
+        "repro.utils.timing so measurements land in one stream"
+    )
+
+    def applies(self, ctx):
+        return (
+            ctx.is_library_code()
+            and not ctx.endswith("utils/timing.py")
+            and "repro/obs/" not in ctx.path
+        )
+
+    def check(self, tree, ctx):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (
+                    chain is not None
+                    and len(chain) == 2
+                    and chain[0] == "time"
+                    and chain[1] in _CLOCK_FUNCS
+                ):
+                    yield RuleFinding(
+                        node.lineno, node.col_offset, self.code,
+                        f"direct call to {'.'.join(chain)}; use the "
+                        "repro.obs tracer (span/step) or repro.utils.timing "
+                        "instead",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module != "time":
+                    continue
+                bad = [a.name for a in node.names if a.name in _CLOCK_FUNCS]
+                if bad:
+                    yield RuleFinding(
+                        node.lineno, node.col_offset, self.code,
+                        f"import of time clock reader(s) ({', '.join(bad)}); "
+                        "use the repro.obs tracer or repro.utils.timing",
+                    )
+
+
+# ---------------------------------------------------------------------------
 # Generic rules
 # ---------------------------------------------------------------------------
 class MutableDefaultRule(Rule):
@@ -515,6 +575,7 @@ RULES: tuple[Rule, ...] = (
     UnseededRNGRule(),
     UnorderedToArrayRule(),
     WorkerScatterRule(),
+    DirectTimingRule(),
     MutableDefaultRule(),
     BareAssertRule(),
     MissingDtypeRule(),

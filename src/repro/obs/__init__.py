@@ -1,0 +1,76 @@
+"""Unified observability: span tracing, metrics, exporters, reports.
+
+One event stream feeds everything the paper's evaluation needs — the
+Fig. 8 clustering/coloring/rebuild breakdown, per-iteration work counts,
+and Chrome-trace timelines loadable in Perfetto.  See
+docs/observability.md for the span taxonomy and metric names.
+
+Quick use::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        result = louvain(graph, trace=True)
+    write_chrome_trace(result.trace, "trace.json")
+"""
+
+from repro.obs.export import (
+    TraceData,
+    load_jsonl,
+    load_trace,
+    to_chrome_trace,
+    to_flat_text,
+    to_jsonl_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.report import (
+    aggregate_span_tree,
+    history_from_trace,
+    render_breakdown,
+    render_report,
+    render_span_tree,
+    step_breakdown,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    resolve_trace,
+    set_tracer,
+    trace_default,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_ENV",
+    "TraceData",
+    "TraceEvent",
+    "Tracer",
+    "aggregate_span_tree",
+    "get_tracer",
+    "history_from_trace",
+    "load_jsonl",
+    "load_trace",
+    "render_breakdown",
+    "render_report",
+    "render_span_tree",
+    "resolve_trace",
+    "set_tracer",
+    "step_breakdown",
+    "to_chrome_trace",
+    "to_flat_text",
+    "to_jsonl_lines",
+    "trace_default",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

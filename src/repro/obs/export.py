@@ -1,0 +1,409 @@
+"""Trace exporters: JSONL event log, Chrome trace-event JSON, flat text.
+
+Three formats, one event stream (:mod:`repro.obs.trace`):
+
+**JSONL** (``*.jsonl``)
+    One JSON object per line.  Line types: ``meta`` (format version, pid),
+    ``span`` (one :class:`~repro.obs.trace.TraceEvent`), ``steps`` (the
+    Fig. 8 step buckets), ``metrics`` (the registry snapshot) and
+    optionally ``history`` (a serialized
+    :class:`~repro.core.history.ConvergenceHistory`).  Lossless: the
+    :func:`load_jsonl` round-trip restores every event field, which is
+    what :mod:`repro.obs.report` and the test-suite consume.
+
+**Chrome trace-event JSON** (``*.json``)
+    The ``{"traceEvents": [...]}`` object format understood by Perfetto
+    (https://ui.perfetto.dev) and ``chrome://tracing``.  Spans are emitted
+    as ``B``/``E`` duration-event pairs (timestamps in microseconds,
+    rebased to the earliest span), ordered by a DFS over the recorded
+    parent links so nesting is correct even under timestamp ties; instant
+    events use ``ph: "i"``.  Extra top-level keys (``reproMetrics``,
+    ``reproSteps``, ``reproHistory``) carry the non-span payloads and are
+    ignored by viewers.  :func:`validate_chrome_trace` checks the schema
+    (every ``B`` closed by a matching ``E`` per ``(pid, tid)``, consistent
+    ids, non-negative clocks) — the CI smoke gate.
+
+**Flat text** (``key value`` lines)
+    Greppable dump of step totals, per-span-name aggregates, and every
+    metric — the "just show me the numbers" format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.trace import TraceEvent, Tracer
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "TraceData",
+    "load_jsonl",
+    "load_trace",
+    "to_chrome_trace",
+    "to_flat_text",
+    "to_jsonl_lines",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: JSONL format version (bumped on incompatible layout changes).
+JSONL_VERSION = 1
+
+
+@dataclass
+class TraceData:
+    """A loaded trace: what the report layer consumes.
+
+    Produced by :func:`load_jsonl` / :func:`load_trace`; mirrors the live
+    :class:`~repro.obs.trace.Tracer` closely enough that reports accept
+    either.
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    step_totals: dict[str, float] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    history: "dict | None" = None
+
+    def sorted_events(self) -> list[TraceEvent]:
+        return sorted(self.events, key=lambda e: (e.ts, e.id))
+
+
+def _as_trace_data(trace: "Tracer | TraceData") -> TraceData:
+    if isinstance(trace, TraceData):
+        return trace
+    return TraceData(
+        events=list(trace.events),
+        step_totals=dict(trace.step_totals),
+        metrics=trace.metrics.snapshot(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+def to_jsonl_lines(trace: "Tracer | TraceData",
+                   history=None) -> list[str]:
+    """Serialize a trace as JSONL lines (no trailing newlines)."""
+    data = _as_trace_data(trace)
+    lines = [json.dumps({"type": "meta", "version": JSONL_VERSION,
+                         "format": "repro-trace"})]
+    for event in data.sorted_events():
+        lines.append(json.dumps({"type": "span", **event.to_dict()}))
+    lines.append(json.dumps({"type": "steps", "totals": data.step_totals}))
+    lines.append(json.dumps({"type": "metrics", "metrics": data.metrics}))
+    history_dict = _history_dict(history, data)
+    if history_dict is not None:
+        lines.append(json.dumps({"type": "history", "history": history_dict}))
+    return lines
+
+
+def _history_dict(history, data: TraceData):
+    if history is None:
+        return data.history
+    to_json_dict = getattr(history, "to_json_dict", None)
+    return to_json_dict() if to_json_dict is not None else dict(history)
+
+
+def write_jsonl(trace: "Tracer | TraceData", path, history=None) -> None:
+    """Write the JSONL event log to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in to_jsonl_lines(trace, history=history):
+            fh.write(line + "\n")
+
+
+def load_jsonl(path) -> TraceData:
+    """Load a JSONL event log written by :func:`write_jsonl`."""
+    data = TraceData()
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            obj = json.loads(raw)
+            kind = obj.get("type")
+            if kind == "span":
+                data.events.append(TraceEvent.from_dict(obj))
+            elif kind == "steps":
+                data.step_totals = {
+                    k: float(v) for k, v in obj.get("totals", {}).items()
+                }
+            elif kind == "metrics":
+                data.metrics = obj.get("metrics", {})
+            elif kind == "history":
+                data.history = obj.get("history")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+def _span_forest(events: list[TraceEvent]):
+    """Group span events into per-``(pid, tid)`` forests via parent links."""
+    groups: dict[tuple[int, int], dict] = {}
+    for event in events:
+        group = groups.setdefault(
+            (event.pid, event.tid), {"by_id": {}, "children": {}, "roots": []}
+        )
+        group["by_id"][event.id] = event
+    for event in events:
+        group = groups[(event.pid, event.tid)]
+        if event.parent and event.parent in group["by_id"]:
+            group["children"].setdefault(event.parent, []).append(event)
+        else:
+            group["roots"].append(event)
+    for group in groups.values():
+        group["roots"].sort(key=lambda e: (e.ts, e.id))
+        for kids in group["children"].values():
+            kids.sort(key=lambda e: (e.ts, e.id))
+    return groups
+
+
+def _chrome_args(event: TraceEvent) -> dict:
+    args = {k: v for k, v in event.args.items()}
+    args["id"] = event.id
+    return args
+
+
+def to_chrome_trace(trace: "Tracer | TraceData", history=None) -> dict:
+    """Build the Chrome trace-event object for a recorded trace.
+
+    Timestamps are microseconds rebased to the earliest event, spans are
+    ``B``/``E`` pairs emitted in DFS order per thread, instants are
+    ``ph: "i"``.
+    """
+    data = _as_trace_data(trace)
+    events = data.sorted_events()
+    t0 = min((e.ts for e in events), default=0.0)
+
+    def us(seconds: float) -> float:
+        return round((seconds - t0) * 1e6, 3)
+
+    out: list[dict] = []
+    spans = [e for e in events if e.cat != "instant"]
+    instants = [e for e in events if e.cat == "instant"]
+
+    def emit(event: TraceEvent, group) -> None:
+        base = {"name": event.name, "cat": event.cat,
+                "pid": event.pid, "tid": event.tid}
+        out.append({**base, "ph": "B", "ts": us(event.ts),
+                    "args": _chrome_args(event)})
+        for child in group["children"].get(event.id, ()):
+            emit(child, group)
+        out.append({**base, "ph": "E", "ts": us(event.ts + event.dur)})
+
+    for (_pid, _tid), group in sorted(_span_forest(spans).items()):
+        for root in group["roots"]:
+            emit(root, group)
+    for event in instants:
+        out.append({
+            "name": event.name, "cat": event.cat, "ph": "i", "s": "t",
+            "ts": us(event.ts), "pid": event.pid, "tid": event.tid,
+            "args": _chrome_args(event),
+        })
+
+    payload = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "reproSteps": data.step_totals,
+        "reproMetrics": data.metrics,
+    }
+    history_dict = _history_dict(history, data)
+    if history_dict is not None:
+        payload["reproHistory"] = history_dict
+    return payload
+
+
+def write_chrome_trace(trace: "Tracer | TraceData", path,
+                       history=None) -> None:
+    """Write a Perfetto/``chrome://tracing``-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(trace, history=history), fh, indent=1)
+        fh.write("\n")
+
+
+def validate_chrome_trace(data) -> list[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    An empty list means the trace is well-formed: every event carries
+    ``ph``/``pid``/``tid``/``ts``, every ``B`` is closed by an ``E`` with
+    the same name on the same ``(pid, tid)`` (properly nested), and no
+    ``E`` appears without an open ``B``.
+
+    >>> validate_chrome_trace({"traceEvents": [
+    ...     {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+    ...     {"name": "a", "ph": "E", "ts": 5, "pid": 1, "tid": 1},
+    ... ]})
+    []
+    >>> validate_chrome_trace({"traceEvents": [
+    ...     {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+    ... ]})
+    ["unclosed B event(s) on (pid=1, tid=1): ['a']"]
+    """
+    problems: list[str] = []
+    if isinstance(data, list):
+        events = data
+    elif isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level 'traceEvents' list missing"]
+    else:
+        return ["trace must be a JSON object or array"]
+
+    stacks: dict[tuple, list[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph is None:
+            problems.append(f"event #{i} has no 'ph'")
+            continue
+        if ph == "M":  # metadata events carry no clock
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"event #{i} ({event.get('name')!r}) has "
+                                f"non-integer {key!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event #{i} ({event.get('name')!r}) has invalid "
+                            f"ts {ts!r}")
+        name = event.get("name")
+        if ph in ("B", "E", "X", "i") and not isinstance(name, str):
+            problems.append(f"event #{i} has no name")
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(name)
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                problems.append(
+                    f"E event {name!r} without open B on (pid={key[0]}, "
+                    f"tid={key[1]})"
+                )
+            elif stack[-1] != name:
+                problems.append(
+                    f"E event {name!r} closes {stack[-1]!r} on (pid={key[0]}, "
+                    f"tid={key[1]}) — improper nesting"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"X event {name!r} has invalid dur {dur!r}")
+    for (pid, tid), stack in sorted(stacks.items()):
+        if stack:
+            problems.append(
+                f"unclosed B event(s) on (pid={pid}, tid={tid}): {stack}"
+            )
+    return problems
+
+
+def load_chrome_trace(path) -> TraceData:
+    """Load a Chrome trace written by :func:`write_chrome_trace`.
+
+    ``B``/``E`` pairs are matched back into complete
+    :class:`~repro.obs.trace.TraceEvent` spans (timestamps return to
+    seconds).  Raises :class:`~repro.utils.errors.ValidationError` when
+    the file fails :func:`validate_chrome_trace`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValidationError(
+            f"invalid Chrome trace {path}: " + "; ".join(problems[:5])
+        )
+    events_in = payload["traceEvents"] if isinstance(payload, dict) else payload
+    data = TraceData()
+    if isinstance(payload, dict):
+        data.step_totals = {
+            k: float(v) for k, v in payload.get("reproSteps", {}).items()
+        }
+        data.metrics = payload.get("reproMetrics", {})
+        data.history = payload.get("reproHistory")
+    open_spans: dict[tuple, list] = {}
+    synthetic_id = 0
+    for event in events_in:
+        ph = event.get("ph")
+        key = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            open_spans.setdefault(key, []).append(event)
+        elif ph == "E":
+            begin = open_spans[key].pop()
+            args = dict(begin.get("args", {}))
+            span_id = int(args.pop("id", 0))
+            if span_id == 0:
+                synthetic_id += 1
+                span_id = 1_000_000_000 + synthetic_id
+            stack = open_spans[key]
+            parent = 0
+            if stack:
+                parent = int(stack[-1].get("args", {}).get("id", 0))
+            data.events.append(TraceEvent(
+                name=begin["name"], cat=begin.get("cat", "span"),
+                ts=float(begin["ts"]) / 1e6,
+                dur=(float(event["ts"]) - float(begin["ts"])) / 1e6,
+                pid=int(begin["pid"]), tid=int(begin["tid"]),
+                id=span_id, parent=parent, args=args,
+            ))
+        elif ph == "i":
+            args = dict(event.get("args", {}))
+            span_id = int(args.pop("id", 0))
+            data.events.append(TraceEvent(
+                name=event["name"], cat=event.get("cat", "instant"),
+                ts=float(event["ts"]) / 1e6, dur=0.0,
+                pid=int(event["pid"]), tid=int(event["tid"]),
+                id=span_id, parent=0, args=args,
+            ))
+    return data
+
+
+def load_trace(path) -> TraceData:
+    """Load a trace file, auto-detecting JSONL vs Chrome-trace JSON."""
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.readline().strip()
+    try:
+        first = json.loads(head) if head else {}
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and first.get("type") in (
+        "meta", "span", "steps", "metrics", "history",
+    ):
+        return load_jsonl(path)
+    return load_chrome_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# Flat text
+# ---------------------------------------------------------------------------
+def to_flat_text(trace: "Tracer | TraceData") -> str:
+    """Greppable ``key value`` dump of steps, span aggregates, and metrics."""
+    data = _as_trace_data(trace)
+    lines: list[str] = []
+    for name, seconds in sorted(data.step_totals.items()):
+        lines.append(f"step.{name}.seconds {seconds:.9f}")
+    by_name: dict[str, list[float]] = {}
+    for event in data.events:
+        if event.cat != "instant":
+            by_name.setdefault(event.name, []).append(event.dur)
+    for name, durs in sorted(by_name.items()):
+        lines.append(f"span.{name}.count {len(durs)}")
+        lines.append(f"span.{name}.total_seconds {sum(durs):.9f}")
+    metrics = data.metrics
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        lines.append(f"counter.{name} {value:g}")
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        lines.append(f"gauge.{name} {value:g}")
+    for name, hist in sorted(metrics.get("histograms", {}).items()):
+        lines.append(f"hist.{name}.count {hist.get('count', 0)}")
+        lines.append(f"hist.{name}.sum {hist.get('sum', 0.0):g}")
+        if hist.get("count"):
+            lines.append(f"hist.{name}.min {hist.get('min'):g}")
+            lines.append(f"hist.{name}.max {hist.get('max'):g}")
+    return "\n".join(lines) + ("\n" if lines else "")

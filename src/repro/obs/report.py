@@ -1,0 +1,256 @@
+"""Reports over captured traces: Fig 8-style breakdowns and span trees.
+
+The paper's Fig. 8 decomposes total runtime into *clustering*, *coloring*
+and *graph rebuild*; :func:`step_breakdown` reconstructs exactly that
+table from a trace's ``cat="step"`` span events — per phase, with a TOTAL
+row whose buckets agree with ``result.timers`` to float precision
+(both derive from the same clock pairs, see :mod:`repro.obs.trace`).
+:func:`render_span_tree` prints the full nested span structure with
+per-name aggregation, the "where did the time go" view; and
+:func:`history_from_trace` rehydrates a
+:class:`~repro.core.history.ConvergenceHistory` embedded by the
+exporters, making the convergence trajectory a view over the same event
+stream.
+
+All functions accept either a live :class:`~repro.obs.trace.Tracer` or a
+:class:`~repro.obs.export.TraceData` loaded from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.export import TraceData, _as_trace_data
+
+__all__ = [
+    "SpanStats",
+    "aggregate_span_tree",
+    "history_from_trace",
+    "render_breakdown",
+    "render_report",
+    "render_span_tree",
+    "step_breakdown",
+]
+
+#: Canonical Fig. 8 bucket order; unknown buckets follow alphabetically.
+STEP_ORDER = ("coloring", "clustering", "rebuild")
+
+
+# ---------------------------------------------------------------------------
+# Fig 8-style per-phase breakdown
+# ---------------------------------------------------------------------------
+@dataclass
+class Breakdown:
+    """Per-phase step seconds plus totals (the Fig. 8 table contents)."""
+
+    #: Ordered (row label, {step: seconds}) pairs; labels are phase
+    #: indices as strings, ``"pre"`` for pre-phase work (VF rebuild).
+    rows: list = field(default_factory=list)
+    #: Per-step totals across all rows.
+    totals: dict = field(default_factory=dict)
+
+    @property
+    def grand_total(self) -> float:
+        return sum(self.totals.values())
+
+    def step_names(self) -> list[str]:
+        known = [s for s in STEP_ORDER if s in self.totals]
+        extra = sorted(set(self.totals) - set(STEP_ORDER))
+        return known + extra
+
+
+def _phase_label(args: dict) -> str:
+    phase = args.get("phase")
+    if phase is None:
+        return "pre"
+    return str(phase)
+
+
+def step_breakdown(trace: "object | TraceData") -> Breakdown:
+    """Reconstruct the per-phase runtime breakdown from ``step`` spans.
+
+    Falls back to the recorded step totals (one ``all`` row) when the
+    trace carries no step events — e.g. a run captured with tracing
+    disabled whose ``step_totals`` were still exported.
+    """
+    data = _as_trace_data(trace)
+    steps = [e for e in data.sorted_events() if e.cat == "step"]
+    breakdown = Breakdown()
+    if not steps:
+        if data.step_totals:
+            breakdown.rows.append(("all", dict(data.step_totals)))
+            breakdown.totals = dict(data.step_totals)
+        return breakdown
+    row_index: dict[str, dict] = {}
+    order: list[str] = []
+    for event in steps:
+        label = _phase_label(event.args)
+        if label not in row_index:
+            row_index[label] = {}
+            order.append(label)
+        row = row_index[label]
+        row[event.name] = row.get(event.name, 0.0) + event.dur
+        breakdown.totals[event.name] = (
+            breakdown.totals.get(event.name, 0.0) + event.dur
+        )
+    breakdown.rows = [(label, row_index[label]) for label in order]
+    return breakdown
+
+
+def render_breakdown(trace: "object | TraceData") -> str:
+    """ASCII Fig. 8 table: phases × {coloring, clustering, rebuild}."""
+    breakdown = step_breakdown(trace)
+    steps = breakdown.step_names()
+    if not steps:
+        return "(no step events in trace)\n"
+    label_w = max(6, *(len(label) for label, _ in breakdown.rows), len("TOTAL"))
+    col_w = max(11, *(len(s) for s in steps))
+    header = ("phase".ljust(label_w)
+              + "".join(s.rjust(col_w + 1) for s in steps)
+              + "total".rjust(col_w + 1))
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for label, row in breakdown.rows:
+        cells = "".join(
+            (f"{row[s]:.4f}s" if s in row else "-").rjust(col_w + 1)
+            for s in steps
+        )
+        total = sum(row.values())
+        lines.append(label.ljust(label_w) + cells
+                     + f"{total:.4f}s".rjust(col_w + 1))
+    lines.append(rule)
+    totals = breakdown.totals
+    lines.append(
+        "TOTAL".ljust(label_w)
+        + "".join(f"{totals[s]:.4f}s".rjust(col_w + 1) for s in steps)
+        + f"{breakdown.grand_total:.4f}s".rjust(col_w + 1)
+    )
+    grand = breakdown.grand_total
+    if grand > 0:
+        lines.append(
+            "share".ljust(label_w)
+            + "".join(
+                f"{100.0 * totals[s] / grand:.1f}%".rjust(col_w + 1)
+                for s in steps
+            )
+            + "100.0%".rjust(col_w + 1)
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# ASCII span tree
+# ---------------------------------------------------------------------------
+@dataclass
+class SpanStats:
+    """Aggregated spans sharing one path (root → ... → name)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    children: dict = field(default_factory=dict)
+
+    def child(self, name: str) -> "SpanStats":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanStats(name)
+            self.children[name] = node
+        return node
+
+
+def aggregate_span_tree(trace: "object | TraceData") -> SpanStats:
+    """Fold every span into a tree keyed by name-path.
+
+    Spans with the same (root → … → name) path aggregate into one node
+    carrying a count and a total duration; worker-process roots appear as
+    additional top-level nodes.  Returns a synthetic root whose children
+    are the top-level spans.
+    """
+    data = _as_trace_data(trace)
+    events = [e for e in data.sorted_events() if e.cat != "instant"]
+    by_id = {(e.pid, e.id): e for e in events}
+    root = SpanStats("<trace>")
+    for event in events:
+        chain = [event]
+        node = event
+        while node.parent:
+            parent = by_id.get((node.pid, node.parent))
+            if parent is None:
+                break
+            chain.append(parent)
+            node = parent
+        cursor = root
+        for part in reversed(chain):
+            cursor = cursor.child(part.name)
+        cursor.count += 1
+        cursor.total += event.dur
+    return root
+
+
+def render_span_tree(trace: "object | TraceData",
+                     max_depth: "int | None" = None) -> str:
+    """ASCII tree of aggregated spans: ``name ×count total  (share)``."""
+    root = aggregate_span_tree(trace)
+    if not root.children:
+        return "(no span events in trace)\n"
+    grand = sum(node.total for node in root.children.values())
+    lines: list[str] = []
+
+    def walk(node: SpanStats, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "└─ " if is_last else "├─ "
+        share = f"{100.0 * node.total / grand:5.1f}%" if grand > 0 else "     -"
+        lines.append(
+            f"{prefix}{connector}{node.name}  ×{node.count}  "
+            f"{node.total:.4f}s  {share}"
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        kids = sorted(node.children.values(), key=lambda n: -n.total)
+        for i, kid in enumerate(kids):
+            walk(kid, prefix + ("   " if is_last else "│  "),
+                 i == len(kids) - 1, depth + 1)
+
+    tops = sorted(root.children.values(), key=lambda n: -n.total)
+    for i, top in enumerate(tops):
+        walk(top, "", i == len(tops) - 1, 0)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# History view + assembled report
+# ---------------------------------------------------------------------------
+def history_from_trace(trace: "object | TraceData"):
+    """Rehydrate the embedded :class:`ConvergenceHistory`, if any."""
+    data = _as_trace_data(trace)
+    if data.history is None:
+        return None
+    from repro.core.history import ConvergenceHistory
+
+    return ConvergenceHistory.from_json_dict(data.history)
+
+
+def render_report(trace: "object | TraceData", *, tree: bool = True,
+                  max_depth: "int | None" = None) -> str:
+    """Full text report: breakdown table, span tree, convergence summary."""
+    data = _as_trace_data(trace)
+    parts = [
+        "== Runtime breakdown (Fig. 8 buckets) ==",
+        render_breakdown(data),
+    ]
+    if tree:
+        parts += ["== Span tree ==", render_span_tree(data, max_depth=max_depth)]
+    history = history_from_trace(data)
+    if history is not None:
+        parts += [
+            "== Convergence ==",
+            (f"phases {history.num_phases}  "
+             f"iterations {history.total_iterations}  "
+             f"final Q {history.final_modularity:.6f}\n"),
+        ]
+    counters = data.metrics.get("counters", {})
+    if counters:
+        parts.append("== Counters ==")
+        parts.append("".join(
+            f"{name} {value:g}\n" for name, value in sorted(counters.items())
+        ))
+    return "\n".join(parts)

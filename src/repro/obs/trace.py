@@ -1,0 +1,366 @@
+"""Span tracer: the event source of the unified observability layer.
+
+The paper's evaluation is built on per-stage runtime *breakdowns* — the
+clustering / coloring / rebuild split of Fig. 8, per-iteration work counts
+(Figs 3–6), phase-level convergence (Tables 2–5).  This module records the
+raw material for all of them as one stream of **spans**: named, nested,
+timestamped intervals with a process id, thread id, and arbitrary
+key/value arguments.  Exporters (:mod:`repro.obs.export`) turn the stream
+into a JSONL event log, a Chrome trace-event file loadable in Perfetto /
+``chrome://tracing``, or a flat text dump; :mod:`repro.obs.report`
+reconstructs Fig 8-style tables and span trees from it.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  ``tracer.span(...)`` on a
+   disabled tracer returns one shared no-op context manager — no object
+   allocation, no clock read.  Hot paths (per-sweep, per-color-set) may
+   therefore be instrumented unconditionally.  Results are bitwise
+   identical traced or untraced: the tracer only observes.
+2. **Step buckets always work.**  :meth:`Tracer.step` is the
+   :class:`~repro.utils.timing.StepTimer` replacement the driver uses for
+   its coarse Fig. 8 buckets; it accumulates ``step_totals`` whether or
+   not tracing is enabled (a handful of clock reads per phase), and
+   additionally records a span event when enabled — from the *same* clock
+   pair, so a trace-derived breakdown agrees with ``result.timers``
+   exactly.
+3. **Thread/process-safe identity.**  Span ids are unique per process;
+   events carry ``(pid, tid)`` so streams from forked workers (which
+   buffer locally and are merged at join, see
+   :mod:`repro.parallel.process_backend`) interleave without collisions.
+   ``time.perf_counter`` is ``CLOCK_MONOTONIC`` on Linux — system-wide,
+   so parent and forked-child timestamps share an origin.
+
+Enablement follows the ``sanitize`` precedent: ``LouvainConfig.trace``
+defaults to the ``REPRO_TRACE`` environment variable
+(:func:`trace_default`), and the pipeline entry points install their
+tracer as the *ambient* tracer (:func:`use_tracer`) so deeply nested
+kernels need no extra parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "get_tracer",
+    "resolve_trace",
+    "set_tracer",
+    "trace_default",
+    "use_tracer",
+]
+
+#: Environment variable that flips the library-wide trace default.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def trace_default() -> bool:
+    """Library-wide tracing default, read from ``REPRO_TRACE``.
+
+    Unset/empty/``0``/``false``/``off`` (case-insensitive) mean off — the
+    overhead-free default; anything else means on.  Mirrors
+    :func:`repro.lint.sanitizer.sanitize_default`.
+    """
+    return os.environ.get(TRACE_ENV, "").strip().lower() not in (
+        "", "0", "false", "off",
+    )
+
+
+def resolve_trace(flag: "bool | None") -> bool:
+    """Resolve a tri-state trace argument (``None`` → env default)."""
+    return trace_default() if flag is None else bool(flag)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded span: a named interval with identity and context.
+
+    ``ts``/``dur`` are ``time.perf_counter`` seconds (monotonic; shared
+    across forked processes on Linux).  ``id`` is unique within ``pid``;
+    ``parent`` is the id of the enclosing span on the same thread (0 for
+    a root span), which is what lets the report module rebuild the tree
+    without guessing from timestamp containment.
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: float
+    pid: int
+    tid: int
+    id: int
+    parent: int
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSONL line payload)."""
+        return {
+            "name": self.name, "cat": self.cat, "ts": self.ts,
+            "dur": self.dur, "pid": self.pid, "tid": self.tid,
+            "id": self.id, "parent": self.parent, "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            name=str(data["name"]), cat=str(data.get("cat", "span")),
+            ts=float(data["ts"]), dur=float(data["dur"]),
+            pid=int(data["pid"]), tid=int(data["tid"]),
+            id=int(data.get("id", 0)), parent=int(data.get("parent", 0)),
+            args=dict(data.get("args", {})),
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: pushes itself on the thread-local stack, records on exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_id", "_parent",
+                 "_t0", "_dur")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._dur = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent = stack[-1] if stack else 0
+        self._id = next(tracer._ids)
+        stack.append(self._id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t1 = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        self._dur = t1 - self._t0
+        tracer._record(
+            TraceEvent(
+                name=self._name, cat=self._cat, ts=self._t0,
+                dur=self._dur, pid=tracer.pid,
+                tid=threading.get_ident(), id=self._id,
+                parent=self._parent, args=self._args,
+            )
+        )
+
+
+class _Step:
+    """Step-bucket timer: always accumulates, records a span when enabled.
+
+    Uses one ``perf_counter`` pair for both the bucket total and the span
+    duration, so trace-derived breakdowns match ``step_totals`` exactly.
+    """
+
+    __slots__ = ("_tracer", "_name", "_args", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_Step":
+        tracer = self._tracer
+        self._span = None
+        if tracer.enabled:
+            self._span = _Span(tracer, self._name, "step", self._args)
+            self._span.__enter__()
+            self._t0 = self._span._t0
+        else:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracer
+        if self._span is not None:
+            self._span.__exit__(*exc)
+            dt = self._span._dur
+        else:
+            dt = time.perf_counter() - self._t0
+        tracer.step_totals[self._name] = (
+            tracer.step_totals.get(self._name, 0.0) + dt
+        )
+
+
+class Tracer:
+    """Collects spans, step buckets, and metrics for one pipeline run.
+
+    Attributes
+    ----------
+    enabled:
+        When False every :meth:`span`/:meth:`instant`/metric helper is a
+        no-op (the shared-null fast path); :meth:`step` still accumulates
+        its wall-clock buckets so ``result.timers`` keeps working.
+    events:
+        Recorded :class:`TraceEvent` list (appended on span exit; list
+        append is GIL-atomic, so thread backends may share one tracer).
+    step_totals:
+        ``StepTimer``-shaped ``{bucket: seconds}`` dict; the adapter
+        :func:`repro.utils.timing.step_timer_view` wraps it for callers
+        expecting the legacy interface.
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self.events: list[TraceEvent] = []
+        self.step_totals: dict[str, float] = {}
+        self.metrics = MetricsRegistry()
+        self.pid = os.getpid()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+
+    # -- span recording -----------------------------------------------------
+    def _stack(self) -> list[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def span(self, name: str, cat: str = "span", **args):
+        """Context manager timing a named span (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def step(self, name: str, **args) -> _Step:
+        """Coarse Fig. 8 step bucket (``clustering``/``coloring``/``rebuild``).
+
+        Always accumulates into :attr:`step_totals` (the ``result.timers``
+        back-compat path); additionally records a ``cat="step"`` span when
+        tracing is enabled, from the same clock pair.
+        """
+        return _Step(self, name, args)
+
+    def instant(self, name: str, cat: str = "instant", **args) -> None:
+        """Record a zero-duration marker event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._record(
+            TraceEvent(
+                name=name, cat=cat, ts=time.perf_counter(), dur=0.0,
+                pid=self.pid, tid=threading.get_ident(),
+                id=next(self._ids), parent=0, args=args,
+            )
+        )
+
+    # -- metric helpers (guarded, so call sites stay unconditional) ---------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Observe ``value`` into histogram ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    # -- merging (worker buffers at join) -----------------------------------
+    def merge(self, events, metrics_snapshot: "dict | None" = None) -> None:
+        """Fold a worker's buffered events (and metrics) into this tracer.
+
+        ``events`` may be :class:`TraceEvent` objects or their
+        :meth:`~TraceEvent.to_dict` payloads (what crosses the process
+        boundary).  Event ids are unique per ``pid``, so no renumbering is
+        needed.
+        """
+        for ev in events:
+            if isinstance(ev, TraceEvent):
+                self.events.append(ev)
+            else:
+                self.events.append(TraceEvent.from_dict(ev))
+        if metrics_snapshot:
+            self.metrics.merge_snapshot(metrics_snapshot)
+
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events in start-timestamp order (merged streams interleaved)."""
+        return sorted(self.events, key=lambda e: (e.ts, e.id))
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(enabled={self.enabled}, events={len(self.events)}, "
+            f"steps={sorted(self.step_totals)})"
+        )
+
+
+#: The ambient tracer: a disabled singleton until a pipeline installs one.
+_CURRENT: Tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The ambient tracer (a disabled no-op tracer by default).
+
+    Hot-path modules (:mod:`repro.core.sweep`, the process-backend
+    workers) read this instead of threading a tracer parameter through
+    every kernel signature.
+    """
+    return _CURRENT
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as ambient; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit.
+
+    Examples
+    --------
+    >>> t = Tracer(enabled=True)
+    >>> with use_tracer(t):
+    ...     with get_tracer().span("work"):
+    ...         pass
+    >>> [e.name for e in t.events]
+    ['work']
+    >>> get_tracer() is t
+    False
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

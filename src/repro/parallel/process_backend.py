@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue as queue_mod
 from contextlib import nullcontext
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.parallel.backends import ExecutionBackend
 from repro.parallel.chunking import edge_balanced_partition
 from repro.utils.errors import ValidationError
@@ -40,12 +42,20 @@ from repro.utils.errors import ValidationError
 __all__ = ["ProcessBackend"]
 
 
-def _worker_main(graph, shm_names, n, task_q, done_q):
+def _worker_main(graph, shm_names, n, task_q, done_q, trace_q):
     """Worker loop: attach shared buffers, serve chunk tasks forever.
 
     ``graph`` arrives through fork inheritance (read-only).  A task is
     ``(offset, length, use_min_label, resolution, aggregation, sanitize)``
     into the shared active array; ``None`` shuts the worker down.
+
+    Tracing mirrors the per-worker workspace pattern: the fork inherits
+    the parent's ambient tracer, whose ``enabled`` flag decides whether
+    the worker installs a fresh *local* :class:`~repro.obs.trace.Tracer`
+    (its events buffer in-process — no cross-process synchronization on
+    the hot path).  At shutdown the buffered events and the metrics
+    snapshot are posted on ``trace_q`` for the parent to merge at join;
+    span ids are unique per pid, so merged streams cannot collide.
 
     Each worker owns a private :class:`SweepWorkspace` (scratch buffers are
     process-local, so no sharing hazards).  Gather plans are keyed by the
@@ -64,6 +74,8 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
     from repro.core.workspace import SweepWorkspace
     from repro.lint.sanitizer import frozen_snapshot
 
+    tracer = Tracer(enabled=get_tracer().enabled)
+    set_tracer(tracer)
     segs = {name: shared_memory.SharedMemory(name=shm_names[name])
             for name in shm_names}
     comm = np.ndarray((n,), dtype=np.int64, buffer=segs["comm"].buf)
@@ -84,16 +96,22 @@ def _worker_main(graph, shm_names, n, task_q, done_q):
             # (and retains) the vertex array, so it must be stable.
             verts = active[offset:offset + length].copy()
             guard = frozen_snapshot(state) if sanitize else nullcontext()
-            with guard:
-                out = compute_targets_vectorized(
-                    graph, state, verts,
-                    use_min_label=use_min_label, resolution=resolution,
-                    workspace=workspace, aggregation=aggregation,
-                    plan_key=(offset, length),
-                )
+            with tracer.span("worker_chunk", offset=offset, length=length):
+                with guard:
+                    out = compute_targets_vectorized(
+                        graph, state, verts,
+                        use_min_label=use_min_label, resolution=resolution,
+                        workspace=workspace, aggregation=aggregation,
+                        plan_key=(offset, length),
+                    )
+            tracer.observe("worker.chunk_vertices", length)
             targets[offset:offset + length] = out
             done_q.put(offset)
     finally:
+        trace_q.put((
+            [event.to_dict() for event in tracer.events],
+            tracer.metrics.snapshot() if tracer.enabled else None,
+        ))
         for seg in segs.values():
             seg.close()
 
@@ -128,11 +146,17 @@ class _SweepExecutor:
         }
         self._task_q = ctx.Queue()
         self._done_q = ctx.Queue()
+        self._trace_q = ctx.Queue()
+        # Captured at construction (inside the driver's use_tracer scope):
+        # workers fork with this tracer ambient, and their buffered events
+        # merge back into it at close().
+        self._tracer = get_tracer()
         names = {k: seg.name for k, seg in self._segments.items()}
         self._workers = [
             ctx.Process(
                 target=_worker_main,
-                args=(graph, names, n, self._task_q, self._done_q),
+                args=(graph, names, n, self._task_q, self._done_q,
+                      self._trace_q),
                 daemon=True,
             )
             for _ in range(num_workers)
@@ -160,6 +184,13 @@ class _SweepExecutor:
                               resolution, aggregation, sanitize))
             offset += chunk.shape[0]
             issued += 1
+        if self._tracer.enabled and issued:
+            sizes = [chunk.shape[0] for chunk in chunks if chunk.shape[0]]
+            mean = sum(sizes) / len(sizes)
+            self._tracer.gauge(
+                "worker.chunk_imbalance",
+                (max(sizes) / mean) if mean else 1.0,
+            )
         for _ in range(issued):
             self._done_q.get()
         return self._views["targets"][:count].copy()
@@ -167,6 +198,15 @@ class _SweepExecutor:
     def close(self) -> None:
         for _ in self._workers:
             self._task_q.put(None)
+        # Drain worker trace buffers BEFORE join: a worker's queue feeder
+        # thread keeps the process alive until its payload is consumed.
+        for _ in self._workers:
+            try:
+                events, metrics = self._trace_q.get(timeout=5)
+            except (queue_mod.Empty, OSError, EOFError):
+                continue
+            if events or metrics:
+                self._tracer.merge(events, metrics)
         for w in self._workers:
             w.join(timeout=5)
             if w.is_alive():

@@ -4,6 +4,14 @@ The paper's Fig. 8 decomposes total runtime into *coloring*, *graph rebuild*
 (including vertex-following preprocessing) and *clustering* (the Louvain
 iterations); :class:`StepTimer` accumulates named buckets in exactly that
 shape so the breakdown experiment can read them back.
+
+.. deprecated::
+    Constructing a :class:`StepTimer` directly in pipeline code is
+    deprecated: the drivers now time steps through
+    :meth:`repro.obs.trace.Tracer.step`, which feeds the same buckets
+    *and* the span stream.  ``result.timers`` stays a :class:`StepTimer`
+    via :func:`step_timer_view`, so existing readers (the breakdown
+    experiment, the cost model) keep working unchanged.
 """
 
 from __future__ import annotations
@@ -90,3 +98,21 @@ class StepTimer:
         """Fold another timer's buckets into this one."""
         for name, seconds in other.totals.items():
             self.add(name, seconds)
+
+
+def step_timer_view(tracer) -> StepTimer:
+    """A :class:`StepTimer` that is a *live view* over a tracer's buckets.
+
+    The returned timer shares the tracer's ``step_totals`` dict, so
+    ``tracer.step("coloring")`` updates are immediately visible through
+    the legacy ``result.timers`` interface — one clock, two views.
+
+    >>> from repro.obs.trace import Tracer
+    >>> tracer = Tracer()
+    >>> timers = step_timer_view(tracer)
+    >>> with tracer.step("coloring"):
+    ...     pass
+    >>> sorted(timers.totals) == ['coloring'] and timers.get("coloring") >= 0.0
+    True
+    """
+    return StepTimer(totals=tracer.step_totals)

@@ -339,3 +339,90 @@ class TestGenericRules:
                 return np.zeros(n)
         """
         assert codes(source, "src/repro/bench/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# OBS001 — wall-clock reads outside the instrumented timing path
+# ---------------------------------------------------------------------------
+class TestDirectTimingRule:
+    def test_perf_counter_call_triggers(self):
+        bad = """
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """
+        assert "OBS001" in codes(bad)
+
+    def test_time_time_call_triggers(self):
+        bad = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert "OBS001" in codes(bad)
+
+    def test_monotonic_ns_call_triggers(self):
+        bad = """
+            import time
+
+            def tick():
+                return time.monotonic_ns()
+        """
+        assert "OBS001" in codes(bad)
+
+    def test_from_time_import_triggers(self):
+        bad = """
+            from time import perf_counter
+
+            def measure():
+                return perf_counter()
+        """
+        assert "OBS001" in codes(bad)
+
+    def test_time_sleep_passes(self):
+        good = """
+            import time
+
+            def pause():
+                time.sleep(0.1)
+        """
+        assert codes(good) == []
+
+    def test_from_time_import_sleep_passes(self):
+        good = """
+            from time import sleep
+
+            def pause():
+                sleep(0.1)
+        """
+        assert codes(good) == []
+
+    def test_timing_module_is_exempt(self):
+        source = """
+            import time
+
+            def now():
+                return time.perf_counter()
+        """
+        assert codes(source, "src/repro/utils/timing.py") == []
+
+    def test_obs_package_is_exempt(self):
+        source = """
+            import time
+
+            def now():
+                return time.perf_counter()
+        """
+        assert codes(source, "src/repro/obs/trace.py") == []
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        source = """
+            import time
+
+            def now():
+                return time.perf_counter()
+        """
+        assert codes(source, "tests/fixture.py") == []
+        assert codes(source, "benchmarks/bench_fixture.py") == []

@@ -1,0 +1,193 @@
+"""Exporter tests: JSONL/Chrome round-trips and schema validation."""
+
+import json
+
+import pytest
+
+from repro.core.history import ConvergenceHistory, IterationRecord
+from repro.obs.export import (
+    TraceData,
+    load_chrome_trace,
+    load_jsonl,
+    load_trace,
+    to_chrome_trace,
+    to_flat_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Tracer
+from repro.utils.errors import ValidationError
+
+
+def make_tracer() -> Tracer:
+    """A small hand-rolled trace: nested spans, a step, an instant."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("louvain", cat="pipeline", n=10):
+        with tracer.step("clustering", phase=0):
+            with tracer.span("iteration", phase=0, iteration=0):
+                pass
+        tracer.instant("phase_end", phase=0, Q=0.5)
+    tracer.count("sweep.moves", 4)
+    tracer.gauge("worker.chunk_imbalance", 1.0)
+    tracer.observe("iteration.moves", 4)
+    return tracer
+
+
+def make_history() -> ConvergenceHistory:
+    h = ConvergenceHistory()
+    h.iterations.append(IterationRecord(
+        phase=0, iteration=0, modularity=0.5, vertices_moved=4,
+        num_communities=3, color_set_vertices=(10,), color_set_edges=(40,),
+    ))
+    return h
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path, history=make_history())
+        data = load_jsonl(path)
+        assert isinstance(data, TraceData)
+        assert [e.name for e in data.sorted_events()] == [
+            "louvain", "clustering", "iteration", "phase_end",
+        ]
+        assert data.events == sorted(tracer.events, key=lambda e: (e.ts, e.id))
+        assert data.step_totals == tracer.step_totals
+        assert data.metrics == tracer.metrics.snapshot()
+        assert ConvergenceHistory.from_json_dict(data.history) == make_history()
+
+    def test_lines_are_individually_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(make_tracer(), path)
+        kinds = [json.loads(line)["type"] for line in path.read_text().splitlines()]
+        assert kinds[0] == "meta"
+        assert "span" in kinds and "steps" in kinds and "metrics" in kinds
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        payload = to_chrome_trace(make_tracer(), history=make_history())
+        assert validate_chrome_trace(payload) == []
+        phs = [e["ph"] for e in payload["traceEvents"]]
+        assert phs.count("B") == phs.count("E") == 3  # three spans
+        assert phs.count("i") == 1
+        assert payload["reproSteps"]["clustering"] > 0
+        assert payload["reproMetrics"]["counters"]["sweep.moves"] == 4.0
+        assert payload["reproHistory"]["iterations"][0]["modularity"] == 0.5
+        # Timestamps rebased: earliest event starts at 0 µs.
+        assert min(e["ts"] for e in payload["traceEvents"]) == 0.0
+
+    def test_be_pairs_nest_properly(self):
+        payload = to_chrome_trace(make_tracer())
+        names = [(e["ph"], e["name"]) for e in payload["traceEvents"]
+                 if e["ph"] in ("B", "E")]
+        assert names == [
+            ("B", "louvain"), ("B", "clustering"), ("B", "iteration"),
+            ("E", "iteration"), ("E", "clustering"), ("E", "louvain"),
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path, history=make_history())
+        data = load_chrome_trace(path)
+        assert [e.name for e in data.sorted_events()] == [
+            "louvain", "clustering", "iteration", "phase_end",
+        ]
+        by_name = {e.name: e for e in data.events}
+        assert by_name["iteration"].parent == by_name["clustering"].id
+        assert by_name["clustering"].parent == by_name["louvain"].id
+        assert by_name["iteration"].args == {"phase": 0, "iteration": 0}
+        assert data.step_totals == tracer.step_totals
+        assert ConvergenceHistory.from_json_dict(data.history) == make_history()
+
+    def test_load_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ]}))
+        with pytest.raises(ValidationError):
+            load_chrome_trace(path)
+
+
+class TestValidateChromeTrace:
+    def test_accepts_plain_event_array(self):
+        assert validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 5, "pid": 1, "tid": 1},
+        ]) == []
+
+    def test_flags_missing_ph(self):
+        problems = validate_chrome_trace([{"name": "a", "ts": 0}])
+        assert any("no 'ph'" in p for p in problems)
+
+    def test_flags_unclosed_b(self):
+        problems = validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ])
+        assert any("unclosed" in p for p in problems)
+
+    def test_flags_e_without_b(self):
+        problems = validate_chrome_trace([
+            {"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 1},
+        ])
+        assert any("without open B" in p for p in problems)
+
+    def test_flags_improper_nesting(self):
+        problems = validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 3, "pid": 1, "tid": 1},
+        ])
+        assert any("improper nesting" in p for p in problems)
+
+    def test_flags_bad_pid_and_ts(self):
+        problems = validate_chrome_trace([
+            {"name": "a", "ph": "i", "ts": -1, "pid": "x", "tid": 1},
+        ])
+        assert any("non-integer 'pid'" in p for p in problems)
+        assert any("invalid ts" in p for p in problems)
+
+    def test_flags_non_object_inputs(self):
+        assert validate_chrome_trace("nope") == [
+            "trace must be a JSON object or array",
+        ]
+        assert validate_chrome_trace({}) == [
+            "top-level 'traceEvents' list missing",
+        ]
+
+    def test_separate_threads_validate_independently(self):
+        assert validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 2},
+            {"name": "b", "ph": "E", "ts": 2, "pid": 1, "tid": 2},
+            {"name": "a", "ph": "E", "ts": 3, "pid": 1, "tid": 1},
+        ]) == []
+
+
+class TestLoadTrace:
+    def test_sniffs_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(make_tracer(), path)
+        assert len(load_trace(path).events) == 4
+
+    def test_sniffs_chrome(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_chrome_trace(make_tracer(), path)
+        assert len(load_trace(path).events) == 4
+
+
+class TestFlatText:
+    def test_contains_steps_spans_and_metrics(self):
+        text = to_flat_text(make_tracer())
+        assert "step.clustering.seconds" in text
+        assert "span.iteration.count 1" in text
+        assert "counter.sweep.moves 4" in text
+        assert "gauge.worker.chunk_imbalance 1" in text
+        assert "hist.iteration.moves.count 1" in text
+
+    def test_empty_trace_is_empty_string(self):
+        assert to_flat_text(Tracer(enabled=True)) == ""

@@ -1,0 +1,156 @@
+"""End-to-end observability guarantees across every pipeline.
+
+The load-bearing property: the tracer *observes, never steers* — a traced
+run returns bitwise-identical communities to an untraced run, on every
+pipeline (parallel driver, serial reference, process backend,
+distributed BSP), while its trace exports as valid Chrome trace-event
+JSON.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.core.history import ConvergenceHistory
+from repro.core.louvain_serial import louvain_serial
+from repro.distributed.louvain_dist import distributed_louvain
+from repro.graph.generators import planted_partition
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_partition(24, 12, 0.7, 0.02, seed=5)
+
+
+class TestBitwiseEquivalence:
+    def test_driver_default_variant(self, planted):
+        base = louvain(planted, trace=False)
+        traced = louvain(planted, trace=True)
+        np.testing.assert_array_equal(base.communities, traced.communities)
+        assert base.modularity == traced.modularity
+        assert base.trace is None
+        assert traced.trace is not None
+
+    def test_driver_vf_color_variant(self, planted):
+        kwargs = dict(variant="baseline+VF+Color",
+                      coloring_min_vertices=planted.num_vertices // 4)
+        base = louvain(planted, trace=False, **kwargs)
+        traced = louvain(planted, trace=True, **kwargs)
+        np.testing.assert_array_equal(base.communities, traced.communities)
+        assert base.modularity == traced.modularity
+
+    def test_serial_reference(self, planted):
+        base = louvain_serial(planted, trace=False)
+        traced = louvain_serial(planted, trace=True)
+        np.testing.assert_array_equal(base.communities, traced.communities)
+        assert base.modularity == traced.modularity
+        assert traced.trace is not None and base.trace is None
+
+    def test_process_backend(self, planted):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("process backend requires fork")
+        kwargs = dict(backend="processes", num_threads=2)
+        base = louvain(planted, trace=False, **kwargs)
+        traced = louvain(planted, trace=True, **kwargs)
+        np.testing.assert_array_equal(base.communities, traced.communities)
+        assert base.modularity == traced.modularity
+
+    def test_distributed(self, planted):
+        base = distributed_louvain(planted, 3, trace=False)
+        traced = distributed_louvain(planted, 3, trace=True)
+        np.testing.assert_array_equal(base.communities, traced.communities)
+        assert base.modularity == traced.modularity
+
+
+class TestTraceContents:
+    def test_driver_trace_is_valid_chrome_json(self, planted):
+        result = louvain(planted, trace=True)
+        payload = to_chrome_trace(result.trace, history=result.history)
+        assert validate_chrome_trace(payload) == []
+        names = {e.name for e in result.trace.events}
+        assert {"louvain", "clustering", "rebuild", "iteration",
+                "sweep", "compute_targets", "phase_end"} <= names
+
+    def test_timers_view_matches_step_spans(self, planted):
+        result = louvain(planted, trace=True)
+        from repro.obs.report import step_breakdown
+
+        breakdown = step_breakdown(result.trace)
+        for name, seconds in breakdown.totals.items():
+            assert seconds == pytest.approx(result.timers.totals[name],
+                                            abs=1e-12)
+
+    def test_untraced_run_still_fills_timers(self, planted):
+        result = louvain(planted, trace=False)
+        assert result.timers.get("clustering") > 0.0
+        assert result.timers.get("rebuild") > 0.0
+
+    def test_counters_reflect_history(self, planted):
+        result = louvain(planted, trace=True)
+        counters = result.trace.metrics.snapshot()["counters"]
+        moved = sum(r.vertices_moved for r in result.history.iterations)
+        assert counters["sweep.moves"] == moved
+
+    def test_process_backend_merges_worker_spans(self, planted):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("process backend requires fork")
+        result = louvain(planted, trace=True, backend="processes",
+                         num_threads=2)
+        chunks = [e for e in result.trace.events if e.name == "worker_chunk"]
+        assert chunks, "worker spans must be merged into the parent trace"
+        # Workers are forked children: their spans carry foreign pids.
+        assert all(e.pid != result.trace.pid for e in chunks)
+        hists = result.trace.metrics.snapshot()["histograms"]
+        assert hists["worker.chunk_vertices"]["count"] == len(chunks)
+        payload = to_chrome_trace(result.trace)
+        assert validate_chrome_trace(payload) == []
+
+    def test_distributed_trace_records_supersteps(self, planted):
+        result = distributed_louvain(planted, 3, trace=True)
+        names = {e.name for e in result.trace.events}
+        assert {"local_compute", "halo_exchange", "allreduce"} <= names
+        assert validate_chrome_trace(to_chrome_trace(result.trace)) == []
+
+    def test_ambient_tracer_restored_after_runs(self, planted):
+        before = get_tracer()
+        louvain(planted, trace=True)
+        louvain_serial(planted, trace=True)
+        distributed_louvain(planted, 2, trace=True)
+        assert get_tracer() is before
+
+
+class TestHistoryRoundTrip:
+    """Property-style: to_json/from_json is the identity on real histories."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_round_trip_over_two_phase_runs(self, seed):
+        graph = planted_partition(20, 10, 0.7, 0.03, seed=seed)
+        result = louvain(graph, variant="baseline+VF+Color",
+                         coloring_min_vertices=graph.num_vertices // 4)
+        history = result.history
+        assert history.num_phases >= 2  # the property is about multi-phase runs
+        back = ConvergenceHistory.from_json(history.to_json())
+        assert back == history
+        assert back.iterations == history.iterations
+        assert back.phases == history.phases
+        np.testing.assert_array_equal(back.modularity_trajectory(),
+                                      history.modularity_trajectory())
+        assert back.phase_boundaries() == history.phase_boundaries()
+
+    def test_round_trip_preserves_tuple_types(self):
+        graph = planted_partition(20, 10, 0.7, 0.03, seed=9)
+        history = louvain(graph).history
+        back = ConvergenceHistory.from_json(history.to_json())
+        for record in back.iterations:
+            assert isinstance(record.color_set_vertices, tuple)
+            assert isinstance(record.color_set_edges, tuple)
+        for record in back.phases:
+            assert isinstance(record.color_class_sizes, tuple)
+
+    def test_empty_history_round_trips(self):
+        empty = ConvergenceHistory()
+        assert ConvergenceHistory.from_json(empty.to_json()) == empty

@@ -1,0 +1,128 @@
+"""Unit tests of the metrics registry: histograms, merging, snapshots."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.utils.errors import ValidationError
+
+
+class TestHistogram:
+    def test_observe_places_values_in_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0, math.inf))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # Upper bounds are inclusive: 1.0 lands in the first bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.0)
+        assert h.min == 0.5
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(106.0 / 5)
+
+    def test_default_buckets_are_powers_of_two_plus_inf(self):
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert DEFAULT_BUCKETS[-1] == math.inf
+        assert all(b == 2 * a for a, b in zip(DEFAULT_BUCKETS[:-2],
+                                              DEFAULT_BUCKETS[1:-1]))
+
+    def test_buckets_must_end_with_inf(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(1.0, 2.0))
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(2.0, 1.0, math.inf))
+
+    def test_merge_adds_counts_exactly(self):
+        a = Histogram(buckets=(1.0, math.inf))
+        b = Histogram(buckets=(1.0, math.inf))
+        for v in (0.5, 3.0):
+            a.observe(v)
+        for v in (0.25, 9.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.counts == [2, 2]
+        assert a.count == 4
+        assert a.sum == pytest.approx(12.75)
+        assert a.min == 0.25
+        assert a.max == 9.0
+
+    def test_merge_rejects_different_buckets(self):
+        a = Histogram(buckets=(1.0, math.inf))
+        b = Histogram(buckets=(2.0, math.inf))
+        with pytest.raises(ValidationError):
+            a.merge(b)
+
+    def test_dict_round_trip_encodes_inf(self):
+        h = Histogram(buckets=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(7.0)
+        data = h.to_dict()
+        assert data["buckets"] == [1.0, "inf"]  # JSON-safe
+        back = Histogram.from_dict(data)
+        assert back == h
+
+    def test_empty_histogram_round_trip(self):
+        h = Histogram(buckets=(1.0, math.inf))
+        data = h.to_dict()
+        assert data["min"] is None and data["max"] is None
+        back = Histogram.from_dict(data)
+        assert back.count == 0
+        assert back.mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("sweep.moves", 3)
+        reg.count("sweep.moves")
+        assert reg.counters["sweep.moves"] == 4.0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("imbalance", 1.5)
+        reg.gauge("imbalance", 1.1)
+        assert reg.gauges["imbalance"] == 1.1
+
+    def test_merge_combines_all_kinds(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.count("moves", 2)
+        b.count("moves", 3)
+        b.count("only_b", 1)
+        a.gauge("g", 1.0)
+        b.gauge("g", 2.0)
+        a.observe("h", 1.0)
+        b.observe("h", 100.0)
+        b.observe("h2", 5.0)
+        a.merge(b)
+        assert a.counters == {"moves": 5.0, "only_b": 1.0}
+        assert a.gauges["g"] == 2.0  # merged-in gauge wins
+        assert a.histograms["h"].count == 2
+        assert a.histograms["h"].max == 100.0
+        assert a.histograms["h2"].count == 1
+
+    def test_merge_snapshot_round_trips_worker_payload(self):
+        worker = MetricsRegistry()
+        worker.count("sweep.moves", 7)
+        worker.gauge("imbalance", 1.25)
+        worker.observe("chunk", 64.0)
+        parent = MetricsRegistry()
+        parent.count("sweep.moves", 1)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["sweep.moves"] == 8.0
+        assert snap["gauges"]["imbalance"] == 1.25
+        assert snap["histograms"]["chunk"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.observe("h", 3.0)
+        reg.count("c", 1)
+        reg.gauge("g", 0.5)
+        parsed = json.loads(json.dumps(reg.snapshot()))
+        assert parsed["histograms"]["h"]["buckets"][-1] == "inf"

@@ -1,0 +1,114 @@
+"""Report tests: the Fig 8-style breakdown and the aggregated span tree."""
+
+import pytest
+
+from repro.core.driver import louvain
+from repro.datasets.catalog import load_dataset
+from repro.obs.export import TraceData
+from repro.obs.report import (
+    aggregate_span_tree,
+    history_from_trace,
+    render_breakdown,
+    render_report,
+    render_span_tree,
+    step_breakdown,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    graph = load_dataset("MG1", scale=0.4, seed=0)
+    return louvain(graph, variant="baseline+VF+Color",
+                   coloring_min_vertices=graph.num_vertices // 4,
+                   trace=True)
+
+
+class TestStepBreakdown:
+    def test_totals_equal_result_timers_exactly(self, traced_result):
+        breakdown = step_breakdown(traced_result.trace)
+        timers = traced_result.timers.totals
+        assert set(breakdown.totals) == set(timers)
+        for name, seconds in breakdown.totals.items():
+            # Same clock pairs feed both: equality to float precision.
+            assert seconds == pytest.approx(timers[name], abs=1e-12)
+
+    def test_rows_are_per_phase(self, traced_result):
+        breakdown = step_breakdown(traced_result.trace)
+        labels = [label for label, _ in breakdown.rows]
+        # VF rebuild happens before phase 0 -> a "pre" row, then phases.
+        assert "pre" in labels
+        assert "0" in labels
+
+    def test_step_names_keep_fig8_order(self, traced_result):
+        names = step_breakdown(traced_result.trace).step_names()
+        known = [n for n in names if n in ("coloring", "clustering", "rebuild")]
+        assert known == [n for n in ("coloring", "clustering", "rebuild")
+                         if n in names]
+
+    def test_fallback_to_step_totals_without_step_events(self):
+        data = TraceData(step_totals={"clustering": 1.5, "rebuild": 0.5})
+        breakdown = step_breakdown(data)
+        assert breakdown.rows == [("all", {"clustering": 1.5, "rebuild": 0.5})]
+        assert breakdown.grand_total == 2.0
+
+    def test_empty_trace(self):
+        breakdown = step_breakdown(TraceData())
+        assert breakdown.rows == []
+        assert breakdown.grand_total == 0.0
+
+
+class TestRendering:
+    def test_breakdown_table_shape(self, traced_result):
+        text = render_breakdown(traced_result.trace)
+        assert "phase" in text and "TOTAL" in text and "share" in text
+        assert "100.0%" in text
+
+    def test_breakdown_without_steps(self):
+        assert render_breakdown(TraceData()) == "(no step events in trace)\n"
+
+    def test_span_tree_aggregates_by_path(self, traced_result):
+        root = aggregate_span_tree(traced_result.trace)
+        assert "louvain" in root.children
+        pipeline = root.children["louvain"]
+        # Iterations nest under the clustering step span.
+        assert "iteration" in pipeline.children["clustering"].children
+        iteration = pipeline.children["clustering"].children["iteration"]
+        assert iteration.count >= 2  # several iterations fold into one node
+        assert iteration.total > 0.0
+
+    def test_span_tree_render(self, traced_result):
+        text = render_span_tree(traced_result.trace)
+        assert "louvain" in text and "×" in text and "%" in text
+
+    def test_max_depth_truncates(self, traced_result):
+        shallow = render_span_tree(traced_result.trace, max_depth=1)
+        assert "iteration" not in shallow
+
+    def test_empty_tree(self):
+        assert render_span_tree(TraceData()) == "(no span events in trace)\n"
+
+    def test_full_report_sections(self, traced_result):
+        text = render_report(traced_result.trace)
+        assert "== Runtime breakdown (Fig. 8 buckets) ==" in text
+        assert "== Span tree ==" in text
+        assert "== Counters ==" in text
+        assert "sweep.moves" in text
+
+    def test_report_includes_convergence_when_history_present(self, traced_result):
+        data = TraceData(
+            events=list(traced_result.trace.events),
+            step_totals=dict(traced_result.trace.step_totals),
+            metrics=traced_result.trace.metrics.snapshot(),
+            history=traced_result.history.to_json_dict(),
+        )
+        text = render_report(data)
+        assert "== Convergence ==" in text
+        history = history_from_trace(data)
+        assert history == traced_result.history
+        assert f"final Q {history.final_modularity:.6f}" in text
+
+
+class TestHistoryFromTrace:
+    def test_none_without_embedded_history(self):
+        assert history_from_trace(Tracer(enabled=True)) is None

@@ -1,0 +1,204 @@
+"""Unit tests of the span tracer: nesting, the disabled path, merging."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    resolve_trace,
+    set_tracer,
+    trace_default,
+    use_tracer,
+)
+from repro.utils.timing import StepTimer, step_timer_view
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        a = tracer.span("x")
+        b = tracer.span("y", cat="pipeline", n=3)
+        assert a is b  # the singleton fast path: no allocation per call
+        with a:
+            pass
+        assert tracer.events == []
+
+    def test_metrics_are_noops(self):
+        tracer = Tracer(enabled=False)
+        tracer.count("c")
+        tracer.gauge("g", 2.0)
+        tracer.observe("h", 5.0)
+        tracer.instant("i")
+        assert tracer.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert tracer.events == []
+
+    def test_step_still_accumulates(self):
+        tracer = Tracer(enabled=False)
+        with tracer.step("clustering"):
+            pass
+        with tracer.step("clustering"):
+            pass
+        assert tracer.step_totals["clustering"] > 0.0
+        assert tracer.events == []  # totals without spans
+
+
+class TestEnabledSpans:
+    def test_nesting_records_parent_links(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", cat="pipeline"):
+            with tracer.span("inner", vertices=7):
+                pass
+        # Spans are recorded on exit: inner first.
+        inner, outer = tracer.events
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent == outer.id
+        assert outer.parent == 0
+        assert outer.cat == "pipeline"
+        assert inner.args == {"vertices": 7}
+        assert inner.ts >= outer.ts
+        assert inner.dur <= outer.dur
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.events
+        assert a.parent == b.parent == outer.id
+        assert a.id != b.id
+
+    def test_instant_event(self):
+        tracer = Tracer(enabled=True)
+        tracer.instant("phase_end", phase=0, Q=0.5)
+        (ev,) = tracer.events
+        assert ev.cat == "instant"
+        assert ev.dur == 0.0
+        assert ev.args == {"phase": 0, "Q": 0.5}
+
+    def test_step_span_and_bucket_share_one_clock_pair(self):
+        tracer = Tracer(enabled=True)
+        with tracer.step("coloring", phase=0):
+            pass
+        (ev,) = tracer.events
+        assert ev.cat == "step"
+        assert ev.args == {"phase": 0}
+        # Identical float, not merely close: one perf_counter pair.
+        assert tracer.step_totals["coloring"] == ev.dur
+
+    def test_sorted_events_orders_by_timestamp(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [e.name for e in tracer.sorted_events()] == ["outer", "inner"]
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer(enabled=True)
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()  # both spans open concurrently
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert {e.name for e in tracer.events} == {"t0", "t1"}
+        # Neither span is the other's parent: per-thread stacks.
+        assert all(e.parent == 0 for e in tracer.events)
+        assert len({e.tid for e in tracer.events}) == 2
+
+
+class TestMerge:
+    def test_merge_accepts_dict_payloads(self):
+        worker = Tracer(enabled=True)
+        with worker.span("worker_chunk", offset=0, length=10):
+            pass
+        worker.observe("worker.chunk_vertices", 10)
+
+        parent = Tracer(enabled=True)
+        parent.merge([e.to_dict() for e in worker.events],
+                     worker.metrics.snapshot())
+        (ev,) = parent.events
+        assert isinstance(ev, TraceEvent)
+        assert ev.name == "worker_chunk"
+        snap = parent.metrics.snapshot()
+        assert snap["histograms"]["worker.chunk_vertices"]["count"] == 1
+
+    def test_merge_accepts_event_objects(self):
+        src = Tracer(enabled=True)
+        with src.span("x"):
+            pass
+        dst = Tracer(enabled=True)
+        dst.merge(src.events)
+        assert dst.events == src.events
+
+
+class TestAmbient:
+    def test_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_use_tracer_restores_previous(self):
+        before = get_tracer()
+        mine = Tracer(enabled=True)
+        with use_tracer(mine):
+            assert get_tracer() is mine
+        assert get_tracer() is before
+
+    def test_use_tracer_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer(enabled=True)):
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        before = get_tracer()
+        mine = Tracer()
+        try:
+            assert set_tracer(mine) is before
+            assert get_tracer() is mine
+        finally:
+            set_tracer(before)
+
+
+class TestEnablement:
+    def test_resolve_trace_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert resolve_trace(False) is False
+        assert resolve_trace(True) is True
+
+    def test_resolve_trace_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert resolve_trace(None) is True
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert resolve_trace(None) is False
+        monkeypatch.delenv("REPRO_TRACE")
+        assert resolve_trace(None) is False
+
+    def test_trace_default_accepts_truthy_strings(self, monkeypatch):
+        for value, expected in [("1", True), ("true", True), ("on", True),
+                                ("0", False), ("", False), ("off", False)]:
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert trace_default() is expected
+
+
+class TestStepTimerView:
+    def test_view_shares_the_totals_dict(self):
+        tracer = Tracer(enabled=False)
+        timers = step_timer_view(tracer)
+        assert isinstance(timers, StepTimer)
+        with tracer.step("rebuild"):
+            pass
+        assert timers.totals is tracer.step_totals
+        assert timers.totals["rebuild"] == tracer.step_totals["rebuild"]

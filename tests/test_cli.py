@@ -170,3 +170,59 @@ def test_version(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["--version"])
     assert exc.value.code == 0
+
+
+class TestObs:
+    def test_trace_validate_report_flow(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["obs", "trace", karate_file, "--out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert f"trace written to {trace} (chrome)" in out
+        assert "TOTAL" in out  # breakdown printed inline
+
+        assert main(["obs", "validate", str(trace)]) == 0
+        assert "schema valid" in capsys.readouterr().out
+
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== Runtime breakdown (Fig. 8 buckets) ==" in out
+        assert "== Span tree ==" in out
+        assert "== Convergence ==" in out
+
+    def test_trace_serial_variant(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["obs", "trace", karate_file, "--variant", "serial",
+                     "--out", str(trace)]) == 0
+        assert main(["obs", "validate", str(trace)]) == 0
+
+    def test_trace_jsonl_format_and_report(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["obs", "trace", karate_file, "--trace-format", "jsonl",
+                     "--out", str(trace)]) == 0
+        assert "(jsonl)" in capsys.readouterr().out
+        assert main(["obs", "report", str(trace), "--no-tree"]) == 0
+        out = capsys.readouterr().out
+        assert "== Runtime breakdown (Fig. 8 buckets) ==" in out
+        assert "== Span tree ==" not in out
+
+    def test_trace_flat_format(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        assert main(["obs", "trace", karate_file, "--trace-format", "flat",
+                     "--out", str(trace)]) == 0
+        assert "step.clustering.seconds" in trace.read_text()
+
+    def test_validate_rejects_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"name": "a", "ph": "B", '
+                       '"ts": 0, "pid": 1, "tid": 1}]}')
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_trace_dataset_input(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["obs", "trace", "--dataset", "MG1", "--scale", "0.3",
+                     "--out", str(trace)]) == 0
+        assert main(["obs", "report", str(trace), "--max-depth", "1"]) == 0
+        assert "iteration" not in capsys.readouterr().out.split(
+            "== Span tree ==")[1].split("==")[0]
