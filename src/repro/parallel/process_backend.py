@@ -37,9 +37,15 @@ import numpy as np
 from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.parallel.backends import ExecutionBackend
 from repro.parallel.chunking import edge_balanced_partition
-from repro.utils.errors import ValidationError
+from repro.utils.errors import ValidationError, WorkerPoolError
+from repro.utils.timing import monotonic
 
 __all__ = ["ProcessBackend"]
+
+#: How long the result loop waits on ``done_q`` before checking liveness.
+_LIVENESS_POLL_S = 0.1
+#: Overall budget for draining worker trace buffers at close().
+_CLOSE_DRAIN_S = 5.0
 
 
 def _worker_main(graph, shm_names, n, task_q, done_q, trace_q):
@@ -109,6 +115,7 @@ def _worker_main(graph, shm_names, n, task_q, done_q, trace_q):
             done_q.put(offset)
     finally:
         trace_q.put((
+            os.getpid(),
             [event.to_dict() for event in tracer.events],
             tracer.metrics.snapshot() if tracer.enabled else None,
         ))
@@ -191,26 +198,73 @@ class _SweepExecutor:
                 "worker.chunk_imbalance",
                 (max(sizes) / mean) if mean else 1.0,
             )
-        for _ in range(issued):
-            self._done_q.get()
+        # Deadline-and-liveness result loop: a plain done_q.get() would
+        # block forever if a worker died mid-chunk (its completion message
+        # never arrives).  Wait in short slices and, whenever a slice comes
+        # up empty, check every worker's exitcode so a dead pool surfaces
+        # as an exception instead of a hang.
+        remaining = issued
+        while remaining:
+            try:
+                self._done_q.get(timeout=_LIVENESS_POLL_S)
+            except queue_mod.Empty:
+                dead = [w for w in self._workers if w.exitcode is not None]
+                if dead:
+                    codes = sorted({w.exitcode for w in dead})
+                    raise WorkerPoolError(
+                        f"{len(dead)} worker(s) died mid-sweep "
+                        f"(exitcodes {codes}); {remaining} of {issued} "
+                        "chunks unfinished"
+                    )
+                continue
+            remaining -= 1
         return self._views["targets"][:count].copy()
 
     def close(self) -> None:
-        for _ in self._workers:
-            self._task_q.put(None)
-        # Drain worker trace buffers BEFORE join: a worker's queue feeder
-        # thread keeps the process alive until its payload is consumed.
-        for _ in self._workers:
-            try:
-                events, metrics = self._trace_q.get(timeout=5)
-            except (queue_mod.Empty, OSError, EOFError):
-                continue
-            if events or metrics:
-                self._tracer.merge(events, metrics)
+        # A worker that died abnormally may have been killed while holding
+        # a shared queue's lock (e.g. SIGKILL inside task_q.get()), which
+        # poisons the queue for every surviving reader: sentinels would
+        # never be delivered and the graceful drain would stall for its
+        # full deadline.  In that case skip straight to termination.
+        crashed = any(w.exitcode not in (None, 0) for w in self._workers)
+        if not crashed:
+            for _ in self._workers:
+                self._task_q.put(None)
+            # Drain worker trace buffers BEFORE join: a worker's queue
+            # feeder thread keeps the process alive until its payload is
+            # consumed.  One payload per live or cleanly-exited worker is
+            # expected, and the whole drain runs against a single overall
+            # deadline — the old per-worker timeout paid a serial 5 s
+            # penalty for every dead worker.
+            expected = {
+                w.pid for w in self._workers if w.exitcode in (None, 0)
+            }
+            seen: set[int] = set()
+            deadline = monotonic() + _CLOSE_DRAIN_S
+            while expected - seen:
+                timeout = deadline - monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    payload = self._trace_q.get(timeout=timeout)
+                    pid, events, metrics = payload
+                except (queue_mod.Empty, OSError, EOFError):
+                    break
+                except (TypeError, ValueError):
+                    continue  # malformed buffer; tolerate, keep draining
+                seen.add(pid)
+                if events or metrics:
+                    self._tracer.merge(events, metrics)
         for w in self._workers:
+            if crashed and w.is_alive():
+                w.terminate()
             w.join(timeout=5)
             if w.is_alive():
-                w.terminate()
+                w.kill()
+                w.join(timeout=5)
+        for q in (self._task_q, self._done_q, self._trace_q):
+            q.close()
+            q.cancel_join_thread()
         for seg in self._segments.values():
             seg.close()
             try:

@@ -31,3 +31,12 @@ class GraphStructureError(ValidationError):
 
 class GraphFormatError(ReproError, ValueError):
     """A graph file could not be parsed (bad header, token, or truncation)."""
+
+
+class WorkerPoolError(ReproError, RuntimeError):
+    """A worker pool lost workers beyond what recovery could absorb.
+
+    Raised by the process backend when a sweep cannot complete on the pool
+    (dead/stalled workers exhausted their retry and respawn budgets); the
+    backend catches it and falls back to in-process execution.
+    """

@@ -100,6 +100,21 @@ class StepTimer:
             self.add(name, seconds)
 
 
+def monotonic() -> float:
+    """Monotonic clock read for deadlines and liveness polls.
+
+    This module is the sanctioned home for raw clock reads (the OBS001
+    lint rule rejects them elsewhere); code that needs a *deadline* — the
+    process backend's worker-liveness loop, queue-drain budgets — calls
+    this instead of timing a span, because a deadline is control flow,
+    not a measurement destined for the trace stream.
+
+    >>> monotonic() <= monotonic()
+    True
+    """
+    return time.perf_counter()
+
+
 def step_timer_view(tracer) -> StepTimer:
     """A :class:`StepTimer` that is a *live view* over a tracer's buckets.
 

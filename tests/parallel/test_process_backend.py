@@ -1,6 +1,7 @@
 """Tests for the fork + shared-memory process backend (real parallelism)."""
 
 import multiprocessing as mp
+import time
 
 import numpy as np
 import pytest
@@ -121,3 +122,55 @@ class TestLifecycle:
     def test_validation(self):
         with pytest.raises(ValidationError):
             ProcessBackend(0)
+
+
+class TestWorkerDeath:
+    """Regression tests for the done_q / trace_q hang class.
+
+    The seed backend blocked forever on ``done_q.get()`` when a worker
+    died mid-chunk, and ``close()`` paid a serial 5 s ``trace_q`` penalty
+    per dead worker.  Both paths must now finish promptly.
+    """
+
+    def _executor(self, planted):
+        backend = ProcessBackend(2)
+        state = init_state(planted)
+        verts = np.arange(planted.num_vertices, dtype=np.int64)
+        # Run one sweep so the executor (pool + buffers) exists.
+        backend.sweep_targets(planted, state, verts, use_min_label=True,
+                              resolution=1.0)
+        (executor,) = backend._executors.values()
+        return backend, executor, state, verts
+
+    def test_close_fast_with_dead_worker(self, planted):
+        backend, executor, _, _ = self._executor(planted)
+        executor._workers[0].kill()
+        executor._workers[0].join(timeout=5)
+        t0 = time.perf_counter()
+        backend.close()
+        assert time.perf_counter() - t0 < 2.0
+
+    def test_dead_pool_raises_instead_of_hanging(self, planted):
+        from repro.utils.errors import WorkerPoolError
+
+        backend, executor, state, verts = self._executor(planted)
+        try:
+            for w in executor._workers:
+                w.kill()
+                w.join(timeout=5)
+            t0 = time.perf_counter()
+            with pytest.raises(WorkerPoolError, match="died mid-sweep"):
+                executor.compute_targets(state, verts, use_min_label=True,
+                                         resolution=1.0)
+            assert time.perf_counter() - t0 < 5.0
+        finally:
+            backend.close()
+
+    def test_close_fast_with_all_workers_dead(self, planted):
+        backend, executor, _, _ = self._executor(planted)
+        for w in executor._workers:
+            w.kill()
+            w.join(timeout=5)
+        t0 = time.perf_counter()
+        backend.close()
+        assert time.perf_counter() - t0 < 2.0
