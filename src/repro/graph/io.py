@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import gzip
 import io as _io
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -39,9 +40,15 @@ __all__ = [
 
 def _open_text(path, mode: str):
     path = Path(path)
+    # Read tolerantly: real-world Matrix Market / SNAP headers carry
+    # non-ASCII comment text (author names, accented dataset titles), and
+    # the old ascii codec crashed on the first such byte.  Undecodable
+    # bytes only ever appear in comments, so replacement is lossless for
+    # the numeric payload.  Writes stay strict UTF-8.
+    errors = "replace" if "r" in mode else "strict"
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="ascii")
-    return open(path, mode, encoding="ascii")
+        return gzip.open(path, mode + "t", encoding="utf-8", errors=errors)
+    return open(path, mode, encoding="utf-8", errors=errors)
 
 
 # ---------------------------------------------------------------------------
@@ -210,10 +217,54 @@ def read_metis(path, *, combine: str = "error") -> CSRGraph:
     return g
 
 
-def write_metis(graph: CSRGraph, path, *, write_weights: bool = True) -> None:
-    """Write ``graph`` in METIS format (1-indexed, fmt=1 when weighted)."""
+def write_metis(
+    graph: CSRGraph, path, *, write_weights: bool = True, strict: bool = False
+) -> None:
+    """Write ``graph`` in METIS format (1-indexed, fmt=1 when weighted).
+
+    The METIS specification requires *positive integer* edge weights.
+    Integral weights are emitted as integers.  Fractional weights are, by
+    default, written as-is with a :class:`UserWarning` — our own
+    :func:`read_metis` accepts them, but standard METIS/DIMACS10 tooling
+    will not.  With ``strict=True``, fractional weights are scaled by the
+    smallest power of ten (up to ``1e6``) that makes every weight
+    integral; if no such scale exists a :class:`GraphFormatError` is
+    raised.  Scaling multiplies every weight uniformly, which leaves
+    modularity (and hence community structure) unchanged but means the
+    file does *not* round-trip to the original weights — see
+    ``docs/io_formats.md``.
+    """
     n = graph.num_vertices
     fmt = "1" if write_weights else "0"
+    scale = 1.0
+    integral = True
+    if write_weights and graph.num_edges:
+        w_all = graph.weights
+        integral = bool(np.all(w_all == np.rint(w_all)))
+        if not integral:
+            if strict:
+                for s in (10.0, 1e2, 1e3, 1e4, 1e5, 1e6):
+                    scaled = w_all * s
+                    if np.allclose(scaled, np.rint(scaled), rtol=0.0,
+                                   atol=1e-6):
+                        scale, integral = s, True
+                        break
+                else:
+                    raise GraphFormatError(
+                        f"{path}: edge weights cannot be made integral by "
+                        "a power-of-ten scale <= 1e6 (METIS requires "
+                        "positive integer weights)"
+                    )
+            else:
+                warnings.warn(
+                    "write_metis: fractional edge weights violate the "
+                    "METIS spec (positive integers); the file is readable "
+                    "by repro.graph.io.read_metis but not by standard "
+                    "METIS tooling. Pass strict=True to scale weights to "
+                    "integers.",
+                    UserWarning,
+                    stacklevel=2,
+                )
     with _open_text(path, "w") as fh:
         fh.write(f"{n} {graph.num_edges} {fmt}\n")
         for i in range(n):
@@ -221,7 +272,10 @@ def write_metis(graph: CSRGraph, path, *, write_weights: bool = True) -> None:
             if write_weights:
                 tokens = []
                 for v, w in zip(nbrs.tolist(), ws.tolist()):
-                    tokens.append(f"{v + 1} {w:.17g}")
+                    if integral:
+                        tokens.append(f"{v + 1} {int(round(w * scale))}")
+                    else:
+                        tokens.append(f"{v + 1} {w:.17g}")
                 fh.write(" ".join(tokens) + "\n")
             else:
                 fh.write(" ".join(str(v + 1) for v in nbrs.tolist()) + "\n")

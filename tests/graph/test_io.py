@@ -1,6 +1,7 @@
 """Unit tests for graph file formats."""
 
 import gzip
+import warnings
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.io import (
     load_csrz,
     read_edge_list,
+    read_matrix_market,
     read_metis,
     save_csrz,
     write_edge_list,
@@ -80,6 +82,38 @@ class TestEdgeList:
             read_edge_list(path, zero_indexed=False)
 
 
+class TestNonAsciiComments:
+    """Regression: the ascii codec crashed on non-ASCII comment bytes."""
+
+    def test_edge_list_utf8_comment(self, tmp_path):
+        path = tmp_path / "cafe.txt"
+        path.write_text("# café graph\n0 1\n1 2\n", encoding="utf-8")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_edge_list_utf8_comment_gzip(self, tmp_path):
+        path = tmp_path / "cafe.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write("# café graph\n0 1\n1 2\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_edge_list_undecodable_bytes_in_comment(self, tmp_path):
+        # Latin-1 comment bytes that are invalid UTF-8 must not crash
+        # the reader; they only ever occur in comment lines.
+        path = tmp_path / "latin1.txt"
+        path.write_bytes("# caf\xe9 graph\n0 1\n".encode("latin-1"))
+        assert read_edge_list(path).num_edges == 1
+
+    def test_matrix_market_utf8_comment(self, tmp_path):
+        path = tmp_path / "cafe.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% café graph — résumé of a network\n"
+            "3 3 2\n2 1 1.0\n3 2 1.0\n",
+            encoding="utf-8",
+        )
+        assert read_matrix_market(path).num_edges == 2
+
+
 class TestMetis:
     def test_roundtrip_weighted(self, loops_graph, tmp_path):
         path = tmp_path / "g.metis"
@@ -139,6 +173,53 @@ class TestMetis:
         path.write_text("2 1 1\n2 1.0 3\n1 1.0\n")
         with pytest.raises(GraphFormatError, match="odd token"):
             read_metis(path)
+
+
+class TestMetisWeightSpec:
+    """METIS requires positive integer weights; write_metis must not
+    silently emit fractional ones (spec violation, breaks DIMACS10
+    tooling interchange)."""
+
+    @staticmethod
+    def _fractional():
+        return CSRGraph.from_edges(
+            3, [(0, 1), (1, 2), (0, 2)], [0.5, 2.0, 1.5]
+        )
+
+    def test_integral_weights_written_as_integers(self, loops_graph,
+                                                  tmp_path):
+        path = tmp_path / "int.metis"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            write_metis(loops_graph, path)
+        body = path.read_text().splitlines()[1:]
+        for line in body:
+            for tok in line.split():
+                assert "." not in tok
+        assert read_metis(path) == loops_graph
+
+    def test_fractional_weights_warn_and_roundtrip(self, tmp_path):
+        g = self._fractional()
+        path = tmp_path / "frac.metis"
+        with pytest.warns(UserWarning, match="METIS spec"):
+            write_metis(g, path)
+        # Non-strict output keeps exact weights: our reader round-trips.
+        assert read_metis(path) == g
+
+    def test_strict_scales_to_integers(self, tmp_path):
+        g = self._fractional()
+        path = tmp_path / "strict.metis"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            write_metis(g, path, strict=True)
+        g2 = read_metis(path)
+        # Weights scaled by 10: 0.5 -> 5, 2.0 -> 20, 1.5 -> 15.
+        np.testing.assert_array_equal(g2.weights, g.weights * 10)
+
+    def test_strict_unscalable_raises(self, tmp_path):
+        g = CSRGraph.from_edges(2, [(0, 1)], [1.0 / 3.0])
+        with pytest.raises(GraphFormatError, match="power-of-ten"):
+            write_metis(g, tmp_path / "bad.metis", strict=True)
 
 
 class TestCsrz:
