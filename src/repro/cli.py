@@ -17,6 +17,9 @@ Subcommands
               Fig 8-style breakdown + span tree from a trace file
               (``obs report``), or schema-check a Chrome trace
               (``obs validate``).
+``robust``    Fault tolerance: summarize a phase-boundary checkpoint
+              (``robust inspect``) or continue an interrupted run from one
+              (``robust resume``) — see docs/robustness.md.
 
 Examples
 --------
@@ -89,6 +92,11 @@ def _cmd_detect(args) -> int:
     graph = _load_graph(args)
     print(f"graph: {graph}")
     if args.variant == "serial":
+        if args.checkpoint or args.resume:
+            raise SystemExit(
+                "error: --checkpoint/--resume apply to the parallel "
+                "pipeline, not --variant serial"
+            )
         result = louvain_serial(graph, threshold=args.final_threshold,
                                 seed=args.seed, resolution=args.resolution)
         communities = result.communities
@@ -106,6 +114,8 @@ def _cmd_detect(args) -> int:
             num_threads=args.threads,
             seed=args.seed,
             resolution=args.resolution,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
         communities = result.communities
         iters = result.total_iterations
@@ -342,6 +352,57 @@ def _cmd_obs_validate(args) -> int:
     return 0
 
 
+def _cmd_robust_inspect(args) -> int:
+    from repro.robust.checkpoint import describe_checkpoint, load_checkpoint
+    from repro.utils.errors import CheckpointError
+
+    try:
+        ckpt = load_checkpoint(args.ckpt)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(describe_checkpoint(ckpt))
+    return 0
+
+
+def _cmd_robust_resume(args) -> int:
+    import json
+
+    from repro.core.config import LouvainConfig
+    from repro.core.driver import louvain
+    from repro.robust.checkpoint import load_checkpoint
+    from repro.utils.errors import CheckpointError
+
+    try:
+        ckpt = load_checkpoint(args.ckpt)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
+    if ckpt.pipeline != "driver":
+        raise SystemExit(
+            f"error: {ckpt.pipeline!r} checkpoints resume through the "
+            "library (distributed_louvain(..., resume=...)), not the CLI"
+        )
+    graph = _load_graph(args)
+    print(f"graph: {graph}")
+    fields = json.loads(ckpt.config_json)
+    # Never re-inject the fault that interrupted the original run.
+    fields["fault_plan"] = None
+    config = LouvainConfig(**fields)
+    try:
+        result = louvain(graph, config, resume=args.ckpt,
+                         checkpoint=args.checkpoint)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"resumed from:  {args.ckpt} (phase {ckpt.phase_index})")
+    print(f"variant:       {config.variant_name}")
+    print(f"modularity:    {result.modularity:.6f}")
+    print(f"communities:   {result.num_communities}")
+    print(f"iterations:    {result.total_iterations}")
+    if args.output:
+        np.savetxt(args.output, result.communities, fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-louvain",
@@ -381,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default="serial")
     detect.add_argument("--threads", type=int, default=4)
     detect.add_argument("--output", help="write the assignment to a file")
+    detect.add_argument("--checkpoint", metavar="FILE",
+                        help="write a phase-boundary checkpoint here "
+                             "(.ckpt.npz; see docs/robustness.md)")
+    detect.add_argument("--resume", metavar="FILE",
+                        help="continue from a checkpoint written by a "
+                             "previous run with the same semantic config")
     detect.set_defaults(func=_cmd_detect)
 
     stats = sub.add_parser("stats", help="print Table 1 statistics")
@@ -474,6 +541,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_validate.add_argument("trace", help="Chrome trace JSON file")
     obs_validate.set_defaults(func=_cmd_obs_validate)
+
+    robust = sub.add_parser(
+        "robust", help="fault tolerance: inspect / resume checkpoints"
+    )
+    robust_sub = robust.add_subparsers(dest="robust_command", required=True)
+
+    robust_inspect = robust_sub.add_parser(
+        "inspect", help="summarize a .ckpt.npz phase-boundary checkpoint"
+    )
+    robust_inspect.add_argument("ckpt", help="checkpoint file")
+    robust_inspect.set_defaults(func=_cmd_robust_inspect)
+
+    robust_resume = robust_sub.add_parser(
+        "resume",
+        help="continue an interrupted run from a checkpoint (the stored "
+             "config is reused; pass the same graph it ran on)",
+    )
+    robust_resume.add_argument("ckpt", help="checkpoint file")
+    add_graph_args(robust_resume)
+    robust_resume.add_argument("--checkpoint", metavar="FILE",
+                               help="keep checkpointing the resumed run "
+                                    "to this file")
+    robust_resume.add_argument("--output",
+                               help="write the assignment to a file")
+    robust_resume.set_defaults(func=_cmd_robust_resume)
     return parser
 
 

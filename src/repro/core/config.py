@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.lint.sanitizer import sanitize_default
 from repro.obs.trace import trace_default
+from repro.robust.faults import fault_plan_default, parse_fault_plan
 from repro.utils.errors import ValidationError
 
 __all__ = ["HeuristicVariant", "LouvainConfig"]
@@ -138,6 +139,13 @@ class LouvainConfig:
         (1.0 = the paper's Eq. 3).  The paper lists alternative modularity
         definitions addressing the resolution limit as future work (iv);
         γ > 1 resolves smaller communities.
+    fault_plan:
+        Deterministic fault-injection plan (:mod:`repro.robust.faults`),
+        e.g. ``"kill:worker=0,chunk=1"`` — used by the fault-matrix tests
+        to exercise worker recovery on demand.  Defaults to the
+        ``REPRO_FAULTS`` environment setting; ``None`` injects nothing.
+        Faults never change results: recovered runs are bitwise identical
+        to failure-free runs (``docs/robustness.md``).
     """
 
     use_vf: bool = False
@@ -163,6 +171,7 @@ class LouvainConfig:
     max_iterations_per_phase: int = 1000
     seed: int | None = 0
     resolution: float = 1.0
+    fault_plan: str | None = field(default_factory=fault_plan_default)
 
     def __post_init__(self) -> None:
         if self.colored_threshold <= 0 or self.final_threshold <= 0:
@@ -183,6 +192,7 @@ class LouvainConfig:
             raise ValidationError("phase/iteration caps must be >= 1")
         if self.resolution <= 0:
             raise ValidationError("resolution must be positive")
+        parse_fault_plan(self.fault_plan)  # validates; ValidationError on bad plans
 
     def with_(self, **overrides) -> "LouvainConfig":
         """Return a copy with the given fields replaced."""

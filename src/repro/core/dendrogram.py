@@ -56,6 +56,15 @@ class Dendrogram:
     def labels(self) -> list[str]:
         return list(self._labels)
 
+    @property
+    def levels(self) -> list[np.ndarray]:
+        """Per-level maps, outermost first (copies; levels are immutable).
+
+        Zipping with :attr:`labels` and re-:meth:`push`-ing reconstructs
+        the dendrogram — what checkpoint restore does.
+        """
+        return [lv.copy() for lv in self._levels]
+
     def level_sizes(self) -> list[int]:
         """Number of communities after each level."""
         return [int(lv.max()) + 1 if lv.size else 0 for lv in self._levels]

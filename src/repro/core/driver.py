@@ -27,8 +27,9 @@ produce the span stream behind ``repro obs`` reports and Chrome traces.
 
 from __future__ import annotations
 
+import json
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -49,8 +50,15 @@ from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
 from repro.obs.trace import Tracer, use_tracer
 from repro.parallel.backends import make_backend
+from repro.robust.checkpoint import (
+    Checkpoint,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.robust.faults import use_faults
 from repro.utils.arrays import renumber_labels
-from repro.utils.errors import ValidationError
+from repro.utils.errors import CheckpointError, ValidationError
 from repro.utils.timing import StepTimer, step_timer_view
 
 __all__ = ["LouvainResult", "louvain"]
@@ -131,6 +139,8 @@ def louvain(
     *,
     variant: "HeuristicVariant | str | None" = None,
     initial_communities=None,
+    checkpoint=None,
+    resume=None,
     **overrides,
 ) -> LouvainResult:
     """Run parallel Louvain community detection on ``graph``.
@@ -152,6 +162,20 @@ def louvain(
         ``use_vf`` (vertex following assumes a singleton start; a merged
         meta-vertex has no well-defined inherited label) — the incremental
         pipeline of :mod:`repro.dynamic` relies on this.
+    checkpoint:
+        Optional path: after every completed phase that will be followed
+        by another, write a ``.ckpt.npz`` phase-boundary checkpoint there
+        (atomically — see :mod:`repro.robust.checkpoint`).
+    resume:
+        Optional path to a checkpoint written by a previous run with the
+        same *semantic* configuration (backend/threads/tracing may
+        differ): the pipeline skips the completed phases and continues
+        from the saved coarse graph, producing the exact final assignment
+        and modularity the uninterrupted run would have.  Raises
+        :class:`~repro.utils.errors.CheckpointError` on a fingerprint or
+        graph mismatch.  Incompatible with ``initial_communities``; the
+        resumed result's ``vf`` field is ``None`` (the VF level itself is
+        preserved in the dendrogram and mapping).
     **overrides:
         Individual :class:`LouvainConfig` fields to override.
 
@@ -164,10 +188,40 @@ def louvain(
     2
     """
     cfg = _resolve_config(config, variant, overrides)
+    resumed = None
+    if resume is not None:
+        if initial_communities is not None:
+            raise ValidationError(
+                "resume cannot be combined with initial_communities"
+            )
+        resumed = load_checkpoint(resume)
+        if resumed.pipeline != "driver":
+            raise CheckpointError(
+                f"{resume}: checkpoint was written by the "
+                f"{resumed.pipeline!r} pipeline, not the driver"
+            )
+        if resumed.config_fingerprint != config_fingerprint(cfg):
+            raise CheckpointError(
+                f"{resume}: configuration fingerprint mismatch — the "
+                "checkpoint was written under a semantically different "
+                "config (backend/threads/tracing may differ; thresholds, "
+                "variant switches, seed and resolution may not)"
+            )
+        if (resumed.n_original != graph.num_vertices
+                or resumed.m_original != graph.num_edges):
+            raise CheckpointError(
+                f"{resume}: graph mismatch — checkpoint recorded "
+                f"n={resumed.n_original} M={resumed.m_original}, got "
+                f"n={graph.num_vertices} M={graph.num_edges}"
+            )
     tracer = Tracer(enabled=cfg.trace)
     timers = step_timer_view(tracer)
     history = ConvergenceHistory()
     dendrogram = Dendrogram()
+    if resumed is not None:
+        history = resumed.history
+        for level, label in zip(resumed.levels, resumed.labels):
+            dendrogram.push(level, label)
 
     n_original = graph.num_vertices
     warm_start = None
@@ -198,18 +252,26 @@ def louvain(
     vf_result: VFResult | None = None
     current = graph
     mapping = np.arange(n_original, dtype=np.int64)
+    start_phase = 0
+    if resumed is not None:
+        current = resumed.graph
+        mapping = resumed.mapping
+        start_phase = resumed.phase_index
 
     # The tracer stays ambient for the whole run so nested kernels and
-    # forked workers can emit without threading it through signatures.
+    # forked workers can emit without threading it through signatures;
+    # the fault injector is scoped the same way (no-op when no plan).
     _obs = ExitStack()
     _obs.enter_context(use_tracer(tracer))
+    _obs.enter_context(use_faults(cfg.fault_plan))
     _obs.enter_context(tracer.span(
         "louvain", cat="pipeline", variant=cfg.variant_name,
         n=n_original, backend=cfg.backend,
     ))
     try:
-        # -- Step 1: VF preprocessing (optional, once, §6.1) ----------------
-        if cfg.use_vf:
+        # -- Step 1: VF preprocessing (optional, once, §6.1; a resumed run
+        # already carries its VF level in the mapping and dendrogram) ------
+        if cfg.use_vf and resumed is None:
             with tracer.step("rebuild", stage="vf"):
                 vf_result = (
                     chain_compress(current)
@@ -224,7 +286,10 @@ def louvain(
         # -- Steps 2-4: colored/uncolored phases + rebuilds -----------------
         coloring_active = cfg.use_coloring
         last_phase_gain = np.inf
-        for phase_index in range(cfg.max_phases):
+        if resumed is not None:
+            coloring_active = resumed.coloring_active
+            last_phase_gain = resumed.last_phase_gain
+        for phase_index in range(start_phase, cfg.max_phases):
             n = current.num_vertices
             color_this_phase = (
                 coloring_active
@@ -330,6 +395,28 @@ def louvain(
             current = rebuild.graph
             if converged or not made_progress:
                 break
+            if checkpoint is not None:
+                # Phase boundary: everything the next phase starts from.
+                # Written only when another phase will follow — a finished
+                # run's product is its result, not a checkpoint.
+                with tracer.span("checkpoint", cat="robust",
+                                 phase=phase_index):
+                    save_checkpoint(checkpoint, Checkpoint(
+                        pipeline="driver",
+                        phase_index=phase_index + 1,
+                        mapping=mapping,
+                        graph=current,
+                        coloring_active=coloring_active,
+                        last_phase_gain=float(last_phase_gain),
+                        config_fingerprint=config_fingerprint(cfg),
+                        config_json=json.dumps(asdict(cfg)),
+                        history=history,
+                        levels=dendrogram.levels,
+                        labels=dendrogram.labels,
+                        n_original=n_original,
+                        m_original=graph.num_edges,
+                    ))
+                tracer.count("checkpoint.saved")
     finally:
         backend.close()
         _obs.close()

@@ -50,6 +50,7 @@ from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import resolve_sanitize
 from repro.obs.trace import get_tracer
 from repro.parallel.backends import ExecutionBackend
+from repro.robust.faults import get_injector
 
 __all__ = ["PhaseOutcome", "run_phase", "state_modularity"]
 
@@ -195,8 +196,10 @@ def run_phase(
     records: list[IterationRecord] = []
     converged = False
     tracer = get_tracer()
+    injector = get_injector()
 
     for iteration in range(max_iterations):
+        injector.on_sweep(phase_index, iteration)
         moved = 0
         active_vertices = 0
         active_edges = 0

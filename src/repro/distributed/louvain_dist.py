@@ -33,6 +33,7 @@ prices.
 
 from __future__ import annotations
 
+import json
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -50,8 +51,16 @@ from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
 from repro.obs.trace import Tracer, get_tracer, resolve_trace, use_tracer
+from repro.robust.checkpoint import (
+    Checkpoint,
+    NONSEMANTIC_CONFIG_FIELDS,
+    fingerprint_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.robust.faults import FaultInjector, get_injector
 from repro.utils.arrays import renumber_labels
-from repro.utils.errors import ValidationError
+from repro.utils.errors import CheckpointError, ValidationError
 
 __all__ = ["DistributedResult", "distributed_louvain"]
 
@@ -115,6 +124,7 @@ def _distributed_phase(
     resolution: float,
     aggregation: str,
     sanitize: bool = False,
+    injector: "FaultInjector | None" = None,
 ) -> tuple[list[IterationRecord], float, float]:
     """One phase as supersteps; mirrors :func:`repro.core.phase.run_phase`."""
     n = graph.num_vertices
@@ -133,8 +143,11 @@ def _distributed_phase(
     start_q = state_modularity(graph, state, resolution=resolution)
     records: list[IterationRecord] = []
     tracer = get_tracer()
+    if injector is None:
+        injector = get_injector()
 
     for iteration in range(max_iterations):
+        injector.on_sweep(phase_index, iteration)
         moved_total = 0
         for set_index, vertex_set in enumerate(sets):
             # -- superstep: local compute on every rank -------------------
@@ -294,6 +307,9 @@ def distributed_louvain(
     resolution: float = 1.0,
     sanitize: "bool | None" = None,
     trace: "bool | None" = None,
+    fault_plan: "str | None" = None,
+    checkpoint=None,
+    resume=None,
 ) -> DistributedResult:
     """Run the paper's pipeline as a BSP program over ``num_ranks`` ranks.
 
@@ -309,6 +325,15 @@ def distributed_louvain(
     ``REPRO_TRACE`` default) records the run into the observability layer
     (:mod:`repro.obs`): step buckets per phase plus
     ``local_compute``/``halo_exchange``/``allreduce`` spans per superstep.
+
+    ``fault_plan`` arms :mod:`repro.robust.faults` for the run (the
+    ``raise`` action fires at superstep boundaries).  ``checkpoint``
+    writes a phase-boundary ``.ckpt.npz`` after every phase that will be
+    followed by another; ``resume`` continues from one — the resumed run
+    reproduces the uninterrupted run's final assignment and modularity
+    exactly, but its :class:`~repro.distributed.cluster.TrafficLog`
+    restarts from zero (traffic before the checkpoint was already paid
+    and logged by the interrupted run).
     """
     sanitize = resolve_sanitize(sanitize)
     tracer = Tracer(enabled=resolve_trace(trace))
@@ -316,11 +341,56 @@ def distributed_louvain(
         raise ValidationError("num_ranks must be >= 1")
     if aggregation not in ("dense", "sparse"):
         raise ValidationError(f"unknown aggregation {aggregation!r}")
+    semantic_config = {
+        "use_vf": use_vf,
+        "use_coloring": use_coloring,
+        "multiphase_coloring": multiphase_coloring,
+        "coloring_min_vertices": coloring_min_vertices,
+        "colored_threshold": colored_threshold,
+        "final_threshold": final_threshold,
+        "use_min_label": use_min_label,
+        "partition_scheme": partition_scheme,
+        "aggregation": aggregation,
+        "max_phases": max_phases,
+        "max_iterations_per_phase": max_iterations_per_phase,
+        "seed": seed,
+        "resolution": resolution,
+        "num_ranks": num_ranks,
+    }
+    fingerprint = fingerprint_dict(
+        semantic_config, exclude=NONSEMANTIC_CONFIG_FIELDS
+    )
     cluster = SimCluster(num_ranks)
     history = ConvergenceHistory()
     partition_stats: list[tuple[int, float]] = []
 
     n_original = graph.num_vertices
+    resumed = None
+    if resume is not None:
+        resumed = load_checkpoint(resume)
+        if resumed.pipeline != "distributed":
+            raise CheckpointError(
+                f"{resume}: checkpoint was written by the "
+                f"{resumed.pipeline!r} pipeline, not distributed_louvain"
+            )
+        if resumed.config_fingerprint != fingerprint:
+            raise CheckpointError(
+                f"{resume}: configuration fingerprint mismatch (rank "
+                "count, partition scheme and aggregation are semantic "
+                "here; sanitize/trace/fault_plan are not)"
+            )
+        if (resumed.n_original != graph.num_vertices
+                or resumed.m_original != graph.num_edges):
+            raise CheckpointError(
+                f"{resume}: graph mismatch — checkpoint recorded "
+                f"n={resumed.n_original} M={resumed.m_original}, got "
+                f"n={graph.num_vertices} M={graph.num_edges}"
+            )
+        history = resumed.history
+        partition_stats = [
+            tuple(entry)
+            for entry in resumed.extra.get("partition_stats", [])
+        ]
     if n_original == 0:
         return DistributedResult(
             communities=np.zeros(0, dtype=np.int64), modularity=0.0,
@@ -329,8 +399,13 @@ def distributed_louvain(
 
     current = graph
     mapping = np.arange(n_original, dtype=np.int64)
+    start_phase = 0
+    if resumed is not None:
+        current = resumed.graph
+        mapping = resumed.mapping
+        start_phase = resumed.phase_index
 
-    if use_vf:
+    if use_vf and resumed is None:
         vf = vf_merge(current)
         if vf.num_merged:
             mapping = vf.vertex_to_meta[mapping]
@@ -341,7 +416,13 @@ def distributed_louvain(
 
     coloring_active = use_coloring
     last_phase_gain = np.inf
-    for phase_index in range(max_phases):
+    if resumed is not None:
+        coloring_active = resumed.coloring_active
+        last_phase_gain = resumed.last_phase_gain
+    # Explicit injector (not the ambient one): the BSP loop has no
+    # ExitStack to restore an ambient scope through an injected raise.
+    injector = FaultInjector.from_plan(fault_plan)
+    for phase_index in range(start_phase, max_phases):
         n = current.num_vertices
         part = partition_vertices(current, num_ranks, scheme=partition_scheme)
         partition_stats.append(
@@ -380,6 +461,7 @@ def distributed_louvain(
                 resolution=resolution,
                 aggregation=aggregation,
                 sanitize=sanitize,
+                injector=injector,
             )
         history.iterations.extend(records)
 
@@ -413,6 +495,33 @@ def distributed_louvain(
         current = rebuild.graph
         if converged or not made_progress:
             break
+        if checkpoint is not None:
+            # Superstep/phase boundary: the allgathered assignment is
+            # already folded into `mapping` and every rank agrees on the
+            # rebuilt graph, so this single replicated snapshot is the
+            # whole BSP state.
+            with tracer.span("checkpoint", cat="robust",
+                             phase=phase_index):
+                save_checkpoint(checkpoint, Checkpoint(
+                    pipeline="distributed",
+                    phase_index=phase_index + 1,
+                    mapping=mapping,
+                    graph=current,
+                    coloring_active=coloring_active,
+                    last_phase_gain=float(last_phase_gain),
+                    config_fingerprint=fingerprint,
+                    config_json=json.dumps(semantic_config),
+                    history=history,
+                    n_original=n_original,
+                    m_original=graph.num_edges,
+                    extra={
+                        "num_ranks": num_ranks,
+                        "partition_stats": [
+                            list(entry) for entry in partition_stats
+                        ],
+                    },
+                ))
+            tracer.count("checkpoint.saved")
 
     communities, _ = renumber_labels(mapping)
     from repro.core.modularity import modularity as full_modularity

@@ -481,6 +481,62 @@ class DirectTimingRule(Rule):
                     )
 
 
+class UntimedQueueGetRule(Rule):
+    code = "QUEUE001"
+    description = (
+        "untimed Queue.get() on a queue-named receiver — the hang class "
+        "behind the seed process backend: a worker dying mid-chunk (or a "
+        "SIGKILL holding the queue lock) blocks the reader forever.  Use "
+        "get(timeout=...) inside a deadline-and-liveness loop "
+        "(docs/robustness.md)"
+    )
+
+    def applies(self, ctx):
+        # repro.robust owns the recovery machinery and documents any
+        # exception it makes for itself.
+        return ctx.is_library_code() and "repro/robust/" not in ctx.path
+
+    @staticmethod
+    def _queue_named(name: "str | None") -> bool:
+        if name is None:
+            return False
+        lowered = name.lower()
+        return lowered == "q" or lowered.endswith("_q") or "queue" in lowered
+
+    def check(self, tree, ctx):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"):
+                continue
+            receiver = node.func.value
+            name = (receiver.attr if isinstance(receiver, ast.Attribute)
+                    else receiver.id if isinstance(receiver, ast.Name)
+                    else None)
+            if not self._queue_named(name):
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            if any(
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            ):
+                continue
+            if len(node.args) >= 2:  # get(block, timeout)
+                continue
+            if (node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is False):
+                continue  # get(False): non-blocking
+            yield RuleFinding(
+                node.lineno, node.col_offset, self.code,
+                f"untimed {name}.get() blocks forever if the producer "
+                "dies; pass timeout= and check liveness between waits",
+            )
+
+
 # ---------------------------------------------------------------------------
 # Generic rules
 # ---------------------------------------------------------------------------
@@ -576,6 +632,7 @@ RULES: tuple[Rule, ...] = (
     UnorderedToArrayRule(),
     WorkerScatterRule(),
     DirectTimingRule(),
+    UntimedQueueGetRule(),
     MutableDefaultRule(),
     BareAssertRule(),
     MissingDtypeRule(),

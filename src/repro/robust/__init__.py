@@ -1,0 +1,40 @@
+"""Fault tolerance: fault injection, worker recovery, checkpoint/resume.
+
+Three cooperating pieces (see ``docs/robustness.md``):
+
+* :mod:`repro.robust.faults` — deterministic fault injection, driven by
+  ``LouvainConfig.fault_plan`` / ``REPRO_FAULTS``, so every recovery
+  path is testable on demand;
+* :mod:`repro.robust.recovery` — the retry/respawn policy and counters
+  behind the process backend's worker-failure recovery;
+* :mod:`repro.robust.checkpoint` — phase-boundary checkpoint/resume for
+  the shared-memory and distributed pipelines (``.ckpt.npz``).
+
+``checkpoint`` is intentionally *not* imported here: it depends on
+:mod:`repro.core`, while :mod:`repro.core.config` imports this package
+for the fault-plan default — importing it eagerly would be circular.
+Import it as ``repro.robust.checkpoint`` where needed.
+"""
+
+from repro.robust.faults import (
+    FaultInjector,
+    FaultSpec,
+    fault_plan_default,
+    get_injector,
+    parse_fault_plan,
+    set_injector,
+    use_faults,
+)
+from repro.robust.recovery import RecoveryStats, RetryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "RecoveryStats",
+    "RetryPolicy",
+    "fault_plan_default",
+    "get_injector",
+    "parse_fault_plan",
+    "set_injector",
+    "use_faults",
+]

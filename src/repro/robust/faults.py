@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the fault-tolerance test matrix.
+
+The recovery machinery of :mod:`repro.parallel.process_backend` and the
+checkpoint/resume path of :mod:`repro.core.driver` are only trustworthy
+if every failure branch is *reachable on demand*.  This module turns
+failures into configuration: a **fault plan** — a small string DSL
+carried by :attr:`repro.core.config.LouvainConfig.fault_plan` or the
+``REPRO_FAULTS`` environment variable — names exactly which worker dies
+(or stalls, or corrupts its completion message) at exactly which chunk,
+or at which phase/iteration a sweep raises.
+
+Plan syntax
+-----------
+A plan is a ``;``-separated list of specs; each spec is
+``action[:key=value[,key=value...]]``::
+
+    kill:worker=0,chunk=0          # SIGKILL worker 0 at its 1st chunk-0 pickup
+    stall:worker=1,chunk=2,delay=30
+    slow:chunk=0,delay=0.2         # any worker; sleep then proceed normally
+    corrupt:worker=0               # post a malformed done-queue message
+    raise:phase=1,sweep=0          # raise FaultInjected in the driver loop
+    kill:chunk=0,times=2           # fire on the first two matching pickups
+
+Actions ``kill``/``stall``/``slow``/``corrupt`` fire at the **chunk
+site** (a worker process picking up a sweep chunk); ``raise`` fires at
+the **sweep site** (the parent's per-iteration hook in
+:func:`repro.core.phase.run_phase` and the distributed superstep loop).
+Omitted match keys are wildcards.  ``times`` bounds how often a spec
+fires *per process* (default 1); worker processes each hold their own
+injector, so a spec without a ``worker=`` constraint can fire once in
+every worker — pin the worker id when a single firing is required.
+
+Injection sites call the **ambient injector**
+(:func:`get_injector` / :func:`use_faults`), mirroring the tracer's
+ambient-singleton pattern, so the hot path pays one attribute read and a
+truthiness check when no plan is armed.  Every firing increments the
+``fault.injected`` counter on the ambient tracer (best-effort from
+workers: a killed worker's buffered metrics die with it).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.obs.trace import get_tracer
+from repro.utils.errors import FaultInjected, ValidationError
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "fault_plan_default",
+    "get_injector",
+    "parse_fault_plan",
+    "set_injector",
+    "use_faults",
+]
+
+#: Environment variable carrying the library-wide default fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Actions fired when a worker picks up a sweep chunk.
+CHUNK_ACTIONS = frozenset({"kill", "stall", "slow", "corrupt"})
+#: Actions fired from the parent's per-iteration sweep hook.
+SWEEP_ACTIONS = frozenset({"raise"})
+
+_INT_KEYS = frozenset({"worker", "chunk", "sweep", "phase", "times"})
+_FLOAT_KEYS = frozenset({"delay"})
+
+#: Per-action default for ``delay`` (seconds).  A stalled worker sleeps
+#: until the parent's chunk deadline kills it; a slow worker proceeds.
+_DEFAULT_DELAY = {"stall": 3600.0, "slow": 0.25}
+
+
+def fault_plan_default() -> "str | None":
+    """Library-wide fault plan default, read from ``REPRO_FAULTS``.
+
+    Unset or blank means no injection (the production default).
+    """
+    plan = os.environ.get(FAULTS_ENV, "").strip()
+    return plan or None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: an action plus its (wildcardable) match keys."""
+
+    action: str
+    worker: "int | None" = None
+    chunk: "int | None" = None
+    sweep: "int | None" = None
+    phase: "int | None" = None
+    delay: "float | None" = None
+    times: int = 1
+
+    @property
+    def effective_delay(self) -> float:
+        """``delay`` with the per-action default applied."""
+        if self.delay is not None:
+            return self.delay
+        return _DEFAULT_DELAY.get(self.action, 0.0)
+
+
+def parse_fault_plan(plan: "str | None") -> tuple[FaultSpec, ...]:
+    """Parse a fault-plan string into :class:`FaultSpec` tuples.
+
+    Raises :class:`~repro.utils.errors.ValidationError` on an unknown
+    action or key, or a malformed value — the plan is validated at
+    config construction so a typo fails fast, not mid-run.
+    """
+    if plan is None or not plan.strip():
+        return ()
+    specs: list[FaultSpec] = []
+    for part in plan.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        action, _, argstr = part.partition(":")
+        action = action.strip()
+        if action not in CHUNK_ACTIONS | SWEEP_ACTIONS:
+            raise ValidationError(
+                f"unknown fault action {action!r} in plan {plan!r} "
+                f"(known: {sorted(CHUNK_ACTIONS | SWEEP_ACTIONS)})"
+            )
+        kwargs: dict = {}
+        if argstr.strip():
+            for item in argstr.split(","):
+                key, eq, value = item.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if not eq or not value:
+                    raise ValidationError(
+                        f"malformed fault arg {item!r} in plan {plan!r} "
+                        "(expected key=value)"
+                    )
+                try:
+                    if key in _INT_KEYS:
+                        kwargs[key] = int(value)
+                    elif key in _FLOAT_KEYS:
+                        kwargs[key] = float(value)
+                    else:
+                        raise ValidationError(
+                            f"unknown fault key {key!r} in plan {plan!r}"
+                        )
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"bad value for fault key {key!r}: {value!r}"
+                    ) from exc
+        spec = FaultSpec(action=action, **kwargs)
+        if spec.times < 1:
+            raise ValidationError("fault 'times' must be >= 1")
+        if spec.delay is not None and spec.delay < 0:
+            raise ValidationError("fault 'delay' must be >= 0")
+        specs.append(spec)
+    return tuple(specs)
+
+
+class FaultInjector:
+    """Matches injection sites against a plan and fires the faults.
+
+    One injector lives per process: the pipeline installs one as ambient
+    in the parent (:func:`use_faults`), and each worker process builds
+    its own from the plan string it was spawned with — respawned workers
+    are handed ``plan=None`` so a fault that killed a worker cannot kill
+    its replacement.
+    """
+
+    def __init__(self, specs: "tuple[FaultSpec, ...]" = (),
+                 plan: "str | None" = None):
+        self._specs = tuple(specs)
+        self._fired = [0] * len(self._specs)
+        #: The original plan string (what worker spawns are handed).
+        self.plan = plan
+
+    @classmethod
+    def from_plan(cls, plan: "str | None") -> "FaultInjector":
+        return cls(parse_fault_plan(plan), plan=plan)
+
+    @property
+    def armed(self) -> bool:
+        """True when any spec can still fire."""
+        return any(
+            fired < spec.times
+            for spec, fired in zip(self._specs, self._fired)
+        )
+
+    def _match(self, actions, **keys) -> "FaultSpec | None":
+        for i, spec in enumerate(self._specs):
+            if spec.action not in actions:
+                continue
+            if self._fired[i] >= spec.times:
+                continue
+            if any(
+                getattr(spec, key) is not None and getattr(spec, key) != val
+                for key, val in keys.items()
+            ):
+                continue
+            self._fired[i] += 1
+            get_tracer().count("fault.injected")
+            return spec
+        return None
+
+    def on_chunk(self, worker_id: int, chunk: int) -> "FaultSpec | None":
+        """Chunk-site hook: the matched spec, or ``None``.
+
+        Called by a worker as it picks up a chunk; the worker applies
+        the action (see :func:`apply_chunk_fault`).
+        """
+        return self._match(CHUNK_ACTIONS, worker=worker_id, chunk=chunk)
+
+    def on_sweep(self, phase: int, sweep: int) -> None:
+        """Sweep-site hook: raises :class:`FaultInjected` on a match."""
+        spec = self._match(SWEEP_ACTIONS, phase=phase, sweep=sweep)
+        if spec is not None:
+            raise FaultInjected(
+                f"injected fault: raise at phase={phase} sweep={sweep}"
+            )
+
+
+def apply_chunk_fault(spec: FaultSpec) -> bool:
+    """Apply a chunk-site fault inside a worker process.
+
+    Returns True when the chunk's completion message should be
+    *corrupted* (the worker still computes and writes its targets —
+    chunk recomputation is idempotent, so the parent's recovery path can
+    recompute safely).  ``kill`` does not return; ``stall`` sleeps until
+    the parent's chunk deadline terminates the worker; ``slow`` sleeps
+    briefly and proceeds.
+    """
+    if spec.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.action in ("stall", "slow"):
+        time.sleep(spec.effective_delay)
+    return spec.action == "corrupt"
+
+
+#: The ambient injector: disarmed until a pipeline installs a plan.
+_CURRENT = FaultInjector()
+
+
+def get_injector() -> FaultInjector:
+    """The ambient fault injector (disarmed by default)."""
+    return _CURRENT
+
+
+def set_injector(injector: FaultInjector) -> FaultInjector:
+    """Install ``injector`` as ambient; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = injector
+    return previous
+
+
+@contextmanager
+def use_faults(plan: "str | None"):
+    """Scoped injector from ``plan``; restores the previous one on exit.
+
+    >>> with use_faults("raise:phase=0") as inj:
+    ...     inj.armed
+    True
+    >>> get_injector().armed
+    False
+    """
+    injector = FaultInjector.from_plan(plan)
+    previous = set_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_injector(previous)

@@ -1,0 +1,135 @@
+"""Recovery policy and accounting for the process-backend worker pool.
+
+The knobs and counters of the failure-recovery loop in
+:mod:`repro.parallel.process_backend` live here so tests (and operators)
+can reason about them without reading the executor:
+
+* :class:`RetryPolicy` — how long a chunk may run before its worker is
+  presumed stalled, how often a chunk may be retried, how many worker
+  respawns the pool will pay before excising dead slots, and how
+  frequently the parent polls liveness;
+* :class:`RecoveryStats` — plain mutable counters the backend always
+  maintains (the tracer's ``worker.*`` counters are no-ops when tracing
+  is off, so tests assert against these instead).
+
+Recovery guarantees (argued in ``docs/robustness.md``): a chunk is
+requeued only after its assigned worker is *confirmed dead* — either its
+``exitcode`` is set, or the parent terminated and joined it after a
+deadline — so no two workers can ever write the same output slice
+concurrently, and because the Jacobi snapshot makes chunk recomputation
+idempotent, a recovered sweep is bitwise identical to a failure-free one.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.utils.errors import ValidationError
+
+__all__ = ["RecoveryStats", "RetryPolicy"]
+
+#: Environment override for the per-chunk deadline (seconds).
+CHUNK_TIMEOUT_ENV = "REPRO_ROBUST_CHUNK_TIMEOUT"
+
+#: Production default: generous, because a false positive kills a healthy
+#: worker.  The fault-matrix tests shrink it via the env override.
+_DEFAULT_CHUNK_TIMEOUT_S = 60.0
+
+
+def chunk_timeout_default() -> float:
+    """Per-chunk deadline default, read from ``REPRO_ROBUST_CHUNK_TIMEOUT``."""
+    raw = os.environ.get(CHUNK_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return _DEFAULT_CHUNK_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValidationError(
+            f"{CHUNK_TIMEOUT_ENV} must be a number, got {raw!r}"
+        ) from exc
+    if value <= 0:
+        raise ValidationError(f"{CHUNK_TIMEOUT_ENV} must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the worker-pool recovery loop.
+
+    Attributes
+    ----------
+    chunk_timeout:
+        Seconds a chunk may run before its worker is presumed stalled
+        and terminated.  Retried chunks get a proportionally longer
+        deadline (``chunk_timeout * (1 + retries)``) — the bounded
+        backoff that keeps a merely-slow machine from spiralling into
+        kill/retry loops.
+    max_retries:
+        How many times one chunk may be requeued before the sweep gives
+        up with :class:`~repro.utils.errors.WorkerPoolError`.
+    max_respawns:
+        Total replacement workers the pool will fork across its
+        lifetime; once exhausted, dead slots are excised and the pool
+        shrinks.  ``None`` means "one respawn per original worker".
+    liveness_poll:
+        Seconds the result loop waits on the done queue between
+        liveness checks.
+    """
+
+    chunk_timeout: float = field(default_factory=chunk_timeout_default)
+    max_retries: int = 3
+    max_respawns: "int | None" = None
+    liveness_poll: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.chunk_timeout <= 0:
+            raise ValidationError("chunk_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise ValidationError("max_respawns must be >= 0 or None")
+        if self.liveness_poll <= 0:
+            raise ValidationError("liveness_poll must be positive")
+
+    def respawn_budget(self, num_workers: int) -> int:
+        return (num_workers if self.max_respawns is None
+                else self.max_respawns)
+
+    def deadline_for(self, retries: int) -> float:
+        """Chunk deadline length (seconds) for its ``retries``-th attempt."""
+        return self.chunk_timeout * (1 + retries)
+
+
+@dataclass
+class RecoveryStats:
+    """Mutable recovery counters, independent of the tracer.
+
+    One instance per :class:`~repro.parallel.process_backend.ProcessBackend`,
+    shared with its executors; mirrors the ``worker.*`` tracer counters
+    but is always live, so the fault-matrix tests can assert recovery
+    happened even in untraced runs.
+    """
+
+    #: Chunks requeued after their worker died or missed its deadline.
+    retries: int = 0
+    #: Replacement workers forked.
+    respawns: int = 0
+    #: Workers observed dead (crash or kill; excludes clean shutdown).
+    deaths: int = 0
+    #: Workers terminated for missing a chunk deadline.
+    stalls: int = 0
+    #: Malformed messages discarded from the done queue.
+    corrupt_messages: int = 0
+    #: Sweeps that fell back to in-process serial execution.
+    fallbacks: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "retries": self.retries,
+            "respawns": self.respawns,
+            "deaths": self.deaths,
+            "stalls": self.stalls,
+            "corrupt_messages": self.corrupt_messages,
+            "fallbacks": self.fallbacks,
+        }

@@ -33,6 +33,23 @@ class GraphFormatError(ReproError, ValueError):
     """A graph file could not be parsed (bad header, token, or truncation)."""
 
 
+class FaultInjected(ReproError, RuntimeError):
+    """An injected fault fired (:mod:`repro.robust.faults`).
+
+    Raised by the ``raise`` fault action; distinct from real errors so
+    tests can assert the injection path specifically.
+    """
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint could not be loaded or does not match the run.
+
+    Raised on a malformed/unsupported ``.ckpt.npz`` container, a config
+    fingerprint mismatch, or a graph that does not fit the checkpoint's
+    recorded dimensions.
+    """
+
+
 class WorkerPoolError(ReproError, RuntimeError):
     """A worker pool lost workers beyond what recovery could absorb.
 

@@ -426,3 +426,79 @@ class TestDirectTimingRule:
         """
         assert codes(source, "tests/fixture.py") == []
         assert codes(source, "benchmarks/bench_fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# QUEUE001 — untimed Queue.get() (the process-backend hang class)
+# ---------------------------------------------------------------------------
+class TestUntimedQueueGetRule:
+    def test_untimed_get_triggers(self):
+        bad = """
+            def drain(done_q):
+                return done_q.get()
+        """
+        assert "QUEUE001" in codes(bad, "src/repro/parallel/fixture.py")
+
+    def test_attribute_receiver_triggers(self):
+        bad = """
+            class Pool:
+                def wait(self):
+                    return self._task_q.get()
+        """
+        assert "QUEUE001" in codes(bad, "src/repro/parallel/fixture.py")
+
+    def test_queue_named_variable_triggers(self):
+        bad = """
+            def pump(result_queue):
+                return result_queue.get()
+        """
+        assert "QUEUE001" in codes(bad)
+
+    def test_timeout_kwarg_passes(self):
+        good = """
+            def drain(done_q):
+                return done_q.get(timeout=0.1)
+        """
+        assert codes(good) == []
+
+    def test_nonblocking_passes(self):
+        good = """
+            def drain(done_q):
+                return done_q.get(block=False)
+        """
+        assert codes(good) == []
+
+    def test_positional_nonblocking_passes(self):
+        good = """
+            def drain(done_q):
+                return done_q.get(False)
+        """
+        assert codes(good) == []
+
+    def test_positional_timeout_passes(self):
+        good = """
+            def drain(done_q):
+                return done_q.get(True, 5.0)
+        """
+        assert codes(good) == []
+
+    def test_non_queue_receiver_passes(self):
+        good = """
+            def lookup(mapping):
+                return mapping.get()
+        """
+        assert codes(good) == []
+
+    def test_robust_package_is_exempt(self):
+        source = """
+            def drain(done_q):
+                return done_q.get()
+        """
+        assert codes(source, "src/repro/robust/fixture.py") == []
+
+    def test_tests_are_exempt(self):
+        source = """
+            def drain(done_q):
+                return done_q.get()
+        """
+        assert codes(source, "tests/fixture.py") == []

@@ -129,11 +129,13 @@ class TestWorkerDeath:
 
     The seed backend blocked forever on ``done_q.get()`` when a worker
     died mid-chunk, and ``close()`` paid a serial 5 s ``trace_q`` penalty
-    per dead worker.  Both paths must now finish promptly.
+    per dead worker.  Both paths must now finish promptly — and with
+    recovery in place, a pool that loses a worker completes the sweep
+    anyway (identical results) unless its respawn budget is zeroed.
     """
 
-    def _executor(self, planted):
-        backend = ProcessBackend(2)
+    def _executor(self, planted, policy=None):
+        backend = ProcessBackend(2, policy=policy)
         state = init_state(planted)
         verts = np.arange(planted.num_vertices, dtype=np.int64)
         # Run one sweep so the executor (pool + buffers) exists.
@@ -144,20 +146,38 @@ class TestWorkerDeath:
 
     def test_close_fast_with_dead_worker(self, planted):
         backend, executor, _, _ = self._executor(planted)
-        executor._workers[0].kill()
-        executor._workers[0].join(timeout=5)
+        executor._slots[0].process.kill()
+        executor._slots[0].process.join(timeout=5)
         t0 = time.perf_counter()
         backend.close()
         assert time.perf_counter() - t0 < 2.0
 
-    def test_dead_pool_raises_instead_of_hanging(self, planted):
-        from repro.utils.errors import WorkerPoolError
-
+    def test_dead_worker_recovers_with_identical_targets(self, planted):
         backend, executor, state, verts = self._executor(planted)
         try:
-            for w in executor._workers:
-                w.kill()
-                w.join(timeout=5)
+            executor._slots[0].process.kill()
+            executor._slots[0].process.join(timeout=5)
+            out = executor.compute_targets(state, verts, use_min_label=True,
+                                           resolution=1.0)
+            np.testing.assert_array_equal(
+                out, compute_targets(planted, state, verts)
+            )
+            assert backend.recovery.deaths >= 1
+            assert backend.recovery.respawns >= 1
+        finally:
+            backend.close()
+
+    def test_dead_pool_raises_instead_of_hanging(self, planted):
+        from repro.robust.recovery import RetryPolicy
+        from repro.utils.errors import WorkerPoolError
+
+        backend, executor, state, verts = self._executor(
+            planted, policy=RetryPolicy(max_respawns=0)
+        )
+        try:
+            for slot in executor._slots:
+                slot.process.kill()
+                slot.process.join(timeout=5)
             t0 = time.perf_counter()
             with pytest.raises(WorkerPoolError, match="died mid-sweep"):
                 executor.compute_targets(state, verts, use_min_label=True,
@@ -166,11 +186,31 @@ class TestWorkerDeath:
         finally:
             backend.close()
 
+    def test_dead_pool_backend_falls_back_to_serial(self, planted):
+        from repro.robust.recovery import RetryPolicy
+
+        backend, executor, state, verts = self._executor(
+            planted, policy=RetryPolicy(max_respawns=0)
+        )
+        try:
+            for slot in executor._slots:
+                slot.process.kill()
+                slot.process.join(timeout=5)
+            out = backend.sweep_targets(planted, state, verts,
+                                        use_min_label=True, resolution=1.0)
+            np.testing.assert_array_equal(
+                out, compute_targets(planted, state, verts)
+            )
+            assert backend.recovery.fallbacks == 1
+            assert backend._degraded
+        finally:
+            backend.close()
+
     def test_close_fast_with_all_workers_dead(self, planted):
         backend, executor, _, _ = self._executor(planted)
-        for w in executor._workers:
-            w.kill()
-            w.join(timeout=5)
+        for slot in executor._slots:
+            slot.process.kill()
+            slot.process.join(timeout=5)
         t0 = time.perf_counter()
         backend.close()
         assert time.perf_counter() - t0 < 2.0

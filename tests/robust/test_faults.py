@@ -1,0 +1,136 @@
+"""Fault-plan DSL, injector matching, and the ambient-injector scope."""
+
+import pytest
+
+from repro.obs.trace import Tracer, use_tracer
+from repro.robust.faults import (
+    FaultInjector,
+    FaultSpec,
+    apply_chunk_fault,
+    fault_plan_default,
+    get_injector,
+    parse_fault_plan,
+    use_faults,
+)
+from repro.utils.errors import FaultInjected, ValidationError
+
+
+class TestPlanParsing:
+    def test_empty_and_none_plans(self):
+        assert parse_fault_plan(None) == ()
+        assert parse_fault_plan("") == ()
+        assert parse_fault_plan("  ;  ") == ()
+
+    def test_single_spec(self):
+        (spec,) = parse_fault_plan("kill:worker=0,chunk=1")
+        assert spec == FaultSpec(action="kill", worker=0, chunk=1)
+
+    def test_multiple_specs(self):
+        specs = parse_fault_plan(
+            "stall:worker=1,delay=30; raise:phase=2,sweep=0"
+        )
+        assert [s.action for s in specs] == ["stall", "raise"]
+        assert specs[0].delay == 30.0
+        assert specs[1].phase == 2 and specs[1].sweep == 0
+
+    def test_wildcards_and_times(self):
+        (spec,) = parse_fault_plan("kill:chunk=0,times=2")
+        assert spec.worker is None
+        assert spec.times == 2
+
+    def test_default_delays(self):
+        (stall,) = parse_fault_plan("stall")
+        (slow,) = parse_fault_plan("slow")
+        (kill,) = parse_fault_plan("kill")
+        assert stall.effective_delay == 3600.0
+        assert slow.effective_delay == 0.25
+        assert kill.effective_delay == 0.0
+
+    @pytest.mark.parametrize("plan", [
+        "explode:worker=0",            # unknown action
+        "kill:banana=1",               # unknown key
+        "kill:worker",                 # malformed arg
+        "kill:worker=x",               # bad int
+        "slow:delay=fast",             # bad float
+        "kill:times=0",                # times < 1
+        "slow:delay=-1",               # negative delay
+    ])
+    def test_invalid_plans_rejected(self, plan):
+        with pytest.raises(ValidationError):
+            parse_fault_plan(plan)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert fault_plan_default() is None
+        monkeypatch.setenv("REPRO_FAULTS", "kill:worker=0")
+        assert fault_plan_default() == "kill:worker=0"
+
+    def test_config_validates_plan(self):
+        from repro.core.config import LouvainConfig
+
+        assert LouvainConfig(
+            fault_plan="kill:worker=0"
+        ).fault_plan == "kill:worker=0"
+        with pytest.raises(ValidationError):
+            LouvainConfig(fault_plan="explode")
+
+
+class TestInjectorMatching:
+    def test_chunk_match_and_exhaustion(self):
+        inj = FaultInjector.from_plan("kill:worker=0,chunk=1")
+        assert inj.armed
+        assert inj.on_chunk(1, 1) is None      # wrong worker
+        assert inj.on_chunk(0, 0) is None      # wrong chunk
+        spec = inj.on_chunk(0, 1)
+        assert spec is not None and spec.action == "kill"
+        assert inj.on_chunk(0, 1) is None      # times=1 exhausted
+        assert not inj.armed
+
+    def test_wildcard_matches_any_worker(self):
+        inj = FaultInjector.from_plan("slow:chunk=0,times=2")
+        assert inj.on_chunk(3, 0) is not None
+        assert inj.on_chunk(7, 0) is not None
+        assert inj.on_chunk(1, 0) is None
+
+    def test_on_sweep_raises(self):
+        inj = FaultInjector.from_plan("raise:phase=1,sweep=2")
+        inj.on_sweep(0, 0)  # no match: silent
+        inj.on_sweep(1, 0)
+        with pytest.raises(FaultInjected):
+            inj.on_sweep(1, 2)
+
+    def test_chunk_actions_do_not_fire_at_sweep_site(self):
+        inj = FaultInjector.from_plan("kill:worker=0")
+        inj.on_sweep(0, 0)  # must not match (kill is a chunk action)
+        assert inj.armed
+
+    def test_firing_counts_on_tracer(self):
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            inj = FaultInjector.from_plan("slow:chunk=0; raise:phase=0")
+            inj.on_chunk(0, 0)
+            with pytest.raises(FaultInjected):
+                inj.on_sweep(0, 0)
+        assert tracer.metrics.counters["fault.injected"] == 2.0
+
+    def test_apply_slow_and_corrupt(self):
+        assert apply_chunk_fault(
+            FaultSpec(action="slow", delay=0.0)
+        ) is False
+        assert apply_chunk_fault(FaultSpec(action="corrupt")) is True
+
+
+class TestAmbientScope:
+    def test_use_faults_restores_previous(self):
+        before = get_injector()
+        with use_faults("kill:worker=0") as inj:
+            assert get_injector() is inj
+            assert inj.armed
+            assert inj.plan == "kill:worker=0"
+        assert get_injector() is before
+
+    def test_default_ambient_is_disarmed(self):
+        inj = get_injector()
+        assert not inj.armed
+        assert inj.on_chunk(0, 0) is None
+        inj.on_sweep(0, 0)  # no-op

@@ -1,0 +1,151 @@
+"""Retry policy plus end-to-end worker-failure recovery through the backend."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.core.sweep import compute_targets, init_state
+from repro.parallel.process_backend import ProcessBackend
+from repro.robust.faults import use_faults
+from repro.robust.recovery import (
+    RecoveryStats,
+    RetryPolicy,
+    chunk_timeout_default,
+)
+from repro.utils.errors import ValidationError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+
+class TestRetryPolicy:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ROBUST_CHUNK_TIMEOUT", raising=False)
+        policy = RetryPolicy()
+        assert policy.chunk_timeout == 60.0
+        assert policy.max_retries == 3
+        assert policy.max_respawns is None
+        assert policy.respawn_budget(4) == 4
+
+    def test_explicit_respawn_budget(self):
+        assert RetryPolicy(max_respawns=2).respawn_budget(8) == 2
+        assert RetryPolicy(max_respawns=0).respawn_budget(8) == 0
+
+    def test_deadline_backoff_grows(self):
+        policy = RetryPolicy(chunk_timeout=10.0)
+        assert policy.deadline_for(0) == 10.0
+        assert policy.deadline_for(1) == 20.0
+        assert policy.deadline_for(2) == 30.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"chunk_timeout": 0.0},
+        {"chunk_timeout": -1.0},
+        {"max_retries": -1},
+        {"max_respawns": -1},
+        {"liveness_poll": 0.0},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_chunk_timeout_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ROBUST_CHUNK_TIMEOUT", raising=False)
+        assert chunk_timeout_default() == 60.0
+        monkeypatch.setenv("REPRO_ROBUST_CHUNK_TIMEOUT", "2.5")
+        assert chunk_timeout_default() == 2.5
+        monkeypatch.setenv("REPRO_ROBUST_CHUNK_TIMEOUT", "0")
+        with pytest.raises(ValidationError):
+            chunk_timeout_default()
+        monkeypatch.setenv("REPRO_ROBUST_CHUNK_TIMEOUT", "soon")
+        with pytest.raises(ValidationError):
+            chunk_timeout_default()
+
+    def test_stats_snapshot(self):
+        stats = RecoveryStats()
+        stats.retries += 2
+        stats.deaths += 1
+        snap = stats.snapshot()
+        assert snap["retries"] == 2
+        assert snap["deaths"] == 1
+        assert snap["fallbacks"] == 0
+
+
+def _recovered_targets(planted, fault_plan, policy=None):
+    """One process-backend sweep under ``fault_plan``; returns targets+stats.
+
+    The executor captures the ambient injector's plan when it is built
+    (lazily, at the first sweep), so the ``use_faults`` scope must wrap
+    the ``sweep_targets`` call.
+    """
+    backend = ProcessBackend(2, policy=policy)
+    try:
+        state = init_state(planted)
+        verts = np.arange(planted.num_vertices, dtype=np.int64)
+        with use_faults(fault_plan):
+            got = backend.sweep_targets(planted, state, verts,
+                                        use_min_label=True, resolution=1.0)
+        return got, compute_targets(planted, state, verts), backend.recovery
+    finally:
+        backend.close()
+
+
+class TestBackendRecovery:
+    """Each injected failure mode must recover bitwise-identically."""
+
+    def test_killed_worker(self, planted):
+        got, expected, recovery = _recovered_targets(
+            planted, "kill:worker=0,chunk=0"
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert recovery.deaths >= 1
+        assert recovery.retries >= 1
+        assert recovery.respawns >= 1
+
+    def test_stalled_worker(self, planted):
+        got, expected, recovery = _recovered_targets(
+            planted, "stall:worker=0,chunk=0",
+            policy=RetryPolicy(chunk_timeout=1.0),
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert recovery.stalls >= 1
+        assert recovery.retries >= 1
+
+    def test_corrupt_message(self, planted):
+        got, expected, recovery = _recovered_targets(
+            planted, "corrupt:worker=0,chunk=0",
+            policy=RetryPolicy(chunk_timeout=1.0),
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert recovery.corrupt_messages >= 1
+
+    def test_slow_worker_is_not_a_failure(self, planted):
+        got, expected, recovery = _recovered_targets(
+            planted, "slow:worker=0,chunk=0"
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert recovery.deaths == 0
+        assert recovery.retries == 0
+
+
+class TestDriverRecovery:
+    def test_killed_worker_full_run_identical(self, planted):
+        baseline = louvain(planted, variant="baseline")
+        recovered = louvain(
+            planted,
+            variant="baseline",
+            backend="processes",
+            num_threads=2,
+            fault_plan="kill:worker=0,chunk=0",
+            trace=True,
+        )
+        np.testing.assert_array_equal(
+            recovered.communities, baseline.communities
+        )
+        assert recovered.modularity == baseline.modularity
+        counters = recovered.trace.metrics.snapshot()["counters"]
+        assert counters["worker.retries"] >= 1
+        assert counters["worker.respawns"] >= 1
