@@ -18,8 +18,10 @@ Subcommands
               (``obs report``), or schema-check a Chrome trace
               (``obs validate``).
 ``robust``    Fault tolerance: summarize a phase-boundary checkpoint
-              (``robust inspect``) or continue an interrupted run from one
-              (``robust resume``) — see docs/robustness.md.
+              (``robust inspect``), continue an interrupted run from one
+              (``robust resume``), or run detection under a wall-clock/
+              phase/iteration/memory budget with anytime cancellation
+              (``robust budget``) — see docs/robustness.md.
 
 Examples
 --------
@@ -384,8 +386,11 @@ def _cmd_robust_resume(args) -> int:
     graph = _load_graph(args)
     print(f"graph: {graph}")
     fields = json.loads(ckpt.config_json)
-    # Never re-inject the fault that interrupted the original run.
+    # Never re-inject the fault that interrupted the original run, and
+    # never re-arm the budget that cancelled it — the point of resuming
+    # is to finish the interrupted work.
     fields["fault_plan"] = None
+    fields["budget"] = None
     config = LouvainConfig(**fields)
     try:
         result = louvain(graph, config, resume=args.ckpt,
@@ -397,6 +402,50 @@ def _cmd_robust_resume(args) -> int:
     print(f"modularity:    {result.modularity:.6f}")
     print(f"communities:   {result.num_communities}")
     print(f"iterations:    {result.total_iterations}")
+    if args.output:
+        np.savetxt(args.output, result.communities, fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_robust_budget(args) -> int:
+    from repro.core.driver import louvain
+    from repro.robust.budget import RunBudget
+    from repro.utils.errors import ValidationError
+
+    graph = _load_graph(args)
+    print(f"graph: {graph}")
+    try:
+        budget = RunBudget(
+            deadline=args.deadline,
+            max_phases=args.max_phases,
+            max_iterations=args.max_iterations,
+            max_memory_mb=args.max_memory_mb,
+            degrade=not args.no_degrade,
+            checkpoint=args.checkpoint,
+        )
+    except ValidationError as exc:
+        raise SystemExit(f"error: {exc}")
+    result = louvain(
+        graph,
+        variant=args.variant,
+        backend=args.backend,
+        num_threads=args.threads,
+        budget=budget,
+    )
+    outcome = result.budget_outcome
+    status = ("completed" if not outcome.cancelled
+              else f"cancelled ({outcome.reason})")
+    print(f"status:        {status}")
+    print(f"elapsed:       {outcome.elapsed:.3f}s")
+    print(f"phases:        {outcome.phases_completed}")
+    print(f"iterations:    {outcome.iterations_completed}")
+    if outcome.degradations:
+        print("degradations:  " + " -> ".join(outcome.degradations))
+    if outcome.checkpoint:
+        print(f"checkpoint:    {outcome.checkpoint}")
+    print(f"modularity:    {result.modularity:.6f}")
+    print(f"communities:   {result.num_communities}")
     if args.output:
         np.savetxt(args.output, result.communities, fmt="%d")
         print(f"assignment written to {args.output}")
@@ -566,6 +615,40 @@ def build_parser() -> argparse.ArgumentParser:
     robust_resume.add_argument("--output",
                                help="write the assignment to a file")
     robust_resume.set_defaults(func=_cmd_robust_resume)
+
+    robust_budget = robust_sub.add_parser(
+        "budget",
+        help="run detection under a wall-clock/phase/iteration/memory "
+             "budget; cancels cooperatively with the best-seen partition "
+             "and a resumable checkpoint",
+    )
+    add_graph_args(robust_budget)
+    robust_budget.add_argument(
+        "--variant",
+        choices=["baseline", "baseline+VF", "baseline+VF+Color"],
+        default="baseline+VF+Color",
+    )
+    robust_budget.add_argument("--deadline", type=float, default=None,
+                               metavar="SECONDS",
+                               help="wall-clock budget")
+    robust_budget.add_argument("--max-phases", type=int, default=None)
+    robust_budget.add_argument("--max-iterations", type=int, default=None)
+    robust_budget.add_argument("--max-memory-mb", type=float, default=None,
+                               help="peak-RSS bound in MiB")
+    robust_budget.add_argument("--no-degrade", action="store_true",
+                               help="cancel outright instead of walking "
+                                    "the degradation ladder first")
+    robust_budget.add_argument("--backend",
+                               choices=["serial", "threads", "processes"],
+                               default="serial")
+    robust_budget.add_argument("--threads", type=int, default=4)
+    robust_budget.add_argument("--checkpoint", metavar="FILE",
+                               help="where the cancellation checkpoint "
+                                    "is written (.ckpt.npz; resume with "
+                                    "`robust resume`)")
+    robust_budget.add_argument("--output",
+                               help="write the assignment to a file")
+    robust_budget.set_defaults(func=_cmd_robust_budget)
     return parser
 
 

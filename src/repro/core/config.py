@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.lint.sanitizer import sanitize_default
 from repro.obs.trace import trace_default
+from repro.robust.budget import RunBudget
 from repro.robust.faults import fault_plan_default, parse_fault_plan
 from repro.utils.errors import ValidationError
 
@@ -146,6 +147,17 @@ class LouvainConfig:
         ``REPRO_FAULTS`` environment setting; ``None`` injects nothing.
         Faults never change results: recovered runs are bitwise identical
         to failure-free runs (``docs/robustness.md``).
+    budget:
+        Optional :class:`~repro.robust.budget.RunBudget`: wall-clock
+        deadline, phase/iteration caps, peak-memory bound, and
+        cooperative SIGINT/SIGTERM handling.  Enforced at sweep- and
+        iteration-boundaries; on expiry the driver walks the degradation
+        ladder, then cancels with the best-seen partition, a
+        ``budget_outcome`` record, and a resumable phase-boundary
+        checkpoint (``docs/robustness.md``).  A dict is coerced to
+        :class:`RunBudget` (the checkpoint/CLI round-trip path); like
+        ``fault_plan``, the budget is execution mechanics, not a
+        semantic field — it never enters the checkpoint fingerprint.
     """
 
     use_vf: bool = False
@@ -172,8 +184,18 @@ class LouvainConfig:
     seed: int | None = 0
     resolution: float = 1.0
     fault_plan: str | None = field(default_factory=fault_plan_default)
+    budget: "RunBudget | None" = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.budget, dict):
+            # Frozen dataclass: asdict()/JSON round trips hand the budget
+            # back as a plain dict (checkpoint config_json, CLI resume).
+            object.__setattr__(self, "budget", RunBudget(**self.budget))
+        elif self.budget is not None and not isinstance(self.budget,
+                                                        RunBudget):
+            raise ValidationError(
+                "budget must be a RunBudget, a dict of its fields, or None"
+            )
         if self.colored_threshold <= 0 or self.final_threshold <= 0:
             raise ValidationError("thresholds must be positive")
         if self.kernel not in ("vectorized", "reference"):

@@ -50,6 +50,7 @@ from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
 from repro.obs.trace import Tracer, use_tracer
 from repro.parallel.backends import make_backend
+from repro.robust.budget import BudgetOutcome, use_budget
 from repro.robust.checkpoint import (
     Checkpoint,
     config_fingerprint,
@@ -89,6 +90,11 @@ class LouvainResult:
         The run's :class:`~repro.obs.trace.Tracer` when ``config.trace``
         was enabled (feed it to :mod:`repro.obs.export` /
         :mod:`repro.obs.report`); ``None`` otherwise.
+    budget_outcome:
+        What the run's :class:`~repro.robust.budget.RunBudget` did —
+        completion vs. cancellation (and why), counters, degradation
+        ladder steps taken, and the cancellation checkpoint's path.
+        ``None`` for unbudgeted runs.
     """
 
     communities: np.ndarray
@@ -99,6 +105,7 @@ class LouvainResult:
     timers: StepTimer = field(default_factory=StepTimer)
     vf: VFResult | None = None
     trace: "Tracer | None" = None
+    budget_outcome: "BudgetOutcome | None" = None
 
     @property
     def num_communities(self) -> int:
@@ -264,6 +271,10 @@ def louvain(
     _obs = ExitStack()
     _obs.enter_context(use_tracer(tracer))
     _obs.enter_context(use_faults(cfg.fault_plan))
+    # The budget controller is ambient too (run_phase and the process
+    # backend's recovery loop consult it); its clock starts here.
+    controller = _obs.enter_context(use_budget(cfg.budget))
+    _obs.enter_context(controller.signal_scope())
     _obs.enter_context(tracer.span(
         "louvain", cat="pipeline", variant=cfg.variant_name,
         n=n_original, backend=cfg.backend,
@@ -289,7 +300,78 @@ def louvain(
         if resumed is not None:
             coloring_active = resumed.coloring_active
             last_phase_gain = resumed.last_phase_gain
+
+        # Degradation ladder adjusts these *effective* knobs, never cfg
+        # itself: the coloring schedule's stop condition and the
+        # checkpoint fingerprint keep reading the configured values, so
+        # a cancelled run's checkpoint resumes under the original config.
+        eff_colored_threshold = cfg.colored_threshold
+        eff_prune = cfg.prune
+        cancelled_reason: "str | None" = None
+        cancel_ckpt: "str | None" = None
+
+        def _cancel_checkpoint(next_phase_index, mapping_, graph_,
+                               coloring_active_, gain_) -> "str | None":
+            # The cancellation checkpoint is a regular phase-boundary
+            # checkpoint of the state the *next* (or interrupted) phase
+            # starts from — resuming it unbudgeted reproduces the
+            # unbudgeted run's final assignment bitwise.
+            budget = cfg.budget
+            path = (budget.checkpoint
+                    if budget is not None and budget.checkpoint is not None
+                    else checkpoint)
+            if path is None:
+                return None
+            save_checkpoint(path, Checkpoint(
+                pipeline="driver",
+                phase_index=next_phase_index,
+                mapping=mapping_,
+                graph=graph_,
+                coloring_active=coloring_active_,
+                last_phase_gain=float(gain_),
+                config_fingerprint=config_fingerprint(cfg),
+                config_json=json.dumps(asdict(cfg)),
+                history=history,
+                levels=dendrogram.levels,
+                labels=dendrogram.labels,
+                n_original=n_original,
+                m_original=graph.num_edges,
+            ))
+            tracer.count("checkpoint.saved")
+            return str(path)
+
         for phase_index in range(start_phase, cfg.max_phases):
+            # Budget: cancel at the phase boundary (exactly the regular
+            # checkpoint state), or walk the degradation ladder under
+            # pressure before it comes to that.
+            reason = controller.stop_reason()
+            if reason is not None:
+                cancelled_reason = reason
+                with tracer.span("cancellation", cat="budget",
+                                 phase=phase_index, reason=reason):
+                    cancel_ckpt = _cancel_checkpoint(
+                        phase_index, mapping, current,
+                        coloring_active, last_phase_gain,
+                    )
+                tracer.count("run.cancelled")
+                break
+            for step in controller.pending_degradations():
+                tracer.count("budget.degraded")
+                tracer.instant("degraded", cat="budget", step=step,
+                               pressure=round(controller.pressure(), 3))
+                if step == "coarse-threshold":
+                    # Toward Table 5's coarse setting: one decade per
+                    # firing, floored at the paper's 1e-2 default and
+                    # capped a decade above it.
+                    eff_colored_threshold = min(
+                        max(eff_colored_threshold * 10.0, 1e-2), 1e-1
+                    )
+                elif step == "prune":
+                    eff_prune = True
+                elif step == "no-trace":
+                    tracer.enabled = False
+                controller.note_degradation(step)
+
             n = current.num_vertices
             color_this_phase = (
                 coloring_active
@@ -328,7 +410,8 @@ def louvain(
                         tracer.observe("coloring.set_size", size)
 
             threshold = (
-                cfg.colored_threshold if color_this_phase else cfg.final_threshold
+                eff_colored_threshold if color_this_phase
+                else cfg.final_threshold
             )
             state = init_state(
                 current, warm_start if phase_index == 0 else None
@@ -353,10 +436,27 @@ def louvain(
                     resolution=cfg.resolution,
                     workspace=workspace,
                     aggregation=cfg.aggregation,
-                    prune=cfg.prune,
+                    prune=eff_prune,
                     incremental=cfg.incremental_modularity,
                     sanitize=cfg.sanitize,
                 )
+            interrupted = outcome.interrupted
+            if interrupted:
+                # Cancel mid-phase: checkpoint the state this phase
+                # *started* from (mapping/graph/history are still
+                # pre-phase here), then fold the partial phase's
+                # best-seen progress into the anytime result below.
+                cancelled_reason = controller.stop_reason() or "deadline"
+                with tracer.span("cancellation", cat="budget",
+                                 phase=phase_index,
+                                 reason=cancelled_reason):
+                    cancel_ckpt = _cancel_checkpoint(
+                        phase_index, mapping, current,
+                        coloring_active, last_phase_gain,
+                    )
+                tracer.count("run.cancelled")
+                if not outcome.records:
+                    break  # no completed iteration — nothing to fold
             history.iterations.extend(outcome.records)
 
             with tracer.step("rebuild", phase=phase_index):
@@ -384,6 +484,8 @@ def louvain(
             dendrogram.push(rebuild.vertex_to_meta, f"phase-{phase_index}")
             mapping = rebuild.vertex_to_meta[mapping]
             last_phase_gain = outcome.end_modularity - outcome.start_modularity
+            if not interrupted:
+                controller.note_phase()
 
             made_progress = rebuild.num_communities < n
             converged = last_phase_gain < cfg.final_threshold
@@ -393,6 +495,8 @@ def louvain(
                 communities=rebuild.num_communities,
             )
             current = rebuild.graph
+            if interrupted:
+                break
             if converged or not made_progress:
                 break
             if checkpoint is not None:
@@ -417,6 +521,10 @@ def louvain(
                         m_original=graph.num_edges,
                     ))
                 tracer.count("checkpoint.saved")
+        budget_outcome = (
+            controller.outcome(cancelled_reason, cancel_ckpt)
+            if controller.armed else None
+        )
     finally:
         backend.close()
         _obs.close()
@@ -434,4 +542,5 @@ def louvain(
         timers=timers,
         vf=vf_result,
         trace=tracer if cfg.trace else None,
+        budget_outcome=budget_outcome,
     )

@@ -50,6 +50,7 @@ from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import resolve_sanitize
 from repro.obs.trace import get_tracer
 from repro.parallel.backends import ExecutionBackend
+from repro.robust.budget import get_budget
 from repro.robust.faults import get_injector
 
 __all__ = ["PhaseOutcome", "run_phase", "state_modularity"]
@@ -68,6 +69,11 @@ class PhaseOutcome:
     start_modularity: float
     end_modularity: float
     converged: bool
+    #: True when the ambient :class:`~repro.robust.budget.BudgetController`
+    #: requested a stop mid-phase (deadline/cap/signal).  The state is
+    #: still the best-seen, exactly-recounted assignment; ``converged``
+    #: stays False.
+    interrupted: bool = False
 
 
 def state_modularity(graph: CSRGraph, state: SweepState,
@@ -195,10 +201,17 @@ def run_phase(
     q_prev = -1.0  # Algorithm 1 line 4.
     records: list[IterationRecord] = []
     converged = False
+    interrupted = False
     tracer = get_tracer()
     injector = get_injector()
+    budget = get_budget()
 
     for iteration in range(max_iterations):
+        # Cooperative cancellation: iteration boundaries are the finest
+        # granularity at which the phase state is a valid snapshot.
+        if budget.should_stop():
+            interrupted = True
+            break
         injector.on_sweep(phase_index, iteration)
         moved = 0
         active_vertices = 0
@@ -210,6 +223,13 @@ def run_phase(
             for set_index, act in enumerate(active_sets):
                 if act.size == 0:
                     continue
+                # Sweep boundary: community state is committed between
+                # color sets (§5.4 step 3), so stopping here is as safe
+                # as stopping between iterations.  Skip set 0 — an empty
+                # iteration would record nothing new.
+                if set_index and budget.should_stop():
+                    interrupted = True
+                    break
                 active_vertices += int(act.size)
                 active_edges += int(unweighted_deg[act].sum())
                 with tracer.span("sweep", set=set_index, vertices=int(act.size)):
@@ -260,7 +280,13 @@ def run_phase(
             np.copyto(best_comm, state.comm)
             np.copyto(best_degree, state.comm_degree)
             np.copyto(best_size, state.comm_size)
+        budget.note_iteration()
 
+        if interrupted:
+            # A partial iteration's ``moved`` only covers the sets that
+            # ran — not a convergence signal.  The record and best-seen
+            # update above still stand (the state is committed/valid).
+            break
         if moved == 0:
             if prune and not full_sweep:
                 # A pruned fixed point: distant moves may still have opened
@@ -297,4 +323,5 @@ def run_phase(
         start_modularity=start_q,
         end_modularity=end_q,
         converged=converged,
+        interrupted=interrupted,
     )

@@ -51,6 +51,12 @@ from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
 from repro.obs.trace import Tracer, get_tracer, resolve_trace, use_tracer
+from repro.robust.budget import (
+    BudgetController,
+    BudgetOutcome,
+    RunBudget,
+    get_budget,
+)
 from repro.robust.checkpoint import (
     Checkpoint,
     NONSEMANTIC_CONFIG_FIELDS,
@@ -100,6 +106,9 @@ class DistributedResult:
     partition_stats: list = field(default_factory=list)
     #: The run's tracer when tracing was enabled (``None`` otherwise).
     trace: "Tracer | None" = None
+    #: What the run's :class:`~repro.robust.budget.RunBudget` did
+    #: (``None`` for unbudgeted runs).
+    budget_outcome: "BudgetOutcome | None" = None
 
     @property
     def num_communities(self) -> int:
@@ -125,8 +134,14 @@ def _distributed_phase(
     aggregation: str,
     sanitize: bool = False,
     injector: "FaultInjector | None" = None,
-) -> tuple[list[IterationRecord], float, float]:
-    """One phase as supersteps; mirrors :func:`repro.core.phase.run_phase`."""
+    budget: "BudgetController | None" = None,
+) -> tuple[list[IterationRecord], float, float, bool]:
+    """One phase as supersteps; mirrors :func:`repro.core.phase.run_phase`.
+
+    The fourth return element is the ``interrupted`` flag: True when the
+    budget controller requested a stop at a superstep boundary (the
+    committed state is still consistent across ranks).
+    """
     n = graph.num_vertices
     p = cluster.num_ranks
     all_vertices = np.arange(n, dtype=np.int64)
@@ -142,14 +157,26 @@ def _distributed_phase(
     q_prev = -1.0
     start_q = state_modularity(graph, state, resolution=resolution)
     records: list[IterationRecord] = []
+    interrupted = False
     tracer = get_tracer()
     if injector is None:
         injector = get_injector()
+    if budget is None:
+        budget = get_budget()
 
     for iteration in range(max_iterations):
+        if budget.should_stop():
+            interrupted = True
+            break
         injector.on_sweep(phase_index, iteration)
         moved_total = 0
         for set_index, vertex_set in enumerate(sets):
+            # Superstep boundary: the previous set's moves are fully
+            # applied and allreduced, so stopping here leaves every rank
+            # with the same consistent state.
+            if set_index and budget.should_stop():
+                interrupted = True
+                break
             # -- superstep: local compute on every rank -------------------
             # Every rank reads the same snapshot; freezing it for the
             # whole superstep asserts exactly that (no rank may see
@@ -278,6 +305,11 @@ def _distributed_phase(
                 color_set_edges=set_edge_counts,
             )
         )
+        budget.note_iteration()
+        if interrupted:
+            # A partial iteration's moved count only covers the sets
+            # that ran — not a convergence signal.
+            break
         if moved_total == 0:
             break
         if (q_curr - q_prev) < threshold * abs(q_prev):
@@ -285,7 +317,7 @@ def _distributed_phase(
         q_prev = q_curr
 
     end_q = records[-1].modularity if records else start_q
-    return records, start_q, end_q
+    return records, start_q, end_q, interrupted
 
 
 def distributed_louvain(
@@ -308,6 +340,7 @@ def distributed_louvain(
     sanitize: "bool | None" = None,
     trace: "bool | None" = None,
     fault_plan: "str | None" = None,
+    budget: "RunBudget | None" = None,
     checkpoint=None,
     resume=None,
 ) -> DistributedResult:
@@ -334,6 +367,15 @@ def distributed_louvain(
     exactly, but its :class:`~repro.distributed.cluster.TrafficLog`
     restarts from zero (traffic before the checkpoint was already paid
     and logged by the interrupted run).
+
+    ``budget`` bounds the run (:class:`~repro.robust.budget.RunBudget`):
+    enforced at superstep boundaries; on expiry or SIGINT/SIGTERM the
+    run cancels cooperatively — it returns the best consistent partition
+    seen, reports a ``budget_outcome``, and writes a phase-boundary
+    cancellation checkpoint (to ``budget.checkpoint`` or ``checkpoint``)
+    whose unbudgeted resume reproduces the unbudgeted final assignment
+    bitwise.  The budget is execution mechanics, not semantics: it does
+    not enter the checkpoint fingerprint.
     """
     sanitize = resolve_sanitize(sanitize)
     tracer = Tracer(enabled=resolve_trace(trace))
@@ -422,7 +464,57 @@ def distributed_louvain(
     # Explicit injector (not the ambient one): the BSP loop has no
     # ExitStack to restore an ambient scope through an injected raise.
     injector = FaultInjector.from_plan(fault_plan)
-    for phase_index in range(start_phase, max_phases):
+    # Explicit budget controller for the same reason; the budget is
+    # execution mechanics, so it is not part of semantic_config.
+    controller = BudgetController(budget)
+    cancelled_reason: "str | None" = None
+    cancel_ckpt: "str | None" = None
+
+    def _cancel_checkpoint(next_phase_index, mapping_, graph_,
+                           coloring_active_, gain_, stats_) -> "str | None":
+        # A regular phase-boundary checkpoint of the state the next (or
+        # interrupted) phase starts from — its unbudgeted resume
+        # reproduces the unbudgeted run's final assignment bitwise.
+        path = (budget.checkpoint
+                if budget is not None and budget.checkpoint is not None
+                else checkpoint)
+        if path is None:
+            return None
+        save_checkpoint(path, Checkpoint(
+            pipeline="distributed",
+            phase_index=next_phase_index,
+            mapping=mapping_,
+            graph=graph_,
+            coloring_active=coloring_active_,
+            last_phase_gain=float(gain_),
+            config_fingerprint=fingerprint,
+            config_json=json.dumps(semantic_config),
+            history=history,
+            n_original=n_original,
+            m_original=graph.num_edges,
+            extra={
+                "num_ranks": num_ranks,
+                "partition_stats": [list(entry) for entry in stats_],
+            },
+        ))
+        tracer.count("checkpoint.saved")
+        return str(path)
+
+    with controller.signal_scope():
+      for phase_index in range(start_phase, max_phases):
+        # Budget: cancel at the phase boundary — exactly the regular
+        # checkpoint state.
+        reason = controller.stop_reason()
+        if reason is not None:
+            cancelled_reason = reason
+            with tracer.span("cancellation", cat="budget",
+                             phase=phase_index, reason=reason):
+                cancel_ckpt = _cancel_checkpoint(
+                    phase_index, mapping, current,
+                    coloring_active, last_phase_gain, partition_stats,
+                )
+            tracer.count("run.cancelled")
+            break
         n = current.num_vertices
         part = partition_vertices(current, num_ranks, scheme=partition_scheme)
         partition_stats.append(
@@ -451,7 +543,7 @@ def distributed_louvain(
         # loop's local_compute/halo_exchange/allreduce spans nest under
         # this clustering step.
         with tracer.step("clustering", phase=phase_index), use_tracer(tracer):
-            records, start_q, end_q = _distributed_phase(
+            records, start_q, end_q, interrupted = _distributed_phase(
                 current, cluster, part, state,
                 threshold=threshold,
                 phase_index=phase_index,
@@ -462,7 +554,26 @@ def distributed_louvain(
                 aggregation=aggregation,
                 sanitize=sanitize,
                 injector=injector,
+                budget=controller,
             )
+        if interrupted:
+            # Cancel mid-phase: checkpoint the state this phase started
+            # from (its partition_stats entry excluded), then fold the
+            # partial phase only when it did not lose modularity — the
+            # BSP loop keeps no best-seen state, and anytime results
+            # must stay monotone in completed phases.
+            cancelled_reason = controller.stop_reason() or "deadline"
+            with tracer.span("cancellation", cat="budget",
+                             phase=phase_index, reason=cancelled_reason):
+                cancel_ckpt = _cancel_checkpoint(
+                    phase_index, mapping, current,
+                    coloring_active, last_phase_gain,
+                    partition_stats[:-1],
+                )
+            tracer.count("run.cancelled")
+            if not records or end_q < start_q:
+                partition_stats.pop()
+                break
         history.iterations.extend(records)
 
         # Rebuild: allgather the owned label blocks, coarsen replicated.
@@ -490,9 +601,13 @@ def distributed_louvain(
         )
         mapping = rebuild.vertex_to_meta[mapping]
         last_phase_gain = end_q - start_q
+        if not interrupted:
+            controller.note_phase()
         made_progress = rebuild.num_communities < n
         converged = last_phase_gain < final_threshold
         current = rebuild.graph
+        if interrupted:
+            break
         if converged or not made_progress:
             break
         if checkpoint is not None:
@@ -523,6 +638,10 @@ def distributed_louvain(
                 ))
             tracer.count("checkpoint.saved")
 
+    budget_outcome = (
+        controller.outcome(cancelled_reason, cancel_ckpt)
+        if controller.armed else None
+    )
     communities, _ = renumber_labels(mapping)
     from repro.core.modularity import modularity as full_modularity
 
@@ -534,4 +653,5 @@ def distributed_louvain(
         num_ranks=num_ranks,
         partition_stats=partition_stats,
         trace=tracer if tracer.enabled else None,
+        budget_outcome=budget_outcome,
     )

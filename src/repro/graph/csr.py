@@ -163,6 +163,13 @@ class CSRGraph:
         if indices.size:
             if indices.min() < 0 or indices.max() >= n:
                 raise GraphStructureError("neighbor ids out of range [0, n)")
+            if not np.all(np.isfinite(weights)):
+                # Checked before the sign: np.inf passes `> 0`, then
+                # total_weight goes inf and modularity NaN downstream.
+                raise GraphStructureError(
+                    "edge weights must be finite (NaN/inf would poison "
+                    "total_weight and every modularity computation)"
+                )
             if not np.all(weights > 0):
                 raise GraphStructureError(
                     "edge weights must be strictly positive (paper §2)"

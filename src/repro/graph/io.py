@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import gzip
 import io as _io
+import math
 import warnings
 from pathlib import Path
 
@@ -94,6 +95,12 @@ def read_edge_list(
                 w = float(parts[2]) if len(parts) == 3 else 1.0
             except ValueError as exc:
                 raise GraphFormatError(f"{path}:{lineno}: bad token ({exc})") from exc
+            if not math.isfinite(w):
+                # "inf"/"nan" parse as valid floats but would poison
+                # total_weight; reject at the source with the line number.
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-finite edge weight {parts[2]!r}"
+                )
             if len(parts) == 3:
                 saw_weight = True
             if not zero_indexed:
@@ -192,10 +199,16 @@ def read_metis(path, *, combine: str = "error") -> CSRGraph:
                     raise GraphFormatError(f"{path}: vertex id {vtok} out of range")
                 # Keep each undirected edge once (from its lower endpoint;
                 # self-loops once).
+                w = float(wtok)
+                if not math.isfinite(w):
+                    raise GraphFormatError(
+                        f"{path}: vertex {i + 1} has non-finite edge "
+                        f"weight {wtok!r}"
+                    )
                 if i <= v:
                     us.append(i)
                     vs.append(v)
-                    ws.append(float(wtok))
+                    ws.append(w)
         else:
             for vtok in tokens:
                 v = int(vtok) - 1
@@ -341,6 +354,11 @@ def read_matrix_market(path, *, combine: str = "error") -> CSRGraph:
                 )
             i, j = int(tokens[0]) - 1, int(tokens[1]) - 1
             w = 1.0 if field == "pattern" else float(tokens[2])
+            if not math.isfinite(w):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-finite matrix entry "
+                    f"{tokens[2]!r}"
+                )
             if not (0 <= i < rows and 0 <= j < rows):
                 raise GraphFormatError(
                     f"{path}: entry ({i + 1}, {j + 1}) out of range"

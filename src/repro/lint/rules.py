@@ -34,6 +34,20 @@ OBS001
     and ``repro/obs/`` — all timing flows through the instrumented path
     (:class:`repro.utils.timing.Timer`/``StepTimer`` or the
     :mod:`repro.obs` tracer) so every measurement lands in one stream.
+QUEUE001
+    Untimed ``Queue.get()`` on a queue-named receiver in library code
+    (outside ``repro/robust/``) — the hang class behind the seed process
+    backend.  Use ``get(timeout=...)`` inside a deadline-and-liveness
+    loop (docs/robustness.md).
+DEAD001
+    ``sleep(...)`` inside a loop in library code (outside
+    ``repro/robust/``) where no enclosing loop consults a deadline — a
+    sleep/retry loop that never checks remaining time parks forever when
+    its producer dies and can overrun any :class:`~repro.robust.budget.
+    RunBudget`.  Bound each pass against a ``monotonic()`` deadline, a
+    timeout variable, or the ambient ``BudgetController`` (complements
+    QUEUE001, which covers the blocking-``get`` variant of the same
+    class).
 
 Generic rules
 -------------
@@ -537,6 +551,81 @@ class UntimedQueueGetRule(Rule):
             )
 
 
+#: Identifier substrings that count as "consulting a deadline" for
+#: DEAD001 (variables like ``deadline``, ``remaining_budget``,
+#: ``retry_timeout``, ``wait_until``, ``expires_at``).
+_DEADLINE_HINTS = ("deadline", "remaining", "budget", "timeout",
+                   "until", "expir")
+#: Call/attribute names that consult a clock or the budget controller.
+_DEADLINE_CALLS = frozenset({
+    "monotonic", "should_stop", "stop_reason", "expired",
+})
+
+
+class SleepWithoutDeadlineRule(Rule):
+    code = "DEAD001"
+    description = (
+        "sleep inside a loop that never consults a deadline — a "
+        "sleep/retry loop in library code must bound itself against "
+        "remaining time (monotonic() deadline, a timeout variable, or "
+        "the ambient BudgetController), or a dead producer parks it "
+        "forever and it can overrun any RunBudget"
+    )
+
+    def applies(self, ctx):
+        # repro.robust owns the budget/recovery machinery and documents
+        # any exception it makes for itself (mirrors QUEUE001).
+        return ctx.is_library_code() and "repro/robust/" not in ctx.path
+
+    @staticmethod
+    def _identifiers(node) -> "Iterator[str]":
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+            elif isinstance(sub, ast.Attribute):
+                yield sub.attr
+
+    def _consults_deadline(self, loop) -> bool:
+        for ident in self._identifiers(loop):
+            lowered = ident.lower()
+            if lowered in _DEADLINE_CALLS:
+                return True
+            if any(hint in lowered for hint in _DEADLINE_HINTS):
+                return True
+        return False
+
+    @staticmethod
+    def _is_sleep(node) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        return (isinstance(func, ast.Attribute) and func.attr == "sleep") \
+            or (isinstance(func, ast.Name) and func.id == "sleep")
+
+    def check(self, tree, ctx):
+        findings: list[tuple[int, int]] = []
+
+        def walk(node, enclosing_loops):
+            if isinstance(node, (ast.While, ast.For)):
+                enclosing_loops = enclosing_loops + [node]
+            elif self._is_sleep(node) and enclosing_loops:
+                if not any(self._consults_deadline(loop)
+                           for loop in enclosing_loops):
+                    findings.append((node.lineno, node.col_offset))
+            for child in ast.iter_child_nodes(node):
+                walk(child, enclosing_loops)
+
+        walk(tree, [])
+        for line, col in findings:
+            yield RuleFinding(
+                line, col, self.code,
+                "sleep in a loop that never consults a deadline; check "
+                "remaining time each pass (utils.timing.monotonic "
+                "deadline, a timeout bound, or the ambient "
+                "BudgetController)",
+            )
+
+
 # ---------------------------------------------------------------------------
 # Generic rules
 # ---------------------------------------------------------------------------
@@ -633,6 +722,7 @@ RULES: tuple[Rule, ...] = (
     WorkerScatterRule(),
     DirectTimingRule(),
     UntimedQueueGetRule(),
+    SleepWithoutDeadlineRule(),
     MutableDefaultRule(),
     BareAssertRule(),
     MissingDtypeRule(),

@@ -64,6 +64,7 @@ import numpy as np
 from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.parallel.backends import ExecutionBackend
 from repro.parallel.chunking import edge_balanced_partition
+from repro.robust.budget import get_budget
 from repro.robust.faults import FaultInjector, apply_chunk_fault, get_injector
 from repro.robust.recovery import RecoveryStats, RetryPolicy
 from repro.utils.errors import ValidationError, WorkerPoolError
@@ -265,6 +266,10 @@ class _SweepExecutor:
         # replacement.
         self._tracer = get_tracer()
         self._fault_plan = get_injector().plan
+        # The run's budget controller: caps per-chunk retry deadlines to
+        # the remaining global deadline and stops respawns once the run
+        # is cancelling (the driver installs it before building backends).
+        self._budget = get_budget()
         self._names = {k: seg.name for k, seg in self._segments.items()}
         self._respawns_used = 0
         self._rr = 0  # round-robin cursor for chunk (re)assignment
@@ -304,7 +309,9 @@ class _SweepExecutor:
         slot = alive[self._rr % len(alive)]
         self._rr += 1
         rec.slot = slot
-        rec.deadline = monotonic() + self.policy.deadline_for(rec.retries)
+        rec.deadline = monotonic() + self.policy.deadline_for(
+            rec.retries, remaining=self._budget.deadline_remaining()
+        )
         slot.task_q.put((index, rec.offset, rec.length) + rec.task_args)
 
     def _recover_chunk(self, index: int, rec: _ChunkRecord) -> None:
@@ -335,8 +342,12 @@ class _SweepExecutor:
         with self._tracer.span("recovery", cat="robust",
                                worker=slot.worker_id,
                                exitcode=slot.process.exitcode):
-            if self._respawns_used < self.policy.respawn_budget(
-                    self.num_workers):
+            if (self._respawns_used < self.policy.respawn_budget(
+                    self.num_workers)
+                    and not self._budget.should_stop()):
+                # A cancelling run never forks replacements — excising
+                # the slot lets the sweep drain (or fall back to serial)
+                # inside what is left of the budget.
                 self._respawns_used += 1
                 self.recovery.respawns += 1
                 self._tracer.count("worker.respawns")

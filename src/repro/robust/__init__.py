@@ -1,12 +1,15 @@
 """Fault tolerance: fault injection, worker recovery, checkpoint/resume.
 
-Three cooperating pieces (see ``docs/robustness.md``):
+Four cooperating pieces (see ``docs/robustness.md``):
 
 * :mod:`repro.robust.faults` — deterministic fault injection, driven by
   ``LouvainConfig.fault_plan`` / ``REPRO_FAULTS``, so every recovery
   path is testable on demand;
 * :mod:`repro.robust.recovery` — the retry/respawn policy and counters
   behind the process backend's worker-failure recovery;
+* :mod:`repro.robust.budget` — deadline/phase/iteration/memory budgets
+  with graceful degradation, cooperative SIGINT/SIGTERM cancellation,
+  and anytime (best-seen, monotone) results;
 * :mod:`repro.robust.checkpoint` — phase-boundary checkpoint/resume for
   the shared-memory and distributed pipelines (``.ckpt.npz``).
 
@@ -16,6 +19,14 @@ for the fault-plan default — importing it eagerly would be circular.
 Import it as ``repro.robust.checkpoint`` where needed.
 """
 
+from repro.robust.budget import (
+    BudgetController,
+    BudgetOutcome,
+    RunBudget,
+    get_budget,
+    set_budget,
+    use_budget,
+)
 from repro.robust.faults import (
     FaultInjector,
     FaultSpec,
@@ -28,13 +39,19 @@ from repro.robust.faults import (
 from repro.robust.recovery import RecoveryStats, RetryPolicy
 
 __all__ = [
+    "BudgetController",
+    "BudgetOutcome",
     "FaultInjector",
     "FaultSpec",
     "RecoveryStats",
     "RetryPolicy",
+    "RunBudget",
     "fault_plan_default",
+    "get_budget",
     "get_injector",
     "parse_fault_plan",
+    "set_budget",
     "set_injector",
+    "use_budget",
     "use_faults",
 ]

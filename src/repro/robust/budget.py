@@ -1,0 +1,446 @@
+"""Deadline- and budget-aware anytime execution for the pipelines.
+
+A :class:`RunBudget` bounds one run in wall-clock time, completed phases,
+total iterations, and (optionally) peak memory, and opts the run into
+cooperative SIGINT/SIGTERM cancellation.  It rides on
+:attr:`repro.core.config.LouvainConfig.budget` (shared-memory driver) or
+the ``budget=`` parameter of
+:func:`repro.distributed.louvain_dist.distributed_louvain`.
+
+Enforcement is **cooperative**: the pipelines consult the run's
+:class:`BudgetController` at sweep- and iteration-boundaries (never
+mid-kernel), so a budgeted run always stops at a point where the
+partition state is consistent.  On expiry the driver
+
+1. writes a phase-boundary checkpoint (:mod:`repro.robust.checkpoint`)
+   of the state the interrupted phase *started* from, so an unbudgeted
+   resume reproduces the unbudgeted run's final assignment bitwise;
+2. folds the interrupted phase's best-seen progress into the returned
+   partition (anytime semantics — modularity is monotone non-decreasing
+   in completed phases, and a partial phase is folded only via the
+   best-seen state, which is never below the phase's input);
+3. reports what happened in a :class:`BudgetOutcome` on the result.
+
+Under budget *pressure* (past half the budget, by any dimension) the
+driver first walks a **degradation ladder** instead of cancelling:
+coarsen the colored-phase threshold toward the paper's Table-5 coarse
+settings, then force frontier pruning on, then disable tracing.  Each
+step trades completeness of the schedule for time; ``degrade=False``
+skips the ladder and cancels outright.
+
+The controller is ambient (:func:`get_budget` / :func:`use_budget`),
+mirroring the tracer and fault-injector singletons, so deep call sites —
+:func:`repro.core.phase.run_phase`, the process backend's recovery
+loop — consult it without threading it through signatures.  The
+unarmed default makes the hot-path check one attribute read.
+
+>>> budget = RunBudget(max_phases=2)
+>>> budget.armed
+True
+>>> controller = BudgetController(budget)
+>>> controller.stop_reason() is None
+True
+>>> controller.note_phase(); controller.note_phase()
+>>> controller.stop_reason()
+'max_phases'
+>>> get_budget().armed   # ambient default: disarmed
+False
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.trace import get_tracer
+from repro.utils.errors import ValidationError
+from repro.utils.timing import monotonic
+
+__all__ = [
+    "BudgetController",
+    "BudgetOutcome",
+    "DEGRADATION_LADDER",
+    "RunBudget",
+    "get_budget",
+    "peak_memory_mb",
+    "set_budget",
+    "use_budget",
+]
+
+#: The degradation ladder: ``(step name, pressure threshold)`` in the
+#: order the driver applies them.  ``coarse-threshold`` raises the
+#: colored-phase θ toward the coarse Table-5 setting (fewer iterations
+#: per colored phase), ``prune`` forces frontier pruning on, and
+#: ``no-trace`` turns the tracer off (pure mechanics — zero effect on
+#: the partition trajectory).
+DEGRADATION_LADDER: "tuple[tuple[str, float], ...]" = (
+    ("coarse-threshold", 0.5),
+    ("prune", 0.75),
+    ("no-trace", 0.9),
+)
+
+
+def peak_memory_mb() -> "float | None":
+    """Peak RSS of this process in MiB, or ``None`` when unavailable.
+
+    Uses ``resource.getrusage`` (Unix only); Linux reports ``ru_maxrss``
+    in KiB, macOS in bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix platforms
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if rss <= 0:  # pragma: no cover - defensive
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Bounds for one pipeline run (all dimensions optional).
+
+    Attributes
+    ----------
+    deadline:
+        Wall-clock budget in seconds, measured from run start
+        (:func:`repro.utils.timing.monotonic` — immune to clock steps).
+    max_phases:
+        Completed-phase cap for this run (a resumed run counts only the
+        phases it runs itself).
+    max_iterations:
+        Total-iteration cap across all phases of this run.
+    max_memory_mb:
+        Peak-RSS bound in MiB (:func:`peak_memory_mb`); ignored on
+        platforms without ``resource``.
+    degrade:
+        Walk the degradation ladder under budget pressure before
+        cancelling (see :data:`DEGRADATION_LADDER`).  ``False`` cancels
+        outright on expiry.
+    handle_signals:
+        Install cooperative SIGINT/SIGTERM handlers for the run (main
+        thread only): the first signal requests cancellation — the run
+        returns its best-seen partition and writes the cancellation
+        checkpoint — and a second raises :class:`KeyboardInterrupt`.
+    checkpoint:
+        Where the cancellation checkpoint is written.  ``None`` falls
+        back to the run's regular ``checkpoint=`` path (if any).
+
+    Constructing any :class:`RunBudget` arms the controller (signal
+    handling alone is a valid budget); carry ``None`` on the config for
+    the unbudgeted default.
+
+    >>> RunBudget(deadline=30.0).armed
+    True
+    >>> RunBudget(deadline=-1)
+    Traceback (most recent call last):
+        ...
+    repro.utils.errors.ValidationError: budget deadline must be positive
+    """
+
+    deadline: "float | None" = None
+    max_phases: "int | None" = None
+    max_iterations: "int | None" = None
+    max_memory_mb: "float | None" = None
+    degrade: bool = True
+    handle_signals: bool = True
+    checkpoint: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValidationError("budget deadline must be positive")
+        if self.max_phases is not None and self.max_phases < 1:
+            raise ValidationError("budget max_phases must be >= 1")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValidationError("budget max_iterations must be >= 1")
+        if self.max_memory_mb is not None and self.max_memory_mb <= 0:
+            raise ValidationError("budget max_memory_mb must be positive")
+        if self.checkpoint is not None and not str(self.checkpoint):
+            raise ValidationError("budget checkpoint must be a path or None")
+
+    @property
+    def armed(self) -> bool:
+        """True when any bound is set or signal handling is requested."""
+        return (
+            self.deadline is not None
+            or self.max_phases is not None
+            or self.max_iterations is not None
+            or self.max_memory_mb is not None
+            or self.handle_signals
+        )
+
+
+@dataclass(frozen=True)
+class BudgetOutcome:
+    """What a budgeted run did — carried on the result.
+
+    ``reason`` is ``None`` for a completed run, else one of
+    ``"deadline"``, ``"max_phases"``, ``"max_iterations"``, ``"memory"``,
+    ``"sigint"``, ``"sigterm"``.  ``checkpoint`` is the cancellation
+    checkpoint's path when one was written (resume it unbudgeted to
+    reproduce the unbudgeted run's final assignment bitwise).
+    """
+
+    completed: bool
+    cancelled: bool
+    reason: "str | None"
+    phases_completed: int
+    iterations_completed: int
+    elapsed: float
+    degradations: "tuple[str, ...]" = ()
+    checkpoint: "str | None" = None
+
+    def as_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "reason": self.reason,
+            "phases_completed": self.phases_completed,
+            "iterations_completed": self.iterations_completed,
+            "elapsed": self.elapsed,
+            "degradations": list(self.degradations),
+            "checkpoint": self.checkpoint,
+        }
+
+
+class BudgetController:
+    """Run-scoped budget clock, counters, and cancellation flag.
+
+    One controller per run, created when the pipeline enters
+    :func:`use_budget`; the wall clock starts at construction.  All
+    methods are cheap enough for iteration-boundary call sites, and
+    :meth:`should_stop` is safe to call from signal handlers' perspective
+    (it only reads the flag the handler sets).
+    """
+
+    def __init__(self, budget: "RunBudget | None" = None):
+        if budget is not None and not isinstance(budget, RunBudget):
+            raise ValidationError(
+                f"budget must be a RunBudget or None, got {type(budget)!r}"
+            )
+        self.budget = budget
+        self._armed = budget is not None and budget.armed
+        self._start = monotonic()
+        self.phases = 0
+        self.iterations = 0
+        self.degradations: list[str] = []
+        self._applied: set[str] = set()
+        self._cancel_reason: "str | None" = None
+        self._stop: "str | None" = None
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    # -- clocks and counters --------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the controller (the run) started."""
+        return monotonic() - self._start
+
+    def deadline_remaining(self) -> "float | None":
+        """Seconds left before the wall-clock deadline; ``None`` when no
+        deadline is armed.  This is what flows into
+        :meth:`repro.robust.recovery.RetryPolicy.deadline_for` so chunk
+        retries never overrun the remaining budget."""
+        if not self._armed or self.budget.deadline is None:
+            return None
+        return max(0.0, self.budget.deadline - self.elapsed())
+
+    def note_iteration(self) -> None:
+        """Record one completed iteration (called by the phase loops)."""
+        if not self._armed:
+            return
+        self.iterations += 1
+        self._update_gauges()
+
+    def note_phase(self) -> None:
+        """Record one completed phase (called by the drivers)."""
+        if not self._armed:
+            return
+        self.phases += 1
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        remaining = self.deadline_remaining()
+        if remaining is not None:
+            get_tracer().gauge("budget.remaining", remaining)
+
+    # -- stop decision ---------------------------------------------------
+
+    def request_cancel(self, reason: str) -> None:
+        """Request cooperative cancellation (the signal handlers' path)."""
+        self._cancel_reason = reason
+
+    def _evaluate(self) -> "str | None":
+        if self._cancel_reason is not None:
+            return self._cancel_reason
+        b = self.budget
+        if b.deadline is not None and self.elapsed() >= b.deadline:
+            return "deadline"
+        if (b.max_iterations is not None
+                and self.iterations >= b.max_iterations):
+            return "max_iterations"
+        if b.max_phases is not None and self.phases >= b.max_phases:
+            return "max_phases"
+        if b.max_memory_mb is not None:
+            mb = peak_memory_mb()
+            if mb is not None and mb >= b.max_memory_mb:
+                return "memory"
+        return None
+
+    def stop_reason(self) -> "str | None":
+        """Why the run must stop, or ``None``.  Sticky: once a reason is
+        observed it is returned forever (budgets only ever expire)."""
+        if not self._armed:
+            return None
+        if self._stop is None:
+            self._stop = self._evaluate()
+        return self._stop
+
+    def should_stop(self) -> bool:
+        """True when the run must cancel at the next safe boundary."""
+        return self.stop_reason() is not None
+
+    # -- degradation ladder ---------------------------------------------
+
+    def pressure(self) -> float:
+        """Fraction of the tightest budget dimension consumed, in [0, 1]."""
+        if not self._armed:
+            return 0.0
+        b = self.budget
+        fractions = [0.0]
+        if b.deadline is not None:
+            fractions.append(self.elapsed() / b.deadline)
+        if b.max_iterations is not None:
+            fractions.append(self.iterations / b.max_iterations)
+        if b.max_phases is not None:
+            fractions.append(self.phases / b.max_phases)
+        if b.max_memory_mb is not None:
+            mb = peak_memory_mb()
+            if mb is not None:
+                fractions.append(mb / b.max_memory_mb)
+        return min(1.0, max(fractions))
+
+    def pending_degradations(self) -> list[str]:
+        """Ladder steps whose pressure threshold is crossed, unapplied,
+        in ladder order (empty when ``degrade=False`` or unarmed)."""
+        if not self._armed or not self.budget.degrade:
+            return []
+        p = self.pressure()
+        return [
+            name for name, threshold in DEGRADATION_LADDER
+            if p >= threshold and name not in self._applied
+        ]
+
+    def note_degradation(self, step: str) -> None:
+        """Mark a ladder step applied (the driver applies its effect)."""
+        self._applied.add(step)
+        self.degradations.append(step)
+
+    # -- result record ---------------------------------------------------
+
+    def outcome(self, reason: "str | None" = None,
+                checkpoint: "str | None" = None) -> BudgetOutcome:
+        """Build the :class:`BudgetOutcome` for the finished run."""
+        return BudgetOutcome(
+            completed=reason is None,
+            cancelled=reason is not None,
+            reason=reason,
+            phases_completed=self.phases,
+            iterations_completed=self.iterations,
+            elapsed=self.elapsed(),
+            degradations=tuple(self.degradations),
+            checkpoint=checkpoint,
+        )
+
+    # -- signal handling -------------------------------------------------
+
+    @contextmanager
+    def signal_scope(self):
+        """Install cooperative SIGINT/SIGTERM handlers for this run.
+
+        Main-thread only (CPython restriction); a no-op when the budget
+        is unarmed, ``handle_signals`` is off, or the caller runs on a
+        worker thread.  The first signal flags cancellation
+        (``"sigint"``/``"sigterm"``) so the run unwinds at the next
+        sweep boundary; a second signal escalates to
+        :class:`KeyboardInterrupt` (the operator really means it).
+        Previous handlers are restored on exit.
+        """
+        if (not self._armed
+                or not self.budget.handle_signals
+                or threading.current_thread()
+                is not threading.main_thread()):
+            yield self
+            return
+        names = {signal.SIGINT: "sigint", signal.SIGTERM: "sigterm"}
+
+        def _handler(signum, frame):
+            if self._cancel_reason is not None:
+                raise KeyboardInterrupt(
+                    f"second {names.get(signum, signum)} — cancelling hard"
+                )
+            self.request_cancel(names.get(signum, "signal"))
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, _handler)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        try:
+            yield self
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetController(armed={self._armed}, "
+            f"phases={self.phases}, iterations={self.iterations}, "
+            f"stop={self.stop_reason()!r})"
+        )
+
+
+#: The ambient controller: disarmed until a pipeline installs a budget.
+_CURRENT = BudgetController(None)
+
+
+def get_budget() -> BudgetController:
+    """The ambient budget controller (disarmed by default)."""
+    return _CURRENT
+
+
+def set_budget(controller: BudgetController) -> BudgetController:
+    """Install ``controller`` as ambient; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = controller
+    return previous
+
+
+@contextmanager
+def use_budget(budget: "RunBudget | None"):
+    """Scoped controller for ``budget``; restores the previous one on exit.
+
+    The controller's clock starts when the scope is entered.
+
+    >>> with use_budget(RunBudget(max_iterations=1)) as controller:
+    ...     controller.note_iteration()
+    ...     controller.stop_reason()
+    'max_iterations'
+    >>> get_budget().armed
+    False
+    """
+    controller = BudgetController(budget)
+    previous = set_budget(controller)
+    try:
+        yield controller
+    finally:
+        set_budget(previous)

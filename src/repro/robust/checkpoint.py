@@ -26,10 +26,11 @@ atomically (temp file + ``os.replace``), holding
 The **fingerprint** hashes only the fields that change the result
 (thresholds, variant switches, seed, resolution, ...) and deliberately
 excludes execution-mechanics fields (``backend``, ``num_threads``,
-``sanitize``, ``trace``, ``fault_plan``): a run checkpointed under the
-process backend may resume serially — the kernels are bitwise-identical
-across backends — and a run interrupted *by* an injected fault resumes
-without re-injecting it.
+``sanitize``, ``trace``, ``fault_plan``, ``budget``): a run
+checkpointed under the process backend may resume serially — the
+kernels are bitwise-identical across backends — a run interrupted *by*
+an injected fault resumes without re-injecting it, and a run cancelled
+*by* a budget resumes under a fresh (or no) budget.
 """
 
 from __future__ import annotations
@@ -63,7 +64,7 @@ CHECKPOINT_FORMAT_VERSION = 1
 #: Config fields that select execution mechanics, not the result — a
 #: checkpoint from any of them resumes under any other.
 NONSEMANTIC_CONFIG_FIELDS = frozenset({
-    "backend", "num_threads", "sanitize", "trace", "fault_plan",
+    "backend", "num_threads", "sanitize", "trace", "fault_plan", "budget",
 })
 
 

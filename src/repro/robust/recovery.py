@@ -64,7 +64,10 @@ class RetryPolicy:
         and terminated.  Retried chunks get a proportionally longer
         deadline (``chunk_timeout * (1 + retries)``) — the bounded
         backoff that keeps a merely-slow machine from spiralling into
-        kill/retry loops.
+        kill/retry loops.  When a global :class:`~repro.robust.budget.
+        RunBudget` deadline is active, the chunk deadline is further
+        capped to the remaining budget (see :meth:`deadline_for`), so
+        retries and respawns can never overrun the run's deadline.
     max_retries:
         How many times one chunk may be requeued before the sweep gives
         up with :class:`~repro.utils.errors.WorkerPoolError`.
@@ -96,9 +99,22 @@ class RetryPolicy:
         return (num_workers if self.max_respawns is None
                 else self.max_respawns)
 
-    def deadline_for(self, retries: int) -> float:
-        """Chunk deadline length (seconds) for its ``retries``-th attempt."""
-        return self.chunk_timeout * (1 + retries)
+    def deadline_for(self, retries: int,
+                     remaining: "float | None" = None) -> float:
+        """Chunk deadline length (seconds) for its ``retries``-th attempt.
+
+        ``remaining`` is the run's remaining global budget (from
+        :meth:`BudgetController.deadline_remaining
+        <repro.robust.budget.BudgetController.deadline_remaining>`);
+        when given, it caps the per-chunk deadline so no single retry
+        can outlive the run budget.  The cap is floored at
+        ``liveness_poll`` so the result loop still gets one poll
+        interval to collect an already-finished chunk.
+        """
+        base = self.chunk_timeout * (1 + retries)
+        if remaining is None:
+            return base
+        return min(base, max(remaining, self.liveness_poll))
 
 
 @dataclass

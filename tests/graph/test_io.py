@@ -222,6 +222,42 @@ class TestMetisWeightSpec:
             write_metis(g, tmp_path / "bad.metis", strict=True)
 
 
+class TestNonFiniteWeights:
+    """Every text reader rejects inf/nan weights at the parse site with
+    a file:line diagnostic, instead of letting them poison total_weight
+    downstream (CSRGraph itself also rejects them as a backstop)."""
+
+    @pytest.mark.parametrize("token", ["inf", "-inf", "nan", "Infinity"])
+    def test_edge_list(self, tmp_path, token):
+        path = tmp_path / "bad.txt"
+        path.write_text(f"0 1 {token}\n")
+        with pytest.raises(GraphFormatError, match="non-finite"):
+            read_edge_list(path)
+
+    def test_edge_list_reports_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 1.0\n1 2 inf\n")
+        with pytest.raises(GraphFormatError, match=r"bad\.txt:2"):
+            read_edge_list(path)
+
+    @pytest.mark.parametrize("token", ["inf", "nan"])
+    def test_metis_weighted(self, tmp_path, token):
+        path = tmp_path / "bad.metis"
+        path.write_text(f"2 1 1\n2 {token}\n1 {token}\n")
+        with pytest.raises(GraphFormatError, match="non-finite"):
+            read_metis(path)
+
+    @pytest.mark.parametrize("token", ["inf", "nan"])
+    def test_matrix_market(self, tmp_path, token):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            f"2 2 1\n2 1 {token}\n"
+        )
+        with pytest.raises(GraphFormatError, match="non-finite"):
+            read_matrix_market(path)
+
+
 class TestCsrz:
     def test_roundtrip(self, loops_graph, tmp_path):
         path = tmp_path / "g.csrz.npz"

@@ -502,3 +502,109 @@ class TestUntimedQueueGetRule:
                 return done_q.get()
         """
         assert codes(source, "tests/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# DEAD001 — sleep loops that never consult a deadline
+# ---------------------------------------------------------------------------
+class TestSleepWithoutDeadlineRule:
+    def test_sleep_in_while_loop_triggers(self):
+        bad = """
+            import time
+
+            def wait_for_worker(pool):
+                while not pool.ready():
+                    time.sleep(0.1)
+        """
+        assert "DEAD001" in codes(bad)
+
+    def test_bare_sleep_in_for_loop_triggers(self):
+        bad = """
+            from time import sleep
+
+            def retry(fn):
+                for attempt in range(100):
+                    fn()
+                    sleep(0.5)
+        """
+        assert "DEAD001" in codes(bad)
+
+    def test_monotonic_deadline_passes(self):
+        good = """
+            import time
+            from repro.utils.timing import monotonic
+
+            def wait_for_worker(pool):
+                deadline = monotonic() + 5.0
+                while monotonic() < deadline:
+                    if pool.ready():
+                        return True
+                    time.sleep(0.1)
+                return False
+        """
+        assert codes(good) == []
+
+    def test_budget_controller_passes(self):
+        good = """
+            import time
+            from repro.robust.budget import get_budget
+
+            def wait_for_worker(pool):
+                while not get_budget().should_stop():
+                    if pool.ready():
+                        return True
+                    time.sleep(0.1)
+        """
+        assert codes(good) == []
+
+    def test_timeout_variable_passes(self):
+        good = """
+            import time
+
+            def poll(pool, retry_timeout):
+                while retry_timeout > 0:
+                    time.sleep(0.1)
+                    retry_timeout -= 0.1
+        """
+        assert codes(good) == []
+
+    def test_outer_loop_consulting_deadline_clears_inner_sleep(self):
+        good = """
+            import time
+            from repro.utils.timing import monotonic
+
+            def drain(pools, deadline):
+                while monotonic() < deadline:
+                    for pool in pools:
+                        time.sleep(0.01)
+        """
+        assert codes(good) == []
+
+    def test_sleep_outside_loop_passes(self):
+        good = """
+            import time
+
+            def settle():
+                time.sleep(0.1)
+        """
+        assert codes(good) == []
+
+    def test_robust_package_is_exempt(self):
+        source = """
+            import time
+
+            def backoff():
+                while True:
+                    time.sleep(1.0)
+        """
+        assert codes(source, "src/repro/robust/fixture.py") == []
+
+    def test_tests_are_exempt(self):
+        source = """
+            import time
+
+            def spin():
+                while True:
+                    time.sleep(1.0)
+        """
+        assert codes(source, "tests/fixture.py") == []

@@ -1,0 +1,593 @@
+"""Deadline/budget-aware anytime execution: RunBudget validation, the
+controller's clocks and degradation ladder, cooperative cancellation with
+bitwise-exact resume on every pipeline, signal handling, budget-capped
+recovery deadlines, and the ``robust budget`` CLI."""
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.config import LouvainConfig
+from repro.core.driver import louvain
+from repro.core.modularity import modularity
+from repro.core.sweep import compute_targets, init_state
+from repro.distributed.louvain_dist import distributed_louvain
+from repro.graph.generators import planted_partition
+from repro.parallel.process_backend import ProcessBackend
+from repro.robust.budget import (
+    DEGRADATION_LADDER,
+    BudgetController,
+    RunBudget,
+    get_budget,
+    peak_memory_mb,
+    use_budget,
+)
+from repro.robust.checkpoint import load_checkpoint
+from repro.robust.faults import use_faults
+from repro.robust.recovery import RetryPolicy
+from repro.utils.errors import ValidationError
+from repro.utils.timing import monotonic
+
+_BACKENDS = ["serial", "threads"]
+if "fork" in mp.get_all_start_methods():
+    _BACKENDS.append("processes")
+
+_HAS_FORK = "fork" in mp.get_all_start_methods()
+
+#: A budget with no live bound: arms the controller (and hence produces a
+#: BudgetOutcome) without ever cancelling.  handle_signals is left off so
+#: the tests never touch the process-wide handlers unless they mean to.
+_GENEROUS = dict(max_phases=1000, handle_signals=False)
+
+
+@pytest.fixture
+def graph():
+    # Big enough that baseline Louvain runs several phases, so caps on
+    # iterations and phases bite mid-run instead of post-convergence.
+    return planted_partition(10, 40, 0.3, 0.005, seed=11)
+
+
+def _overrides(backend):
+    return ({"backend": backend, "num_threads": 2}
+            if backend != "serial" else {})
+
+
+class TestRunBudgetValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline": 0.0},
+        {"deadline": -1.0},
+        {"max_phases": 0},
+        {"max_iterations": 0},
+        {"max_memory_mb": 0.0},
+        {"max_memory_mb": -5.0},
+        {"checkpoint": ""},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RunBudget(**kwargs)
+
+    def test_armed(self):
+        # Signal handling alone is a valid budget.
+        assert RunBudget().armed
+        assert not RunBudget(handle_signals=False).armed
+        assert RunBudget(deadline=1.0, handle_signals=False).armed
+        assert RunBudget(max_memory_mb=64.0, handle_signals=False).armed
+
+    def test_config_coerces_dict(self):
+        cfg = LouvainConfig(budget={"max_phases": 2,
+                                    "handle_signals": False})
+        assert isinstance(cfg.budget, RunBudget)
+        assert cfg.budget.max_phases == 2
+        assert not cfg.budget.handle_signals
+
+    def test_config_rejects_bad_type(self):
+        with pytest.raises(ValidationError):
+            LouvainConfig(budget=30.0)
+
+    def test_controller_rejects_bad_type(self):
+        with pytest.raises(ValidationError):
+            BudgetController(budget="30s")
+
+
+class TestBudgetController:
+    def test_ambient_default_disarmed(self):
+        controller = get_budget()
+        assert not controller.armed
+        assert not controller.should_stop()
+        assert controller.deadline_remaining() is None
+        assert controller.pressure() == 0.0
+        assert controller.pending_degradations() == []
+
+    def test_use_budget_scopes_ambient(self):
+        with use_budget(RunBudget(max_phases=1,
+                                  handle_signals=False)) as controller:
+            assert get_budget() is controller
+            assert controller.armed
+        assert not get_budget().armed
+
+    def test_stop_reason_is_sticky(self):
+        controller = BudgetController(
+            RunBudget(max_iterations=1, handle_signals=False))
+        assert controller.stop_reason() is None  # not sticky-None
+        controller.note_iteration()
+        assert controller.stop_reason() == "max_iterations"
+        # A later cancellation request cannot overwrite the first reason.
+        controller.request_cancel("sigint")
+        assert controller.stop_reason() == "max_iterations"
+
+    def test_request_cancel(self):
+        controller = BudgetController(RunBudget(handle_signals=True))
+        assert not controller.should_stop()
+        controller.request_cancel("sigterm")
+        assert controller.stop_reason() == "sigterm"
+
+    def test_deadline_remaining(self):
+        controller = BudgetController(
+            RunBudget(deadline=100.0, handle_signals=False))
+        remaining = controller.deadline_remaining()
+        assert 90.0 < remaining <= 100.0
+        # No deadline -> no remaining, even when armed by another bound.
+        assert BudgetController(
+            RunBudget(max_phases=1, handle_signals=False)
+        ).deadline_remaining() is None
+
+    def test_memory_bound(self):
+        mb = peak_memory_mb()
+        if mb is None:
+            pytest.skip("resource.getrusage unavailable")
+        assert mb > 0
+        controller = BudgetController(
+            RunBudget(max_memory_mb=0.001, handle_signals=False))
+        assert controller.stop_reason() == "memory"
+
+    def test_pressure_and_ladder_order(self):
+        controller = BudgetController(
+            RunBudget(max_iterations=100, handle_signals=False))
+        assert controller.pressure() == 0.0
+        controller.iterations = 50
+        assert controller.pressure() == pytest.approx(0.5)
+        assert controller.pending_degradations() == ["coarse-threshold"]
+        controller.note_degradation("coarse-threshold")
+        assert controller.pending_degradations() == []
+        controller.iterations = 95
+        # Both remaining steps crossed at once -> ladder order preserved.
+        assert controller.pending_degradations() == ["prune", "no-trace"]
+        assert [name for name, _ in DEGRADATION_LADDER] == [
+            "coarse-threshold", "prune", "no-trace"]
+
+    def test_degrade_false_skips_ladder(self):
+        controller = BudgetController(
+            RunBudget(max_iterations=10, degrade=False,
+                      handle_signals=False))
+        controller.iterations = 9
+        assert controller.pending_degradations() == []
+
+    def test_outcome_records(self):
+        controller = BudgetController(
+            RunBudget(max_phases=5, handle_signals=False))
+        controller.note_phase()
+        controller.note_iteration()
+        controller.note_degradation("prune")
+        done = controller.outcome()
+        assert done.completed and not done.cancelled
+        assert done.reason is None
+        assert done.phases_completed == 1
+        assert done.iterations_completed == 1
+        assert done.degradations == ("prune",)
+        stopped = controller.outcome("deadline", checkpoint="/tmp/x.npz")
+        assert stopped.cancelled and not stopped.completed
+        assert stopped.reason == "deadline"
+        assert stopped.checkpoint == "/tmp/x.npz"
+        assert stopped.as_dict()["reason"] == "deadline"
+
+
+class TestRetryDeadlineCap:
+    def test_uncapped_without_remaining(self):
+        policy = RetryPolicy(chunk_timeout=10.0)
+        assert policy.deadline_for(1, remaining=None) == 20.0
+
+    def test_capped_by_remaining_budget(self):
+        policy = RetryPolicy(chunk_timeout=10.0)
+        assert policy.deadline_for(0, remaining=3.0) == 3.0
+        assert policy.deadline_for(2, remaining=3.0) == 3.0
+
+    def test_floored_at_liveness_poll(self):
+        # An expired budget must not produce a zero-length chunk deadline
+        # (the poll loop needs one tick to observe the timeout).
+        policy = RetryPolicy(chunk_timeout=10.0, liveness_poll=0.5)
+        assert policy.deadline_for(0, remaining=0.0) == 0.5
+
+    def test_generous_remaining_keeps_backoff(self):
+        policy = RetryPolicy(chunk_timeout=10.0)
+        assert policy.deadline_for(1, remaining=500.0) == 20.0
+
+
+class TestAnytimeDriver:
+    @pytest.mark.parametrize("backend", _BACKENDS)
+    def test_iteration_cap_resumes_bitwise(self, graph, tmp_path,
+                                           backend):
+        overrides = _overrides(backend)
+        baseline = louvain(graph, variant="baseline", **overrides)
+        path = tmp_path / "budget.ckpt.npz"
+        budget = RunBudget(max_iterations=1, handle_signals=False,
+                           checkpoint=str(path))
+        cancelled = louvain(graph, variant="baseline", budget=budget,
+                            **overrides)
+        outcome = cancelled.budget_outcome
+        assert outcome is not None and outcome.cancelled
+        assert outcome.reason == "max_iterations"
+        assert outcome.checkpoint == str(path)
+        assert path.exists()
+        # The anytime partition is valid on the original graph.
+        assert cancelled.communities.shape == (graph.num_vertices,)
+        assert cancelled.modularity == pytest.approx(
+            modularity(graph, cancelled.communities))
+        # An unbudgeted resume reproduces the unbudgeted run bitwise.
+        resumed = louvain(graph, variant="baseline", resume=path,
+                          **overrides)
+        np.testing.assert_array_equal(
+            resumed.communities, baseline.communities)
+        assert resumed.modularity == baseline.modularity
+
+    def test_max_phases_cancels(self, graph, tmp_path):
+        path = tmp_path / "phase.ckpt.npz"
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_phases=1, handle_signals=False,
+                             checkpoint=str(path)))
+        outcome = result.budget_outcome
+        assert outcome.cancelled and outcome.reason == "max_phases"
+        assert outcome.phases_completed == 1
+        # The cancellation checkpoint is the *next* phase's input.
+        assert load_checkpoint(path).phase_index == 1
+        resumed = louvain(graph, variant="baseline", resume=path)
+        full = louvain(graph, variant="baseline")
+        np.testing.assert_array_equal(
+            resumed.communities, full.communities)
+
+    def test_tiny_deadline_cancels_before_work(self, graph, tmp_path):
+        path = tmp_path / "deadline.ckpt.npz"
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(deadline=1e-6, handle_signals=False,
+                             checkpoint=str(path)))
+        outcome = result.budget_outcome
+        assert outcome.cancelled and outcome.reason == "deadline"
+        assert outcome.phases_completed == 0
+        # Even an immediately-expired run returns a valid partition
+        # (the singleton start) and a resumable phase-0 checkpoint.
+        assert result.communities.shape == (graph.num_vertices,)
+        assert result.modularity == pytest.approx(
+            modularity(graph, result.communities))
+        assert load_checkpoint(path).phase_index == 0
+        resumed = louvain(graph, variant="baseline", resume=path)
+        full = louvain(graph, variant="baseline")
+        np.testing.assert_array_equal(
+            resumed.communities, full.communities)
+
+    def test_modularity_monotone_over_completed_phases(self, graph):
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_iterations=3, handle_signals=False))
+        phases = result.history.phases
+        assert phases  # partial progress was folded in
+        for record in phases:
+            assert record.end_modularity >= record.start_modularity - 1e-9
+        assert result.modularity >= phases[0].start_modularity - 1e-9
+
+    def test_completed_run_reports_outcome(self, graph):
+        result = louvain(graph, variant="baseline",
+                         budget=RunBudget(**_GENEROUS))
+        outcome = result.budget_outcome
+        assert outcome is not None
+        assert outcome.completed and not outcome.cancelled
+        assert outcome.reason is None
+        assert outcome.phases_completed == len(result.history.phases)
+
+    def test_unbudgeted_run_has_no_outcome(self, graph):
+        assert louvain(graph, variant="baseline").budget_outcome is None
+
+    def test_budget_without_checkpoint_path(self, graph):
+        # No checkpoint path anywhere: cancellation still returns the
+        # anytime partition, just without a resume artifact.
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_iterations=1, handle_signals=False))
+        assert result.budget_outcome.cancelled
+        assert result.budget_outcome.checkpoint is None
+
+    def test_budget_falls_back_to_run_checkpoint(self, graph, tmp_path):
+        # RunBudget.checkpoint is None -> the run's regular checkpoint=
+        # path doubles as the cancellation checkpoint.
+        path = tmp_path / "fallback.ckpt.npz"
+        result = louvain(
+            graph, variant="baseline", checkpoint=path,
+            budget=RunBudget(max_iterations=1, handle_signals=False))
+        assert result.budget_outcome.checkpoint == str(path)
+        assert path.exists()
+
+
+class TestDegradationLadder:
+    def test_ladder_fires_under_phase_pressure(self, graph):
+        # Pressure hits 0.5 after the first of two allowed phases, so
+        # coarse-threshold fires before the run is cancelled.
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_phases=2, handle_signals=False))
+        outcome = result.budget_outcome
+        assert "coarse-threshold" in outcome.degradations
+
+    def test_degrade_false_cancels_without_ladder(self, graph):
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_phases=2, degrade=False,
+                             handle_signals=False))
+        assert result.budget_outcome.degradations == ()
+
+    def test_ladder_is_trajectory_neutral_here(self, graph):
+        # In the baseline config the ladder steps are no-ops for the
+        # partition trajectory (no colored phases, prune already the
+        # effective default), so a budgeted run that completes with
+        # degradations still matches the unbudgeted run bitwise.
+        baseline = louvain(graph, variant="baseline")
+        phases = len(baseline.history.phases)
+        result = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_phases=phases, handle_signals=False))
+        if result.budget_outcome.cancelled:  # pragma: no cover
+            pytest.skip("run did not converge inside its phase budget")
+        assert result.budget_outcome.degradations  # pressure was real
+        np.testing.assert_array_equal(
+            result.communities, baseline.communities)
+        assert result.modularity == baseline.modularity
+
+
+class TestDistributedBudget:
+    def test_iteration_cap_resumes_bitwise(self, graph, tmp_path):
+        baseline = distributed_louvain(graph, num_ranks=3, seed=0)
+        path = tmp_path / "dist-budget.ckpt.npz"
+        cancelled = distributed_louvain(
+            graph, num_ranks=3, seed=0,
+            budget=RunBudget(max_iterations=1, handle_signals=False,
+                             checkpoint=str(path)))
+        outcome = cancelled.budget_outcome
+        assert outcome is not None and outcome.cancelled
+        assert outcome.reason == "max_iterations"
+        assert path.exists()
+        assert cancelled.communities.shape == (graph.num_vertices,)
+        resumed = distributed_louvain(graph, num_ranks=3, seed=0,
+                                      resume=path)
+        np.testing.assert_array_equal(
+            resumed.communities, baseline.communities)
+        assert resumed.modularity == baseline.modularity
+
+    def test_completed_run_reports_outcome(self, graph):
+        result = distributed_louvain(
+            graph, num_ranks=3, seed=0,
+            budget=RunBudget(**_GENEROUS))
+        assert result.budget_outcome.completed
+        assert result.budget_outcome.reason is None
+
+    def test_unbudgeted_run_has_no_outcome(self, graph):
+        result = distributed_louvain(graph, num_ranks=3, seed=0)
+        assert result.budget_outcome is None
+
+
+class TestSignals:
+    def test_first_sigint_requests_cancel(self):
+        controller = BudgetController(RunBudget())
+        with controller.signal_scope():
+            os.kill(os.getpid(), signal.SIGINT)
+            # Force a bytecode boundary so the handler runs.
+            assert controller.should_stop()
+        assert controller.stop_reason() == "sigint"
+
+    def test_first_sigterm_requests_cancel(self):
+        controller = BudgetController(RunBudget())
+        with controller.signal_scope():
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert controller.should_stop()
+        assert controller.stop_reason() == "sigterm"
+
+    def test_second_signal_escalates(self):
+        controller = BudgetController(RunBudget())
+        with controller.signal_scope():
+            os.kill(os.getpid(), signal.SIGINT)
+            assert controller.should_stop()  # handler has run
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                controller.should_stop()  # deliver the second signal
+
+    def test_handlers_restored_on_exit(self):
+        before = (signal.getsignal(signal.SIGINT),
+                  signal.getsignal(signal.SIGTERM))
+        controller = BudgetController(RunBudget())
+        with controller.signal_scope():
+            assert signal.getsignal(signal.SIGINT) is not before[0]
+        assert (signal.getsignal(signal.SIGINT),
+                signal.getsignal(signal.SIGTERM)) == before
+
+    def test_noop_off_main_thread(self):
+        before = signal.getsignal(signal.SIGINT)
+        seen = []
+
+        def run():
+            controller = BudgetController(RunBudget())
+            with controller.signal_scope():
+                seen.append(signal.getsignal(signal.SIGINT))
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join()
+        assert seen == [before]  # nothing was installed
+
+    def test_noop_when_handling_disabled(self):
+        before = signal.getsignal(signal.SIGINT)
+        controller = BudgetController(
+            RunBudget(deadline=60.0, handle_signals=False))
+        with controller.signal_scope():
+            assert signal.getsignal(signal.SIGINT) is before
+
+    def test_sigint_mid_run_checkpoints_and_resumes(self, tmp_path):
+        # Integration: a real SIGINT landing mid-run must produce a
+        # cancelled-but-valid result with a resumable checkpoint, not a
+        # traceback.  An outer no-op handler absorbs a signal that fires
+        # after the run's scope already exited (timer race).
+        graph = planted_partition(25, 80, 0.25, 0.002, seed=3)
+        path = tmp_path / "sigint.ckpt.npz"
+        previous = signal.signal(signal.SIGINT, lambda *a: None)
+        timer = threading.Timer(
+            0.005, os.kill, (os.getpid(), signal.SIGINT))
+        try:
+            timer.start()
+            result = louvain(graph, variant="baseline",
+                             budget=RunBudget(checkpoint=str(path)))
+        finally:
+            timer.cancel()
+            signal.signal(signal.SIGINT, previous)
+        outcome = result.budget_outcome
+        if not outcome.cancelled:
+            pytest.skip("run completed before the signal landed")
+        assert outcome.reason == "sigint"
+        assert result.communities.shape == (graph.num_vertices,)
+        assert path.exists()
+        resumed = louvain(graph, variant="baseline", resume=path)
+        full = louvain(graph, variant="baseline")
+        np.testing.assert_array_equal(
+            resumed.communities, full.communities)
+
+
+class TestObsWiring:
+    def test_cancellation_counters_and_gauge(self, graph, tmp_path):
+        result = louvain(
+            graph, variant="baseline", trace=True,
+            checkpoint=tmp_path / "obs.ckpt.npz",
+            budget=RunBudget(deadline=3600.0, max_iterations=1,
+                             handle_signals=False))
+        assert result.budget_outcome.cancelled
+        snap = result.trace.metrics.snapshot()
+        assert snap["counters"]["run.cancelled"] >= 1
+        assert snap["counters"]["checkpoint.saved"] >= 1
+        # note_iteration refreshed the remaining-deadline gauge.
+        assert 0.0 < snap["gauges"]["budget.remaining"] <= 3600.0
+
+    def test_degradation_counter(self, graph):
+        result = louvain(
+            graph, variant="baseline", trace=True,
+            budget=RunBudget(max_phases=2, handle_signals=False))
+        snap = result.trace.metrics.snapshot()
+        assert snap["counters"]["budget.degraded"] >= 1
+
+
+@pytest.mark.skipif(not _HAS_FORK,
+                    reason="process backend requires the fork start method")
+class TestBudgetedRecovery:
+    """Satellite: the fault matrix must respect an active deadline."""
+
+    def test_stall_deadline_capped_by_budget(self, planted):
+        # chunk_timeout is 30 s, but the run's deadline caps the stalled
+        # chunk's wait to the remaining budget — recovery happens in
+        # seconds, not half a minute.
+        backend = ProcessBackend(
+            2, policy=RetryPolicy(chunk_timeout=30.0, liveness_poll=0.05))
+        try:
+            state = init_state(planted)
+            verts = np.arange(planted.num_vertices, dtype=np.int64)
+            start = monotonic()
+            with use_budget(RunBudget(deadline=1.0,
+                                      handle_signals=False)):
+                with use_faults("stall:worker=0,chunk=0"):
+                    got = backend.sweep_targets(
+                        planted, state, verts,
+                        use_min_label=True, resolution=1.0)
+            elapsed = monotonic() - start
+            np.testing.assert_array_equal(
+                got, compute_targets(planted, state, verts))
+            assert backend.recovery.stalls >= 1
+            assert elapsed < 15.0  # far under the 30 s chunk timeout
+        finally:
+            backend.close()
+
+    def test_no_respawn_once_cancelled(self, planted):
+        # A run that has already decided to stop must not fork fresh
+        # workers to replace a dead one.
+        backend = ProcessBackend(2, policy=RetryPolicy(chunk_timeout=5.0))
+        try:
+            state = init_state(planted)
+            verts = np.arange(planted.num_vertices, dtype=np.int64)
+            with use_budget(RunBudget(max_iterations=1,
+                                      handle_signals=False)) as ctl:
+                ctl.note_iteration()
+                assert ctl.should_stop()
+                with use_faults("kill:worker=0,chunk=0"):
+                    got = backend.sweep_targets(
+                        planted, state, verts,
+                        use_min_label=True, resolution=1.0)
+            np.testing.assert_array_equal(
+                got, compute_targets(planted, state, verts))
+            assert backend.recovery.deaths >= 1
+            assert backend.recovery.respawns == 0
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("fault", [
+        "kill:worker=0,chunk=0",
+        "stall:worker=0,chunk=0",
+        "slow:worker=0,chunk=0",
+    ])
+    def test_fault_matrix_inside_deadline(self, graph, fault,
+                                          monkeypatch):
+        # Full budgeted runs under each failure mode terminate well
+        # inside deadline-plus-slack and still match the clean run.
+        monkeypatch.setenv("REPRO_ROBUST_CHUNK_TIMEOUT", "1")
+        baseline = louvain(graph, variant="baseline",
+                           backend="processes", num_threads=2)
+        start = monotonic()
+        result = louvain(
+            graph, variant="baseline", backend="processes",
+            num_threads=2, fault_plan=fault,
+            budget=RunBudget(deadline=60.0, handle_signals=False))
+        elapsed = monotonic() - start
+        assert elapsed < 60.0
+        assert result.budget_outcome.completed  # recovery fit the budget
+        np.testing.assert_array_equal(
+            result.communities, baseline.communities)
+
+
+class TestBudgetCLI:
+    def test_budget_then_resume_round_trip(self, tmp_path, capsys):
+        ckpt = tmp_path / "cli.ckpt.npz"
+        full_labels = tmp_path / "full.labels"
+        resumed_labels = tmp_path / "resumed.labels"
+        graph_args = ["--dataset", "CNR", "--scale", "0.05",
+                      "--seed", "1"]
+        main(["detect"] + graph_args + ["--variant", "baseline",
+              "--output", str(full_labels)])
+        main(["robust", "budget"] + graph_args +
+             ["--variant", "baseline", "--max-iterations", "1",
+              "--checkpoint", str(ckpt)])
+        out = capsys.readouterr().out
+        assert "cancelled (max_iterations)" in out
+        assert str(ckpt) in out
+        assert ckpt.exists()
+        main(["robust", "resume", str(ckpt)] + graph_args +
+             ["--output", str(resumed_labels)])
+        np.testing.assert_array_equal(
+            np.loadtxt(resumed_labels), np.loadtxt(full_labels))
+
+    def test_completed_budget_run(self, capsys):
+        main(["robust", "budget", "--dataset", "CNR", "--scale", "0.05",
+              "--seed", "1", "--variant", "baseline",
+              "--max-phases", "500"])
+        out = capsys.readouterr().out
+        assert "status:        completed" in out
+
+    def test_invalid_budget_flag_errors(self):
+        with pytest.raises(SystemExit, match="error"):
+            main(["robust", "budget", "--dataset", "CNR",
+                  "--scale", "0.05", "--deadline", "-2"])

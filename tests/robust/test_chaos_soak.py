@@ -1,0 +1,71 @@
+"""Chaos soak: randomized fault plans under an active RunBudget.
+
+Each case draws a fault plan from a seeded RNG and runs the full
+process-backend pipeline under a wall-clock budget.  Whatever the
+combination does — recover, degrade, or cancel — the run must terminate
+inside the deadline plus one sweep's slack and hand back a valid
+partition; a cancelled run must also leave a loadable checkpoint.  CI
+runs this file as its own smoke job (see .github/workflows/ci.yml).
+"""
+
+import multiprocessing as mp
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.core.modularity import modularity
+from repro.graph.generators import planted_partition
+from repro.robust.budget import RunBudget
+from repro.robust.checkpoint import load_checkpoint
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+_FAULTS = ("kill", "stall", "slow", "corrupt")
+_DEADLINE = 30.0  # generous on CI; the point is termination, not speed
+
+
+def _random_plan(rng: random.Random) -> str:
+    """One to three fault directives aimed at early workers/chunks."""
+    parts = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choice(_FAULTS)
+        parts.append(
+            f"{kind}:worker={rng.randint(0, 1)},chunk={rng.randint(0, 2)}"
+        )
+    return ";".join(parts)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_soak_survives_random_faults(seed, tmp_path, monkeypatch):
+    # Short chunk timeout so stalls resolve well inside the deadline.
+    monkeypatch.setenv("REPRO_ROBUST_CHUNK_TIMEOUT", "1")
+    rng = random.Random(seed)
+    graph = planted_partition(10, 40, 0.3, 0.005, seed=seed)
+    plan = _random_plan(rng)
+    ckpt = tmp_path / f"soak-{seed}.ckpt.npz"
+    result = louvain(
+        graph, variant="baseline", backend="processes", num_threads=2,
+        fault_plan=plan,
+        budget=RunBudget(deadline=_DEADLINE, handle_signals=False,
+                         checkpoint=str(ckpt)))
+    outcome = result.budget_outcome
+    assert outcome is not None
+    assert outcome.elapsed < _DEADLINE + 5.0
+    # Valid partition either way (anytime semantics).
+    assert result.communities.shape == (graph.num_vertices,)
+    assert result.modularity == pytest.approx(
+        modularity(graph, result.communities))
+    if outcome.cancelled:
+        assert outcome.checkpoint == str(ckpt)
+        assert load_checkpoint(ckpt).pipeline == "driver"
+    else:
+        # Recovery is bitwise: a completed faulted run matches clean.
+        clean = louvain(graph, variant="baseline", backend="processes",
+                        num_threads=2)
+        np.testing.assert_array_equal(
+            result.communities, clean.communities)

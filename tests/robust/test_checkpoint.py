@@ -138,6 +138,36 @@ class TestDriverResume:
                     initial_communities=np.zeros(graph.num_vertices,
                                                  dtype=np.int64))
 
+    def test_budget_is_not_semantic(self, graph, tmp_path):
+        # Budget fields are excluded from the fingerprint: a checkpoint
+        # written by a budget-cancelled run resumes unbudgeted, and a
+        # fault-interrupted unbudgeted checkpoint resumes under a fresh
+        # budget.  Both directions, both bitwise.
+        from repro.robust.budget import RunBudget
+
+        baseline = louvain(graph, variant="baseline")
+
+        # Direction 1: budgeted cancel -> unbudgeted resume.
+        path = tmp_path / "budgeted.ckpt.npz"
+        cancelled = louvain(
+            graph, variant="baseline",
+            budget=RunBudget(max_phases=1, handle_signals=False,
+                             checkpoint=str(path)))
+        assert cancelled.budget_outcome.cancelled
+        resumed = louvain(graph, variant="baseline", resume=path)
+        np.testing.assert_array_equal(
+            resumed.communities, baseline.communities)
+
+        # Direction 2: unbudgeted interrupt -> budgeted resume.
+        path2 = tmp_path / "unbudgeted.ckpt.npz"
+        _interrupted(graph, path2)
+        resumed2 = louvain(
+            graph, variant="baseline", resume=path2,
+            budget=RunBudget(max_phases=1000, handle_signals=False))
+        np.testing.assert_array_equal(
+            resumed2.communities, baseline.communities)
+        assert resumed2.budget_outcome.completed
+
     def test_checkpoint_saved_counter(self, graph, tmp_path):
         result = louvain(graph, variant="baseline", trace=True,
                          checkpoint=tmp_path / "run.ckpt.npz")

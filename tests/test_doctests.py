@@ -19,6 +19,7 @@ MODULE_NAMES = [
     "repro.lint.sanitizer",
     "repro.metrics.pairs",
     "repro.parallel.atomic",
+    "repro.robust.budget",
     "repro.utils.arrays",
     "repro.utils.rng",
     "repro.utils.timing",

@@ -114,12 +114,12 @@ class TestMalformedRejected:
         with pytest.raises(GraphStructureError):
             CSRGraph.from_edges(2, [(0, 1)], [float("nan")])
 
-    def test_inf_weight_accepted_but_flagged_downstream(self):
-        # inf > 0 passes the positivity gate; the algorithms then produce
-        # non-finite modularity.  Document the behaviour: build succeeds,
-        # m is inf, and modularity is NaN rather than a wrong number.
-        g = CSRGraph.from_edges(2, [(0, 1)], [float("inf")])
-        assert np.isinf(g.total_weight)
+    def test_inf_weight_rejected(self):
+        # inf passes a bare `> 0` check, after which total_weight is inf
+        # and every modularity NaN — validation rejects it up front.
+        for bad in (float("inf"), float("-inf")):
+            with pytest.raises(GraphStructureError):
+                CSRGraph.from_edges(2, [(0, 1)], [bad])
 
     def test_negative_rejected_everywhere(self):
         from repro.dynamic import DynamicGraph
