@@ -183,6 +183,31 @@ def _build_graph(spec):
     return getattr(generators, name)(*args, **kwargs)
 
 
+def provenance(repo_root):
+    """Provenance fields stamped on every benchmark record.
+
+    ``commit`` is the repository HEAD the numbers were measured at
+    (``"unknown"`` outside a git checkout), ``date`` the UTC measurement
+    day, and ``backend`` the array backend the kernels dispatched to —
+    without these a committed JSON cannot be compared across PRs or
+    across NumPy/CuPy/torch runs.
+    """
+    import datetime
+    import subprocess
+
+    from repro.backends import backend_default
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root, check=True,
+            capture_output=True, text=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        commit = "unknown"
+    date = datetime.datetime.now(datetime.timezone.utc).date().isoformat()
+    return {"commit": commit, "date": date, "backend": backend_default()}
+
+
 def time_phase(graph, repeats=3, traced=False, **kwargs):
     """Best-of-``repeats`` wall clock of one ``run_phase`` configuration.
 
@@ -256,9 +281,10 @@ def run_phase_suite(graph_names=None, repeats=3, use_seed_worktree=True,
                     log=print):
     """Time seed vs optimized ``run_phase`` and return the JSON records.
 
-    Each record carries exactly the fields the downstream tooling keys on:
+    Each record carries the fields the downstream tooling keys on —
     ``graph``, ``n``, ``M``, ``kernel``, ``seconds``, ``iterations``,
-    ``Q``.  Kernels: ``"seed"`` (root-commit code in a worktree),
+    ``Q`` — plus the :func:`provenance` stamp (``commit``, ``date``,
+    ``backend``).  Kernels: ``"seed"`` (root-commit code in a worktree),
     ``"seed-flags"`` (current code, optimizations disabled — only when the
     worktree baseline is unavailable or disabled) and ``"optimized"``.
     For ``planted-100k`` an extra ``"optimized+trace"`` record times the
@@ -268,11 +294,13 @@ def run_phase_suite(graph_names=None, repeats=3, use_seed_worktree=True,
     import os
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    stamp = provenance(repo_root)
     records = []
     for name in graph_names or PHASE_GRAPHS:
         spec = PHASE_GRAPHS[name]
         graph = _build_graph(spec)
-        meta = {"graph": name, "n": graph.num_vertices, "M": graph.num_edges}
+        meta = {"graph": name, "n": graph.num_vertices,
+                "M": graph.num_edges, **stamp}
         seed = _time_seed_phase(spec, repeats, repo_root) if use_seed_worktree else None
         if seed is not None:
             records.append({**meta, "kernel": "seed", **seed})

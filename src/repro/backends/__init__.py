@@ -1,0 +1,34 @@
+"""Array-API backend dispatch for the sweep-kernel tier (ROADMAP item 2).
+
+The hot-path kernels in :mod:`repro.core` and :mod:`repro.graph.coarsen`
+are written against a small dispatch object, :class:`ArrayOps`, instead of
+the NumPy module: every array operation a kernel performs goes through
+``ops.<fn>``.  For the default NumPy backend the object binds the exact
+NumPy functions the kernels called before the port, so NumPy results are
+bitwise identical to the pre-port kernels.  For CuPy / torch (resolved
+through ``array_api_compat`` when importable) the same kernel source runs
+against the accelerator namespace — the bincount/segment-reduction design
+already matches the fully data-parallel hash-kernel formulation of
+"Parallel Louvain Community Detection Optimized for GPUs" (Forster,
+PAPERS.md), so the port is a namespace swap, not an algorithm change.
+
+Selection order: explicit argument > ``REPRO_ARRAY_BACKEND`` environment
+variable > ``"numpy"``.  ``LouvainConfig.array_backend`` threads the choice
+through the pipeline (the driver resolves it once per run).
+"""
+
+from repro.backends.dispatch import (
+    ArrayOps,
+    available_backends,
+    backend_default,
+    get_ops,
+    numpy_ops,
+)
+
+__all__ = [
+    "ArrayOps",
+    "available_backends",
+    "backend_default",
+    "get_ops",
+    "numpy_ops",
+]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.backends import backend_default as array_backend_default
 from repro.lint.sanitizer import sanitize_default
 from repro.obs.trace import trace_default
 from repro.robust.budget import RunBudget
@@ -114,6 +115,14 @@ class LouvainConfig:
         :mod:`repro.parallel.process_backend`).
     num_threads:
         Worker count for the thread/process backends.
+    array_backend:
+        Array-API namespace the sweep kernels run against
+        (:mod:`repro.backends`): ``"numpy"`` (default; bitwise identical
+        to the pre-dispatch kernels), ``"cupy"``, ``"torch"``, or
+        ``"array-api-strict"`` — non-NumPy backends require the
+        corresponding package.  Defaults to the ``REPRO_ARRAY_BACKEND``
+        environment setting.  Like ``backend``, this is execution
+        mechanics, not a semantic field.
     max_phases / max_iterations_per_phase:
         Safety caps; the algorithm normally terminates on thresholds alone.
     sanitize:
@@ -176,6 +185,7 @@ class LouvainConfig:
     prune: bool = True
     incremental_modularity: bool = True
     backend: str = "serial"
+    array_backend: str = field(default_factory=array_backend_default)
     sanitize: bool = field(default_factory=sanitize_default)
     trace: bool = field(default_factory=trace_default)
     num_threads: int = 4
@@ -204,6 +214,8 @@ class LouvainConfig:
             raise ValidationError(f"unknown aggregation {self.aggregation!r}")
         if self.backend not in ("serial", "threads", "processes"):
             raise ValidationError(f"unknown backend {self.backend!r}")
+        if not isinstance(self.array_backend, str) or not self.array_backend:
+            raise ValidationError("array_backend must be a backend name")
         if self.distance_k < 1:
             raise ValidationError("distance_k must be >= 1")
         if self.colorer not in ("jones_plassmann", "speculative", "greedy"):

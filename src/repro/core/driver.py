@@ -419,7 +419,8 @@ def louvain(
             # One workspace per phase: gather plans and scratch buffers are
             # graph-bound, and each phase runs on a new coarsened graph.
             workspace = (
-                SweepWorkspace(current, aggregation=cfg.aggregation)
+                SweepWorkspace(current, aggregation=cfg.aggregation,
+                               array_backend=cfg.array_backend)
                 if cfg.kernel == "vectorized" else None
             )
             with tracer.step("clustering", phase=phase_index):

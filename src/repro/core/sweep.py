@@ -42,16 +42,17 @@ vectorized kernel optionally fans chunks out over an execution backend.
 
 from __future__ import annotations
 
+import math
 from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import ArrayOps, get_ops, numpy_ops
 from repro.core.workspace import SweepWorkspace, aggregate_pairs, build_plan, gather_rows
 from repro.graph.csr import CSRGraph
 from repro.lint.sanitizer import frozen_snapshot, resolve_sanitize, snapshot_kernel
 from repro.obs.trace import get_tracer
-from repro.utils.arrays import run_boundaries
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.chunking import edge_balanced_partition
 from repro.utils.errors import ValidationError
@@ -91,7 +92,7 @@ class SweepState:
         )
 
     def num_communities(self) -> int:
-        return int(np.count_nonzero(self.comm_size))
+        return int(numpy_ops.count_nonzero(self.comm_size))
 
 
 def init_state(graph: CSRGraph, initial=None) -> SweepState:
@@ -102,15 +103,15 @@ def init_state(graph: CSRGraph, initial=None) -> SweepState:
     """
     n = graph.num_vertices
     if initial is None:
-        comm = np.arange(n, dtype=np.int64)
+        comm = numpy_ops.arange(n, dtype=np.int64)
     else:
-        comm = np.asarray(initial, dtype=np.int64).copy()
+        comm = numpy_ops.asarray(initial, dtype=np.int64).copy()
         if comm.shape != (n,):
             raise ValidationError(f"initial assignment must have shape ({n},)")
         if n and (comm.min() < 0 or comm.max() >= n):
             raise ValidationError("initial labels must lie in [0, n)")
-    comm_degree = np.bincount(comm, weights=graph.degrees, minlength=n)
-    comm_size = np.bincount(comm, minlength=n)
+    comm_degree = numpy_ops.bincount(comm, weights=graph.degrees, minlength=n)
+    comm_size = numpy_ops.bincount(comm, minlength=n)
     return SweepState(comm, comm_degree, comm_size.astype(np.int64))
 
 
@@ -133,15 +134,15 @@ def compute_targets_reference(
     """
     m = graph.total_weight
     if m <= 0:
-        return state.comm[np.asarray(vertices, dtype=np.int64)].copy()
+        return state.comm[numpy_ops.asarray(vertices, dtype=np.int64)].copy()
     two_m_sq = (2.0 * m) ** 2
     comm = state.comm
     a = state.comm_degree
     size = state.comm_size
     degrees = graph.degrees
 
-    targets = np.empty(len(vertices), dtype=np.int64)
-    for out_idx, v in enumerate(np.asarray(vertices, dtype=np.int64)):
+    targets = numpy_ops.empty(len(vertices), dtype=np.int64)
+    for out_idx, v in enumerate(numpy_ops.asarray(vertices, dtype=np.int64)):
         cur = int(comm[v])
         nbrs, ws = graph.neighbors(v)
         k_v = float(degrees[v])
@@ -189,6 +190,13 @@ def compute_targets_reference(
 _gather_rows = gather_rows
 
 
+def _backend_float_dtype(ops: ArrayOps, np_dtype):
+    """``np_dtype`` (float32/float64) translated to ``ops``' namespace."""
+    if ops.is_numpy:
+        return np_dtype
+    return ops.float32 if np_dtype == np.float32 else ops.float64
+
+
 @snapshot_kernel("graph", "state")
 def compute_targets_vectorized(
     graph: CSRGraph,
@@ -200,12 +208,17 @@ def compute_targets_vectorized(
     workspace: "SweepWorkspace | None" = None,
     aggregation: "str | None" = None,
     plan_key: object = None,
+    m_v: "np.ndarray | None" = None,
+    two_m_sq_v: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Vectorized implementation of lines 9–14 of Algorithm 1.
 
     One e_{v→C} aggregation over the active CSR entries plus scatter
     reductions; no per-vertex Python loop.  Produces exactly the targets of
-    :func:`compute_targets_reference` for every aggregation path.
+    :func:`compute_targets_reference` for every aggregation path.  Array
+    work runs on the workspace's :class:`~repro.backends.ArrayOps` backend
+    (NumPy bitwise-identically; accelerator namespaces when configured);
+    inputs and the returned targets are host arrays either way.
 
     Parameters
     ----------
@@ -216,42 +229,63 @@ def compute_targets_vectorized(
     aggregation:
         ``"auto"`` (default), ``"sort"``, ``"bincount"`` or ``"matmul"``;
         ``None`` inherits the workspace's mode (or ``"auto"``).
+    m_v, two_m_sq_v:
+        Optional per-active-vertex ``m`` and ``(2m)²`` (both aligned with
+        ``vertices``, both required together) — the multi-graph hook: a
+        block-diagonal batch normalizes every vertex by its own graph's
+        edge weight (:mod:`repro.core.batch`).  Each entry must be the
+        python-float ``m`` / ``(2.0*m)**2`` of the vertex's graph, which
+        makes the elementwise gain bitwise identical to the scalar path
+        run per graph.  All entries must be positive (zero-weight graphs
+        are the caller's early-out).
     """
-    vertices = np.asarray(vertices, dtype=np.int64)
+    vertices = numpy_ops.asarray(vertices, dtype=np.int64)
     m = graph.total_weight
     cur = state.comm[vertices]
-    if m <= 0 or vertices.size == 0:
+    if vertices.size == 0 or (m_v is None and m <= 0):
         return cur.copy()
+    if (m_v is None) != (two_m_sq_v is None):
+        raise ValidationError("m_v and two_m_sq_v must be given together")
+    if m_v is not None and m_v.shape != vertices.shape:
+        raise ValidationError("m_v must be aligned with vertices")
     n = graph.num_vertices
 
     if workspace is not None:
         plan = workspace.plan(vertices, key=plan_key)
         mode = aggregation if aggregation is not None else workspace.aggregation
+        ops = workspace.ops
     else:
         plan = build_plan(graph, vertices)
         mode = aggregation if aggregation is not None else "auto"
+        ops = get_ops()
     if plan.owner.size == 0:
         return cur.copy()
 
     pair_owner, pair_comm, e, mode_used = aggregate_pairs(
-        plan, state.comm, n, mode
+        plan, state.comm, n, mode, ops
     )
     if workspace is not None:
         workspace.last_aggregation = mode_used
 
     num_active = vertices.size
-    k_v = plan.degrees
+    k_v = plan.device(ops)[3]
+    cur_d = ops.asarray(cur)
+    comm_degree = ops.asarray(state.comm_degree)
 
     # e_{v→C(v)\{v}} per active vertex (0 when no same-community neighbor).
-    if workspace is not None:
-        e_cur = workspace.f64("e_cur", num_active)
+    # Scratch accumulators follow the graph's weight dtype (float32 graphs
+    # halve the accumulator traffic; float64 graphs are bit-unchanged).
+    if workspace is not None and ops.is_numpy:
+        e_cur = workspace.fweight("e_cur", num_active)
         e_cur.fill(0.0)
     else:
-        e_cur = np.zeros(num_active, dtype=np.float64)
-    own_pairs = pair_comm == cur[pair_owner]
-    e_cur[pair_owner[own_pairs]] = e[own_pairs]
+        e_cur = ops.zeros(
+            num_active, dtype=_backend_float_dtype(ops, plan.weights.dtype)
+        )
+    own_pairs = pair_comm == ops.take(cur_d, pair_owner)
+    ops.put(e_cur, pair_owner[own_pairs], e[own_pairs])
 
-    a_cur_excl = state.comm_degree[cur] - k_v
+    a_cur_excl = ops.take(comm_degree, cur_d) - k_v
 
     # Eq. 4 gain of every pair, with the exact operation order of the
     # reference kernel (bitwise-identical rounding is what makes the
@@ -259,49 +293,58 @@ def compute_targets_vectorized(
     # masked to −inf instead of filtered out — cheaper than materializing
     # four candidate-compacted copies, and harmless: an all-own segment
     # reduces to −inf, which never passes ``best > 0``.
-    two_m_sq = (2.0 * m) ** 2
-    gain = (e - e_cur[pair_owner]) / m + resolution * (
-        2.0 * k_v[pair_owner] * (a_cur_excl[pair_owner]
-                                 - state.comm_degree[pair_comm])
-    ) / two_m_sq
-    gain[own_pairs] = -np.inf
+    penalty = resolution * (
+        2.0 * ops.take(k_v, pair_owner)
+        * (ops.take(a_cur_excl, pair_owner) - ops.take(comm_degree, pair_comm))
+    )
+    if m_v is None:
+        two_m_sq = (2.0 * m) ** 2
+        gain = (e - ops.take(e_cur, pair_owner)) / m + penalty / two_m_sq
+    else:
+        m_pair = ops.take(ops.asarray(m_v), pair_owner)
+        tmsq_pair = ops.take(ops.asarray(two_m_sq_v), pair_owner)
+        gain = (e - ops.take(e_cur, pair_owner)) / m_pair + penalty / tmsq_pair
+    ops.masked_fill(gain, own_pairs, -math.inf)
 
     # Per-owner maximum gain.  Pairs arrive grouped by owner (the
     # aggregate_pairs ordering guarantee), so contiguous reduceat segment
     # reductions replace the far slower ``np.maximum.at``/``np.minimum.at``
-    # scatter loops.
-    if workspace is not None:
-        best_gain = workspace.f64("best_gain", num_active)
+    # scatter loops.  ``best_gain`` matches the gain dtype (it can be wider
+    # than the weight dtype — e.g. the bincount path accumulates float64
+    # even on float32 graphs — and equality selection below requires the
+    # exact values).
+    if workspace is not None and ops.is_numpy:
+        best_gain = workspace.fweight("best_gain", num_active,
+                                      dtype=gain.dtype)
         best_gain.fill(-np.inf)
         chosen = workspace.i64("chosen", num_active)
         chosen.fill(n if use_min_label else -1)
     else:
-        best_gain = np.full(num_active, -np.inf, dtype=np.float64)
-        chosen = np.full(num_active, n if use_min_label else -1, dtype=np.int64)
-    seg_starts = run_boundaries(pair_owner)
+        best_gain = ops.full(num_active, -math.inf, dtype=gain.dtype)
+        chosen = ops.full(num_active, n if use_min_label else -1,
+                          dtype=ops.int64)
+    seg_starts = ops.run_boundaries(pair_owner)
     if seg_starts.size:
-        best_gain[pair_owner[seg_starts]] = np.maximum.reduceat(
-            gain, seg_starts
-        )
+        ops.put(best_gain, ops.take(pair_owner, seg_starts),
+                ops.maximum_reduceat(gain, seg_starts))
 
     # Among ties at the maximum, select the minimum (or, for the ablation,
     # maximum) community label.
-    winners = gain == best_gain[pair_owner]
+    winners = gain == ops.take(best_gain, pair_owner)
     targets = cur.copy()
     win_owner = pair_owner[winners]
-    win_starts = run_boundaries(win_owner)
+    win_starts = ops.run_boundaries(win_owner)
     if win_starts.size:
         win_comm = pair_comm[winners]
         if use_min_label:
-            chosen[win_owner[win_starts]] = np.minimum.reduceat(
-                win_comm, win_starts
-            )
+            ops.put(chosen, ops.take(win_owner, win_starts),
+                    ops.minimum_reduceat(win_comm, win_starts))
         else:
-            chosen[win_owner[win_starts]] = np.maximum.reduceat(
-                win_comm, win_starts
-            )
-    move = best_gain > 0.0
-    targets[move] = chosen[move]
+            ops.put(chosen, ops.take(win_owner, win_starts),
+                    ops.maximum_reduceat(win_comm, win_starts))
+    move = ops.to_numpy(best_gain > 0.0)
+    chosen_h = ops.to_numpy(chosen)
+    targets[move] = chosen_h[move]
 
     if use_min_label:
         # Singlet rule: both source and destination singlets → only allow a
@@ -350,7 +393,7 @@ def compute_targets(
     guard changes no results — target computation is read-only by
     contract — and costs O(1) flag flips per sweep.
     """
-    vertices = np.asarray(vertices, dtype=np.int64)
+    vertices = numpy_ops.asarray(vertices, dtype=np.int64)
     sanitize = resolve_sanitize(sanitize)
     guard = frozen_snapshot(state) if sanitize else nullcontext()
     span = get_tracer().span(
@@ -392,7 +435,8 @@ def compute_targets(
             ),
             chunks,
         )
-        return np.concatenate(results) if results else np.zeros(0, np.int64)
+        return (numpy_ops.concat(results) if results
+                else numpy_ops.zeros(0, np.int64))
 
 
 @dataclass(frozen=True)
@@ -432,7 +476,7 @@ _NO_MOVES = None  # lazily built empty MoveResult
 def _empty_move_result() -> MoveResult:
     global _NO_MOVES
     if _NO_MOVES is None:
-        empty = np.zeros(0, dtype=np.int64)
+        empty = numpy_ops.zeros(0, dtype=np.int64)
         _NO_MOVES = MoveResult(empty, 0.0, 0.0, empty)
     return _NO_MOVES
 
@@ -468,8 +512,8 @@ def apply_moves_tracked(
     ``Δintra = 2·ΔS − ΔP`` counts each direction exactly once.  Self-loops
     sit in both ``S`` and ``P`` and are always intra, so they cancel.
     """
-    vertices = np.asarray(vertices, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.int64)
+    vertices = numpy_ops.asarray(vertices, dtype=np.int64)
+    targets = numpy_ops.asarray(targets, dtype=np.int64)
     if vertices.shape != targets.shape:
         raise ValidationError("vertices and targets must be aligned")
     cur = state.comm[vertices]
@@ -489,7 +533,7 @@ def apply_moves_tracked(
     if workspace is not None:
         mover_mask = workspace.zeros_bool("mover_mask", n)
     else:
-        mover_mask = np.zeros(n, dtype=bool)
+        mover_mask = numpy_ops.zeros(n, dtype=bool)
     mover_mask[mv] = True
     both_moved = mover_mask[nbr]
 
@@ -505,17 +549,17 @@ def apply_moves_tracked(
     if workspace is not None:
         affected_mask = workspace.zeros_bool("affected_mask", n)
     else:
-        affected_mask = np.zeros(n, dtype=bool)
+        affected_mask = numpy_ops.zeros(n, dtype=bool)
     affected_mask[src] = True
     affected_mask[dst_comm] = True
-    affected = np.flatnonzero(affected_mask)
+    affected = numpy_ops.flatnonzero(affected_mask)
     affected_mask[affected] = False  # reset the scratch for the next call
     a_before = state.comm_degree[affected].copy()
     state.comm[mv] = dst_comm
-    np.subtract.at(state.comm_degree, src, k)
-    np.add.at(state.comm_degree, dst_comm, k)
-    np.subtract.at(state.comm_size, src, 1)
-    np.add.at(state.comm_size, dst_comm, 1)
+    numpy_ops.scatter_sub(state.comm_degree, src, k)
+    numpy_ops.scatter_add(state.comm_degree, dst_comm, k)
+    numpy_ops.scatter_sub(state.comm_size, src, 1)
+    numpy_ops.scatter_add(state.comm_size, dst_comm, 1)
     a_after = state.comm_degree[affected]
     delta_degree_sq = float((a_after * a_after - a_before * a_before).sum())
 
@@ -531,7 +575,7 @@ def apply_moves_tracked(
         frontier_out[nbr] = True
         frontier = mv[:0]
     else:
-        frontier = np.unique(np.concatenate((mv, nbr)))
+        frontier = numpy_ops.unique(numpy_ops.concat((mv, nbr)))
     return MoveResult(mv, delta_intra, delta_degree_sq, frontier)
 
 
@@ -549,8 +593,8 @@ def apply_moves(
     Use :func:`apply_moves_tracked` when the caller also needs the
     incremental-modularity deltas and the pruning frontier.
     """
-    vertices = np.asarray(vertices, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.int64)
+    vertices = numpy_ops.asarray(vertices, dtype=np.int64)
+    targets = numpy_ops.asarray(targets, dtype=np.int64)
     if vertices.shape != targets.shape:
         raise ValidationError("vertices and targets must be aligned")
     cur = state.comm[vertices]
@@ -562,10 +606,10 @@ def apply_moves(
     dst = targets[moved]
     k = graph.degrees[mv]
     state.comm[mv] = dst
-    np.subtract.at(state.comm_degree, src, k)
-    np.add.at(state.comm_degree, dst, k)
-    np.subtract.at(state.comm_size, src, 1)
-    np.add.at(state.comm_size, dst, 1)
+    numpy_ops.scatter_sub(state.comm_degree, src, k)
+    numpy_ops.scatter_add(state.comm_degree, dst, k)
+    numpy_ops.scatter_sub(state.comm_size, src, 1)
+    numpy_ops.scatter_add(state.comm_size, dst, 1)
     return int(moved.sum())
 
 

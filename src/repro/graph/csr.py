@@ -36,6 +36,8 @@ __all__ = ["CSRGraph"]
 
 _INDEX_DTYPE = np.int64
 _WEIGHT_DTYPE = np.float64
+#: Weight dtypes preserved as-is; anything else is coerced to float64.
+_ALLOWED_WEIGHT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
 
 class CSRGraph:
@@ -71,7 +73,12 @@ class CSRGraph:
         if weights is None:
             weights = np.ones(indices.shape[0], dtype=_WEIGHT_DTYPE)
         else:
-            weights = np.ascontiguousarray(weights, dtype=_WEIGHT_DTYPE)
+            # float32 is preserved (the sweep kernels' scratch follows the
+            # weight dtype, halving accumulator traffic); everything else
+            # is coerced to the canonical float64.
+            weights = np.ascontiguousarray(weights)
+            if weights.dtype not in _ALLOWED_WEIGHT_DTYPES:
+                weights = np.ascontiguousarray(weights, dtype=_WEIGHT_DTYPE)
 
         if indptr.ndim != 1 or indptr.size == 0:
             raise GraphStructureError("indptr must be a 1-D array of length n+1 >= 1")
@@ -236,13 +243,17 @@ class CSRGraph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Weighted degrees ``k_i`` (row sums; self-loop weight counted once)."""
+        """Weighted degrees ``k_i`` (row sums; self-loop weight counted once).
+
+        The array follows the weight dtype (``np.bincount`` accumulates in
+        float64 either way, so float32 degrees are the rounded exact sums).
+        """
         if self._degrees is None:
             self._degrees = np.bincount(
                 self.row_of_entry(),
                 weights=self.weights,
                 minlength=self.num_vertices,
-            ).astype(_WEIGHT_DTYPE)
+            ).astype(self.weights.dtype)
             self._degrees.setflags(write=False)
         return self._degrees
 
@@ -301,7 +312,7 @@ class CSRGraph:
 
     def self_loop_weights(self) -> np.ndarray:
         """Per-vertex self-loop weights as an ``(n,)`` array."""
-        out = np.zeros(self.num_vertices, dtype=_WEIGHT_DTYPE)
+        out = np.zeros(self.num_vertices, dtype=self.weights.dtype)
         loops = self.indices == self.row_of_entry()
         np.add.at(out, self.indices[loops], self.weights[loops])
         return out

@@ -1,0 +1,73 @@
+"""Kernel equivalence under ``array-api-strict`` (namespace-leak catcher).
+
+``array_api_strict`` implements *only* the array-API standard: any kernel
+call that leaks a NumPy-ism past the :class:`~repro.backends.ArrayOps`
+shims raises immediately.  The whole module skips cleanly when the
+package is absent — it is an optional dependency everywhere, including
+CI, where a dedicated job installs it to run exactly this directory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("array_api_strict")
+
+from repro import LouvainConfig, louvain, louvain_batch, modularity
+from repro.backends import get_ops
+from repro.core.sweep import compute_targets_vectorized, init_state
+from repro.core.workspace import SweepWorkspace
+from repro.graph.generators import (
+    karate_club,
+    planted_partition,
+    two_cliques_bridge,
+)
+
+BACKEND = "array-api-strict"
+
+GRAPHS = [
+    karate_club(),
+    two_cliques_bridge(4),
+    planted_partition(3, 7, 0.7, 0.08, seed=0),
+]
+
+
+class TestStrictBackend:
+    def test_resolves(self):
+        ops = get_ops(BACKEND)
+        assert ops.name == BACKEND
+        assert not ops.is_numpy
+
+    def test_single_sweep_matches_numpy(self):
+        g = karate_club()
+        state = init_state(g)
+        verts = np.arange(g.num_vertices, dtype=np.int64)
+        base = compute_targets_vectorized(
+            g, state, verts, workspace=SweepWorkspace(g))
+        strict = compute_targets_vectorized(
+            g, state, verts,
+            workspace=SweepWorkspace(g, array_backend=BACKEND))
+        assert np.array_equal(base, strict)
+
+    @pytest.mark.parametrize("idx", range(len(GRAPHS)))
+    def test_louvain_matches_numpy(self, idx):
+        g = GRAPHS[idx]
+        base = louvain(g, LouvainConfig(array_backend="numpy"))
+        strict = louvain(g, LouvainConfig(array_backend=BACKEND))
+        assert np.array_equal(strict.communities, base.communities)
+        assert strict.modularity == base.modularity
+        assert strict.total_iterations == base.total_iterations
+
+    def test_louvain_batch_matches_numpy(self):
+        base = louvain_batch(GRAPHS, LouvainConfig(array_backend="numpy"))
+        strict = louvain_batch(GRAPHS, LouvainConfig(array_backend=BACKEND))
+        for b, s in zip(base, strict):
+            assert np.array_equal(s.communities, b.communities)
+            assert s.modularity == b.modularity
+
+    def test_partitions_remain_exact(self):
+        g = GRAPHS[2]
+        result = louvain(g, LouvainConfig(array_backend=BACKEND))
+        assert result.modularity == pytest.approx(
+            modularity(g, result.communities), abs=1e-12)

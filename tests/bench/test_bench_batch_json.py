@@ -1,0 +1,60 @@
+"""Smoke + committed-results tests for the batch benchmark (BENCH_batch.json).
+
+Marked ``bench_smoke`` like the kernels benchmark so CI can run both with
+``-m bench_smoke``.  The smoke configuration (8 graphs, 1 repeat) stays
+far under the CI step budget; the committed-results test pins the PR's
+acceptance criterion — batched execution beats the per-graph loop on a
+fleet of at least 32 small graphs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+REQUIRED_FIELDS = {"mode", "num_graphs", "n_total", "M_total", "seconds",
+                   "Q_mean", "commit", "date", "backend"}
+
+
+@pytest.mark.bench_smoke
+def test_bench_batch_cli_emits_json(tmp_path):
+    out = tmp_path / "BENCH_batch.json"
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    subprocess.run(
+        [sys.executable,
+         os.path.join(REPO_ROOT, "benchmarks", "bench_batch.py"),
+         "--num-graphs", "8", "--repeats", "1", "--out", str(out)],
+        check=True, env=env, cwd=REPO_ROOT, timeout=55,
+    )
+    records = json.loads(out.read_text())
+    assert len(records) == 2
+    assert {r["mode"] for r in records} == {"per-graph-loop", "batched"}
+    for rec in records:
+        assert REQUIRED_FIELDS <= set(rec)
+        assert rec["num_graphs"] == 8
+        assert rec["seconds"] > 0
+        assert 0.0 <= rec["Q_mean"] <= 1.0
+        assert rec["backend"]  # non-empty backend tag
+
+
+@pytest.mark.bench_smoke
+def test_committed_batch_results_beat_loop():
+    """The committed BENCH_batch.json must show batched execution beating
+    the per-graph loop on ≥32 small graphs (the PR's acceptance
+    criterion)."""
+    path = os.path.join(REPO_ROOT, "BENCH_batch.json")
+    records = json.loads(open(path).read())
+    by_mode = {r["mode"]: r for r in records}
+    loop, batched = by_mode["per-graph-loop"], by_mode["batched"]
+    assert batched["num_graphs"] >= 32
+    assert batched["num_graphs"] == loop["num_graphs"]
+    speedup = loop["seconds"] / batched["seconds"]
+    assert speedup > 1.0, speedup
+    assert batched["speedup"] == pytest.approx(speedup)
+    for rec in records:
+        assert rec["commit"] and rec["date"] and rec["backend"]

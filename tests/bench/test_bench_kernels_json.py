@@ -15,7 +15,8 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-REQUIRED_FIELDS = {"graph", "n", "M", "kernel", "seconds", "iterations", "Q"}
+REQUIRED_FIELDS = {"graph", "n", "M", "kernel", "seconds", "iterations", "Q",
+                   "commit", "date", "backend"}
 
 
 @pytest.mark.bench_smoke

@@ -1,0 +1,176 @@
+"""Batched multi-graph Louvain: per-graph equivalence with the driver.
+
+The load-bearing contract: for every input graph, ``louvain_batch``
+produces **identical** communities, modularity, phase count, and
+iteration count to a standalone ``louvain`` run under the same
+configuration — the batch changes throughput, never results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LouvainConfig, louvain, louvain_batch
+from repro.core.batch import run_phase_batch
+from repro.core.sweep import init_state
+from repro.core.workspace import SweepWorkspace
+from repro.graph.batch import pack_graphs
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    karate_club,
+    planted_partition,
+    two_cliques_bridge,
+)
+from repro.robust.budget import RunBudget
+from repro.utils.errors import ValidationError
+
+from tests.properties.strategies import graphs
+
+
+def assert_matches_driver(gs, cfg):
+    batch = louvain_batch(gs, cfg)
+    for i, g in enumerate(gs):
+        single = louvain(g, cfg)
+        b = batch[i]
+        assert np.array_equal(single.communities, b.communities), i
+        assert single.modularity == b.modularity, i
+        assert single.num_phases == b.num_phases, i
+        assert single.total_iterations == b.total_iterations, i
+
+
+MIXED_GRAPHS = [
+    planted_partition(3, 7, 0.7, 0.08, seed=0),
+    planted_partition(4, 5, 0.6, 0.05, seed=1),
+    karate_club(),
+    two_cliques_bridge(4),
+    CSRGraph.empty(0),
+    CSRGraph.empty(5),
+]
+
+
+class TestLouvainBatchEquivalence:
+    def test_defaults(self):
+        assert_matches_driver(MIXED_GRAPHS, LouvainConfig())
+
+    @pytest.mark.parametrize("prune", [True, False])
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_prune_incremental_matrix(self, prune, incremental):
+        cfg = LouvainConfig(prune=prune, incremental_modularity=incremental)
+        assert_matches_driver(MIXED_GRAPHS[:4], cfg)
+
+    @pytest.mark.parametrize("aggregation", ["auto", "sort", "bincount"])
+    def test_aggregation_paths(self, aggregation):
+        cfg = LouvainConfig(aggregation=aggregation)
+        assert_matches_driver(MIXED_GRAPHS[:3], cfg)
+
+    def test_min_label_ablation(self):
+        assert_matches_driver(MIXED_GRAPHS[:4],
+                              LouvainConfig(use_min_label=False))
+
+    def test_resolution(self):
+        assert_matches_driver(MIXED_GRAPHS[:4],
+                              LouvainConfig(resolution=1.5))
+
+    def test_traced_and_sanitized(self):
+        assert_matches_driver(MIXED_GRAPHS[:3],
+                              LouvainConfig(trace=True, sanitize=True))
+
+    def test_float32_batch(self):
+        gs = [
+            CSRGraph(g.indptr, g.indices, g.weights.astype(np.float32),
+                     validate=False)
+            for g in MIXED_GRAPHS[:3]
+        ]
+        assert_matches_driver(gs, LouvainConfig())
+
+    def test_single_graph_batch(self):
+        assert_matches_driver([karate_club()], LouvainConfig())
+
+    @given(gs=st.lists(graphs(max_vertices=12, max_extra_edges=20),
+                       min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_random_graph_lists(self, gs):
+        assert_matches_driver(gs, LouvainConfig())
+
+    def test_duplicate_graphs_get_identical_results(self):
+        g = planted_partition(3, 6, 0.7, 0.05, seed=3)
+        results = louvain_batch([g, g, g])
+        for r in results[1:]:
+            assert np.array_equal(r.communities, results[0].communities)
+            assert r.modularity == results[0].modularity
+
+
+class TestLouvainBatchEdges:
+    def test_empty_graph(self):
+        (r,) = louvain_batch([CSRGraph.empty(0)])
+        assert r.communities.size == 0
+        assert r.modularity == 0.0
+        assert r.converged
+
+    def test_edgeless_graph(self):
+        (r,) = louvain_batch([CSRGraph.empty(7)])
+        assert np.array_equal(r.communities, np.arange(7))
+        assert r.modularity == 0.0
+        assert (r.num_phases, r.total_iterations) == (1, 1)
+
+    def test_budget_interrupt_returns_valid_partitions(self):
+        gs = [planted_partition(4, 8, 0.6, 0.05, seed=s) for s in range(3)]
+        cfg = LouvainConfig(budget=RunBudget(max_iterations=1))
+        results = louvain_batch(gs, cfg)
+        for g, r in zip(gs, results):
+            assert r.communities.shape == (g.num_vertices,)
+            assert r.communities.min() >= 0
+            assert r.interrupted or r.converged
+
+    def test_result_repr(self):
+        (r,) = louvain_batch([two_cliques_bridge(3)])
+        assert "BatchGraphResult" in repr(r)
+        assert r.num_communities == 2
+
+
+class TestLouvainBatchValidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(use_vf=True),
+        dict(use_coloring=True),
+        dict(kernel="reference"),
+        dict(backend="threads"),
+        dict(fault_plan="kill:worker=0,chunk=0"),
+    ])
+    def test_unsupported_config_rejected(self, overrides):
+        with pytest.raises(ValidationError):
+            louvain_batch([two_cliques_bridge(3)], **overrides)
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            louvain_batch([np.zeros(4)])
+
+
+class TestRunPhaseBatch:
+    def test_zero_weight_blocks_converge_instantly(self):
+        batch = pack_graphs([CSRGraph.empty(4), two_cliques_bridge(3)])
+        state = init_state(batch.graph)
+        workspace = SweepWorkspace(batch.graph)
+        outcome = run_phase_batch(batch, state, threshold=1e-6,
+                                  workspace=workspace)
+        assert outcome.converged.all()
+        assert outcome.iterations[0] == 0
+        assert outcome.iterations[1] > 0
+        assert outcome.start_modularity[0] == 0.0
+        assert outcome.end_modularity[1] > outcome.start_modularity[1]
+
+    def test_per_graph_convergence_masks_finished_blocks(self):
+        # A trivially-converging block next to one that needs real work:
+        # the easy one must stop being swept while the other continues.
+        easy = two_cliques_bridge(2)
+        hard = planted_partition(4, 10, 0.5, 0.05, seed=7)
+        batch = pack_graphs([easy, hard])
+        state = init_state(batch.graph)
+        outcome = run_phase_batch(batch, state, threshold=1e-6,
+                                  workspace=SweepWorkspace(batch.graph))
+        assert outcome.converged.all()
+        single_easy = init_state(easy)
+        from repro.core.phase import run_phase
+        easy_out = run_phase(easy, single_easy, threshold=1e-6)
+        assert outcome.iterations[0] == len(easy_out.records)
