@@ -649,7 +649,23 @@ def build_parser() -> argparse.ArgumentParser:
     robust_budget.add_argument("--output",
                                help="write the assignment to a file")
     robust_budget.set_defaults(func=_cmd_robust_budget)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis gate (delegates to repro-lint; e.g. "
+             "`repro lint src/`, `repro lint migrate-baseline`)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro-lint")
+    lint.set_defaults(func=_cmd_lint)
     return parser
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -16,9 +16,15 @@ conventions that nothing in Python enforces (see docs/algorithms.md §10):
 This package checks the discipline twice:
 
 * :mod:`repro.lint.rules` / :mod:`repro.lint.engine` / :mod:`repro.lint.cli`
-  — a static AST analyzer (``python -m repro.lint src/`` or the
-  ``repro-lint`` entry point) with codebase-specific rules plus a
-  committed-baseline workflow for accepted findings;
+  — a static analyzer (``python -m repro.lint src/`` or the
+  ``repro-lint`` entry point) with codebase-specific per-function rules,
+  an interprocedural tier (:mod:`repro.lint.callgraph` builds the
+  project call graph, :mod:`repro.lint.dataflow` runs a taint/summary
+  fixpoint over it, :mod:`repro.lint.iprules` holds the
+  SNAP101/SHM001/LOCK001/QPROTO001/XPA101 rule family), per-rule
+  severities from ``[tool.repro-lint]`` (:mod:`repro.lint.config`),
+  SARIF export (:mod:`repro.lint.sarif`) and a committed-baseline
+  workflow for accepted findings;
 * :mod:`repro.lint.sanitizer` — a runtime layer: the
   :func:`~repro.lint.sanitizer.snapshot_kernel` marker the static rules
   key on, and :func:`~repro.lint.sanitizer.frozen_snapshot`, which flips
@@ -28,8 +34,20 @@ This package checks the discipline twice:
   the test-suite, off in benchmarks).
 """
 
-from repro.lint.engine import Baseline, Finding, LintReport, lint_paths, lint_source
+from repro.lint.callgraph import CallGraph, build_callgraph
+from repro.lint.config import LintConfig, load_config
+from repro.lint.dataflow import ProjectAnalysis
+from repro.lint.engine import (
+    Baseline,
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
+from repro.lint.iprules import PROJECT_RULES
 from repro.lint.rules import RULES, all_codes
+from repro.lint.sarif import to_sarif, write_sarif
 from repro.lint.sanitizer import (
     frozen_snapshot,
     resolve_sanitize,
@@ -39,14 +57,23 @@ from repro.lint.sanitizer import (
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "Finding",
+    "LintConfig",
     "LintReport",
+    "PROJECT_RULES",
+    "ProjectAnalysis",
     "RULES",
     "all_codes",
+    "build_callgraph",
     "frozen_snapshot",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "load_config",
     "resolve_sanitize",
     "sanitize_default",
     "snapshot_kernel",
+    "to_sarif",
+    "write_sarif",
 ]

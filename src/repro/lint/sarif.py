@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 export so CI can annotate PR diffs with lint findings.
+
+GitHub's code-scanning upload (``github/codeql-action/upload-sarif``)
+consumes exactly this shape; severities map to SARIF levels
+(``error`` -> ``error``, ``warning`` -> ``warning``).  Call paths from
+the interprocedural rules land in ``relatedLocations`` messages so the
+annotation explains *how* the sink is reached.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors(findings) -> list[dict]:
+    seen: dict[str, dict] = {}
+    for finding in findings:
+        if finding.code not in seen:
+            seen[finding.code] = {
+                "id": finding.code,
+                "shortDescription": {"text": finding.code},
+                "defaultConfiguration": {
+                    "level": _level(getattr(finding, "severity", "error")),
+                },
+            }
+    return [seen[code] for code in sorted(seen)]
+
+
+def _level(severity: str) -> str:
+    return "warning" if severity == "warning" else "error"
+
+
+def _result(finding) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "level": _level(getattr(finding, "severity", "error")),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLint/v2": finding.fingerprint(),
+        },
+    }
+    call_path = getattr(finding, "call_path", ())
+    if call_path:
+        result["message"]["text"] += (
+            " [call path: " + " -> ".join(call_path) + "]"
+        )
+    return result
+
+
+def to_sarif(findings: Sequence, *, tool_version: str = "0") -> dict:
+    """Render findings as a SARIF ``log`` dict."""
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://example.invalid/repro-lint",
+                        "version": tool_version,
+                        "rules": _rule_descriptors(findings),
+                    }
+                },
+                "results": [_result(f) for f in findings],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def write_sarif(findings: Iterable, path, *, tool_version: str = "0") -> None:
+    """Write findings to ``path`` as SARIF JSON."""
+    log = to_sarif(list(findings), tool_version=tool_version)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(log, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,316 @@
+"""Call-graph builder coverage for the tricky Python shapes it resolves:
+decorated functions (``@snapshot_kernel``), ``functools.partial``,
+methods reached through ``self``, and module-level dispatch dicts.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.callgraph import build_callgraph, module_name_for_path
+
+
+def graph_of(**sources: str):
+    """Build a call graph from ``{filename_stem: source}`` fixtures."""
+    trees = {
+        f"repro/parallel/{name}.py": ast.parse(textwrap.dedent(src))
+        for name, src in sources.items()
+    }
+    return build_callgraph(trees)
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name_for_path("src/repro/core/sweep.py") == \
+            "repro.core.sweep"
+
+    def test_fixture_paths_resolve_identically(self):
+        assert module_name_for_path("repro/parallel/bad.py") == \
+            "repro.parallel.bad"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/parallel/__init__.py") == \
+            "repro.parallel"
+
+    def test_non_repro_path_falls_back_to_stem(self):
+        assert module_name_for_path("scratch/standalone.py") == "standalone"
+
+
+class TestDirectCalls:
+    def test_same_module_call_edge(self):
+        g = graph_of(mod="""
+            def helper(x):
+                return x
+
+            def entry(x):
+                return helper(x)
+        """)
+        sites = g.calls_from("repro.parallel.mod.entry")
+        assert [s.callee for s in sites] == ["repro.parallel.mod.helper"]
+        assert sites[0].kind == "call"
+
+    def test_cross_module_from_import(self):
+        g = graph_of(
+            util="""
+                def shared(x):
+                    return x
+            """,
+            mod="""
+                from repro.parallel.util import shared
+
+                def entry(x):
+                    return shared(x)
+            """,
+        )
+        assert [s.callee for s in g.calls_from("repro.parallel.mod.entry")] \
+            == ["repro.parallel.util.shared"]
+
+    def test_module_attribute_call(self):
+        g = graph_of(
+            util="""
+                def shared(x):
+                    return x
+            """,
+            mod="""
+                import repro.parallel.util as util
+
+                def entry(x):
+                    return util.shared(x)
+            """,
+        )
+        assert [s.callee for s in g.calls_from("repro.parallel.mod.entry")] \
+            == ["repro.parallel.util.shared"]
+
+    def test_unresolvable_names_produce_no_edges(self):
+        g = graph_of(mod="""
+            import os
+
+            def entry(x):
+                return os.getpid() + len(x)
+        """)
+        assert g.calls_from("repro.parallel.mod.entry") == []
+
+
+class TestDecorators:
+    def test_snapshot_kernel_decorator_is_recorded(self):
+        g = graph_of(mod="""
+            from repro.lint.sanitizer import snapshot_kernel
+
+            @snapshot_kernel("graph", "state")
+            def kernel(graph, state, out):
+                out[0] = 1
+        """)
+        fn = g.functions["repro.parallel.mod.kernel"]
+        assert "snapshot_kernel" in fn.decorators
+        assert fn.snapshot_param_names() == {"graph", "state"}
+
+    def test_bare_decorator_marks_every_param(self):
+        g = graph_of(mod="""
+            @snapshot_kernel
+            def kernel(graph, state):
+                return state
+        """)
+        fn = g.functions["repro.parallel.mod.kernel"]
+        assert fn.snapshot_param_names() == {"graph", "state"}
+
+    def test_unmarked_function_has_no_snapshot_params(self):
+        g = graph_of(mod="""
+            def plain(graph, state):
+                return state
+        """)
+        fn = g.functions["repro.parallel.mod.plain"]
+        assert fn.snapshot_params is None
+        assert fn.snapshot_param_names() == frozenset()
+
+    def test_decorated_function_still_gets_call_edges(self):
+        g = graph_of(mod="""
+            def helper(state):
+                return state
+
+            @snapshot_kernel("state")
+            def kernel(graph, state):
+                return helper(state)
+        """)
+        assert [s.callee for s in g.calls_from("repro.parallel.mod.kernel")] \
+            == ["repro.parallel.mod.helper"]
+
+
+class TestFunctoolsPartial:
+    def test_partial_produces_a_partial_edge(self):
+        g = graph_of(mod="""
+            import functools
+
+            def work(a, b):
+                return a + b
+
+            def entry():
+                bound = functools.partial(work, 1)
+                return bound(2)
+        """)
+        kinds = {
+            (s.callee, s.kind)
+            for s in g.calls_from("repro.parallel.mod.entry")
+        }
+        assert ("repro.parallel.mod.work", "partial") in kinds
+
+    def test_bare_partial_import(self):
+        g = graph_of(mod="""
+            from functools import partial
+
+            def work(a):
+                return a
+
+            def entry():
+                return partial(work)
+        """)
+        sites = g.calls_from("repro.parallel.mod.entry")
+        assert [(s.callee, s.kind) for s in sites] == \
+            [("repro.parallel.mod.work", "partial")]
+
+    def test_reachability_flows_through_partial(self):
+        g = graph_of(mod="""
+            from functools import partial
+
+            def work(a):
+                return a
+
+            def entry():
+                return partial(work)
+        """)
+        assert "repro.parallel.mod.work" in g.reachable(
+            ["repro.parallel.mod.entry"]
+        )
+
+
+class TestSelfMethods:
+    SOURCE = """
+        class Executor:
+            def __init__(self, n):
+                self.n = n
+
+            def _step(self, i):
+                return i + self.n
+
+            def run(self):
+                return self._step(0)
+
+        def entry():
+            ex = Executor(3)
+            return ex.run()
+    """
+
+    def test_self_call_resolves_to_method(self):
+        g = graph_of(mod=self.SOURCE)
+        sites = g.calls_from("repro.parallel.mod.Executor.run")
+        assert [s.callee for s in sites] == \
+            ["repro.parallel.mod.Executor._step"]
+        assert sites[0].bound is True
+
+    def test_constructor_call_resolves_to_init(self):
+        g = graph_of(mod=self.SOURCE)
+        callees = [
+            s.callee for s in g.calls_from("repro.parallel.mod.entry")
+        ]
+        assert "repro.parallel.mod.Executor.__init__" in callees
+
+    def test_inherited_method_resolves_through_base(self):
+        g = graph_of(mod="""
+            class Base:
+                def step(self):
+                    return 1
+
+            class Child(Base):
+                def run(self):
+                    return self.step()
+        """)
+        sites = g.calls_from("repro.parallel.mod.Child.run")
+        assert [s.callee for s in sites] == \
+            ["repro.parallel.mod.Base.step"]
+
+
+class TestDispatchDicts:
+    def test_subscript_call_fans_out_to_all_values(self):
+        g = graph_of(mod="""
+            def serial(g):
+                return g
+
+            def threads(g):
+                return g
+
+            BACKENDS = {"serial": serial, "threads": threads}
+
+            def entry(name, g):
+                return BACKENDS[name](g)
+        """)
+        callees = sorted(
+            s.callee for s in g.calls_from("repro.parallel.mod.entry")
+        )
+        assert callees == [
+            "repro.parallel.mod.serial",
+            "repro.parallel.mod.threads",
+        ]
+
+    def test_mixed_value_dict_is_not_a_dispatch_table(self):
+        g = graph_of(mod="""
+            def serial(g):
+                return g
+
+            CONFIG = {"backend": serial, "threads": 4}
+
+            def entry(name, g):
+                return CONFIG[name](g)
+        """)
+        assert g.calls_from("repro.parallel.mod.entry") == []
+
+
+class TestNestedAndWorkers:
+    def test_nested_function_gets_locals_qname(self):
+        g = graph_of(mod="""
+            def outer():
+                def inner():
+                    return 1
+                return inner()
+        """)
+        assert "repro.parallel.mod.outer.<locals>.inner" in g.functions
+        assert [s.callee for s in g.calls_from("repro.parallel.mod.outer")] \
+            == ["repro.parallel.mod.outer.<locals>.inner"]
+
+    def test_process_target_is_a_worker_entry(self):
+        g = graph_of(mod="""
+            import multiprocessing as mp
+
+            def _child_loop(q):
+                q.put(1)
+
+            def spawn(ctx):
+                return ctx.Process(target=_child_loop, args=())
+        """)
+        entries = g.worker_entries()
+        assert "repro.parallel.mod._child_loop" in entries
+
+    def test_worker_naming_convention_is_an_entry(self):
+        g = graph_of(mod="""
+            def _worker_main(n):
+                return n
+        """)
+        assert "repro.parallel.mod._worker_main" in g.worker_entries()
+
+    def test_path_between_finds_shortest_route(self):
+        g = graph_of(mod="""
+            def c():
+                return 1
+
+            def b():
+                return c()
+
+            def a():
+                return b()
+        """)
+        assert g.path_between(
+            "repro.parallel.mod.a", "repro.parallel.mod.c"
+        ) == [
+            "repro.parallel.mod.a",
+            "repro.parallel.mod.b",
+            "repro.parallel.mod.c",
+        ]

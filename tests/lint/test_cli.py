@@ -4,9 +4,13 @@ from __future__ import annotations
 
 import io
 import json
+import textwrap
+import time
+from collections import Counter
 from pathlib import Path
 
 from repro.lint.cli import main
+from repro.lint.engine import lint_sources
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -77,6 +81,21 @@ class TestExitStatus:
             out=io.StringIO(),
         )
         assert code == 0
+
+    def test_empty_directory_is_a_usage_error(self, tmp_path):
+        # A typo'd path silently linting zero files would let the gate
+        # pass vacuously; it must fail loudly with status 2 instead.
+        empty = tmp_path / "nothing_here"
+        empty.mkdir()
+        out = io.StringIO()
+        assert main([str(empty), "--no-baseline"], out=out) == 2
+        assert "no Python files found" in out.getvalue()
+        assert str(empty) in out.getvalue()
+
+    def test_directory_without_python_files_is_a_usage_error(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hi\n", encoding="utf-8")
+        assert main([str(tmp_path), "--no-baseline"],
+                    out=io.StringIO()) == 2
 
 
 class TestBaselineWorkflow:
@@ -150,6 +169,162 @@ class TestOutputFormats:
         assert "bad.py:" not in text
 
 
+class TestMigrateBaseline:
+    def write_v1_baseline(self, target: Path, baseline: Path) -> None:
+        # Reconstruct what a PR-5-era run would have committed: the same
+        # findings keyed under the legacy (pre-call-path) fingerprints.
+        findings = lint_sources({
+            str(target): target.read_text(encoding="utf-8")
+        })
+        assert findings
+        counts = Counter(f.fingerprint_v1() for f in findings)
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "tool": "repro.lint",
+            "findings": {fp: {"count": n} for fp, n in counts.items()},
+        }), encoding="utf-8")
+
+    def test_v1_fingerprints_still_suppress_before_migration(
+            self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        self.write_v1_baseline(target, baseline)
+        assert main(
+            [str(target), "--baseline", str(baseline)], out=io.StringIO()
+        ) == 0
+
+    def test_migration_carries_suppressions_and_drops_stale(
+            self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        self.write_v1_baseline(target, baseline)
+        # Plant a stale entry for a finding that no longer exists.
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        data["findings"]["f" * 16] = {"count": 1}
+        baseline.write_text(json.dumps(data), encoding="utf-8")
+
+        out = io.StringIO()
+        assert main(
+            ["migrate-baseline", str(target), "--baseline", str(baseline)],
+            out=out,
+        ) == 0
+        assert "carried over" in out.getvalue()
+        assert "1 stale entry dropped" in out.getvalue()
+
+        migrated = json.loads(baseline.read_text(encoding="utf-8"))
+        assert migrated["version"] == 2
+        findings = lint_sources({
+            str(target): target.read_text(encoding="utf-8")
+        })
+        assert set(migrated["findings"]) == {
+            f.fingerprint() for f in findings
+        }
+        # The migrated baseline still suppresses the gate.
+        assert main(
+            [str(target), "--baseline", str(baseline)], out=io.StringIO()
+        ) == 0
+
+    def test_migrating_current_schema_is_a_noop(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main([str(target), "--baseline", str(baseline), "--write-baseline"],
+             out=io.StringIO())
+        out = io.StringIO()
+        assert main(
+            ["migrate-baseline", str(target), "--baseline", str(baseline)],
+            out=out,
+        ) == 0
+        assert "nothing to migrate" in out.getvalue()
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path):
+        out = io.StringIO()
+        assert main(
+            ["migrate-baseline", "--baseline",
+             str(tmp_path / "absent.json")],
+            out=out,
+        ) == 2
+        assert "no baseline file" in out.getvalue()
+
+
+class TestSarifOutput:
+    def test_sarif_side_file(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        sarif = tmp_path / "lint.sarif"
+        assert main(
+            [str(target), "--no-baseline", "--sarif", str(sarif), "-q"],
+            out=io.StringIO(),
+        ) == 1
+        data = json.loads(sarif.read_text(encoding="utf-8"))
+        assert data["version"] == "2.1.0"
+        ids = {r["ruleId"] for r in data["runs"][0]["results"]}
+        assert "SNAP001" in ids
+
+    def test_sarif_format_on_stdout(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        out = io.StringIO()
+        assert main(
+            [str(target), "--no-baseline", "--format", "sarif"], out=out
+        ) == 1
+        data = json.loads(out.getvalue())
+        assert data["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+
+class TestConfigFlags:
+    def test_warning_severity_reports_without_failing(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        config = tmp_path / "pyproject.toml"
+        config.write_text(textwrap.dedent("""
+            [tool.repro-lint.severity]
+            SNAP001 = "warning"
+            RNG001 = "warning"
+            DET001 = "warning"
+            ATOM001 = "warning"
+        """), encoding="utf-8")
+        out = io.StringIO()
+        assert main(
+            [str(target), "--no-baseline", "--config", str(config)],
+            out=out,
+        ) == 0
+        assert "4 warning(s)" in out.getvalue()
+
+    def test_invalid_config_is_a_usage_error(self, tmp_path):
+        target = write_bad_fixture(tmp_path)
+        config = tmp_path / "pyproject.toml"
+        config.write_text(
+            "[tool.repro-lint.severity]\nNOPE999 = 'warning'\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        assert main(
+            [str(target), "--config", str(config)], out=out
+        ) == 2
+        assert "error:" in out.getvalue()
+
+    def test_no_config_ignores_pyproject(self, tmp_path, monkeypatch):
+        target = write_bad_fixture(tmp_path)
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+            [tool.repro-lint.severity]
+            SNAP001 = "off"
+        """), encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        assert main([str(target), "--no-baseline", "--no-config"],
+                    out=out) == 1
+        assert "SNAP001" in out.getvalue()
+
+
+class TestReproCliDelegation:
+    def test_repro_lint_subcommand_forwards(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x + 1\n", encoding="utf-8")
+        assert repro_main(["lint", str(clean), "--no-baseline"]) == 0
+        bad = write_bad_fixture(tmp_path)
+        assert repro_main(["lint", str(bad), "--no-baseline"]) == 1
+        assert "SNAP001" in capsys.readouterr().out
+
+
 class TestRealTree:
     """The shipped tree must be clean against its committed baseline."""
 
@@ -157,3 +332,19 @@ class TestRealTree:
         monkeypatch.chdir(REPO_ROOT)
         assert (REPO_ROOT / ".lint-baseline.json").exists()
         assert main(["src", "-q"], out=io.StringIO()) == 0
+
+    def test_linter_tree_is_self_clean(self, monkeypatch):
+        # The analyzer must hold itself to its own rules (mirrored by the
+        # lint-self-check CI job).
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["src/repro/lint", "-q", "--no-baseline"],
+                    out=io.StringIO()) == 0
+
+    def test_full_tree_fits_the_timing_budget(self, monkeypatch):
+        # CI budget: the whole gate (parse + call graph + fixpoint +
+        # rules over src/ and tests/) must stay under 30 seconds.
+        monkeypatch.chdir(REPO_ROOT)
+        start = time.monotonic()
+        main(["src", "-q"], out=io.StringIO())
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0, f"lint gate took {elapsed:.1f}s (budget 30s)"

@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 export: structure, levels, fingerprints, call paths."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint.engine import Finding, lint_source
+from repro.lint.sarif import to_sarif, write_sarif
+
+
+def finding(**overrides) -> Finding:
+    base = dict(
+        path="src/repro/parallel/x.py", line=10, col=4,
+        code="SHM001", message="view escapes", source_line="return view",
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestStructure:
+    def test_top_level_shape(self):
+        log = to_sarif([finding()])
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 1
+
+    def test_result_location_is_one_based(self):
+        result = to_sarif([finding(line=7, col=0)])["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 7
+        assert region["startColumn"] == 1
+
+    def test_rule_descriptors_are_deduplicated(self):
+        log = to_sarif([finding(), finding(line=20)])
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["SHM001"]
+
+    def test_severity_maps_to_level(self):
+        results = to_sarif([
+            finding(severity="warning"),
+            finding(line=11),
+        ])["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["warning", "error"]
+
+    def test_fingerprint_is_stable_identity(self):
+        f = finding()
+        result = to_sarif([f])["runs"][0]["results"][0]
+        assert result["partialFingerprints"]["reproLint/v2"] == \
+            f.fingerprint()
+
+    def test_call_path_lands_in_message(self):
+        f = finding(call_path=("repro.a.f", "repro.b.g"))
+        result = to_sarif([f])["runs"][0]["results"][0]
+        assert "repro.a.f -> repro.b.g" in result["message"]["text"]
+
+    def test_empty_findings_still_valid(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestRoundTrip:
+    def test_write_sarif_produces_parseable_json(self, tmp_path):
+        target = tmp_path / "lint.sarif"
+        write_sarif([finding()], target)
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert data["runs"][0]["results"][0]["ruleId"] == "SHM001"
+
+    def test_real_findings_export(self, tmp_path):
+        findings = lint_source(textwrap.dedent("""
+            def _commit(state, dst):
+                state.comm[0] = dst
+
+            @snapshot_kernel("state")
+            def kernel(graph, state, dst):
+                _commit(state, dst)
+        """), "repro/parallel/fixture.py")
+        assert any(f.code == "SNAP101" for f in findings)
+        target = tmp_path / "lint.sarif"
+        write_sarif(findings, target)
+        data = json.loads(target.read_text(encoding="utf-8"))
+        ids = {r["ruleId"] for r in data["runs"][0]["results"]}
+        assert "SNAP101" in ids
