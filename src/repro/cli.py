@@ -13,10 +13,13 @@ Subcommands
 ``convert``   Convert a graph file between the supported formats.
 ``datasets``  List the eleven stand-ins and their paper reference rows.
 ``bench``     Run one experiment (or ``all``) from the §6 harness.
-``obs``       Observability: capture a traced run (``obs trace``), print a
-              Fig 8-style breakdown + span tree from a trace file
-              (``obs report``), or schema-check a Chrome trace
-              (``obs validate``).
+``obs``       Observability: capture a traced (optionally profiled) run
+              (``obs trace``), print a Fig 8-style breakdown + span tree
+              from a trace file (``obs report``), schema-check a Chrome
+              trace (``obs validate``), expose live metrics over HTTP in
+              Prometheus text format (``obs serve``), or gate fresh bench
+              records against the committed ``BENCH_*.json`` baselines
+              (``obs regress``).
 ``robust``    Fault tolerance: summarize a phase-boundary checkpoint
               (``robust inspect``), continue an interrupted run from one
               (``robust resume``), or run detection under a wall-clock/
@@ -45,6 +48,34 @@ import numpy as np
 from repro._version import __version__
 
 __all__ = ["main"]
+
+
+def _input_error(message: str) -> "SystemExit":
+    """Exit 2 (bad input) with a one-line message instead of a traceback.
+
+    Exit codes follow the Unix convention the obs subcommands document:
+    0 = success, 1 = the check failed (invalid trace, perf regression),
+    2 = the input itself was unusable (missing file, not JSON).
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_json_file(path: str):
+    """Load a JSON file for a CLI command; exit 2 on missing/non-JSON."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise _input_error(f"{path}: no such file")
+    except IsADirectoryError:
+        raise _input_error(f"{path}: is a directory, not a file")
+    except json.JSONDecodeError as exc:
+        raise _input_error(f"{path}: not valid JSON ({exc})")
+    except UnicodeDecodeError:
+        raise _input_error(f"{path}: not a text file")
 
 
 def _detect_format(path: str, fmt: str = "auto") -> str:
@@ -100,7 +131,8 @@ def _cmd_detect(args) -> int:
                 "pipeline, not --variant serial"
             )
         result = louvain_serial(graph, threshold=args.final_threshold,
-                                seed=args.seed, resolution=args.resolution)
+                                seed=args.seed, resolution=args.resolution,
+                                trace=args.trace)
         communities = result.communities
         iters = result.history.total_iterations
     else:
@@ -118,6 +150,7 @@ def _cmd_detect(args) -> int:
             resolution=args.resolution,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            trace=args.trace,
         )
         communities = result.communities
         iters = result.total_iterations
@@ -291,13 +324,25 @@ def _cmd_obs_trace(args) -> int:
         write_chrome_trace,
         write_jsonl,
     )
+    from repro.obs.profile import profile_run
     from repro.obs.report import render_breakdown
 
-    graph = _load_graph(args)
+    try:
+        graph = _load_graph(args)
+    except FileNotFoundError:
+        raise _input_error(f"{args.path}: no such file")
     print(f"graph: {graph}")
+    profiled = bool(args.profile or args.flame)
+    profile = None
     if args.variant == "serial":
-        result = louvain_serial(graph, threshold=args.final_threshold,
-                                seed=args.seed, trace=True)
+        # The serial pipeline has no profile knob; wrap it in the same
+        # scoped sampler the driver uses.
+        from contextlib import nullcontext
+
+        scope = profile_run() if profiled else nullcontext()
+        with scope as profile:
+            result = louvain_serial(graph, threshold=args.final_threshold,
+                                    seed=args.seed, trace=True)
     else:
         cutoff = (args.coloring_cutoff if args.coloring_cutoff is not None
                   else max(64, graph.num_vertices // 16))
@@ -309,18 +354,28 @@ def _cmd_obs_trace(args) -> int:
             num_threads=args.threads,
             seed=args.seed,
             trace=True,
+            profile=profiled,
         )
+        profile = result.profile
     tracer = result.trace
     print(f"modularity:  {result.modularity:.6f}")
     print(f"spans:       {len(tracer.events)}")
     if args.trace_format == "jsonl":
-        write_jsonl(tracer, args.out, history=result.history)
+        write_jsonl(tracer, args.out, history=result.history,
+                    profile=profile)
     elif args.trace_format == "flat":
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(to_flat_text(tracer))
     else:
-        write_chrome_trace(tracer, args.out, history=result.history)
+        write_chrome_trace(tracer, args.out, history=result.history,
+                           profile=profile)
     print(f"trace written to {args.out} ({args.trace_format})")
+    if profile is not None:
+        print(f"profile:     {profile.samples} samples at {profile.hz:g} Hz "
+              f"({100 * profile.attribution():.0f}% in repro frames)")
+        if args.flame:
+            profile.write_collapsed(args.flame)
+            print(f"collapsed stacks written to {args.flame}")
     print()
     print(render_breakdown(tracer), end="")
     return 0
@@ -329,20 +384,29 @@ def _cmd_obs_trace(args) -> int:
 def _cmd_obs_report(args) -> int:
     from repro.obs.export import load_trace
     from repro.obs.report import render_report
+    from repro.utils.errors import ValidationError
 
-    data = load_trace(args.trace)
+    try:
+        data = load_trace(args.trace)
+    except FileNotFoundError:
+        raise _input_error(f"{args.trace}: no such file")
+    except IsADirectoryError:
+        raise _input_error(f"{args.trace}: is a directory, not a file")
+    except UnicodeDecodeError:
+        raise _input_error(f"{args.trace}: not a text file")
+    except ValueError as exc:  # json.JSONDecodeError subclasses ValueError
+        raise _input_error(f"{args.trace}: not a valid trace file ({exc})")
+    except ValidationError as exc:
+        raise _input_error(f"{args.trace}: {exc}")
     print(render_report(data, tree=not args.no_tree,
                         max_depth=args.max_depth), end="")
     return 0
 
 
 def _cmd_obs_validate(args) -> int:
-    import json
-
     from repro.obs.export import validate_chrome_trace
 
-    with open(args.trace, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+    payload = _load_json_file(args.trace)
     problems = validate_chrome_trace(payload)
     if problems:
         for problem in problems:
@@ -352,6 +416,90 @@ def _cmd_obs_validate(args) -> int:
               if isinstance(payload, dict) else payload)
     print(f"OK: {len(events)} trace events, schema valid")
     return 0
+
+
+def _cmd_obs_serve(args) -> int:
+    from repro.obs.serve import serve
+
+    if args.ring is None:
+        print("serving the in-process registry (empty unless a traced run "
+              "is live in this process); pass --ring FILE to follow a "
+              "pipeline run's snapshot stream")
+    server = serve(ring=args.ring, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro obs serve: http://{host}:{port}/metrics "
+          f"(/healthz, /snapshot) — source: {server.source.describe()}")
+    try:
+        server.serve_forever()
+    finally:
+        print("obs serve: stopped")
+    return 0
+
+
+def _cmd_obs_regress(args) -> int:
+    from repro.obs.regress import (
+        DEFAULT_Q_TOL,
+        DEFAULT_TOL_RATIO,
+        DEFAULT_TOL_SECONDS,
+        load_records,
+        rerun_batch_records,
+        rerun_kernel_records,
+        run_regression,
+    )
+
+    committed: list = []
+    for path in (args.kernels, args.batch):
+        if path is None:
+            continue
+        _load_json_file(path)  # exit 2 with a clear message on bad input
+        try:
+            committed.extend(load_records(path))
+        except ValueError as exc:
+            raise _input_error(str(exc))
+    if not committed:
+        raise _input_error(
+            "no committed records (pass --kernels and/or --batch)"
+        )
+
+    fresh: list = []
+    for path in (args.fresh_kernels, args.fresh_batch):
+        if path is None:
+            continue
+        _load_json_file(path)
+        try:
+            fresh.extend(load_records(path))
+        except ValueError as exc:
+            raise _input_error(str(exc))
+    if args.rerun:
+        from repro.obs.regress import PHASE_GRAPHS
+
+        unknown = set(args.graphs or ()) - set(PHASE_GRAPHS)
+        if unknown:
+            raise _input_error(
+                f"unknown --graphs {sorted(unknown)} "
+                f"(choose from {sorted(PHASE_GRAPHS)})"
+            )
+        if args.kernels is not None:
+            fresh.extend(rerun_kernel_records(
+                graph_names=args.graphs or None, repeats=args.repeats,
+            ))
+        if args.batch is not None:
+            fresh.extend(rerun_batch_records(repeats=args.repeats))
+    if not fresh:
+        raise _input_error(
+            "no fresh records (pass --fresh-kernels/--fresh-batch or --rerun)"
+        )
+
+    ok, report = run_regression(
+        committed, fresh,
+        tol_ratio=(DEFAULT_TOL_RATIO if args.tol_ratio is None
+                   else args.tol_ratio),
+        tol_seconds=(DEFAULT_TOL_SECONDS if args.tol_seconds is None
+                     else args.tol_seconds),
+        q_tol=DEFAULT_Q_TOL if args.q_tol is None else args.q_tol,
+    )
+    print(report)
+    return 0 if ok else 1
 
 
 def _cmd_robust_inspect(args) -> int:
@@ -490,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["serial", "threads", "processes"],
                         default="serial")
     detect.add_argument("--threads", type=int, default=4)
+    detect.add_argument("--trace", action="store_true",
+                        help="enable the tracer (fills counters/gauges; "
+                             "with REPRO_OBS_RING set, streams live "
+                             "snapshots for `repro-louvain obs serve`)")
     detect.add_argument("--output", help="write the assignment to a file")
     detect.add_argument("--checkpoint", metavar="FILE",
                         help="write a phase-boundary checkpoint here "
@@ -573,6 +725,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="chrome = Perfetto/chrome://tracing JSON "
                                 "(default), jsonl = lossless event log, "
                                 "flat = key/value text")
+    obs_trace.add_argument("--profile", action="store_true",
+                           help="also run the sampling wall-clock profiler "
+                                "and embed its collapsed stacks in the "
+                                "trace (chrome/jsonl formats)")
+    obs_trace.add_argument("--flame", metavar="FILE",
+                           help="write the profiler's collapsed-stack file "
+                                "here (flamegraph.pl / speedscope input; "
+                                "implies --profile)")
     obs_trace.set_defaults(func=_cmd_obs_trace)
 
     obs_report = obs_sub.add_parser(
@@ -590,6 +750,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_validate.add_argument("trace", help="Chrome trace JSON file")
     obs_validate.set_defaults(func=_cmd_obs_validate)
+
+    obs_serve = obs_sub.add_parser(
+        "serve",
+        help="HTTP exposition endpoint: /metrics (Prometheus text), "
+             "/healthz, /snapshot — follows a run's --ring file or this "
+             "process's live registry",
+    )
+    obs_serve.add_argument("--ring", metavar="FILE", default=None,
+                           help="JSONL snapshot ring file a pipeline run "
+                                "streams (REPRO_OBS_RING / "
+                                "LouvainConfig.metrics_ring)")
+    obs_serve.add_argument("--host", default="127.0.0.1")
+    obs_serve.add_argument("--port", type=int, default=9464,
+                           help="TCP port (0 = ephemeral; default 9464)")
+    obs_serve.set_defaults(func=_cmd_obs_serve)
+
+    obs_regress = obs_sub.add_parser(
+        "regress",
+        help="perf-regression gate: compare fresh bench records against "
+             "committed BENCH_*.json; exits 1 on regression",
+    )
+    obs_regress.add_argument("--kernels", metavar="FILE",
+                             default="BENCH_kernels.json",
+                             help="committed kernel records (default "
+                                  "BENCH_kernels.json; pass --no-kernels "
+                                  "to skip)")
+    obs_regress.add_argument("--no-kernels", dest="kernels",
+                             action="store_const", const=None,
+                             help="skip the kernel suite")
+    obs_regress.add_argument("--batch", metavar="FILE",
+                             default="BENCH_batch.json",
+                             help="committed batch records (default "
+                                  "BENCH_batch.json; pass --no-batch to "
+                                  "skip)")
+    obs_regress.add_argument("--no-batch", dest="batch",
+                             action="store_const", const=None,
+                             help="skip the batch suite")
+    obs_regress.add_argument("--fresh-kernels", metavar="FILE", default=None,
+                             help="fresh kernel records to judge")
+    obs_regress.add_argument("--fresh-batch", metavar="FILE", default=None,
+                             help="fresh batch records to judge")
+    obs_regress.add_argument("--rerun", action="store_true",
+                             help="re-time the optimized configurations "
+                                  "in-process to produce fresh records")
+    obs_regress.add_argument("--graphs", nargs="*", default=None,
+                             help="subset of kernel graphs for --rerun")
+    obs_regress.add_argument("--repeats", type=int, default=1,
+                             help="best-of-N repeats for --rerun (default 1)")
+    obs_regress.add_argument("--tol-ratio", type=float, default=None,
+                             help="relative wall-clock headroom "
+                                  "(default 0.25)")
+    obs_regress.add_argument("--tol-seconds", type=float, default=None,
+                             help="absolute wall-clock headroom in seconds "
+                                  "(default 0.25; raise on shared runners)")
+    obs_regress.add_argument("--q-tol", type=float, default=None,
+                             help="tolerated modularity drop (default 0.01)")
+    obs_regress.set_defaults(func=_cmd_obs_regress)
 
     robust = sub.add_parser(
         "robust", help="fault tolerance: inspect / resume checkpoints"

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.backends import backend_default as array_backend_default
 from repro.lint.sanitizer import sanitize_default
+from repro.obs.live import metrics_ring_default
+from repro.obs.profile import profile_default
 from repro.obs.trace import trace_default
 from repro.robust.budget import RunBudget
 from repro.robust.faults import fault_plan_default, parse_fault_plan
@@ -144,6 +146,22 @@ class LouvainConfig:
         (``repro obs``).  Defaults to the ``REPRO_TRACE`` environment
         setting, mirroring ``sanitize``; off means the near-zero-overhead
         null path.  Results are bitwise identical traced or not.
+    profile:
+        Run the sampling wall-clock profiler (:mod:`repro.obs.profile`)
+        for the duration of the pipeline and attach its collapsed-stack
+        :class:`~repro.obs.profile.ProfileData` to ``result.profile``.
+        Defaults to the ``REPRO_PROFILE`` environment setting.  The
+        sampler only reads thread stacks; results are bitwise identical
+        profiled or not.  Execution mechanics, not a semantic field.
+    metrics_ring:
+        Optional path of a JSONL ring file the driver streams periodic
+        :class:`~repro.obs.live.MetricsSnapshot` lines to while running
+        (:mod:`repro.obs.live`), making the run observable live via
+        ``repro obs serve --ring PATH``.  Defaults to the
+        ``REPRO_OBS_RING`` environment setting; ``None`` streams
+        nothing.  Snapshots carry data only when ``trace`` is enabled
+        (the metric helpers are trace-gated).  Execution mechanics, not
+        a semantic field.
     resolution:
         Resolution parameter γ of the generalized modularity objective
         (1.0 = the paper's Eq. 3).  The paper lists alternative modularity
@@ -188,6 +206,8 @@ class LouvainConfig:
     array_backend: str = field(default_factory=array_backend_default)
     sanitize: bool = field(default_factory=sanitize_default)
     trace: bool = field(default_factory=trace_default)
+    profile: bool = field(default_factory=profile_default)
+    metrics_ring: "str | None" = field(default_factory=metrics_ring_default)
     num_threads: int = 4
     max_phases: int = 32
     max_iterations_per_phase: int = 1000
@@ -216,6 +236,11 @@ class LouvainConfig:
             raise ValidationError(f"unknown backend {self.backend!r}")
         if not isinstance(self.array_backend, str) or not self.array_backend:
             raise ValidationError("array_backend must be a backend name")
+        if self.metrics_ring is not None and (
+                not isinstance(self.metrics_ring, str) or not self.metrics_ring):
+            raise ValidationError(
+                "metrics_ring must be a non-empty path or None"
+            )
         if self.distance_k < 1:
             raise ValidationError("distance_k must be >= 1")
         if self.colorer not in ("jones_plassmann", "speculative", "greedy"):

@@ -48,6 +48,8 @@ from repro.core.workspace import SweepWorkspace
 from repro.core.vf import VFResult, chain_compress, vf_merge
 from repro.graph.coarsen import coarsen
 from repro.graph.csr import CSRGraph
+from repro.obs.live import stream_metrics
+from repro.obs.profile import ProfileData, profile_run
 from repro.obs.trace import Tracer, use_tracer
 from repro.parallel.backends import make_backend
 from repro.robust.budget import BudgetOutcome, use_budget
@@ -90,6 +92,11 @@ class LouvainResult:
         The run's :class:`~repro.obs.trace.Tracer` when ``config.trace``
         was enabled (feed it to :mod:`repro.obs.export` /
         :mod:`repro.obs.report`); ``None`` otherwise.
+    profile:
+        Collapsed-stack :class:`~repro.obs.profile.ProfileData` when
+        ``config.profile`` was enabled (write it out with
+        ``profile.write_collapsed(path)`` or merge it into the Chrome
+        trace); ``None`` otherwise.
     budget_outcome:
         What the run's :class:`~repro.robust.budget.RunBudget` did —
         completion vs. cancellation (and why), counters, degradation
@@ -106,6 +113,7 @@ class LouvainResult:
     vf: VFResult | None = None
     trace: "Tracer | None" = None
     budget_outcome: "BudgetOutcome | None" = None
+    profile: "ProfileData | None" = None
 
     @property
     def num_communities(self) -> int:
@@ -275,6 +283,14 @@ def louvain(
     # backend's recovery loop consult it); its clock starts here.
     controller = _obs.enter_context(use_budget(cfg.budget))
     _obs.enter_context(controller.signal_scope())
+    # Live plane (optional, read-only): stream periodic registry
+    # snapshots to the ring file and/or sample this thread's stack.
+    # Both only observe — results stay bitwise identical either way.
+    if cfg.metrics_ring:
+        _obs.enter_context(stream_metrics(tracer, cfg.metrics_ring))
+    profile_data: "ProfileData | None" = None
+    if cfg.profile:
+        profile_data = _obs.enter_context(profile_run())
     _obs.enter_context(tracer.span(
         "louvain", cat="pipeline", variant=cfg.variant_name,
         n=n_original, backend=cfg.backend,
@@ -544,4 +560,5 @@ def louvain(
         vf=vf_result,
         trace=tracer if cfg.trace else None,
         budget_outcome=budget_outcome,
+        profile=profile_data,
     )

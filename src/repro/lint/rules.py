@@ -48,6 +48,16 @@ DEAD001
     timeout variable, or the ambient ``BudgetController`` (complements
     QUEUE001, which covers the blocking-``get`` variant of the same
     class).
+OBS002
+    Metric/span name literals passed to the obs surface (``count``,
+    ``gauge``, ``observe``, ``span``, ``step`` on a tracer/registry
+    receiver) that do not match the ``dotted.lower_snake`` scheme
+    ``^[a-z][a-z0-9_]*(\\.[a-z0-9_]+)*$`` (later segments may be numeric:
+    ``worker.0.alive``).  One naming scheme keeps the Prometheus
+    exposition mapping (``repro_`` + dots→underscores) collision-free
+    and dashboards greppable (docs/observability.md).  F-string names
+    are checked on their static fragments (each must stay within
+    ``[a-z0-9_.]``); fully dynamic names are skipped.
 XPA001
     Direct ``np.<fn>(...)`` calls in the array-API-tier kernel modules
     (``core/{sweep,workspace,gain,modularity,batch}.py``,
@@ -76,6 +86,7 @@ DTYPE001
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -504,6 +515,91 @@ class DirectTimingRule(Rule):
                     )
 
 
+# ---------------------------------------------------------------------------
+# OBS002 — metric/span names must follow the dotted.lower_snake scheme
+# ---------------------------------------------------------------------------
+#: Full metric/span name: lower_snake segments joined by dots; the first
+#: segment must start with a letter, later segments may be numeric
+#: (``worker.0.alive``).
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+#: Static fragments of an f-string name may only contribute these
+#: characters (the dynamic parts fill in whole segments).
+_METRIC_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+#: Obs-surface methods that take a metric/span name first.
+_OBS_NAME_METHODS = frozenset({"count", "gauge", "observe", "span", "step"})
+#: Receiver names that identify the obs surface (``tracer.count``,
+#: ``self._tracer.gauge``, ``reg.observe``, ``tracer.metrics.count``).
+_OBS_RECEIVERS = frozenset({"tracer", "_tracer", "metrics", "registry", "reg"})
+
+
+class MetricNameSchemeRule(Rule):
+    code = "OBS002"
+    description = (
+        "metric/span name off the dotted.lower_snake scheme — one naming "
+        "scheme keeps the Prometheus mapping collision-free and "
+        "dashboards greppable (docs/observability.md)"
+    )
+
+    def applies(self, ctx):
+        return ctx.is_library_code()
+
+    @staticmethod
+    def _is_obs_receiver(node: ast.AST) -> bool:
+        """Receiver looks like a tracer/registry (``get_tracer()`` included)."""
+        if isinstance(node, ast.Name):
+            return node.id in _OBS_RECEIVERS
+        if isinstance(node, ast.Attribute):
+            return node.attr in _OBS_RECEIVERS
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return chain is not None and chain[-1] == "get_tracer"
+        return False
+
+    @staticmethod
+    def _name_arg(node: ast.Call) -> "ast.AST | None":
+        if node.args:
+            return node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "name":
+                return kw.value
+        return None
+
+    def check(self, tree, ctx):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _OBS_NAME_METHODS
+                    and self._is_obs_receiver(node.func.value)):
+                continue
+            arg = self._name_arg(node)
+            if arg is None:
+                continue
+            method = node.func.attr
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if not _METRIC_NAME_RE.match(arg.value):
+                    yield RuleFinding(
+                        node.lineno, node.col_offset, self.code,
+                        f"{method} name {arg.value!r} is off the "
+                        "dotted.lower_snake scheme "
+                        "(^[a-z][a-z0-9_]*(\\.[a-z0-9_]+)*$)",
+                    )
+            elif isinstance(arg, ast.JoinedStr):
+                bad = [
+                    part.value for part in arg.values
+                    if isinstance(part, ast.Constant)
+                    and isinstance(part.value, str)
+                    and not _METRIC_FRAGMENT_RE.match(part.value)
+                ]
+                if bad:
+                    yield RuleFinding(
+                        node.lineno, node.col_offset, self.code,
+                        f"{method} f-string name has fragment(s) "
+                        f"{bad!r} outside [a-z0-9_.]; keep dynamic names "
+                        "on the dotted.lower_snake scheme",
+                    )
+            # Anything else (a variable, a call) is dynamic: skipped.
+
+
 class UntimedQueueGetRule(Rule):
     code = "QUEUE001"
     description = (
@@ -784,6 +880,7 @@ RULES: tuple[Rule, ...] = (
     UnorderedToArrayRule(),
     WorkerScatterRule(),
     DirectTimingRule(),
+    MetricNameSchemeRule(),
     UntimedQueueGetRule(),
     SleepWithoutDeadlineRule(),
     MutableDefaultRule(),

@@ -26,7 +26,28 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.live import (
+    METRICS_RING_ENV,
+    MetricsSnapshot,
+    SnapshotStreamer,
+    load_ring,
+    metrics_ring_default,
+    stream_metrics,
+)
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    PROFILE_ENV,
+    ProfileData,
+    SamplingProfiler,
+    profile_default,
+    profile_run,
+    resolve_profile,
+)
+from repro.obs.regress import (
+    Comparison,
+    compare_records,
+    run_regression,
+)
 from repro.obs.report import (
     aggregate_span_tree,
     history_from_trace,
@@ -34,6 +55,13 @@ from repro.obs.report import (
     render_report,
     render_span_tree,
     step_breakdown,
+)
+from repro.obs.serve import (
+    ObsServer,
+    RegistrySource,
+    RingFileSource,
+    render_prometheus,
+    serve,
 )
 from repro.obs.trace import (
     TRACE_ENV,
@@ -47,24 +75,44 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Comparison",
     "DEFAULT_BUCKETS",
     "Histogram",
+    "METRICS_RING_ENV",
     "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsServer",
+    "PROFILE_ENV",
+    "ProfileData",
+    "RegistrySource",
+    "RingFileSource",
+    "SamplingProfiler",
+    "SnapshotStreamer",
     "TRACE_ENV",
     "TraceData",
     "TraceEvent",
     "Tracer",
     "aggregate_span_tree",
+    "compare_records",
     "get_tracer",
     "history_from_trace",
     "load_jsonl",
+    "load_ring",
     "load_trace",
+    "metrics_ring_default",
+    "profile_default",
+    "profile_run",
     "render_breakdown",
+    "render_prometheus",
     "render_report",
     "render_span_tree",
+    "resolve_profile",
     "resolve_trace",
+    "run_regression",
+    "serve",
     "set_tracer",
     "step_breakdown",
+    "stream_metrics",
     "to_chrome_trace",
     "to_flat_text",
     "to_jsonl_lines",

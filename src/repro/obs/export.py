@@ -7,7 +7,8 @@ Three formats, one event stream (:mod:`repro.obs.trace`):
     ``span`` (one :class:`~repro.obs.trace.TraceEvent`), ``steps`` (the
     Fig. 8 step buckets), ``metrics`` (the registry snapshot) and
     optionally ``history`` (a serialized
-    :class:`~repro.core.history.ConvergenceHistory`).  Lossless: the
+    :class:`~repro.core.history.ConvergenceHistory`) and ``profile``
+    (collapsed-stack samples, :mod:`repro.obs.profile`).  Lossless: the
     :func:`load_jsonl` round-trip restores every event field, which is
     what :mod:`repro.obs.report` and the test-suite consume.
 
@@ -18,8 +19,8 @@ Three formats, one event stream (:mod:`repro.obs.trace`):
     rebased to the earliest span), ordered by a DFS over the recorded
     parent links so nesting is correct even under timestamp ties; instant
     events use ``ph: "i"``.  Extra top-level keys (``reproMetrics``,
-    ``reproSteps``, ``reproHistory``) carry the non-span payloads and are
-    ignored by viewers.  :func:`validate_chrome_trace` checks the schema
+    ``reproSteps``, ``reproHistory``, ``reproProfile``) carry the
+    non-span payloads and are ignored by viewers.  :func:`validate_chrome_trace` checks the schema
     (every ``B`` closed by a matching ``E`` per ``(pid, tid)``, consistent
     ids, non-negative clocks) — the CI smoke gate.
 
@@ -65,6 +66,7 @@ class TraceData:
     step_totals: dict[str, float] = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     history: "dict | None" = None
+    profile: "dict | None" = None
 
     def sorted_events(self) -> list[TraceEvent]:
         return sorted(self.events, key=lambda e: (e.ts, e.id))
@@ -84,7 +86,7 @@ def _as_trace_data(trace: "Tracer | TraceData") -> TraceData:
 # JSONL
 # ---------------------------------------------------------------------------
 def to_jsonl_lines(trace: "Tracer | TraceData",
-                   history=None) -> list[str]:
+                   history=None, profile=None) -> list[str]:
     """Serialize a trace as JSONL lines (no trailing newlines)."""
     data = _as_trace_data(trace)
     lines = [json.dumps({"type": "meta", "version": JSONL_VERSION,
@@ -96,6 +98,9 @@ def to_jsonl_lines(trace: "Tracer | TraceData",
     history_dict = _history_dict(history, data)
     if history_dict is not None:
         lines.append(json.dumps({"type": "history", "history": history_dict}))
+    profile_dict = _profile_dict(profile, data)
+    if profile_dict is not None:
+        lines.append(json.dumps({"type": "profile", "profile": profile_dict}))
     return lines
 
 
@@ -106,10 +111,18 @@ def _history_dict(history, data: TraceData):
     return to_json_dict() if to_json_dict is not None else dict(history)
 
 
-def write_jsonl(trace: "Tracer | TraceData", path, history=None) -> None:
+def _profile_dict(profile, data: TraceData):
+    if profile is None:
+        return data.profile
+    to_dict = getattr(profile, "to_dict", None)
+    return to_dict() if to_dict is not None else dict(profile)
+
+
+def write_jsonl(trace: "Tracer | TraceData", path, history=None,
+                profile=None) -> None:
     """Write the JSONL event log to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        for line in to_jsonl_lines(trace, history=history):
+        for line in to_jsonl_lines(trace, history=history, profile=profile):
             fh.write(line + "\n")
 
 
@@ -133,6 +146,8 @@ def load_jsonl(path) -> TraceData:
                 data.metrics = obj.get("metrics", {})
             elif kind == "history":
                 data.history = obj.get("history")
+            elif kind == "profile":
+                data.profile = obj.get("profile")
     return data
 
 
@@ -166,7 +181,8 @@ def _chrome_args(event: TraceEvent) -> dict:
     return args
 
 
-def to_chrome_trace(trace: "Tracer | TraceData", history=None) -> dict:
+def to_chrome_trace(trace: "Tracer | TraceData", history=None,
+                    profile=None) -> dict:
     """Build the Chrome trace-event object for a recorded trace.
 
     Timestamps are microseconds rebased to the earliest event, spans are
@@ -212,14 +228,18 @@ def to_chrome_trace(trace: "Tracer | TraceData", history=None) -> dict:
     history_dict = _history_dict(history, data)
     if history_dict is not None:
         payload["reproHistory"] = history_dict
+    profile_dict = _profile_dict(profile, data)
+    if profile_dict is not None:
+        payload["reproProfile"] = profile_dict
     return payload
 
 
 def write_chrome_trace(trace: "Tracer | TraceData", path,
-                       history=None) -> None:
+                       history=None, profile=None) -> None:
     """Write a Perfetto/``chrome://tracing``-loadable JSON file."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(trace, history=history), fh, indent=1)
+        json.dump(to_chrome_trace(trace, history=history, profile=profile),
+                  fh, indent=1)
         fh.write("\n")
 
 
@@ -327,6 +347,7 @@ def load_chrome_trace(path) -> TraceData:
         }
         data.metrics = payload.get("reproMetrics", {})
         data.history = payload.get("reproHistory")
+        data.profile = payload.get("reproProfile")
     open_spans: dict[tuple, list] = {}
     synthetic_id = 0
     for event in events_in:
@@ -373,7 +394,7 @@ def load_trace(path) -> TraceData:
     except json.JSONDecodeError:
         first = None
     if isinstance(first, dict) and first.get("type") in (
-        "meta", "span", "steps", "metrics", "history",
+        "meta", "span", "steps", "metrics", "history", "profile",
     ):
         return load_jsonl(path)
     return load_chrome_trace(path)

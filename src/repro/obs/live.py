@@ -1,0 +1,302 @@
+"""Live metrics exposition: periodic snapshots of a running registry.
+
+Everything in :mod:`repro.obs` so far is *post hoc* — traces and metrics
+become visible only after the run exports them.  This module adds the
+live plane: a :class:`SnapshotStreamer` samples the ambient
+:class:`~repro.obs.metrics.MetricsRegistry` on a background thread at a
+fixed cadence and publishes each :class:`MetricsSnapshot` to
+
+* an in-memory ring buffer (``streamer.latest()`` / ``history()``), the
+  in-process source the HTTP endpoint (:mod:`repro.obs.serve`) reads; and
+* optionally a **JSONL ring file** — one snapshot per line, compacted
+  atomically (write-temp + ``os.replace``) once it exceeds
+  ``2 * keep_lines`` lines — the cross-process source, so a separate
+  ``repro obs serve --ring FILE`` process can observe a job it did not
+  start.
+
+Design constraints:
+
+1. **Never perturb the run.**  The streamer only *reads* the registry:
+   counters/gauges are shallow-copied, histograms serialized via
+   ``to_dict``.  No locks are added to the hot path; instead a snapshot
+   attempt that races a registry mutation (``RuntimeError: dictionary
+   changed size during iteration``) is simply dropped and retried on the
+   next tick.  Losing one periodic sample is harmless; stalling a sweep
+   is not.
+2. **Zero overhead when off.**  Nothing starts unless the driver is
+   asked to (``LouvainConfig.metrics_ring`` / ``REPRO_OBS_RING``); the
+   sampling thread is a daemon paced by ``threading.Event.wait`` so it
+   wakes instantly on stop and never outlives the process.
+3. **Bitwise-identical results.**  The streamer observes; it never
+   writes to the registry, and the pipeline never reads from it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "METRICS_RING_ENV",
+    "OBS_INTERVAL_ENV",
+    "MetricsSnapshot",
+    "SnapshotStreamer",
+    "load_ring",
+    "metrics_ring_default",
+    "obs_interval_default",
+    "stream_metrics",
+]
+
+#: Environment variable naming the JSONL ring file (empty/unset = no ring).
+METRICS_RING_ENV = "REPRO_OBS_RING"
+#: Environment variable overriding the sampling interval in seconds.
+OBS_INTERVAL_ENV = "REPRO_OBS_INTERVAL"
+
+#: Default sampling cadence (seconds) — coarse enough to be invisible
+#: next to a sweep, fine enough for a live dashboard.
+DEFAULT_INTERVAL_S = 0.5
+#: Snapshots retained in memory and (post-compaction) in the ring file.
+DEFAULT_KEEP = 256
+
+
+def metrics_ring_default() -> "str | None":
+    """Library-wide ring-file default, read from ``REPRO_OBS_RING``.
+
+    Unset or empty means no ring file (the overhead-free default);
+    otherwise the value is the path the driver streams snapshots to.
+    Mirrors :func:`repro.obs.trace.trace_default`.
+    """
+    path = os.environ.get(METRICS_RING_ENV, "").strip()
+    return path or None
+
+
+def obs_interval_default() -> float:
+    """Sampling interval in seconds (``REPRO_OBS_INTERVAL``, default 0.5)."""
+    raw = os.environ.get(OBS_INTERVAL_ENV, "").strip()
+    if not raw:
+        return DEFAULT_INTERVAL_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL_S
+    return value if value > 0 else DEFAULT_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One point-in-time view of a registry, with identity and clocks.
+
+    ``ts`` is ``time.perf_counter`` (monotonic, comparable to span
+    timestamps); ``wall`` is ``time.time`` (epoch seconds, for humans and
+    cross-host correlation).  ``seq`` increases per streamer, so a reader
+    following the ring file can detect gaps from dropped ticks.
+    """
+
+    seq: int
+    ts: float
+    wall: float
+    pid: int
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one ring-file line)."""
+        return {
+            "seq": self.seq, "ts": self.ts, "wall": self.wall,
+            "pid": self.pid, "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": dict(self.histograms),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        if not isinstance(data, dict):
+            raise TypeError(f"snapshot line must be an object, got "
+                            f"{type(data).__name__}")
+        return cls(
+            seq=int(data.get("seq", 0)), ts=float(data.get("ts", 0.0)),
+            wall=float(data.get("wall", 0.0)), pid=int(data.get("pid", 0)),
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms=dict(data.get("histograms", {})),
+        )
+
+
+def capture_snapshot(tracer: Tracer, seq: int) -> "MetricsSnapshot | None":
+    """Read ``tracer.metrics`` without locking; ``None`` if a mutation raced.
+
+    The pipeline mutates the registry's dicts freely (no locks on the hot
+    path, by design); iterating them here can therefore raise
+    ``RuntimeError``.  Dropping the racy sample keeps the live plane
+    strictly read-only — the next tick will catch up.
+    """
+    metrics = tracer.metrics
+    try:
+        return MetricsSnapshot(
+            seq=seq,
+            ts=time.perf_counter(),
+            wall=time.time(),
+            pid=os.getpid(),
+            counters=dict(metrics.counters),
+            gauges=dict(metrics.gauges),
+            histograms={name: hist.to_dict()
+                        for name, hist in metrics.histograms.items()},
+        )
+    except RuntimeError:
+        return None
+
+
+def load_ring(path: str) -> list[MetricsSnapshot]:
+    """Parse a JSONL ring file into snapshots (bad lines skipped).
+
+    A line being appended while we read may be truncated; a compaction
+    may swap the file out from under us.  Both surface as parse errors on
+    individual lines, which are skipped — the ring is a lossy live view,
+    not a durable log.
+    """
+    snapshots: list[MetricsSnapshot] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    snapshots.append(MetricsSnapshot.from_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue
+    except OSError:
+        return []
+    return snapshots
+
+
+class SnapshotStreamer:
+    """Background sampler: registry → ring buffer (+ optional ring file).
+
+    >>> tracer = Tracer(enabled=True)
+    >>> tracer.metrics.count("sweep.moves", 3)
+    >>> s = SnapshotStreamer(tracer, interval_s=0.01)
+    >>> _ = s.start(); _ = s.tick(); _ = s.stop()
+    >>> s.latest().counters["sweep.moves"]
+    3
+    """
+
+    def __init__(self, tracer: Tracer, path: "str | None" = None,
+                 interval_s: "float | None" = None,
+                 keep: int = DEFAULT_KEEP) -> None:
+        self.tracer = tracer
+        self.path = path
+        self.interval_s = (obs_interval_default()
+                           if interval_s is None else float(interval_s))
+        self.keep = max(1, int(keep))
+        self.ring: deque[MetricsSnapshot] = deque(maxlen=self.keep)
+        self.dropped = 0  # racy ticks skipped (diagnostic, not an error)
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._lines_written = 0
+
+    # -- sampling -----------------------------------------------------------
+    def tick(self) -> "MetricsSnapshot | None":
+        """Take one snapshot now (also called by the background thread)."""
+        self._seq += 1
+        snap = capture_snapshot(self.tracer, self._seq)
+        if snap is None:
+            self.dropped += 1
+            return None
+        self.ring.append(snap)
+        if self.path:
+            self._append_line(snap)
+        return snap
+
+    def latest(self) -> "MetricsSnapshot | None":
+        """Most recent snapshot (``None`` before the first tick)."""
+        return self.ring[-1] if self.ring else None
+
+    def history(self) -> list[MetricsSnapshot]:
+        """All retained snapshots, oldest first."""
+        return list(self.ring)
+
+    # -- ring file ----------------------------------------------------------
+    def _append_line(self, snap: MetricsSnapshot) -> None:
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(snap.to_dict(), sort_keys=True) + "\n")
+            self._lines_written += 1
+            if self._lines_written >= 2 * self.keep:
+                self._compact()
+        except OSError:
+            # A vanished directory or full disk must not take the run down.
+            self.dropped += 1
+
+    def _compact(self) -> None:
+        """Atomically rewrite the ring file to its last ``keep`` snapshots."""
+        tail = list(self.ring)[-self.keep:]
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for snap in tail:
+                fh.write(json.dumps(snap.to_dict(), sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+        self._lines_written = len(tail)
+
+    # -- lifecycle ----------------------------------------------------------
+    def _run(self) -> None:
+        # Event.wait paces the loop and doubles as the stop signal: no
+        # bare sleeps (DEAD001), instant wakeup on stop().
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def start(self) -> "SnapshotStreamer":
+        """Start the sampling thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-streamer", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and take one final snapshot (the run's last word)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.tick()
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStreamer(path={self.path!r}, "
+            f"interval_s={self.interval_s}, snapshots={len(self.ring)}, "
+            f"dropped={self.dropped})"
+        )
+
+
+@contextmanager
+def stream_metrics(tracer: Tracer, path: "str | None" = None,
+                   interval_s: "float | None" = None,
+                   keep: int = DEFAULT_KEEP):
+    """Scoped streamer: start on enter, final snapshot + stop on exit.
+
+    The driver wraps its pipeline span with this when
+    ``LouvainConfig.metrics_ring`` (or ``REPRO_OBS_RING``) names a ring
+    file, so any run becomes live-observable without code changes::
+
+        with stream_metrics(tracer, "ring.jsonl"):
+            ...  # run; `repro obs serve --ring ring.jsonl` follows along
+    """
+    streamer = SnapshotStreamer(tracer, path=path, interval_s=interval_s,
+                                keep=keep)
+    streamer.start()
+    try:
+        yield streamer
+    finally:
+        streamer.stop()

@@ -150,17 +150,26 @@ class MetricsRegistry:
     >>> reg.observe("iteration.moves", 5)
     >>> snap = reg.snapshot()
     >>> snap["counters"]["sweep.moves"], snap["gauges"]["worker.chunk_imbalance"]
-    (5.0, 1.25)
+    (5, 1.25)
     """
 
     def __init__(self) -> None:
-        self.counters: dict[str, float] = {}
+        self.counters: dict[str, "int | float"] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
 
-    def count(self, name: str, value: float = 1.0) -> None:
-        """Add ``value`` to counter ``name`` (creating it at 0)."""
-        self.counters[name] = self.counters.get(name, 0.0) + float(value)
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0).
+
+        Integral increments accumulate as Python ints: counting in floats
+        silently loses increments once a counter passes 2**53, which a
+        long multi-graph batch can genuinely reach for ``sweep.moves``.
+        Non-integral increments (rare, but allowed) degrade to float.
+        """
+        if not isinstance(value, int):
+            as_float = float(value)
+            value = int(as_float) if as_float.is_integer() else as_float
+        self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
@@ -197,7 +206,7 @@ class MetricsRegistry:
         """Fold a :meth:`snapshot` payload (e.g. from a forked worker)."""
         other = MetricsRegistry()
         for name, value in snapshot.get("counters", {}).items():
-            other.counters[name] = float(value)
+            other.count(name, value)  # int-preserving, unlike float(value)
         for name, value in snapshot.get("gauges", {}).items():
             other.gauges[name] = float(value)
         for name, data in snapshot.get("histograms", {}).items():

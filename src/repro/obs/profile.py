@@ -1,0 +1,300 @@
+"""Sampling wall-clock profiler: collapsed stacks, zero dependencies.
+
+The span tracer (:mod:`repro.obs.trace`) answers *where the pipeline
+spends time by stage*; this module answers *which frames the interpreter
+is actually in* — the kernel-level hot-spot attribution ROADMAP item 2
+(native accelerator kernels) needs to decide what to fuse next.
+
+A :class:`SamplingProfiler` wakes a daemon thread at a configurable rate
+(``hz``, default 101) and walks ``sys._current_frames()`` for its target
+threads, folding each observed stack into a ``frame;frame;frame → count``
+map — the **collapsed-stack** format Brendan Gregg's ``flamegraph.pl``
+and speedscope consume directly.  Frames are named ``module.funcname``.
+
+Sampling is **thread-based, not signal-based**: ``SIGPROF`` would
+collide with the budget layer's SIGINT/SIGTERM handling
+(:mod:`repro.robust.budget`) and cannot fire on non-main threads, while
+a sampling thread reads other threads' frames without interrupting them.
+The profiled run is never paused, patched, or traced — results are
+bitwise identical with the profiler on or off, which the integration
+suite asserts per backend.
+
+By default only the thread that *created* the profiler (the driver
+thread) is sampled: its stack always bottoms out in pipeline frames —
+including while it blocks in a backend join, which wall-clock profiling
+should attribute to that call site.  ``all_threads=True`` widens to
+every thread except the obs machinery itself (sampler, streamer, HTTP
+server), which exists to observe and must not observe itself.
+
+Enablement mirrors ``trace``: ``LouvainConfig.profile`` defaults to the
+``REPRO_PROFILE`` environment variable; the sampling rate to
+``REPRO_PROFILE_HZ``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PROFILE_ENV",
+    "PROFILE_HZ_ENV",
+    "ProfileData",
+    "SamplingProfiler",
+    "profile_default",
+    "profile_hz_default",
+    "profile_run",
+    "resolve_profile",
+]
+
+#: Environment variable that flips the library-wide profiling default.
+PROFILE_ENV = "REPRO_PROFILE"
+#: Environment variable overriding the sampling rate in Hz.
+PROFILE_HZ_ENV = "REPRO_PROFILE_HZ"
+
+#: Default sampling rate.  Prime, so the sampler does not phase-lock with
+#: periodic pipeline work (the classic 100 Hz vs 10 ms-timer artifact).
+DEFAULT_HZ = 101.0
+#: Stack frames kept per sample (deep recursion is truncated at the root).
+MAX_DEPTH = 128
+
+#: Thread-name prefix shared by the obs machinery's own daemon threads
+#: (streamer, HTTP server, this sampler) — excluded from all-thread
+#: sampling so the observer never profiles itself.
+_OBS_THREAD_PREFIX = "repro-obs-"
+
+
+def profile_default() -> bool:
+    """Library-wide profiling default, read from ``REPRO_PROFILE``.
+
+    Unset/empty/``0``/``false``/``off`` (case-insensitive) mean off.
+    Mirrors :func:`repro.obs.trace.trace_default`.
+    """
+    return os.environ.get(PROFILE_ENV, "").strip().lower() not in (
+        "", "0", "false", "off",
+    )
+
+
+def resolve_profile(flag: "bool | None") -> bool:
+    """Resolve a tri-state profile argument (``None`` → env default)."""
+    return profile_default() if flag is None else bool(flag)
+
+
+def profile_hz_default() -> float:
+    """Sampling rate in Hz (``REPRO_PROFILE_HZ``, default 101)."""
+    raw = os.environ.get(PROFILE_HZ_ENV, "").strip()
+    if not raw:
+        return DEFAULT_HZ
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_HZ
+    return value if value > 0 else DEFAULT_HZ
+
+
+@dataclass
+class ProfileData:
+    """Collapsed-stack sample counts from one profiled run.
+
+    ``stacks`` maps a semicolon-joined root-to-leaf frame chain to the
+    number of samples observed in it — exactly one line of the collapsed
+    format per entry.
+    """
+
+    hz: float = DEFAULT_HZ
+    samples: int = 0
+    duration_s: float = 0.0
+    stacks: dict[str, int] = field(default_factory=dict)
+
+    def record(self, frames: "list[str]") -> None:
+        """Fold one observed root-to-leaf frame chain into the counts."""
+        if not frames:
+            return
+        key = ";".join(frames)
+        self.stacks[key] = self.stacks.get(key, 0) + 1
+        self.samples += 1
+
+    def merge(self, other: "ProfileData") -> None:
+        """Fold another profile into this one (counts add)."""
+        for key, count in other.stacks.items():
+            self.stacks[key] = self.stacks.get(key, 0) + count
+        self.samples += other.samples
+        self.duration_s += other.duration_s
+
+    def attribution(self, prefix: str = "repro.") -> float:
+        """Fraction of samples containing at least one ``prefix`` frame.
+
+        The acceptance bar for a healthy profile of a pipeline run is
+        ``attribution() >= 0.8`` — most samples land somewhere in known
+        pipeline code rather than in interpreter scaffolding.
+        """
+        if not self.samples:
+            return 0.0
+        hit = sum(
+            count for stack, count in self.stacks.items()
+            if any(frame.startswith(prefix) for frame in stack.split(";"))
+        )
+        return hit / self.samples
+
+    def top_frames(self, n: int = 10) -> list[tuple[str, int]]:
+        """Leaf frames by inclusive sample count, heaviest first."""
+        totals: dict[str, int] = {}
+        for stack, count in self.stacks.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            totals[leaf] = totals.get(leaf, 0) + count
+        return sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    # -- serialization ------------------------------------------------------
+    def collapsed_lines(self) -> list[str]:
+        """``stack count`` lines (the flamegraph.pl / speedscope input)."""
+        return [f"{stack} {count}"
+                for stack, count in sorted(self.stacks.items())]
+
+    def write_collapsed(self, path) -> None:
+        """Write the collapsed-stack file to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in self.collapsed_lines():
+                fh.write(line + "\n")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``reproProfile`` Chrome-trace payload)."""
+        return {
+            "hz": self.hz, "samples": self.samples,
+            "duration_s": self.duration_s, "stacks": dict(self.stacks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileData":
+        return cls(
+            hz=float(data.get("hz", DEFAULT_HZ)),
+            samples=int(data.get("samples", 0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            stacks={str(k): int(v)
+                    for k, v in data.get("stacks", {}).items()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileData(hz={self.hz}, samples={self.samples}, "
+            f"stacks={len(self.stacks)}, duration_s={self.duration_s:.3f})"
+        )
+
+
+def _frame_name(frame) -> str:
+    """``module.funcname`` for one frame (falls back to the file stem)."""
+    module = frame.f_globals.get("__name__")
+    if not module:
+        module = os.path.splitext(
+            os.path.basename(frame.f_code.co_filename)
+        )[0]
+    return f"{module}.{frame.f_code.co_name}"
+
+
+def _walk_stack(frame) -> list[str]:
+    """Root-to-leaf frame names for one thread's current stack."""
+    names: list[str] = []
+    while frame is not None and len(names) < MAX_DEPTH:
+        names.append(_frame_name(frame))
+        frame = frame.f_back
+    names.reverse()
+    return names
+
+
+class SamplingProfiler:
+    """Background sampler producing a :class:`ProfileData`.
+
+    >>> p = SamplingProfiler(hz=500.0)
+    >>> _ = p.start()
+    >>> sum(range(10000)) > 0
+    True
+    >>> p.stop().hz
+    500.0
+    """
+
+    def __init__(self, hz: "float | None" = None,
+                 all_threads: bool = False) -> None:
+        self.hz = profile_hz_default() if hz is None else float(hz)
+        if self.hz <= 0:
+            self.hz = DEFAULT_HZ
+        self.all_threads = bool(all_threads)
+        self.data = ProfileData(hz=self.hz)
+        # The creating thread is the default target: the driver's stack.
+        self._target_tid = threading.get_ident()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._t0 = 0.0
+
+    def _obs_tids(self) -> set[int]:
+        """Idents of the obs machinery's own threads (never sampled)."""
+        tids = set()
+        for thread in threading.enumerate():
+            if thread.name.startswith(_OBS_THREAD_PREFIX):
+                ident = thread.ident
+                if ident is not None:
+                    tids.add(ident)
+        return tids
+
+    def sample_once(self) -> None:
+        """Take one sample of the target threads right now."""
+        frames = sys._current_frames()
+        try:
+            if self.all_threads:
+                skip = self._obs_tids()
+                for tid, frame in frames.items():
+                    if tid not in skip:
+                        self.data.record(_walk_stack(frame))
+            else:
+                frame = frames.get(self._target_tid)
+                if frame is not None:
+                    self.data.record(_walk_stack(frame))
+        finally:
+            del frames  # drop the frame references promptly
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        # Event.wait paces the sampler and doubles as the stop signal.
+        while not self._stop.wait(interval):
+            self.sample_once()
+
+    def start(self) -> "SamplingProfiler":
+        """Start sampling (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._t0 = time.perf_counter()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-profiler", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> ProfileData:
+        """Stop sampling and return the collected profile."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self.data.duration_s += time.perf_counter() - self._t0
+        return self.data
+
+
+@contextmanager
+def profile_run(hz: "float | None" = None, all_threads: bool = False):
+    """Scoped profiler: sample the calling thread for the block's duration.
+
+    Yields the :class:`ProfileData` being filled; it is complete once the
+    block exits::
+
+        with profile_run(hz=101) as prof:
+            result = louvain(graph)
+        prof.write_collapsed("run.collapsed")
+    """
+    profiler = SamplingProfiler(hz=hz, all_threads=all_threads)
+    profiler.start()
+    try:
+        yield profiler.data
+    finally:
+        profiler.stop()

@@ -1,0 +1,240 @@
+"""Stdlib HTTP exposition endpoint: Prometheus text, health, snapshots.
+
+``repro obs serve`` binds a tiny ``http.server`` on three routes:
+
+* ``GET /metrics`` — the latest :class:`~repro.obs.live.MetricsSnapshot`
+  rendered in the Prometheus text exposition format (0.0.4): counters as
+  ``*_total``, gauges verbatim, histograms with cumulative ``le``
+  buckets plus ``_sum``/``_count``;
+* ``GET /healthz`` — liveness JSON (``status``, snapshot count, age of
+  the freshest sample);
+* ``GET /snapshot`` — the raw snapshot JSON, the machine-readable feed
+  for the future ``repro.serve`` job service.
+
+The server never touches the run: it reads from a **source**, either
+
+* :class:`RegistrySource` — a live in-process tracer (same-process
+  serving, e.g. a notebook or the job service), sampled on demand via
+  the same race-tolerant capture the streamer uses; or
+* :class:`RingFileSource` — the JSONL ring file a separate pipeline
+  process streams (:mod:`repro.obs.live`), re-read per request so a
+  long-lived endpoint follows compactions transparently.
+
+Prometheus names cannot contain dots, so the registry's
+``dotted.lower_snake`` names (enforced by lint rule ``OBS002``) map by
+replacing ``.`` with ``_`` under a ``repro_`` prefix:
+``sweep.moves`` → ``repro_sweep_moves_total``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.live import MetricsSnapshot, capture_snapshot, load_ring
+from repro.obs.trace import Tracer, get_tracer
+
+__all__ = [
+    "ObsServer",
+    "RegistrySource",
+    "RingFileSource",
+    "render_prometheus",
+    "serve",
+]
+
+#: Prometheus text exposition content type (format version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# ---------------------------------------------------------------------------
+# snapshot sources
+# ---------------------------------------------------------------------------
+
+class RegistrySource:
+    """Serve a live in-process tracer's registry (sampled per request)."""
+
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
+        self._tracer = tracer
+        self._seq = 0
+
+    def get(self) -> "MetricsSnapshot | None":
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        self._seq += 1
+        return capture_snapshot(tracer, self._seq)
+
+    def describe(self) -> str:
+        return "registry (in-process)"
+
+
+class RingFileSource:
+    """Serve the freshest snapshot from a JSONL ring file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def get(self) -> "MetricsSnapshot | None":
+        snapshots = load_ring(self.path)
+        return snapshots[-1] if snapshots else None
+
+    def describe(self) -> str:
+        return f"ring file {self.path}"
+
+
+# ---------------------------------------------------------------------------
+# prometheus rendering
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Map a ``dotted.lower_snake`` metric name to a Prometheus name."""
+    return "repro_" + name.replace(".", "_")
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value (Prometheus spells infinities ``+Inf``)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: "MetricsSnapshot | None") -> str:
+    """Render a snapshot in the Prometheus text format (0.0.4).
+
+    >>> snap = MetricsSnapshot(seq=1, ts=0.0, wall=0.0, pid=1,
+    ...                        counters={"sweep.moves": 5})
+    >>> print(render_prometheus(snap).splitlines()[-1])
+    repro_sweep_moves_total 5
+    """
+    lines: list[str] = []
+    if snapshot is None:
+        lines.append("# repro: no snapshot available yet")
+        return "\n".join(lines) + "\n"
+    lines.append(f"# repro snapshot seq={snapshot.seq} pid={snapshot.pid}")
+    for name in sorted(snapshot.counters):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        data = snapshot.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(data.get("buckets", ()),
+                                data.get("counts", ())):
+            cumulative += count
+            le = "+Inf" if bound == "inf" else _prom_value(float(bound))
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{prom}_sum {_prom_value(float(data.get('sum', 0.0)))}")
+        lines.append(f"{prom}_count {int(data.get('count', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# http server
+# ---------------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs"
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        source = self.server.source  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            self._send(200, PROMETHEUS_CONTENT_TYPE,
+                       render_prometheus(source.get()))
+        elif path == "/healthz":
+            snap = source.get()
+            body = {
+                "status": "ok" if snap is not None else "no-data",
+                "source": source.describe(),
+                "seq": snap.seq if snap else 0,
+                "pid": snap.pid if snap else None,
+            }
+            self._send(200, "application/json",
+                       json.dumps(body, sort_keys=True))
+        elif path == "/snapshot":
+            snap = source.get()
+            if snap is None:
+                self._send(503, "application/json",
+                           json.dumps({"error": "no snapshot available"}))
+            else:
+                self._send(200, "application/json",
+                           json.dumps(snap.to_dict(), sort_keys=True))
+        else:
+            self._send(404, "application/json",
+                       json.dumps({"error": f"unknown path {path}"}))
+
+    def log_message(self, fmt: str, *args) -> None:
+        # Quiet by default: the endpoint may run beside a benchmark and
+        # must not spray request logs into its output.
+        return
+
+
+class ObsServer:
+    """Threaded HTTP server bound to a snapshot source.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the actual ``(host, port)`` after construction.
+    """
+
+    def __init__(self, source, host: str = "127.0.0.1",
+                 port: int = 9464) -> None:
+        self.source = source
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.source = source  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "ObsServer":
+        """Serve in a background daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-obs-serve", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+
+
+def serve(ring: "str | None" = None, host: str = "127.0.0.1",
+          port: int = 9464, tracer: "Tracer | None" = None) -> ObsServer:
+    """Build an :class:`ObsServer` over a ring file or a live tracer."""
+    source = RingFileSource(ring) if ring else RegistrySource(tracer)
+    return ObsServer(source, host=host, port=port)

@@ -64,7 +64,7 @@ import numpy as np
 from repro.obs.trace import Tracer, get_tracer, set_tracer
 from repro.parallel.backends import ExecutionBackend
 from repro.parallel.chunking import edge_balanced_partition
-from repro.robust.budget import get_budget
+from repro.robust.budget import get_budget, peak_memory_mb
 from repro.robust.faults import FaultInjector, apply_chunk_fault, get_injector
 from repro.robust.recovery import RecoveryStats, RetryPolicy
 from repro.utils.errors import ValidationError, WorkerPoolError
@@ -85,7 +85,7 @@ _DONE_STATUSES = ("ok", "error")
 
 
 def _worker_main(graph, shm_names, n, worker_id, epoch, task_q, done_q,
-                 trace_q, fault_plan, parent_pid):
+                 trace_q, hb_q, fault_plan, parent_pid):
     """Worker loop: attach shared buffers, serve chunk tasks until told.
 
     ``graph`` arrives through fork inheritance (read-only).  A task is
@@ -96,6 +96,16 @@ def _worker_main(graph, shm_names, n, worker_id, epoch, task_q, done_q,
     the parent discards messages raced out by this worker's own death.
     The queue wait is timed so an orphaned worker (parent died; ``getppid``
     changed) exits instead of lingering forever.
+
+    **Heartbeats** ride a dedicated queue (``hb_q``): the strict 4-tuple
+    validation of completion messages must never see them.  The worker
+    posts ``("hb", worker_id, epoch, monotonic(), chunks_done, rss_mb)``
+    at startup, after every chunk, and on every idle poll timeout; the
+    parent folds the freshest one per worker into per-worker liveness/
+    progress gauges (``worker.<id>.last_heartbeat`` etc.) on the live
+    registry, which is what ``repro obs serve`` and the recovery loop's
+    future autoscaler read.  Heartbeats are advisory: a lost or stale one
+    costs a gauge update, never a result.
 
     Each worker builds its **own** :class:`~repro.robust.faults.FaultInjector`
     from the plan string it was spawned with (respawned replacements get
@@ -141,13 +151,26 @@ def _worker_main(graph, shm_names, n, worker_id, epoch, task_q, done_q,
     targets = np.ndarray((n,), dtype=np.int64, buffer=segs["targets"].buf)
     state = SweepState(comm, degree, size)
     workspace = SweepWorkspace(graph)
+    chunks_done = 0
+
+    def _heartbeat() -> None:
+        # Advisory liveness signal; a full/closed queue must never stall
+        # or crash chunk work.
+        try:
+            hb_q.put_nowait(("hb", worker_id, epoch, monotonic(),
+                             chunks_done, peak_memory_mb() or 0.0))
+        except (queue_mod.Full, OSError, ValueError):
+            pass
+
     try:
+        _heartbeat()
         while True:
             try:
                 task = task_q.get(timeout=_WORKER_POLL_S)
             except queue_mod.Empty:
                 if os.getppid() != parent_pid:
                     break  # orphaned: the parent is gone
+                _heartbeat()
                 continue
             if task is None:
                 break
@@ -175,6 +198,8 @@ def _worker_main(graph, shm_names, n, worker_id, epoch, task_q, done_q,
             except Exception:
                 done_q.put((worker_id, epoch, chunk_index, "error"))
                 continue
+            chunks_done += 1
+            _heartbeat()
             if corrupt:
                 done_q.put(("corrupt",))
             else:
@@ -257,6 +282,7 @@ class _SweepExecutor:
         }
         self._done_q = self._ctx.Queue()
         self._trace_q = self._ctx.Queue()
+        self._hb_q = self._ctx.Queue()
         self._retired_queues: list = []
         # Captured at construction (inside the driver's use_tracer /
         # use_faults scope): workers fork with this tracer ambient and
@@ -289,7 +315,7 @@ class _SweepExecutor:
             target=_worker_main,
             args=(self.graph, self._names, self._n, slot.worker_id,
                   slot.epoch, slot.task_q, self._done_q, self._trace_q,
-                  fault_plan, os.getpid()),
+                  self._hb_q, fault_plan, os.getpid()),
             daemon=True,
         )
         slot.process.start()
@@ -339,6 +365,7 @@ class _SweepExecutor:
         slot.process.join()
         self.recovery.deaths += 1
         self._tracer.count("worker.deaths")
+        self._tracer.gauge(f"worker.{slot.worker_id}.alive", 0.0)
         with self._tracer.span("recovery", cat="robust",
                                worker=slot.worker_id,
                                exitcode=slot.process.exitcode):
@@ -357,6 +384,38 @@ class _SweepExecutor:
             for index, rec in list(pending.items()):
                 if rec.slot is slot:
                     self._recover_chunk(index, rec)
+
+    def _drain_heartbeats(self) -> None:
+        """Fold queued heartbeats into per-worker gauges (non-blocking).
+
+        Heartbeats are validated defensively (a dying worker can truncate
+        a put) and stale epochs are dropped, mirroring the completion-
+        message discipline.  Publishing goes through the trace-gated
+        gauge helpers, so with tracing off this only empties the queue.
+        """
+        while True:
+            try:
+                msg = self._hb_q.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError):
+                break
+            if not (isinstance(msg, tuple) and len(msg) == 6
+                    and msg[0] == "hb" and isinstance(msg[1], int)
+                    and isinstance(msg[2], int)
+                    and 0 <= msg[1] < len(self._slots)):
+                continue
+            _tag, worker_id, epoch, ts, chunks_done, rss_mb = msg
+            slot = self._slots[worker_id]
+            if epoch != slot.epoch:
+                continue  # posted before a respawn/excision; stale
+            tracer = self._tracer
+            tracer.gauge(f"worker.{worker_id}.last_heartbeat", float(ts))
+            tracer.gauge(f"worker.{worker_id}.chunks_done",
+                         float(chunks_done))
+            tracer.gauge(f"worker.{worker_id}.rss_mb", float(rss_mb))
+            tracer.gauge(f"worker.{worker_id}.alive",
+                         1.0 if slot.alive else 0.0)
+        self._tracer.gauge("worker.pool_alive",
+                           float(len(self._alive_slots())))
 
     def _check_liveness(self, pending: dict) -> None:
         """Reap dead workers; terminate deadline-missers; requeue chunks."""
@@ -414,6 +473,7 @@ class _SweepExecutor:
         # empty, reap dead workers and terminate deadline-missers, then
         # requeue their chunks (see _on_slot_death for why that is safe).
         while pending:
+            self._drain_heartbeats()
             try:
                 msg = self._done_q.get(timeout=self.policy.liveness_poll)
             except queue_mod.Empty:
@@ -443,6 +503,7 @@ class _SweepExecutor:
                 # The worker's kernel raised: it is alive and wrote
                 # nothing, so requeue without killing it.
                 self._recover_chunk(index, rec)
+        self._drain_heartbeats()
         return self._views["targets"][:count].copy()
 
     # -- shutdown -------------------------------------------------------
@@ -454,6 +515,7 @@ class _SweepExecutor:
         # drain the trace buffers of everyone expected to post (live or
         # cleanly exited — a killed worker's buffers died with it), then
         # join.
+        self._drain_heartbeats()
         for slot in self._slots:
             if slot.alive and slot.process.exitcode is None:
                 slot.task_q.put(None)
@@ -490,7 +552,8 @@ class _SweepExecutor:
                 slot.process.join(timeout=5)
         queues = [slot.task_q for slot in self._slots
                   if slot.task_q is not None]
-        queues += self._retired_queues + [self._done_q, self._trace_q]
+        queues += self._retired_queues + [self._done_q, self._trace_q,
+                                          self._hb_q]
         for q in queues:
             q.close()
             q.cancel_join_thread()

@@ -267,9 +267,15 @@ class BudgetController:
         self._update_gauges()
 
     def _update_gauges(self) -> None:
+        # The live plane (repro obs serve) reads these off the ambient
+        # registry; gauge() is a no-op when tracing is off.
+        tracer = get_tracer()
         remaining = self.deadline_remaining()
         if remaining is not None:
-            get_tracer().gauge("budget.remaining", remaining)
+            tracer.gauge("budget.remaining", remaining)
+        tracer.gauge("budget.pressure", self.pressure())
+        tracer.gauge("budget.phases", self.phases)
+        tracer.gauge("budget.iterations", self.iterations)
 
     # -- stop decision ---------------------------------------------------
 

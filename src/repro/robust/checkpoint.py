@@ -65,7 +65,7 @@ CHECKPOINT_FORMAT_VERSION = 1
 #: checkpoint from any of them resumes under any other.
 NONSEMANTIC_CONFIG_FIELDS = frozenset({
     "backend", "num_threads", "sanitize", "trace", "fault_plan", "budget",
-    "array_backend",
+    "array_backend", "profile", "metrics_ring",
 })
 
 

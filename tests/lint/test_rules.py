@@ -429,6 +429,102 @@ class TestDirectTimingRule:
 
 
 # ---------------------------------------------------------------------------
+# OBS002 — metric/span names follow the dotted.lower_snake scheme
+# ---------------------------------------------------------------------------
+class TestMetricNameSchemeRule:
+    def test_uppercase_name_triggers(self):
+        bad = """
+            def run(tracer):
+                tracer.count("Sweep.Moves")
+        """
+        assert "OBS002" in codes(bad)
+
+    def test_dash_in_name_triggers(self):
+        bad = """
+            def run(tracer):
+                tracer.gauge("worker-pool-alive", 1.0)
+        """
+        assert "OBS002" in codes(bad)
+
+    def test_leading_digit_first_segment_triggers(self):
+        bad = """
+            def run(tracer):
+                tracer.observe("0.moves", 1)
+        """
+        assert "OBS002" in codes(bad)
+
+    def test_span_and_step_names_are_checked(self):
+        bad = """
+            def run(tracer):
+                with tracer.span("Worker Chunk"):
+                    pass
+                with tracer.step("Rebuild!"):
+                    pass
+        """
+        assert codes(bad).count("OBS002") == 2
+
+    def test_attribute_and_call_receivers_are_gated(self):
+        bad = """
+            def run(self):
+                self._tracer.count("BAD NAME")
+                get_tracer().gauge("Another Bad", 1.0)
+                tracer.metrics.count("Thirdbad!")
+        """
+        assert codes(bad).count("OBS002") == 3
+
+    def test_conforming_names_pass(self):
+        good = """
+            def run(tracer, reg):
+                tracer.count("sweep.moves", 3)
+                tracer.gauge("worker.pool_alive", 2.0)
+                reg.observe("iteration.active_vertices", 7)
+                with tracer.span("worker_chunk", offset=0):
+                    pass
+        """
+        assert codes(good) == []
+
+    def test_numeric_later_segments_pass(self):
+        good = """
+            def run(tracer):
+                tracer.gauge("worker.0.alive", 1.0)
+        """
+        assert codes(good) == []
+
+    def test_fstring_static_fragments_are_checked(self):
+        good = """
+            def run(tracer, wid):
+                tracer.gauge(f"worker.{wid}.alive", 1.0)
+        """
+        assert codes(good) == []
+        bad = """
+            def run(tracer, wid):
+                tracer.gauge(f"Worker {wid} Alive", 1.0)
+        """
+        assert "OBS002" in codes(bad)
+
+    def test_dynamic_names_are_skipped(self):
+        good = """
+            def run(tracer, name):
+                tracer.count(name)
+        """
+        assert codes(good) == []
+
+    def test_non_obs_receiver_passes(self):
+        good = """
+            def run(itertools):
+                itertools.count("Whatever Goes")
+        """
+        assert codes(good) == []
+
+    def test_tests_are_exempt(self):
+        source = """
+            def run(tracer):
+                tracer.count("BAD NAME")
+        """
+        assert codes(source, "tests/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
 # QUEUE001 — untimed Queue.get() (the process-backend hang class)
 # ---------------------------------------------------------------------------
 class TestUntimedQueueGetRule:

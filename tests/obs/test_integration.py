@@ -66,6 +66,140 @@ class TestBitwiseEquivalence:
         assert base.modularity == traced.modularity
 
 
+class TestLivePlaneBitwiseEquivalence:
+    """Profiler and metrics streamer observe; they never steer."""
+
+    def test_profile_on_off_driver(self, planted):
+        base = louvain(planted, profile=False)
+        profiled = louvain(planted, profile=True)
+        np.testing.assert_array_equal(base.communities, profiled.communities)
+        assert base.modularity == profiled.modularity
+        assert base.profile is None
+        assert profiled.profile is not None
+
+    def test_profile_on_off_process_backend(self, planted):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("process backend requires fork")
+        kwargs = dict(backend="processes", num_threads=2)
+        base = louvain(planted, profile=False, **kwargs)
+        profiled = louvain(planted, profile=True, **kwargs)
+        np.testing.assert_array_equal(base.communities, profiled.communities)
+        assert base.modularity == profiled.modularity
+
+    def test_metrics_ring_on_off_driver(self, planted, tmp_path):
+        ring = tmp_path / "ring.jsonl"
+        base = louvain(planted)
+        streamed = louvain(planted, trace=True, metrics_ring=str(ring))
+        np.testing.assert_array_equal(base.communities, streamed.communities)
+        assert base.modularity == streamed.modularity
+        from repro.obs.live import load_ring
+
+        snaps = load_ring(str(ring))
+        assert snaps, "the exit snapshot must always be written"
+        assert snaps[-1].counters.get("sweep.moves", 0) > 0
+
+    def test_metrics_ring_on_off_threads(self, planted, tmp_path):
+        ring = tmp_path / "ring.jsonl"
+        kwargs = dict(backend="threads", num_threads=2)
+        base = louvain(planted, **kwargs)
+        streamed = louvain(planted, trace=True, metrics_ring=str(ring),
+                           **kwargs)
+        np.testing.assert_array_equal(base.communities, streamed.communities)
+        assert base.modularity == streamed.modularity
+
+    def test_everything_on_at_once_process_backend(self, planted, tmp_path):
+        """The acceptance shape: budgeted process run, fully observed."""
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("process backend requires fork")
+        ring = tmp_path / "ring.jsonl"
+        kwargs = dict(backend="processes", num_threads=2)
+        base = louvain(planted, **kwargs)
+        observed = louvain(planted, trace=True, profile=True,
+                           metrics_ring=str(ring), **kwargs)
+        np.testing.assert_array_equal(base.communities, observed.communities)
+        assert base.modularity == observed.modularity
+        assert observed.profile is not None
+        from repro.obs.live import load_ring
+
+        snaps = load_ring(str(ring))
+        assert snaps and snaps[-1].counters.get("sweep.moves", 0) > 0
+
+
+class TestWorkerHeartbeats:
+    def test_process_backend_publishes_worker_gauges(self, planted):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("process backend requires fork")
+        result = louvain(planted, trace=True, backend="processes",
+                         num_threads=2)
+        gauges = result.trace.metrics.snapshot()["gauges"]
+        assert gauges.get("worker.pool_alive", 0) >= 1
+        per_worker = [g for g in gauges if g.startswith("worker.0.")]
+        assert "worker.0.last_heartbeat" in gauges
+        assert "worker.0.chunks_done" in gauges
+        assert "worker.0.alive" in gauges
+        assert gauges["worker.0.alive"] == 1.0
+        assert gauges["worker.0.chunks_done"] >= 0
+        assert per_worker  # at least the three above
+
+    def test_budget_gauges_published_under_budget(self, planted):
+        from repro.robust.budget import RunBudget
+
+        result = louvain(planted, trace=True,
+                         budget=RunBudget(deadline=60.0))
+        gauges = result.trace.metrics.snapshot()["gauges"]
+        assert "budget.pressure" in gauges
+        assert "budget.phases" in gauges
+        assert "budget.remaining" in gauges
+
+
+class TestEndpointUnderRunningJob:
+    def test_endpoint_serves_prometheus_while_job_runs(self, tmp_path):
+        """The cross-process shape: job streams a ring, endpoint follows it.
+
+        The exit snapshot is guaranteed, so the final scrape always shows
+        the run's counters even when the job outpaces the scraper.
+        """
+        import threading
+        import urllib.request
+
+        from repro.obs.serve import PROMETHEUS_CONTENT_TYPE, serve
+
+        ring = str(tmp_path / "ring.jsonl")
+        srv = serve(ring=ring, port=0).start()
+        host, port = srv.address
+        graph = planted_partition(40, 20, 0.4, 0.05, seed=3)
+
+        def job():
+            louvain(graph, trace=True, metrics_ring=ring)
+
+        worker = threading.Thread(target=job)
+        worker.start()
+        bodies = []
+        try:
+            while worker.is_alive():
+                with urllib.request.urlopen(
+                        f"http://{host}:{port}/metrics", timeout=5) as resp:
+                    assert resp.status == 200
+                    assert resp.headers["Content-Type"] == \
+                        PROMETHEUS_CONTENT_TYPE
+                    bodies.append(resp.read().decode())
+        finally:
+            worker.join(timeout=30)
+            # One guaranteed post-run scrape: the ring keeps the exit
+            # snapshot after the job finishes.
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/metrics", timeout=5) as resp:
+                bodies.append(resp.read().decode())
+            srv.stop()
+        final = bodies[-1]
+        assert "repro_sweep_moves_total" in final
+        for body in bodies:
+            for line in body.splitlines():
+                if line.startswith("#") or not line:
+                    continue
+                float(line.rsplit(" ", 1)[1])  # every sample parses
+
+
 class TestTraceContents:
     def test_driver_trace_is_valid_chrome_json(self, planted):
         result = louvain(planted, trace=True)

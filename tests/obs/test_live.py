@@ -1,0 +1,168 @@
+"""Unit tests of the live plane: snapshots, streamer, ring file."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.live import (
+    DEFAULT_INTERVAL_S,
+    MetricsSnapshot,
+    SnapshotStreamer,
+    capture_snapshot,
+    load_ring,
+    metrics_ring_default,
+    obs_interval_default,
+    stream_metrics,
+)
+from repro.obs.trace import Tracer
+
+
+def make_tracer():
+    tracer = Tracer(enabled=True)
+    tracer.metrics.count("sweep.moves", 5)
+    tracer.metrics.gauge("worker.pool_alive", 2.0)
+    tracer.metrics.observe("iteration.moves", 3.0)
+    return tracer
+
+
+class TestMetricsSnapshot:
+    def test_round_trip(self):
+        snap = capture_snapshot(make_tracer(), seq=7)
+        back = MetricsSnapshot.from_dict(
+            json.loads(json.dumps(snap.to_dict()))
+        )
+        assert back == snap
+        assert back.seq == 7
+        assert back.counters["sweep.moves"] == 5
+
+    def test_capture_copies_not_aliases(self):
+        tracer = make_tracer()
+        snap = capture_snapshot(tracer, seq=1)
+        tracer.metrics.count("sweep.moves", 100)
+        assert snap.counters["sweep.moves"] == 5
+
+    def test_from_dict_tolerates_missing_keys(self):
+        snap = MetricsSnapshot.from_dict({})
+        assert snap.seq == 0
+        assert snap.counters == {}
+
+
+class TestEnvDefaults:
+    def test_ring_default_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_RING", raising=False)
+        assert metrics_ring_default() is None
+        monkeypatch.setenv("REPRO_OBS_RING", "  ")
+        assert metrics_ring_default() is None
+        monkeypatch.setenv("REPRO_OBS_RING", "ring.jsonl")
+        assert metrics_ring_default() == "ring.jsonl"
+
+    def test_interval_default_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_INTERVAL", raising=False)
+        assert obs_interval_default() == DEFAULT_INTERVAL_S
+        monkeypatch.setenv("REPRO_OBS_INTERVAL", "0.05")
+        assert obs_interval_default() == 0.05
+        monkeypatch.setenv("REPRO_OBS_INTERVAL", "garbage")
+        assert obs_interval_default() == DEFAULT_INTERVAL_S
+        monkeypatch.setenv("REPRO_OBS_INTERVAL", "-1")
+        assert obs_interval_default() == DEFAULT_INTERVAL_S
+
+
+class TestLoadRing:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_ring(str(tmp_path / "absent.jsonl")) == []
+
+    def test_bad_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        good = MetricsSnapshot(seq=1, ts=0.0, wall=0.0, pid=1,
+                               counters={"c": 1}).to_dict()
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "{truncated\n"
+            + "[1, 2, 3]\n"  # JSON but not a snapshot object
+            + "\n"
+            + json.dumps({**good, "seq": 2}) + "\n"
+        )
+        snaps = load_ring(str(path))
+        assert [s.seq for s in snaps] == [1, 2]
+
+
+class TestSnapshotStreamer:
+    def test_tick_appends_to_ring_and_file(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        s = SnapshotStreamer(make_tracer(), path=str(path))
+        snap = s.tick()
+        assert snap is not None and snap.seq == 1
+        assert s.latest() is snap
+        assert s.history() == [snap]
+        on_disk = load_ring(str(path))
+        assert len(on_disk) == 1
+        assert on_disk[0].counters == snap.counters
+
+    def test_ring_buffer_is_bounded(self):
+        s = SnapshotStreamer(make_tracer(), keep=4)
+        for _ in range(10):
+            s.tick()
+        assert len(s.history()) == 4
+        assert s.latest().seq == 10
+
+    def test_file_compaction_keeps_tail(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        s = SnapshotStreamer(make_tracer(), path=str(path), keep=3)
+        for _ in range(2 * 3):  # exactly hits the 2*keep compaction point
+            s.tick()
+        snaps = load_ring(str(path))
+        assert len(snaps) == 3
+        assert [snap.seq for snap in snaps] == [4, 5, 6]
+
+    def test_vanished_directory_does_not_raise(self, tmp_path):
+        missing = tmp_path / "gone" / "ring.jsonl"
+        s = SnapshotStreamer(make_tracer(), path=str(missing))
+        snap = s.tick()
+        assert snap is not None  # in-memory ring still fills
+        assert s.dropped == 1
+
+    def test_background_thread_samples(self):
+        s = SnapshotStreamer(make_tracer(), interval_s=0.005)
+        s.start()
+        try:
+            deadline = threading.Event()
+            for _ in range(200):
+                if s.latest() is not None:
+                    break
+                deadline.wait(0.01)
+        finally:
+            s.stop()
+        # stop() takes a final snapshot even if the thread never fired.
+        assert s.latest() is not None
+        assert s.latest().counters["sweep.moves"] == 5
+
+    def test_start_is_idempotent(self):
+        s = SnapshotStreamer(make_tracer(), interval_s=0.01)
+        assert s.start() is s.start()
+        first = s._thread
+        s.start()
+        assert s._thread is first
+        s.stop()
+
+
+class TestStreamMetricsContext:
+    def test_scoped_stream_takes_final_snapshot(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        tracer = Tracer(enabled=True)
+        with stream_metrics(tracer, str(path), interval_s=60.0) as streamer:
+            tracer.metrics.count("sweep.moves", 9)
+        # interval far in the future: only the exit snapshot is guaranteed.
+        assert streamer.latest() is not None
+        assert streamer.latest().counters["sweep.moves"] == 9
+        snaps = load_ring(str(path))
+        assert snaps and snaps[-1].counters["sweep.moves"] == 9
+
+    def test_registry_is_never_written(self):
+        tracer = Tracer(enabled=True)
+        tracer.metrics.count("sweep.moves", 2)
+        before = tracer.metrics.snapshot()
+        with stream_metrics(tracer, None, interval_s=0.001):
+            for _ in range(50):
+                pass
+        assert tracer.metrics.snapshot() == before

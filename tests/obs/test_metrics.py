@@ -117,6 +117,84 @@ class TestMetricsRegistry:
         assert snap["gauges"]["imbalance"] == 1.25
         assert snap["histograms"]["chunk"]["count"] == 1
 
+    def test_merge_empty_registry_is_identity(self):
+        reg = MetricsRegistry()
+        reg.count("moves", 3)
+        reg.gauge("g", 1.5)
+        reg.observe("h", 2.0)
+        before = reg.snapshot()
+        reg.merge(MetricsRegistry())
+        assert reg.snapshot() == before
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        src = MetricsRegistry()
+        src.count("moves", 3)
+        src.gauge("g", 1.5)
+        src.observe("h", 2.0)
+        dst = MetricsRegistry()
+        dst.merge(src)
+        assert dst.snapshot() == src.snapshot()
+        # The histogram must be a copy, not an alias of the source's.
+        src.observe("h", 9.0)
+        assert dst.histograms["h"].count == 1
+
+    def test_merge_empty_snapshot_payload(self):
+        reg = MetricsRegistry()
+        reg.count("moves", 1)
+        reg.merge_snapshot(MetricsRegistry().snapshot())
+        reg.merge_snapshot({})  # degenerate payload: every key optional
+        assert reg.counters == {"moves": 1}
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        reg = MetricsRegistry()
+        reg.count("moves", 1)
+        reg.gauge("g", 1.0)
+        reg.observe("h", 2.0)
+        snap = reg.snapshot()
+        reg.count("moves", 10)
+        reg.gauge("g", 9.0)
+        reg.observe("h", 50.0)
+        assert snap["counters"]["moves"] == 1
+        assert snap["gauges"]["g"] == 1.0
+        assert snap["histograms"]["h"]["count"] == 1
+        # ...and merging the stale snapshot folds in the *old* values.
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        assert other.counters["moves"] == 1
+
+    def test_integral_counters_stay_exact_past_float_precision(self):
+        # 2**53 is where float spacing exceeds 1: +1 would be silently
+        # dropped under float accumulation.
+        big = 2**53
+        reg = MetricsRegistry()
+        reg.count("moves", big)
+        reg.count("moves")
+        reg.count("moves")
+        assert reg.counters["moves"] == big + 2
+        assert isinstance(reg.counters["moves"], int)
+
+    def test_integral_float_increments_normalize_to_int(self):
+        reg = MetricsRegistry()
+        reg.count("moves", 3.0)  # numpy sums often arrive as floats
+        assert reg.counters["moves"] == 3
+        assert isinstance(reg.counters["moves"], int)
+
+    def test_fractional_increments_degrade_to_float(self):
+        reg = MetricsRegistry()
+        reg.count("work", 1.5)
+        reg.count("work", 1)
+        assert reg.counters["work"] == pytest.approx(2.5)
+
+    def test_merge_snapshot_preserves_counter_exactness(self):
+        big = 2**53
+        worker = MetricsRegistry()
+        worker.count("moves", big)
+        parent = MetricsRegistry()
+        parent.count("moves", 1)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counters["moves"] == big + 1
+        assert isinstance(parent.counters["moves"], int)
+
     def test_snapshot_is_json_serializable(self):
         import json
 

@@ -1,0 +1,170 @@
+"""Prometheus rendering and the stdlib HTTP exposition endpoint."""
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import MetricsSnapshot, SnapshotStreamer
+from repro.obs.metrics import Histogram
+from repro.obs.serve import (
+    PROMETHEUS_CONTENT_TYPE,
+    ObsServer,
+    RegistrySource,
+    RingFileSource,
+    render_prometheus,
+    serve,
+)
+from repro.obs.trace import Tracer
+
+
+def snapshot_with_everything():
+    hist = Histogram(buckets=(1.0, 4.0, math.inf))
+    for v in (0.5, 2.0, 100.0):
+        hist.observe(v)
+    return MetricsSnapshot(
+        seq=3, ts=1.0, wall=2.0, pid=42,
+        counters={"sweep.moves": 7},
+        gauges={"worker.pool_alive": 2.0},
+        histograms={"iteration.moves": hist.to_dict()},
+    )
+
+
+class TestRenderPrometheus:
+    def test_no_snapshot_renders_comment(self):
+        text = render_prometheus(None)
+        assert text.startswith("# repro: no snapshot available yet")
+
+    def test_counter_gauge_histogram_lines(self):
+        text = render_prometheus(snapshot_with_everything())
+        lines = text.splitlines()
+        assert "# TYPE repro_sweep_moves_total counter" in lines
+        assert "repro_sweep_moves_total 7" in lines
+        assert "# TYPE repro_worker_pool_alive gauge" in lines
+        assert "repro_worker_pool_alive 2.0" in lines
+        assert "# TYPE repro_iteration_moves histogram" in lines
+        # Buckets are cumulative and end at +Inf with the total count.
+        assert 'repro_iteration_moves_bucket{le="1.0"} 1' in lines
+        assert 'repro_iteration_moves_bucket{le="4.0"} 2' in lines
+        assert 'repro_iteration_moves_bucket{le="+Inf"} 3' in lines
+        assert "repro_iteration_moves_sum 102.5" in lines
+        assert "repro_iteration_moves_count 3" in lines
+
+    def test_every_sample_line_is_well_formed(self):
+        for line in render_prometheus(snapshot_with_everything()).splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)  # must parse as a number
+
+    def test_dotted_names_never_leak(self):
+        text = render_prometheus(snapshot_with_everything())
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert "." not in line.split(" ", 1)[0].split("{", 1)[0]
+
+
+class TestSources:
+    def test_registry_source_samples_live_tracer(self):
+        tracer = Tracer(enabled=True)
+        tracer.metrics.count("sweep.moves", 4)
+        source = RegistrySource(tracer)
+        snap = source.get()
+        assert snap.counters["sweep.moves"] == 4
+        tracer.metrics.count("sweep.moves", 1)
+        assert source.get().counters["sweep.moves"] == 5
+
+    def test_ring_file_source_reads_freshest(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        source = RingFileSource(str(path))
+        assert source.get() is None
+        tracer = Tracer(enabled=True)
+        streamer = SnapshotStreamer(tracer, path=str(path))
+        tracer.metrics.count("c", 1)
+        streamer.tick()
+        tracer.metrics.count("c", 1)
+        streamer.tick()
+        assert source.get().counters["c"] == 2
+
+
+@pytest.fixture
+def server():
+    tracer = Tracer(enabled=True)
+    tracer.metrics.count("sweep.moves", 11)
+    srv = serve(tracer=tracer, port=0).start()
+    yield srv
+    srv.stop()
+
+
+def fetch(srv: ObsServer, path: str):
+    host, port = srv.address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestObsServer:
+    def test_metrics_route(self, server):
+        status, ctype, body = fetch(server, "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert b"repro_sweep_moves_total 11" in body
+
+    def test_root_serves_metrics_too(self, server):
+        status, _, body = fetch(server, "/")
+        assert status == 200
+        assert b"repro_sweep_moves_total" in body
+
+    def test_healthz_route(self, server):
+        status, ctype, body = fetch(server, "/healthz")
+        assert status == 200
+        assert ctype == "application/json"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["source"] == "registry (in-process)"
+
+    def test_snapshot_route(self, server):
+        status, _, body = fetch(server, "/snapshot")
+        assert status == 200
+        snap = json.loads(body)
+        assert snap["counters"]["sweep.moves"] == 11
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            fetch(server, "/nope")
+        assert exc.value.code == 404
+
+    def test_snapshot_503_when_ring_empty(self, tmp_path):
+        srv = serve(ring=str(tmp_path / "absent.jsonl"), port=0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(srv, "/snapshot")
+            assert exc.value.code == 503
+            status, _, body = fetch(srv, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "no-data"
+            status, _, body = fetch(srv, "/metrics")
+            assert status == 200
+            assert body.startswith(b"# repro: no snapshot available yet")
+        finally:
+            srv.stop()
+
+    def test_ring_file_serving_follows_writes(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        tracer = Tracer(enabled=True)
+        streamer = SnapshotStreamer(tracer, path=str(path))
+        tracer.metrics.count("sweep.moves", 1)
+        streamer.tick()
+        srv = serve(ring=str(path), port=0).start()
+        try:
+            _, _, body = fetch(srv, "/metrics")
+            assert b"repro_sweep_moves_total 1" in body
+            tracer.metrics.count("sweep.moves", 1)
+            streamer.tick()
+            _, _, body = fetch(srv, "/metrics")
+            assert b"repro_sweep_moves_total 2" in body
+        finally:
+            srv.stop()

@@ -48,6 +48,23 @@ class TestDetect:
         save_csrz(karate_club(), csrz)
         assert main(["detect", str(csrz), "--format", "csrz"]) == 0
 
+    def test_detect_trace_streams_ring(self, karate_file, tmp_path,
+                                       monkeypatch, capsys):
+        """The README/CI live shape: REPRO_OBS_RING + detect --trace."""
+        from repro.obs.live import METRICS_RING_ENV, load_ring
+
+        ring = tmp_path / "ring.jsonl"
+        monkeypatch.setenv(METRICS_RING_ENV, str(ring))
+        assert main(["detect", karate_file, "--trace"]) == 0
+        snaps = load_ring(str(ring))
+        assert snaps, "exit snapshot must land even for a fast run"
+        assert snaps[-1].counters.get("sweep.moves", 0) > 0
+
+    def test_detect_trace_serial_variant(self, karate_file, capsys):
+        assert main(["detect", karate_file, "--variant", "serial",
+                     "--trace"]) == 0
+        assert "modularity:" in capsys.readouterr().out
+
     def test_missing_input(self):
         with pytest.raises(SystemExit):
             main(["detect"])
@@ -226,3 +243,135 @@ class TestObs:
         assert main(["obs", "report", str(trace), "--max-depth", "1"]) == 0
         assert "iteration" not in capsys.readouterr().out.split(
             "== Span tree ==")[1].split("==")[0]
+
+    def test_trace_profile_and_flame(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        flame = tmp_path / "run.collapsed"
+        assert main(["obs", "trace", karate_file, "--out", str(trace),
+                     "--flame", str(flame)]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert f"collapsed stacks written to {flame}" in out
+        assert flame.exists()
+        import json as json_mod
+
+        payload = json_mod.loads(trace.read_text())
+        assert "reproProfile" in payload
+
+    def test_trace_serial_profile(self, karate_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["obs", "trace", karate_file, "--variant", "serial",
+                     "--profile", "--out", str(trace)]) == 0
+        assert "profile:" in capsys.readouterr().out
+
+
+class TestObsInputErrors:
+    """Unusable input exits 2 with a clear message, never a traceback."""
+
+    def test_trace_missing_graph_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "trace", str(tmp_path / "absent.txt"),
+                  "--out", str(tmp_path / "trace.json")])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "report", str(tmp_path / "absent.json")])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_report_directory(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "report", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_report_non_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is { not json")
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "report", str(bad)])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_binary_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_bytes(b"\x80\x81\x82\xff")
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "report", str(bad)])
+        assert exc.value.code == 2
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "validate", str(tmp_path / "absent.json")])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_validate_non_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "validate", str(bad)])
+        assert exc.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestObsRegress:
+    @staticmethod
+    def write_records(path, seconds=1.0, q=0.9):
+        import json as json_mod
+
+        records = [{
+            "graph": "planted-50k", "kernel": "optimized",
+            "seconds": seconds, "Q": q, "commit": "aaaa",
+            "date": "2026-01-01", "backend": "numpy",
+        }]
+        path.write_text(json_mod.dumps(records))
+        return str(path)
+
+    def test_pass_on_identical_records(self, tmp_path, capsys):
+        committed = self.write_records(tmp_path / "committed.json")
+        fresh = self.write_records(tmp_path / "fresh.json")
+        assert main(["obs", "regress", "--kernels", committed, "--no-batch",
+                     "--fresh-kernels", fresh]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fail_on_slowed_records(self, tmp_path, capsys):
+        committed = self.write_records(tmp_path / "committed.json",
+                                       seconds=1.0)
+        slowed = self.write_records(tmp_path / "fresh.json", seconds=10.0)
+        assert main(["obs", "regress", "--kernels", committed, "--no-batch",
+                     "--fresh-kernels", slowed]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL" in out
+
+    def test_missing_committed_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "regress", "--kernels",
+                  str(tmp_path / "absent.json"), "--no-batch", "--rerun"])
+        assert exc.value.code == 2
+
+    def test_no_fresh_records_exits_2(self, tmp_path, capsys):
+        committed = self.write_records(tmp_path / "committed.json")
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "regress", "--kernels", committed, "--no-batch"])
+        assert exc.value.code == 2
+        assert "no fresh records" in capsys.readouterr().err
+
+    def test_unknown_rerun_graph_exits_2(self, tmp_path, capsys):
+        committed = self.write_records(tmp_path / "committed.json")
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "regress", "--kernels", committed, "--no-batch",
+                  "--rerun", "--graphs", "not-a-graph"])
+        assert exc.value.code == 2
+        assert "unknown --graphs" in capsys.readouterr().err
+
+    def test_malformed_records_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a list"}')
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "regress", "--kernels", str(bad), "--no-batch",
+                  "--rerun"])
+        assert exc.value.code == 2
