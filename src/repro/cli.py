@@ -25,6 +25,9 @@ Subcommands
               (``robust resume``), or run detection under a wall-clock/
               phase/iteration/memory budget with anytime cancellation
               (``robust budget``) — see docs/robustness.md.
+``serve``     The detection job service (docs/serving.md): run the
+              HTTP service (``serve run``) or talk to one —
+              ``serve submit/status/result/cancel/jobs``.
 
 Examples
 --------
@@ -600,6 +603,124 @@ def _cmd_robust_budget(args) -> int:
     return 0
 
 
+def _cmd_serve_run(args) -> int:
+    from repro.serve import AutoscalePolicy, InMemoryBroker, serve_api
+    from repro.utils.errors import ValidationError
+
+    try:
+        server = serve_api(
+            args.spool, host=args.host, port=args.port,
+            broker=InMemoryBroker(maxsize=args.queue_size),
+            policy=AutoscalePolicy(
+                min_workers=args.min_workers,
+                max_workers=args.max_workers,
+                idle_grace_s=args.idle_grace,
+            ),
+        )
+    except ValidationError as exc:
+        raise _input_error(str(exc))
+    host, port = server.address
+    print(f"repro serve: http://{host}:{port}/jobs "
+          f"(/metrics, /healthz) — spool: {args.spool}, "
+          f"queue <= {args.queue_size}, "
+          f"workers {args.min_workers}..{args.max_workers}")
+    try:
+        server.serve_forever()
+    finally:
+        print("serve: stopped")
+    return 0
+
+
+def _serve_client(args):
+    from repro.serve import ServeClient
+
+    return ServeClient(args.url)
+
+
+def _serve_api_call(fn):
+    """Run one client call; map API errors to exit 1 with the message."""
+    from repro.serve import ServeAPIError
+
+    try:
+        return fn()
+    except ServeAPIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    except OSError as exc:
+        raise _input_error(f"cannot reach the service: {exc}")
+
+
+def _cmd_serve_submit(args) -> int:
+    import json
+
+    spec: dict = {"graph": args.graph}
+    if args.config:
+        try:
+            spec["config"] = json.loads(args.config)
+        except ValueError as exc:
+            raise _input_error(f"--config is not valid JSON ({exc})")
+    if args.budget:
+        try:
+            spec["budget"] = json.loads(args.budget)
+        except ValueError as exc:
+            raise _input_error(f"--budget is not valid JSON ({exc})")
+    if args.priority:
+        spec["priority"] = args.priority
+    if args.max_attempts is not None:
+        spec["max_attempts"] = args.max_attempts
+    client = _serve_client(args)
+    job_id = _serve_api_call(lambda: client.submit(spec))
+    print(f"job_id: {job_id}")
+    if args.wait:
+        record = _serve_api_call(
+            lambda: client.wait(job_id, timeout=args.timeout))
+        print(f"status: {record['status']}")
+        if record["meta"]:
+            for key, value in sorted(record["meta"].items()):
+                print(f"  {key}: {value}")
+        if record["error"]:
+            print(f"error: {record['error']}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_serve_status(args) -> int:
+    import json
+
+    client = _serve_client(args)
+    if args.job_id:
+        record = _serve_api_call(lambda: client.status(args.job_id))
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        for job in _serve_api_call(client.jobs):
+            print(f"{job['job_id']}  {job['status']}")
+    return 0
+
+
+def _cmd_serve_result(args) -> int:
+    client = _serve_client(args)
+    result = _serve_api_call(lambda: client.result(args.job_id))
+    meta = result["meta"]
+    print(f"job_id:      {result['job_id']}")
+    print(f"modularity:  {meta['modularity']:.6f}")
+    print(f"communities: {meta['num_communities']}")
+    print(f"iterations:  {meta['iterations']}")
+    if meta.get("resumed_from_phase") is not None:
+        print(f"resumed:     from phase {meta['resumed_from_phase']}")
+    if args.output:
+        np.savetxt(args.output, np.asarray(result["communities"],
+                                           dtype=np.int64), fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_serve_cancel(args) -> int:
+    client = _serve_client(args)
+    payload = _serve_api_call(lambda: client.cancel(args.job_id))
+    print(f"{payload['job_id']}: {payload['status']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-louvain",
@@ -866,6 +987,86 @@ def build_parser() -> argparse.ArgumentParser:
     robust_budget.add_argument("--output",
                                help="write the assignment to a file")
     robust_budget.set_defaults(func=_cmd_robust_budget)
+
+    serve = sub.add_parser(
+        "serve",
+        help="detection job service: run the HTTP service or submit/"
+             "track/cancel jobs on one (docs/serving.md)",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="start the job service + HTTP API (foreground)"
+    )
+    serve_run.add_argument("--spool", default="serve-spool",
+                           help="directory for job checkpoints/results "
+                                "(default ./serve-spool)")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=9475,
+                           help="TCP port (0 = ephemeral; default 9475)")
+    serve_run.add_argument("--queue-size", type=int, default=64,
+                           help="pending-job bound; full queue returns "
+                                "429 (default 64)")
+    serve_run.add_argument("--min-workers", type=int, default=1)
+    serve_run.add_argument("--max-workers", type=int, default=4)
+    serve_run.add_argument("--idle-grace", type=float, default=5.0,
+                           metavar="SECONDS",
+                           help="idle time before a surplus worker is "
+                                "retired (default 5)")
+    serve_run.set_defaults(func=_cmd_serve_run)
+
+    def add_url(p):
+        p.add_argument("--url", default="http://127.0.0.1:9475",
+                       help="service base URL "
+                            "(default http://127.0.0.1:9475)")
+
+    serve_submit = serve_sub.add_parser(
+        "submit", help="submit a job (graph ref + optional config JSON)"
+    )
+    serve_submit.add_argument(
+        "graph",
+        help="graph ref: dataset:NAME?scale=F&seed=I, planted:KxS, "
+             "or a graph file path readable by the *service*",
+    )
+    serve_submit.add_argument("--config", metavar="JSON",
+                              help="LouvainConfig fields as a JSON object")
+    serve_submit.add_argument("--budget", metavar="JSON",
+                              help="RunBudget fields as a JSON object")
+    serve_submit.add_argument("--priority", type=int, default=0,
+                              help="queue priority (higher first)")
+    serve_submit.add_argument("--max-attempts", type=int, default=None,
+                              help="at-least-once retry bound (default 3)")
+    serve_submit.add_argument("--wait", action="store_true",
+                              help="block until the job finishes and "
+                                   "print its summary")
+    serve_submit.add_argument("--timeout", type=float, default=300.0,
+                              help="--wait deadline in seconds")
+    add_url(serve_submit)
+    serve_submit.set_defaults(func=_cmd_serve_submit)
+
+    serve_status = serve_sub.add_parser(
+        "status", help="show one job's record (or list all jobs)"
+    )
+    serve_status.add_argument("job_id", nargs="?",
+                              help="job id (omit to list all jobs)")
+    add_url(serve_status)
+    serve_status.set_defaults(func=_cmd_serve_status)
+
+    serve_result = serve_sub.add_parser(
+        "result", help="fetch a finished job's assignment + summary"
+    )
+    serve_result.add_argument("job_id")
+    serve_result.add_argument("--output",
+                              help="write the assignment to a file")
+    add_url(serve_result)
+    serve_result.set_defaults(func=_cmd_serve_result)
+
+    serve_cancel = serve_sub.add_parser(
+        "cancel", help="cancel a pending or running job"
+    )
+    serve_cancel.add_argument("job_id")
+    add_url(serve_cancel)
+    serve_cancel.set_defaults(func=_cmd_serve_cancel)
 
     lint = sub.add_parser(
         "lint",

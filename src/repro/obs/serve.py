@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -69,14 +70,39 @@ class RegistrySource:
 
 
 class RingFileSource:
-    """Serve the freshest snapshot from a JSONL ring file."""
+    """Serve the freshest snapshot from a JSONL ring file.
+
+    Scrapes can arrive far faster than the streamer writes (Prometheus
+    defaults to 15 s, but dashboards and health checks poll aggressively),
+    so the parsed result is **cached by ``(mtime_ns, size)``**: a request
+    that finds the file unchanged reuses the previous snapshot instead of
+    re-reading and re-parsing the whole ring.  A torn trailing line — the
+    streamer mid-append, or the compactor mid-swap — fails JSON parsing
+    and is skipped by :func:`~repro.obs.live.load_ring`; once the writer
+    completes the line the file's size changes and the cache refreshes.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
+        self._cache_key: "tuple[int, int] | None" = None
+        self._cached: "MetricsSnapshot | None" = None
 
     def get(self) -> "MetricsSnapshot | None":
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            # Missing (or momentarily swapped-out) file: drop the cache so
+            # a recreated ring is re-read from scratch.
+            self._cache_key = None
+            self._cached = None
+            return None
+        key = (stat.st_mtime_ns, stat.st_size)
+        if key == self._cache_key:
+            return self._cached
         snapshots = load_ring(self.path)
-        return snapshots[-1] if snapshots else None
+        self._cached = snapshots[-1] if snapshots else None
+        self._cache_key = key
+        return self._cached
 
     def describe(self) -> str:
         return f"ring file {self.path}"

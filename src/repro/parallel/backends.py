@@ -20,7 +20,14 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.utils.errors import ValidationError
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend", "make_backend"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "fork_available",
+    "make_backend",
+    "resolve_backend_name",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -90,6 +97,35 @@ class ThreadBackend(ExecutionBackend):
 
     def __repr__(self) -> str:
         return f"ThreadBackend(num_threads={self.num_workers})"
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` multiprocessing start method exists.
+
+    The process backend's zero-copy graph inheritance and shared-memory
+    state refresh assume ``fork`` (Linux, macOS); spawn-only platforms
+    (Windows, some sandboxes) must run ``"serial"`` or ``"threads"``.
+    Callers that *choose* a backend — the CLI, :mod:`repro.serve`
+    workers — consult this up front instead of catching the
+    :class:`~repro.utils.errors.ValidationError` that
+    :class:`~repro.parallel.process_backend.ProcessBackend` raises.
+    """
+    import multiprocessing as mp
+
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_backend_name(name: str) -> str:
+    """Map a requested backend name to one this platform can run.
+
+    ``"processes"`` on a spawn-only platform degrades to ``"threads"``
+    (the same fallback the :class:`ProcessBackend` error message names);
+    every other name passes through unchanged.  Validation of unknown
+    names stays with :func:`make_backend`.
+    """
+    if name == "processes" and not fork_available():
+        return "threads"
+    return name
 
 
 def make_backend(name: str, num_threads: int = 4) -> ExecutionBackend:

@@ -587,9 +587,14 @@ class ProcessBackend(ExecutionBackend):
 
     def __init__(self, num_processes: "int | None" = None,
                  policy: "RetryPolicy | None" = None):
-        if "fork" not in mp.get_all_start_methods():
+        from repro.parallel.backends import fork_available
+
+        if not fork_available():
             raise ValidationError(
-                "ProcessBackend requires the 'fork' start method"
+                "ProcessBackend requires the 'fork' multiprocessing start "
+                "method, which this platform does not provide (available: "
+                f"{mp.get_all_start_methods()}); run with backend='serial' "
+                "or backend='threads' instead"
             )
         if num_processes is None:
             num_processes = max(1, os.cpu_count() or 1)

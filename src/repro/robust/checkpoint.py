@@ -158,7 +158,10 @@ def load_checkpoint(path) -> Checkpoint:
     if not path.exists():
         raise CheckpointError(f"checkpoint not found: {path}")
     try:
-        with np.load(path, allow_pickle=False) as data:
+        # Open the handle ourselves: np.load on a truncated/corrupt
+        # archive raises from inside the zipfile probe before NpzFile
+        # takes ownership, leaking its internally-opened descriptor.
+        with open(path, "rb") as fh, np.load(fh, allow_pickle=False) as data:
             try:
                 version = int(data["format_version"][0])
             except KeyError as exc:

@@ -1,0 +1,29 @@
+"""repro.serve — the checkpoint-backed detection job service.
+
+Submit community-detection jobs (graph ref + config + budget) to a
+priority queue, execute them on a crash-tolerant process worker pool
+with at-least-once checkpoint-resume semantics, autoscale the pool on
+queue depth, and expose submit/status/result/cancel plus Prometheus
+metrics over a stdlib HTTP API.  See ``docs/serving.md``.
+"""
+
+from repro.serve.api import ServeServer, serve_api
+from repro.serve.broker import Broker, InMemoryBroker
+from repro.serve.client import ServeAPIError, ServeClient
+from repro.serve.job import JobRecord, JobSpec, JobStatus, resolve_graph_ref
+from repro.serve.service import AutoscalePolicy, JobService
+
+__all__ = [
+    "AutoscalePolicy",
+    "Broker",
+    "InMemoryBroker",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobStatus",
+    "ServeAPIError",
+    "ServeClient",
+    "ServeServer",
+    "resolve_graph_ref",
+    "serve_api",
+]

@@ -1,0 +1,203 @@
+"""Stdlib HTTP API for the job service (extends the obs-serve pattern).
+
+Routes (JSON in, JSON out; same ``ThreadingHTTPServer`` skeleton as
+:mod:`repro.obs.serve`):
+
+* ``POST /jobs`` — submit a :class:`~repro.serve.job.JobSpec` body;
+  ``202`` with ``{"job_id": ...}``, ``400`` on a bad spec, ``429`` on
+  queue backpressure;
+* ``GET /jobs`` — id + status of every known job;
+* ``GET /jobs/<id>`` — the full job record (``404`` unknown);
+* ``GET /jobs/<id>/result`` — final assignment + meta (``409`` until
+  the job is DONE);
+* ``POST /jobs/<id>/cancel`` — ``200`` when cancelled, ``409`` once
+  terminal, ``404`` unknown;
+* ``GET /metrics`` — the service tracer's registry in Prometheus text
+  format (queue depth, worker gauges, job latency histogram), through
+  the same renderer ``repro obs serve`` uses;
+* ``GET /healthz`` — queue/worker/job-count summary.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.serve import (
+    PROMETHEUS_CONTENT_TYPE,
+    RegistrySource,
+    render_prometheus,
+)
+from repro.serve.service import JobService
+from repro.utils.errors import QueueFullError, ValidationError
+
+__all__ = ["ServeServer", "serve_api"]
+
+#: Request bodies above this are rejected outright (a job spec is tiny).
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, content_type: str, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> "dict | None":
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return None
+        if not 0 < length <= _MAX_BODY_BYTES:
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            snap = RegistrySource(self.service.tracer).get()
+            self._send_text(200, PROMETHEUS_CONTENT_TYPE,
+                            render_prometheus(snap))
+        elif path == "/healthz":
+            self._send_json(200, {"status": "ok", **self.service.stats()})
+        elif path == "/jobs":
+            self._send_json(200, {"jobs": self.service.jobs()})
+        elif path.startswith("/jobs/") and path.endswith("/result"):
+            job_id = path[len("/jobs/"):-len("/result")]
+            if self.service.status(job_id) is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+                return
+            result = self.service.result(job_id)
+            if result is None:
+                self._send_json(409, {
+                    "error": f"job {job_id} has no result yet",
+                    "status": self.service.status(job_id)["status"],
+                })
+            else:
+                self._send_json(200, result)
+        elif path.startswith("/jobs/"):
+            record = self.service.status(path[len("/jobs/"):])
+            if record is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, record)
+        else:
+            self._send_json(404, {"error": f"unknown path {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/jobs":
+            payload = self._read_body()
+            if payload is None:
+                self._send_json(400, {"error": "body must be a JSON object "
+                                               "(a job spec)"})
+                return
+            try:
+                job_id = self.service.submit(payload)
+            except QueueFullError as exc:
+                self._send_json(429, {"error": str(exc)})
+            except ValidationError as exc:
+                self._send_json(400, {"error": str(exc)})
+            else:
+                self._send_json(202, {"job_id": job_id})
+        elif path.startswith("/jobs/") and path.endswith("/cancel"):
+            job_id = path[len("/jobs/"):-len("/cancel")]
+            status = self.service.status(job_id)
+            if status is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            elif self.service.cancel(job_id):
+                self._send_json(200, {"job_id": job_id,
+                                      "status": "cancelled"})
+            else:
+                self._send_json(409, {
+                    "error": f"job {job_id} is already {status['status']}",
+                })
+        else:
+            self._send_json(404, {"error": f"unknown path {path}"})
+
+    def log_message(self, fmt: str, *args) -> None:
+        return  # quiet, same as the obs endpoint
+
+
+class ServeServer:
+    """Threaded HTTP server bound to a :class:`JobService`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the actual ``(host, port)``.  Starting the server starts the service.
+    """
+
+    def __init__(self, service: JobService, host: str = "127.0.0.1",
+                 port: int = 9475) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServeServer":
+        self.service.start()
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-serve-http", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self.service.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+            self.service.stop()
+
+
+def serve_api(spool: str, host: str = "127.0.0.1", port: int = 9475,
+              **service_kwargs) -> ServeServer:
+    """Build a :class:`ServeServer` over a fresh :class:`JobService`."""
+    return ServeServer(JobService(spool, **service_kwargs),
+                       host=host, port=port)

@@ -1,0 +1,101 @@
+"""Job queue brokers: the ordering/backpressure half of the service.
+
+A **broker** owns only job *ids* and their ordering — specs, statuses
+and results live in the service's records and spool.  That split keeps
+the protocol small enough that a networked implementation (e.g. Redis
+streams: ``XADD`` in :meth:`~Broker.put`, ``XAUTOCLAIM`` in
+:meth:`~Broker.get_nowait`, a tombstone set for :meth:`~Broker.cancel`)
+plugs in without touching the service.
+
+The in-memory implementation is a bounded priority queue: higher
+``priority`` first, FIFO within a priority (a monotonic sequence number
+breaks ties), with :class:`~repro.utils.errors.QueueFullError`
+backpressure once ``maxsize`` jobs are pending.  Requeues after a worker
+death bypass the bound (``force=True``) — at-least-once delivery must
+not lose an accepted job to a full queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.utils.errors import QueueFullError, ValidationError
+
+__all__ = ["Broker", "InMemoryBroker"]
+
+
+class Broker:
+    """Protocol every queue backend implements (in-memory, Redis, ...)."""
+
+    def put(self, job_id: str, priority: int = 0, *,
+            force: bool = False) -> None:
+        """Enqueue ``job_id``; raise :class:`QueueFullError` when bounded
+        and full unless ``force`` (the requeue-after-death path)."""
+        raise NotImplementedError
+
+    def get_nowait(self) -> "str | None":
+        """Dequeue the highest-priority job id, or ``None`` when empty."""
+        raise NotImplementedError
+
+    def cancel(self, job_id: str) -> bool:
+        """Remove a pending job; False when it is not queued (already
+        dispatched, finished, or unknown)."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Number of jobs currently queued (cancelled ones excluded)."""
+        raise NotImplementedError
+
+
+class InMemoryBroker(Broker):
+    """Thread-safe bounded priority queue (the stdlib-only default).
+
+    Cancellation is lazy: a cancelled id goes into a tombstone set and
+    its heap entry is skipped at pop time, so :meth:`cancel` is O(1)
+    instead of re-heapifying.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValidationError("broker maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = 0
+        self._cancelled: set[str] = set()
+
+    def put(self, job_id: str, priority: int = 0, *,
+            force: bool = False) -> None:
+        with self._lock:
+            depth = len(self._heap) - len(self._cancelled)
+            if depth >= self.maxsize and not force:
+                raise QueueFullError(
+                    f"job queue is full ({depth}/{self.maxsize} pending); "
+                    "retry after some jobs drain"
+                )
+            self._cancelled.discard(job_id)
+            self._seq += 1
+            heapq.heappush(self._heap, (-priority, self._seq, job_id))
+
+    def get_nowait(self) -> "str | None":
+        with self._lock:
+            while self._heap:
+                _neg, _seq, job_id = heapq.heappop(self._heap)
+                if job_id in self._cancelled:
+                    self._cancelled.discard(job_id)
+                    continue
+                return job_id
+            return None
+
+    def cancel(self, job_id: str) -> bool:
+        with self._lock:
+            queued = any(jid == job_id and jid not in self._cancelled
+                         for _n, _s, jid in self._heap)
+            if queued:
+                self._cancelled.add(job_id)
+            return queued
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap) - len(self._cancelled)

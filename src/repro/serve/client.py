@@ -1,0 +1,105 @@
+"""Tiny urllib client for the job-service HTTP API (CLI + tests).
+
+Every call returns the decoded JSON payload; HTTP error statuses the
+API uses deliberately (400/404/409/429) raise :class:`ServeAPIError`
+carrying the status code and the server's error message, so callers
+can branch on ``exc.status`` instead of parsing urllib exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.utils.errors import ReproError
+from repro.utils.timing import monotonic
+
+__all__ = ["ServeAPIError", "ServeClient"]
+
+
+class ServeAPIError(ReproError, RuntimeError):
+    """The service answered with an error status (400/404/409/429/...)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: "dict | None" = None) -> dict:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            with exc:  # close the error response's socket
+                try:
+                    message = json.loads(
+                        exc.read().decode("utf-8")).get("error", "")
+                except (ValueError, UnicodeDecodeError):
+                    message = exc.reason
+            raise ServeAPIError(exc.code, message) from None
+
+    # -- API calls -------------------------------------------------------
+
+    def submit(self, spec: dict) -> str:
+        """Submit a job spec; returns the job id."""
+        return self._request("POST", "/jobs", spec)["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_s: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state (deadline-bounded).
+
+        Returns the final record; raises :class:`TimeoutError` when the
+        deadline passes first.
+        """
+        from repro.serve.job import JobStatus
+
+        pacer = threading.Event()
+        deadline = monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["status"] in JobStatus.TERMINAL:
+                return record
+            if monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']} after "
+                    f"{timeout:g}s"
+                )
+            pacer.wait(poll_s)

@@ -1,0 +1,357 @@
+"""Process worker pool for the job service: at-least-once execution.
+
+Jobs run in **worker processes** so a crash (OOM kill, injected fault,
+segfaulting accelerator kernel) takes down one job attempt, never the
+service.  The pool borrows the two structural idioms that make the
+process backend's recovery sound (:mod:`repro.parallel.process_backend`):
+
+* **per-worker task queues** — a worker killed inside a shared
+  ``queue.get()`` would die holding the reader lock and poison the queue
+  for every survivor; with one queue per worker a death poisons only its
+  own queue, which is retired with it;
+* **confirmed-dead-before-requeue** — a job is handed back to the
+  service only after its worker's exit code has been reaped and the
+  process joined, so two workers never run the same job concurrently.
+  Worker ids are never reused (a monotonic spawn counter), so a
+  completion message raced out by its sender's own death names a retired
+  id and is discarded — the same staleness guard the backend's slot
+  epochs provide.
+
+At-least-once semantics live in :func:`_run_job`: the checkpoint and
+result paths are pure functions of ``(spool, job_id)``
+(:func:`repro.serve.job.checkpoint_path`), so a retry finds its
+predecessor's last phase-boundary checkpoint (resuming is bitwise
+identical to an uninterrupted run — the PR-4 contract) or, when the
+predecessor died between writing the result and posting completion, the
+finished result itself.
+
+Workers deliberately do **not** catch
+:class:`~repro.utils.errors.FaultInjected`: an injected fault models a
+crash, so the process dies and the parent's liveness loop drives the
+checkpoint-resume path — this is how the integration tests and the CI
+smoke job kill workers deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import queue as queue_mod
+
+import numpy as np
+
+from repro.parallel.backends import fork_available, resolve_backend_name
+from repro.robust.budget import peak_memory_mb
+from repro.serve.job import JobSpec, checkpoint_path, resolve_graph_ref, result_path
+from repro.utils.errors import (
+    CheckpointError,
+    FaultInjected,
+    GraphFormatError,
+    ValidationError,
+)
+from repro.utils.timing import monotonic
+
+__all__ = ["WorkerPool"]
+
+#: Worker-side task-queue wait; bounds how long an orphaned worker
+#: (parent gone) lingers before noticing.
+_WORKER_POLL_S = 0.5
+
+#: Statuses a worker may post for a finished attempt.  ``"error"`` means
+#: the run raised but the worker survived; ``"permanent"`` marks errors
+#: retries cannot fix (bad spec, bad graph ref, checkpoint mismatch).
+_DONE_STATUSES = ("ok", "error")
+
+
+def _load_result(path: str) -> dict:
+    with open(path, "rb") as fh:
+        data = np.load(fh, allow_pickle=False)
+        return json.loads(str(data["meta"]))
+
+
+def _write_result(path: str, communities: np.ndarray, meta: dict) -> None:
+    # Atomic: a parallel reader (or a retry racing this attempt's death)
+    # sees the old file or the new one, never a torn write.
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez(fh, communities=communities,
+                 meta=np.asarray(json.dumps(meta, sort_keys=True)))
+    os.replace(tmp, path)
+
+
+def _run_job(job_id: str, spec: JobSpec, spool: str) -> dict:
+    """Execute one job attempt; returns the result meta dict.
+
+    Resume rules mirror ``repro robust resume``: the fault plan that
+    interrupted a previous attempt is never re-injected (the point of
+    retrying is to finish the work), and the checkpoint fingerprint is
+    validated by the driver itself.
+    """
+    from repro.core.config import LouvainConfig
+    from repro.core.driver import louvain
+
+    res_path = result_path(spool, job_id)
+    if os.path.exists(res_path):
+        # A previous attempt finished but died before posting completion:
+        # the work is done, just report it (at-least-once idempotency).
+        return _load_result(res_path)
+    ckpt_path = checkpoint_path(spool, job_id)
+    fields = spec.config_fields()
+    fields["backend"] = resolve_backend_name(fields.get("backend", "serial"))
+    resume = ckpt_path if os.path.exists(ckpt_path) else None
+    resumed_from = None
+    if resume is not None:
+        from repro.robust.checkpoint import load_checkpoint
+
+        resumed_from = load_checkpoint(resume).phase_index
+        # Never re-inject the fault that killed the previous attempt.
+        fields["fault_plan"] = None
+    config = LouvainConfig(**fields)
+    start = monotonic()
+    result = louvain(graph=resolve_graph_ref(spec.graph), config=config,
+                     checkpoint=ckpt_path, resume=resume)
+    meta = {
+        "modularity": float(result.modularity),
+        "num_communities": int(result.num_communities),
+        "phases": int(result.num_phases),
+        "iterations": int(result.total_iterations),
+        "resumed_from_phase": resumed_from,
+        "elapsed": monotonic() - start,
+    }
+    if result.budget_outcome is not None and result.budget_outcome.cancelled:
+        meta["budget_cancelled"] = result.budget_outcome.reason
+    _write_result(res_path, result.communities, meta)
+    return meta
+
+
+def _worker_main(worker_id, task_q, done_q, hb_q, spool, parent_pid):
+    """Worker loop: run job tasks until the ``None`` sentinel (or orphaned).
+
+    A task is ``(job_id, spec_dict)``.  Completion messages are
+    ``("done", worker_id, job_id, status, meta)``; heartbeats ride the
+    dedicated ``hb_q`` as ``("hb", worker_id, ts, jobs_done, rss_mb)``
+    so completion-message validation never sees them.  Heartbeats are
+    advisory — a lost one costs a gauge update, never a result.
+    """
+    jobs_done = 0
+
+    def _heartbeat() -> None:
+        try:
+            hb_q.put_nowait(("hb", worker_id, monotonic(), jobs_done,
+                             peak_memory_mb() or 0.0))
+        except (queue_mod.Full, OSError, ValueError):
+            pass
+
+    _heartbeat()
+    while True:
+        try:
+            task = task_q.get(timeout=_WORKER_POLL_S)
+        except queue_mod.Empty:
+            if os.getppid() != parent_pid:
+                break  # orphaned: the parent is gone
+            _heartbeat()
+            continue
+        if task is None:
+            break
+        job_id, spec_dict = task
+        try:
+            spec = JobSpec.from_dict(spec_dict)
+            meta = _run_job(job_id, spec, spool)
+        except FaultInjected:
+            raise  # modelled crash: die; the parent requeues and resumes
+        except (ValidationError, GraphFormatError, CheckpointError) as exc:
+            # Deterministic spec/input errors: retrying cannot help.
+            done_q.put(("done", worker_id, job_id, "error",
+                        {"error": f"{type(exc).__name__}: {exc}",
+                         "permanent": True}))
+            continue
+        except Exception as exc:
+            done_q.put(("done", worker_id, job_id, "error",
+                        {"error": f"{type(exc).__name__}: {exc}",
+                         "permanent": False}))
+            continue
+        jobs_done += 1
+        _heartbeat()
+        done_q.put(("done", worker_id, job_id, "ok", meta))
+
+
+class _WorkerSlot:
+    """One live worker: process + private task queue + current job."""
+
+    __slots__ = ("worker_id", "process", "task_q", "job_id", "idle_since",
+                 "stopping")
+
+    def __init__(self, worker_id: int, process, task_q):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_q = task_q
+        self.job_id: "str | None" = None
+        self.idle_since = monotonic()
+        self.stopping = False
+
+
+class WorkerPool:
+    """Spawn/assign/reap job workers (driven by the service control loop).
+
+    All methods are intended to be called from one thread (the service's
+    control loop) plus :meth:`close` at shutdown; the pool itself holds
+    no locks.  ``fork`` is preferred (zero-cost module inheritance);
+    spawn-only platforms work too because tasks are plain JSON-able data
+    and :func:`_worker_main` is a module-level function.
+    """
+
+    def __init__(self, spool: str):
+        self.spool = spool
+        self._ctx = mp.get_context("fork" if fork_available() else "spawn")
+        self._done_q = self._ctx.Queue()
+        self._hb_q = self._ctx.Queue()
+        self._slots: dict[int, _WorkerSlot] = {}
+        self._next_id = 0
+        self._retired_queues: list = []
+        #: Freshest advisory heartbeat per live worker id.
+        self.heartbeats: dict[int, tuple] = {}
+
+    # -- pool management ------------------------------------------------
+
+    def spawn(self) -> int:
+        """Start one worker; returns its (never-reused) id."""
+        worker_id = self._next_id
+        self._next_id += 1
+        task_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_q, self._done_q, self._hb_q, self.spool,
+                  os.getpid()),
+            daemon=True,
+        )
+        process.start()
+        self._slots[worker_id] = _WorkerSlot(worker_id, process, task_q)
+        return worker_id
+
+    def num_workers(self) -> int:
+        return len(self._slots)
+
+    def idle_workers(self) -> "list[_WorkerSlot]":
+        return [s for s in self._slots.values()
+                if s.job_id is None and not s.stopping]
+
+    def assign(self, job_id: str, spec_dict: dict) -> "int | None":
+        """Hand a job to an idle worker; returns its id (None when busy)."""
+        idle = self.idle_workers()
+        if not idle:
+            return None
+        slot = min(idle, key=lambda s: s.worker_id)
+        slot.job_id = job_id
+        slot.task_q.put((job_id, spec_dict))
+        return slot.worker_id
+
+    def stop_idle(self, idle_grace_s: float) -> int:
+        """Sentinel one worker that has been idle past the grace period."""
+        now = monotonic()
+        for slot in self.idle_workers():
+            if now - slot.idle_since >= idle_grace_s:
+                slot.stopping = True
+                slot.task_q.put(None)
+                return 1
+        return 0
+
+    def kill(self, worker_id: int) -> bool:
+        """Forcibly terminate a worker (the cancel-running-job path)."""
+        slot = self._slots.get(worker_id)
+        if slot is None:
+            return False
+        slot.process.terminate()
+        return True
+
+    def _retire(self, slot: _WorkerSlot) -> None:
+        slot.process.join()
+        del self._slots[slot.worker_id]
+        self.heartbeats.pop(slot.worker_id, None)
+        self._retired_queues.append(slot.task_q)
+
+    def reap(self) -> "list[tuple[int, str]]":
+        """Collect confirmed-dead workers; returns their orphaned jobs.
+
+        Each ``(worker_id, job_id)`` pair names a job whose worker died
+        mid-run — safe to requeue *because* the process has been joined
+        first.  Clean exits (sentinel honored, or idle crash) carry no
+        job and are retired silently.
+        """
+        orphans: list[tuple[int, str]] = []
+        for slot in list(self._slots.values()):
+            if slot.process.exitcode is None:
+                continue
+            job_id = slot.job_id
+            self._retire(slot)
+            if job_id is not None and not slot.stopping:
+                orphans.append((slot.worker_id, job_id))
+        return orphans
+
+    # -- message drains -------------------------------------------------
+
+    def drain_done(self) -> "list[tuple[int, str, str, dict]]":
+        """Non-blocking drain of validated completion messages.
+
+        Malformed messages (a dying worker can truncate a put) and
+        messages from retired worker ids (raced out by the sender's own
+        death — the job has been or will be requeued) are dropped.
+        """
+        out: list[tuple[int, str, str, dict]] = []
+        while True:
+            try:
+                msg = self._done_q.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError):
+                break
+            if not (isinstance(msg, tuple) and len(msg) == 5
+                    and msg[0] == "done" and isinstance(msg[1], int)
+                    and isinstance(msg[2], str) and msg[3] in _DONE_STATUSES
+                    and isinstance(msg[4], dict)):
+                continue
+            _tag, worker_id, job_id, status, meta = msg
+            slot = self._slots.get(worker_id)
+            if slot is None:
+                continue  # stale: sender already retired
+            if slot.job_id == job_id:
+                slot.job_id = None
+                slot.idle_since = monotonic()
+            out.append((worker_id, job_id, status, meta))
+        return out
+
+    def drain_heartbeats(self) -> None:
+        """Fold queued heartbeats into :attr:`heartbeats` (non-blocking)."""
+        while True:
+            try:
+                msg = self._hb_q.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError):
+                break
+            if not (isinstance(msg, tuple) and len(msg) == 5
+                    and msg[0] == "hb" and isinstance(msg[1], int)):
+                continue
+            if msg[1] in self._slots:
+                self.heartbeats[msg[1]] = msg[2:]
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Sentinel every worker, join with a deadline, escalate, clean up."""
+        for slot in self._slots.values():
+            if slot.process.exitcode is None and not slot.stopping:
+                slot.stopping = True
+                slot.task_q.put(None)
+        deadline = monotonic() + timeout
+        for slot in list(self._slots.values()):
+            slot.process.join(timeout=max(0.1, deadline - monotonic()))
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=5)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join(timeout=5)
+        queues = [s.task_q for s in self._slots.values()]
+        queues += self._retired_queues + [self._done_q, self._hb_q]
+        for q in queues:
+            q.close()
+            q.cancel_join_thread()
+        self._retired_queues = []
+        self._slots = {}

@@ -1,0 +1,362 @@
+"""The checkpoint-backed detection job service (ROADMAP item 1).
+
+:class:`JobService` ties the pieces together:
+
+* a :class:`~repro.serve.broker.Broker` orders accepted jobs (priority +
+  bounded depth with :class:`~repro.utils.errors.QueueFullError`
+  backpressure);
+* a :class:`~repro.serve.pool.WorkerPool` runs them in worker processes
+  with **at-least-once** semantics — a worker dying mid-job is detected
+  by the control loop's liveness poll, the job is requeued (bounded by
+  the spec's ``max_attempts``), and the retry resumes from the job's
+  last phase-boundary checkpoint, reproducing the uninterrupted run's
+  assignment bitwise (the PR-4 checkpoint contract);
+* an :class:`AutoscalePolicy` sizes the pool from queue depth: scale-up
+  is immediate, scale-down retires workers only after an idle grace
+  period (respawn-after-crash falls out of the same rule — a death
+  shrinks the pool below the desired size and the next tick refills it);
+* every transition lands on an in-process
+  :class:`~repro.obs.trace.Tracer`, so the HTTP API's ``/metrics`` can
+  expose queue depth, worker liveness gauges and the job latency
+  histogram through the existing Prometheus renderer.
+
+The control loop runs on one background thread paced by ``Event.wait``
+(woken early by submits/cancels), and it alone touches the pool;
+submit/status/result/cancel only touch the broker and the records dict
+under a lock.  State a worker needs is derived, never handed over:
+checkpoint and result files live in the **spool** directory at paths
+that are pure functions of ``(spool, job_id)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.trace import Tracer
+from repro.serve.broker import Broker, InMemoryBroker
+from repro.serve.job import (
+    JobRecord,
+    JobSpec,
+    JobStatus,
+    checkpoint_path,
+    result_path,
+)
+from repro.serve.pool import WorkerPool
+from repro.utils.errors import ValidationError
+from repro.utils.timing import monotonic
+
+__all__ = ["AutoscalePolicy", "JobService"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Pool sizing from queue depth.
+
+    The desired worker count is ``ceil(load / backlog_per_worker)``
+    clamped to ``[min_workers, max_workers]``, where ``load`` counts
+    queued plus running jobs.  ``backlog_per_worker=1`` (default) means
+    one worker per outstanding job up to the cap; larger values tolerate
+    deeper backlogs before spawning.  Scale-down only retires workers
+    idle for at least ``idle_grace_s`` — brief gaps between jobs must
+    not thrash fork/join.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    backlog_per_worker: int = 1
+    idle_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 0:
+            raise ValidationError("min_workers must be >= 0")
+        if self.max_workers < max(1, self.min_workers):
+            raise ValidationError(
+                "max_workers must be >= max(1, min_workers)"
+            )
+        if self.backlog_per_worker < 1:
+            raise ValidationError("backlog_per_worker must be >= 1")
+        if self.idle_grace_s < 0:
+            raise ValidationError("idle_grace_s must be >= 0")
+
+    def desired(self, load: int) -> int:
+        by_load = math.ceil(load / self.backlog_per_worker)
+        return max(self.min_workers, min(self.max_workers, by_load))
+
+
+class JobService:
+    """Submit/track/cancel detection jobs on a crash-tolerant worker pool."""
+
+    #: Control-loop pacing when nothing wakes it earlier.
+    POLL_INTERVAL_S = 0.05
+
+    def __init__(self, spool: str, *, broker: "Broker | None" = None,
+                 policy: "AutoscalePolicy | None" = None,
+                 tracer: "Tracer | None" = None):
+        os.makedirs(spool, exist_ok=True)
+        self.spool = spool
+        self.broker = broker if broker is not None else InMemoryBroker()
+        self.policy = policy or AutoscalePolicy()
+        #: Always-on metrics registry (the API's /metrics source).
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.pool = WorkerPool(spool)
+        self._records: dict[str, JobRecord] = {}
+        self._lock = threading.RLock()
+        self._next_job = 0
+        self._kill_requests: set[str] = set()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._started = monotonic()
+        self._thread: "threading.Thread | None" = None
+
+    # -- public API (any thread) ----------------------------------------
+
+    def submit(self, spec: "JobSpec | dict") -> str:
+        """Accept a job; returns its id.  Raises
+        :class:`~repro.utils.errors.ValidationError` on a bad spec and
+        :class:`~repro.utils.errors.QueueFullError` on backpressure."""
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        # Validate the config fields up front so a bad spec is a 400 at
+        # submit time, not a failed job minutes later.  The instance is
+        # discarded; the worker rebuilds (and revalidates) its own.
+        from repro.core.config import LouvainConfig
+
+        try:
+            LouvainConfig(**spec.config_fields())
+        except TypeError as exc:  # unknown field names
+            raise ValidationError(f"bad job config: {exc}") from None
+        with self._lock:
+            job_id = f"job-{self._next_job:06d}"
+            try:
+                self.broker.put(job_id, spec.priority)
+            except Exception:
+                self.tracer.count("serve.jobs_rejected")
+                raise
+            self._next_job += 1
+            self._records[job_id] = JobRecord(
+                job_id=job_id, spec=spec,
+                submitted_at=monotonic() - self._started,
+            )
+        self.tracer.count("serve.jobs_submitted")
+        self.tracer.gauge("serve.queue_depth", float(self.broker.depth()))
+        self._wake.set()
+        return job_id
+
+    def status(self, job_id: str) -> "dict | None":
+        with self._lock:
+            record = self._records.get(job_id)
+            return record.to_dict() if record is not None else None
+
+    def jobs(self) -> list[dict]:
+        with self._lock:
+            return [{"job_id": r.job_id, "status": r.status}
+                    for r in self._records.values()]
+
+    def result(self, job_id: str) -> "dict | None":
+        """The finished job's assignment + meta (None unless DONE)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.status != JobStatus.DONE:
+                return None
+        path = result_path(self.spool, job_id)
+        with open(path, "rb") as fh:
+            data = np.load(fh, allow_pickle=False)
+            return {
+                "job_id": job_id,
+                "communities": data["communities"].tolist(),
+                "meta": json.loads(str(data["meta"])),
+            }
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending or running job; False once terminal/unknown."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.status in JobStatus.TERMINAL:
+                return False
+            if record.status == JobStatus.PENDING:
+                self.broker.cancel(job_id)
+            else:  # running: the control loop terminates its worker
+                self._kill_requests.add(job_id)
+            record.status = JobStatus.CANCELLED
+            record.finished_at = monotonic() - self._started
+        self.tracer.count("serve.jobs_cancelled")
+        self._wake.set()
+        return True
+
+    def stats(self) -> dict:
+        """Health summary for ``/healthz``."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for record in self._records.values():
+                by_status[record.status] = by_status.get(record.status, 0) + 1
+        return {
+            "queue_depth": self.broker.depth(),
+            "workers": self.pool.num_workers(),
+            "jobs": by_status,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "JobService":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-control", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "JobService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- control loop (one thread) ---------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._tick()
+            self._wake.clear()
+            # Event.wait gives bounded pacing *and* instant wake-up on
+            # submit/cancel; a bare sleep would add latency to both.
+            self._wake.wait(self.POLL_INTERVAL_S)
+
+    def _tick(self) -> None:
+        self._service_kill_requests()
+        for worker_id, job_id, status, meta in self.pool.drain_done():
+            self._on_done(worker_id, job_id, status, meta)
+        for worker_id, job_id in self.pool.reap():
+            self._on_worker_death(worker_id, job_id)
+        self._dispatch()
+        self._autoscale()
+        self._publish_gauges()
+
+    def _service_kill_requests(self) -> None:
+        with self._lock:
+            requests, self._kill_requests = self._kill_requests, set()
+            kills = [(job_id, self._records[job_id].worker_id)
+                     for job_id in requests
+                     if self._records[job_id].worker_id is not None]
+        for _job_id, worker_id in kills:
+            self.pool.kill(worker_id)
+
+    def _on_done(self, worker_id, job_id, status, meta) -> None:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.status != JobStatus.RUNNING:
+                return  # cancelled (or stale) — keep the terminal status
+            now = monotonic() - self._started
+            if status == "ok":
+                record.status = JobStatus.DONE
+                record.meta = meta
+                record.finished_at = now
+                submitted = record.submitted_at
+            elif (meta.get("permanent")
+                  or record.attempts >= record.spec.max_attempts):
+                record.status = JobStatus.FAILED
+                record.error = meta.get("error", "unknown error")
+                record.finished_at = now
+                submitted = None
+            else:
+                # Transient runtime error: the worker survived, wrote
+                # nothing — requeue for another attempt.
+                record.status = JobStatus.PENDING
+                record.worker_id = None
+                self.broker.put(job_id, record.spec.priority, force=True)
+                self.tracer.count("serve.jobs_retried")
+                return
+        if status == "ok":
+            self.tracer.count("serve.jobs_completed")
+            self.tracer.observe("serve.job_seconds", now - submitted)
+            # The checkpoint has served its purpose; the result is the
+            # product (mirrors the driver: a finished run's product is
+            # its result, not a checkpoint).
+            try:
+                os.remove(checkpoint_path(self.spool, job_id))
+            except OSError:
+                pass
+        else:
+            self.tracer.count("serve.jobs_failed")
+
+    def _on_worker_death(self, worker_id, job_id) -> None:
+        """A worker died mid-job (confirmed dead): requeue or fail."""
+        self.tracer.count("serve.worker_deaths")
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.status != JobStatus.RUNNING:
+                return  # cancelled via kill(), or already resolved
+            record.worker_id = None
+            if record.attempts >= record.spec.max_attempts:
+                record.status = JobStatus.FAILED
+                record.error = (
+                    f"worker died mid-run {record.attempts} times "
+                    f"(max_attempts={record.spec.max_attempts})"
+                )
+                record.finished_at = monotonic() - self._started
+                failed = True
+            else:
+                record.status = JobStatus.PENDING
+                self.broker.put(job_id, record.spec.priority, force=True)
+                failed = False
+        if failed:
+            self.tracer.count("serve.jobs_failed")
+        else:
+            self.tracer.count("serve.jobs_retried")
+
+    def _dispatch(self) -> None:
+        while self.pool.idle_workers():
+            job_id = self.broker.get_nowait()
+            if job_id is None:
+                break
+            with self._lock:
+                record = self._records.get(job_id)
+                if record is None or record.status != JobStatus.PENDING:
+                    continue  # cancelled between queue and dispatch
+                worker_id = self.pool.assign(job_id, record.spec.to_dict())
+                if worker_id is None:  # raced: no idle worker after all
+                    self.broker.put(job_id, record.spec.priority, force=True)
+                    break
+                record.status = JobStatus.RUNNING
+                record.worker_id = worker_id
+                record.attempts += 1
+                record.started_at = monotonic() - self._started
+
+    def _autoscale(self) -> None:
+        with self._lock:
+            running = sum(1 for r in self._records.values()
+                          if r.status == JobStatus.RUNNING)
+        desired = self.policy.desired(self.broker.depth() + running)
+        while self.pool.num_workers() < desired:
+            self.pool.spawn()
+            self.tracer.count("serve.workers_spawned")
+        if self.pool.num_workers() > desired:
+            if self.pool.stop_idle(self.policy.idle_grace_s):
+                self.tracer.count("serve.workers_retired")
+
+    def _publish_gauges(self) -> None:
+        self.pool.drain_heartbeats()
+        tracer = self.tracer
+        tracer.gauge("serve.queue_depth", float(self.broker.depth()))
+        tracer.gauge("serve.workers", float(self.pool.num_workers()))
+        for worker_id, (ts, jobs_done, rss_mb) in (
+                self.pool.heartbeats.items()):
+            tracer.gauge(f"serve.worker.{worker_id}.last_heartbeat",
+                         float(ts))
+            tracer.gauge(f"serve.worker.{worker_id}.jobs_done",
+                         float(jobs_done))
+            tracer.gauge(f"serve.worker.{worker_id}.rss_mb", float(rss_mb))

@@ -50,6 +50,15 @@ class CheckpointError(ReproError, ValueError):
     """
 
 
+class QueueFullError(ReproError, RuntimeError):
+    """A bounded job queue rejected a submission (backpressure).
+
+    Raised by :mod:`repro.serve` brokers when the queue is at capacity;
+    the HTTP API maps it to ``429 Too Many Requests``.  Submitters should
+    retry later rather than block.
+    """
+
+
 class WorkerPoolError(ReproError, RuntimeError):
     """A worker pool lost workers beyond what recovery could absorb.
 

@@ -48,7 +48,8 @@ def test_committed_batch_results_beat_loop():
     the per-graph loop on ≥32 small graphs (the PR's acceptance
     criterion)."""
     path = os.path.join(REPO_ROOT, "BENCH_batch.json")
-    records = json.loads(open(path).read())
+    with open(path) as fh:
+        records = json.load(fh)
     by_mode = {r["mode"]: r for r in records}
     loop, batched = by_mode["per-graph-loop"], by_mode["batched"]
     assert batched["num_graphs"] >= 32

@@ -48,7 +48,8 @@ def test_committed_bench_results_meet_speedup_target():
     """The committed BENCH_kernels.json must show the ≥2× phase speedup on
     at least one ≥50k-vertex graph (the PR's acceptance criterion)."""
     path = os.path.join(REPO_ROOT, "BENCH_kernels.json")
-    records = json.loads(open(path).read())
+    with open(path) as fh:
+        records = json.load(fh)
     by_graph = {}
     for rec in records:
         by_graph.setdefault(rec["graph"], {})[rec["kernel"]] = rec

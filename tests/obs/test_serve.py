@@ -89,6 +89,73 @@ class TestSources:
         streamer.tick()
         assert source.get().counters["c"] == 2
 
+    def test_ring_file_source_caches_by_mtime_and_size(self, tmp_path,
+                                                       monkeypatch):
+        """An unchanged ring file is parsed once, not per scrape."""
+        import importlib
+
+        # ``repro.obs`` re-exports the ``serve`` *function*, which shadows
+        # the submodule under attribute access — go through importlib.
+        serve_mod = importlib.import_module("repro.obs.serve")
+
+        path = tmp_path / "ring.jsonl"
+        tracer = Tracer(enabled=True)
+        streamer = SnapshotStreamer(tracer, path=str(path))
+        tracer.metrics.count("c", 1)
+        streamer.tick()
+        source = RingFileSource(str(path))
+        calls = []
+        real_load = serve_mod.load_ring
+        monkeypatch.setattr(serve_mod, "load_ring",
+                            lambda p: calls.append(p) or real_load(p))
+        first = source.get()
+        assert first.counters["c"] == 1
+        # Hammering the endpoint must not re-parse the unchanged file.
+        for _ in range(5):
+            assert source.get() is first
+        assert len(calls) == 1
+        # A new line (size change) invalidates the cache.
+        tracer.metrics.count("c", 1)
+        streamer.tick()
+        assert source.get().counters["c"] == 2
+        assert len(calls) == 2
+
+    def test_ring_file_source_tolerates_torn_trailing_line(self, tmp_path):
+        """A scrape racing the writer/compactor sees the last good line."""
+        import json as json_mod
+
+        path = tmp_path / "ring.jsonl"
+        good = MetricsSnapshot(seq=7, ts=1.0, wall=2.0, pid=1,
+                               counters={"c": 3})
+        torn = MetricsSnapshot(seq=8, ts=2.0, wall=3.0, pid=1,
+                               counters={"c": 4})
+        good_line = json_mod.dumps(good.to_dict(), sort_keys=True)
+        torn_line = json_mod.dumps(torn.to_dict(), sort_keys=True)
+        half = len(torn_line) // 2
+        path.write_text(good_line + "\n" + torn_line[:half],
+                        encoding="utf-8")
+        source = RingFileSource(str(path))
+        snap = source.get()
+        assert snap is not None and snap.seq == 7
+        assert snap.counters["c"] == 3
+        # Once the writer completes the torn line, the cache refreshes
+        # (the size changed) and the newest snapshot is served.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(torn_line[half:] + "\n")
+        assert source.get().seq == 8
+
+    def test_ring_file_source_recovers_after_file_vanishes(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        tracer = Tracer(enabled=True)
+        streamer = SnapshotStreamer(tracer, path=str(path))
+        streamer.tick()
+        source = RingFileSource(str(path))
+        assert source.get() is not None
+        path.unlink()
+        assert source.get() is None
+        streamer.tick()  # the ring is recreated; the source must re-read
+        assert source.get() is not None
+
 
 @pytest.fixture
 def server():
@@ -135,6 +202,7 @@ class TestObsServer:
     def test_unknown_path_is_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as exc:
             fetch(server, "/nope")
+        exc.value.close()  # the error response carries a live socket
         assert exc.value.code == 404
 
     def test_snapshot_503_when_ring_empty(self, tmp_path):
@@ -142,6 +210,7 @@ class TestObsServer:
         try:
             with pytest.raises(urllib.error.HTTPError) as exc:
                 fetch(srv, "/snapshot")
+            exc.value.close()  # the error response carries a live socket
             assert exc.value.code == 503
             status, _, body = fetch(srv, "/healthz")
             assert status == 200

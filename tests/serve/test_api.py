@@ -1,0 +1,122 @@
+"""The stdlib HTTP API: submit/status/result/cancel + metrics routes."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.driver import louvain
+from repro.serve import (
+    AutoscalePolicy,
+    InMemoryBroker,
+    JobStatus,
+    ServeAPIError,
+    ServeClient,
+    serve_api,
+)
+from repro.serve.job import resolve_graph_ref
+
+FAST_REF = "planted:4x20?p_in=0.4&p_out=0.01&seed=3"
+SLOW_SPEC = {
+    "graph": "planted:20x100?p_in=0.2&p_out=0.002&seed=7",
+    "config": {"kernel": "reference", "max_iterations_per_phase": 1},
+}
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = serve_api(
+        str(tmp_path / "spool"), port=0,
+        broker=InMemoryBroker(maxsize=2),
+        policy=AutoscalePolicy(min_workers=1, max_workers=1,
+                               idle_grace_s=60.0),
+    ).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestRoundTrip:
+    def test_submit_wait_result(self, client):
+        job_id = client.submit({"graph": FAST_REF})
+        record = client.wait(job_id, timeout=90.0)
+        assert record["status"] == JobStatus.DONE
+        result = client.result(job_id)
+        direct = louvain(resolve_graph_ref(FAST_REF))
+        np.testing.assert_array_equal(
+            np.asarray(result["communities"]), direct.communities
+        )
+        assert result["meta"]["modularity"] == direct.modularity
+        jobs = client.jobs()
+        assert {"job_id": job_id, "status": "done"} in jobs
+
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert "queue_depth" in health and "workers" in health
+
+    def test_metrics_scrape(self, client):
+        job_id = client.submit({"graph": FAST_REF})
+        client.wait(job_id, timeout=90.0)
+        time.sleep(0.2)  # let the control loop publish its gauges
+        text = client.metrics_text()
+        assert "repro_serve_jobs_submitted_total 1" in text
+        assert "repro_serve_jobs_completed_total 1" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_job_seconds histogram" in text
+
+
+class TestErrorStatuses:
+    def test_unknown_job_404(self, client):
+        for call in (lambda: client.status("job-424242"),
+                     lambda: client.result("job-424242"),
+                     lambda: client.cancel("job-424242")):
+            with pytest.raises(ServeAPIError) as exc:
+                call()
+            assert exc.value.status == 404
+
+    def test_bad_spec_400(self, client):
+        for spec in ({"config": {}},                        # no graph
+                     {"graph": FAST_REF, "surprise": 1},    # unknown field
+                     {"graph": FAST_REF,
+                      "config": {"kernel": "warp-drive"}}):
+            with pytest.raises(ServeAPIError) as exc:
+                client.submit(spec)
+            assert exc.value.status == 400
+
+    def test_unknown_path_404(self, client):
+        with pytest.raises(ServeAPIError) as exc:
+            client._request("GET", "/nope")
+        assert exc.value.status == 404
+
+    def test_backpressure_and_conflicts(self, client):
+        # One slow job occupies the single worker; two more fill the
+        # bounded queue (maxsize=2); the next submit gets 429.
+        running = client.submit(SLOW_SPEC)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.status(running)["status"] == JobStatus.RUNNING:
+                break
+            time.sleep(0.005)
+        queued = [client.submit(SLOW_SPEC) for _ in range(2)]
+        with pytest.raises(ServeAPIError) as exc:
+            client.submit(SLOW_SPEC)
+        assert exc.value.status == 429
+
+        # A queued job has no result yet: 409, with its current status.
+        with pytest.raises(ServeAPIError) as exc:
+            client.result(queued[0])
+        assert exc.value.status == 409
+
+        # Cancel the queued jobs (200), then cancelling again is 409.
+        for job_id in queued:
+            assert client.cancel(job_id)["status"] == "cancelled"
+        with pytest.raises(ServeAPIError) as exc:
+            client.cancel(queued[0])
+        assert exc.value.status == 409
+        # Cancel the running one too so teardown is quick.
+        client.cancel(running)

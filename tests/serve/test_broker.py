@@ -1,0 +1,86 @@
+"""The in-memory broker: ordering, backpressure, cancellation."""
+
+import pytest
+
+from repro.serve.broker import InMemoryBroker
+from repro.utils.errors import QueueFullError, ValidationError
+
+
+class TestOrdering:
+    def test_higher_priority_first(self):
+        broker = InMemoryBroker()
+        broker.put("low", priority=0)
+        broker.put("high", priority=9)
+        broker.put("mid", priority=4)
+        assert [broker.get_nowait() for _ in range(3)] == \
+            ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        broker = InMemoryBroker()
+        for name in ("a", "b", "c"):
+            broker.put(name, priority=1)
+        assert [broker.get_nowait() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_empty_returns_none(self):
+        assert InMemoryBroker().get_nowait() is None
+
+
+class TestBackpressure:
+    def test_full_queue_raises(self):
+        broker = InMemoryBroker(maxsize=2)
+        broker.put("a")
+        broker.put("b")
+        with pytest.raises(QueueFullError, match="full"):
+            broker.put("c")
+        assert broker.depth() == 2
+
+    def test_requeue_bypasses_the_bound(self):
+        # At-least-once: a job already accepted must be requeueable even
+        # when the queue is full.
+        broker = InMemoryBroker(maxsize=1)
+        broker.put("a")
+        broker.put("crashed", force=True)
+        assert broker.depth() == 2
+
+    def test_draining_frees_capacity(self):
+        broker = InMemoryBroker(maxsize=1)
+        broker.put("a")
+        assert broker.get_nowait() == "a"
+        broker.put("b")  # no raise
+        assert broker.depth() == 1
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValidationError):
+            InMemoryBroker(maxsize=0)
+
+
+class TestCancel:
+    def test_cancel_pending(self):
+        broker = InMemoryBroker()
+        broker.put("a")
+        broker.put("b")
+        assert broker.cancel("a") is True
+        assert broker.depth() == 1
+        assert broker.get_nowait() == "b"
+        assert broker.get_nowait() is None
+
+    def test_cancel_unknown_or_dispatched(self):
+        broker = InMemoryBroker()
+        broker.put("a")
+        assert broker.get_nowait() == "a"
+        assert broker.cancel("a") is False
+        assert broker.cancel("never-queued") is False
+
+    def test_cancelled_slot_frees_capacity(self):
+        broker = InMemoryBroker(maxsize=1)
+        broker.put("a")
+        broker.cancel("a")
+        broker.put("b")  # tombstoned entry no longer counts
+        assert broker.get_nowait() == "b"
+
+    def test_resubmit_after_cancel(self):
+        broker = InMemoryBroker()
+        broker.put("a")
+        broker.cancel("a")
+        broker.put("a")
+        assert broker.get_nowait() == "a"

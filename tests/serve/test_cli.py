@@ -1,0 +1,87 @@
+"""The ``repro serve`` CLI round-trip against an in-process server."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import AutoscalePolicy, InMemoryBroker, serve_api
+
+GRAPH_REF = "planted:4x20?p_in=0.4&p_out=0.01&seed=3"
+
+
+@pytest.fixture
+def url(tmp_path):
+    server = serve_api(
+        str(tmp_path / "spool"), port=0,
+        broker=InMemoryBroker(maxsize=8),
+        policy=AutoscalePolicy(min_workers=1, max_workers=1,
+                               idle_grace_s=60.0),
+    ).start()
+    yield server.url
+    server.stop()
+
+
+class TestServeCLI:
+    def test_submit_status_result_round_trip(self, url, tmp_path, capsys):
+        assert main(["serve", "submit", GRAPH_REF, "--url", url,
+                     "--wait", "--timeout", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "job_id: job-000000" in out
+        assert "status: done" in out
+        assert "modularity:" in out
+
+        assert main(["serve", "status", "job-000000", "--url", url]) == 0
+        assert '"status": "done"' in capsys.readouterr().out
+
+        assert main(["serve", "status", "--url", url]) == 0
+        assert "job-000000  done" in capsys.readouterr().out
+
+        out_file = tmp_path / "assignment.txt"
+        assert main(["serve", "result", "job-000000", "--url", url,
+                     "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "modularity:" in out
+        communities = np.loadtxt(out_file, dtype=np.int64)
+        assert communities.shape == (80,)
+
+    def test_submit_with_config_and_budget(self, url, capsys):
+        assert main(["serve", "submit", GRAPH_REF, "--url", url,
+                     "--config", '{"seed": 5}',
+                     "--budget", '{"max_phases": 2}',
+                     "--priority", "3", "--max-attempts", "2",
+                     "--wait", "--timeout", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "status: done" in out
+        assert "phases: " in out
+
+    def test_cancel(self, url, tmp_path, capsys):
+        # An unstarted second service would auto-run the job, so cancel
+        # a slow one instead: it may be pending or already running —
+        # both paths return 200.
+        assert main(["serve", "submit",
+                     "planted:20x100?p_in=0.2&p_out=0.002&seed=7",
+                     "--url", url,
+                     "--config",
+                     '{"kernel": "reference", '
+                     '"max_iterations_per_phase": 1}']) == 0
+        job_id = capsys.readouterr().out.split("job_id: ")[1].strip()
+        assert main(["serve", "cancel", job_id, "--url", url]) == 0
+        assert f"{job_id}: cancelled" in capsys.readouterr().out
+
+    def test_api_error_exits_1(self, url, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "status", "job-424242", "--url", url])
+        assert exc.value.code == 1
+        assert "HTTP 404" in capsys.readouterr().err
+
+    def test_bad_config_json_exits_2(self, url, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "submit", GRAPH_REF, "--url", url,
+                  "--config", "{not json"])
+        assert exc.value.code == 2
+
+    def test_unreachable_service_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "status", "--url", "http://127.0.0.1:9"])
+        assert exc.value.code == 2
+        assert "cannot reach" in capsys.readouterr().err

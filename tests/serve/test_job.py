@@ -1,0 +1,95 @@
+"""Job specs, records, and graph-reference resolution."""
+
+import pytest
+
+from repro.graph.generators import planted_partition
+from repro.serve.job import (
+    JobSpec,
+    JobStatus,
+    checkpoint_path,
+    resolve_graph_ref,
+    result_path,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec(graph="planted:4x20", config={"seed": 3},
+                       budget={"max_phases": 2}, priority=5, max_attempts=2)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults(self):
+        spec = JobSpec.from_dict({"graph": "dataset:MG1"})
+        assert spec.priority == 0
+        assert spec.max_attempts == 3
+        assert spec.config == {} and spec.budget is None
+
+    def test_budget_merges_into_config_fields(self):
+        spec = JobSpec(graph="planted:4x20", config={"seed": 1},
+                       budget={"max_phases": 2})
+        fields = spec.config_fields()
+        assert fields["budget"] == {"max_phases": 2}
+        assert fields["seed"] == 1
+        assert spec.config == {"seed": 1}  # the spec itself is untouched
+
+    @pytest.mark.parametrize("bad", [
+        {"graph": ""},
+        {"graph": 7},
+        {"graph": "g", "config": "not-a-dict"},
+        {"graph": "g", "budget": "not-a-dict"},
+        {"graph": "g", "priority": "high"},
+        {"graph": "g", "max_attempts": 0},
+        {"graph": "g", "surprise": 1},
+        {},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValidationError):
+            JobSpec.from_dict(bad)
+
+    def test_terminal_states(self):
+        assert JobStatus.DONE in JobStatus.TERMINAL
+        assert JobStatus.RUNNING not in JobStatus.TERMINAL
+        assert JobStatus.TERMINAL <= JobStatus.ALL
+
+
+class TestGraphRefs:
+    def test_planted_ref_is_deterministic(self):
+        ref = "planted:4x20?p_in=0.4&p_out=0.01&seed=9"
+        assert resolve_graph_ref(ref) == resolve_graph_ref(ref)
+        assert resolve_graph_ref(ref) == planted_partition(
+            4, 20, 0.4, 0.01, seed=9
+        )
+
+    def test_dataset_ref(self):
+        graph = resolve_graph_ref("dataset:MG1?scale=0.05&seed=1")
+        assert graph.num_vertices > 0
+
+    def test_file_ref(self, tmp_path):
+        from repro.graph.io import save_csrz
+
+        path = tmp_path / "g.npz"
+        graph = planted_partition(3, 10, 0.5, 0.05, seed=0)
+        save_csrz(graph, path)
+        assert resolve_graph_ref(str(path)) == graph
+
+    @pytest.mark.parametrize("bad", [
+        "dataset:NOPE",
+        "planted:4",                      # missing KxS shape
+        "planted:axb",
+        "planted:4x20?seed=banana",
+        "/no/such/file.metis",
+    ])
+    def test_bad_refs(self, bad):
+        with pytest.raises(ValidationError):
+            resolve_graph_ref(bad)
+
+
+class TestSpoolPaths:
+    def test_paths_are_pure_functions_of_spool_and_id(self):
+        # Workers derive these independently of the parent; any drift
+        # would break checkpoint resume across attempts.
+        assert checkpoint_path("/s", "job-000001") == \
+            "/s/job-000001.ckpt.npz"
+        assert result_path("/s", "job-000001") == \
+            "/s/job-000001.result.npz"
