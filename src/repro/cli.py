@@ -607,6 +607,7 @@ def _cmd_serve_run(args) -> int:
     from repro.serve import AutoscalePolicy, InMemoryBroker, serve_api
     from repro.utils.errors import ValidationError
 
+    wal = False if args.no_wal else (args.wal if args.wal else True)
     try:
         server = serve_api(
             args.spool, host=args.host, port=args.port,
@@ -616,16 +617,21 @@ def _cmd_serve_run(args) -> int:
                 max_workers=args.max_workers,
                 idle_grace_s=args.idle_grace,
             ),
+            wal=wal or None,
+            wal_fsync=args.wal_fsync,
         )
     except ValidationError as exc:
         raise _input_error(str(exc))
     host, port = server.address
+    wal_desc = "off" if wal is False else (
+        wal if isinstance(wal, str) else "on")
     print(f"repro serve: http://{host}:{port}/jobs "
           f"(/metrics, /healthz) — spool: {args.spool}, "
           f"queue <= {args.queue_size}, "
-          f"workers {args.min_workers}..{args.max_workers}")
+          f"workers {args.min_workers}..{args.max_workers}, "
+          f"wal {wal_desc}")
     try:
-        server.serve_forever()
+        server.serve_forever(drain_timeout=args.drain_timeout)
     finally:
         print("serve: stopped")
     return 0
@@ -1013,6 +1019,22 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="SECONDS",
                            help="idle time before a surplus worker is "
                                 "retired (default 5)")
+    serve_run.add_argument("--wal", metavar="FILE", default=None,
+                           help="write-ahead log path (default "
+                                "<spool>/serve.wal; restart over the same "
+                                "spool+wal recovers all accepted jobs)")
+    serve_run.add_argument("--no-wal", action="store_true",
+                           help="disable the write-ahead log "
+                                "(memory-only queue, PR-9 behavior)")
+    serve_run.add_argument("--wal-fsync", action="store_true",
+                           help="fsync every WAL record (survives "
+                                "OS/power failure, not just process "
+                                "death)")
+    serve_run.add_argument("--drain-timeout", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="SIGTERM drain: how long running jobs "
+                                "get to reach a checkpoint before "
+                                "shutdown (default 30)")
     serve_run.set_defaults(func=_cmd_serve_run)
 
     def add_url(p):

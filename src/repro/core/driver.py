@@ -209,18 +209,14 @@ def louvain(
             raise ValidationError(
                 "resume cannot be combined with initial_communities"
             )
-        resumed = load_checkpoint(resume)
+        # The fingerprint is validated against the checkpoint's meta
+        # before any array is materialized (fail-fast on a wrong config).
+        resumed = load_checkpoint(
+            resume, expected_fingerprint=config_fingerprint(cfg))
         if resumed.pipeline != "driver":
             raise CheckpointError(
                 f"{resume}: checkpoint was written by the "
                 f"{resumed.pipeline!r} pipeline, not the driver"
-            )
-        if resumed.config_fingerprint != config_fingerprint(cfg):
-            raise CheckpointError(
-                f"{resume}: configuration fingerprint mismatch — the "
-                "checkpoint was written under a semantically different "
-                "config (backend/threads/tracing may differ; thresholds, "
-                "variant switches, seed and resolution may not)"
             )
         if (resumed.n_original != graph.num_vertices
                 or resumed.m_original != graph.num_edges):

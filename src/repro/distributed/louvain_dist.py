@@ -409,17 +409,14 @@ def distributed_louvain(
     n_original = graph.num_vertices
     resumed = None
     if resume is not None:
-        resumed = load_checkpoint(resume)
+        # Fingerprint checked against the meta entry before any array is
+        # materialized (rank count, partition scheme and aggregation are
+        # semantic here; sanitize/trace/fault_plan are not).
+        resumed = load_checkpoint(resume, expected_fingerprint=fingerprint)
         if resumed.pipeline != "distributed":
             raise CheckpointError(
                 f"{resume}: checkpoint was written by the "
                 f"{resumed.pipeline!r} pipeline, not distributed_louvain"
-            )
-        if resumed.config_fingerprint != fingerprint:
-            raise CheckpointError(
-                f"{resume}: configuration fingerprint mismatch (rank "
-                "count, partition scheme and aggregation are semantic "
-                "here; sanitize/trace/fault_plan are not)"
             )
         if (resumed.n_original != graph.num_vertices
                 or resumed.m_original != graph.num_edges):

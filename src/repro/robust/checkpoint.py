@@ -21,7 +21,12 @@ atomically (temp file + ``os.replace``), holding
   recorded so far, as JSON;
 * ``mapping`` + ``graph_indptr``/``graph_indices``/``graph_weights`` —
   the original-vertex → coarse-vertex map and the current coarse graph;
-* ``level_<i>`` — the dendrogram's per-level maps.
+* ``level_<i>`` — the dendrogram's per-level maps;
+* ``sha256`` — a content digest over every other entry
+  (:func:`digest_arrays`), verified on load so a torn or bit-flipped
+  archive surfaces as :class:`~repro.utils.errors.CheckpointError`
+  instead of a silently-wrong resume (absent in pre-digest archives,
+  which still load).
 
 The **fingerprint** hashes only the fields that change the result
 (thresholds, variant switches, seed, resolution, ...) and deliberately
@@ -51,9 +56,11 @@ from repro.utils.errors import CheckpointError
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "Checkpoint",
+    "DIGEST_KEY",
     "NONSEMANTIC_CONFIG_FIELDS",
     "config_fingerprint",
     "describe_checkpoint",
+    "digest_arrays",
     "fingerprint_dict",
     "load_checkpoint",
     "save_checkpoint",
@@ -67,6 +74,33 @@ NONSEMANTIC_CONFIG_FIELDS = frozenset({
     "backend", "num_threads", "sanitize", "trace", "fault_plan", "budget",
     "array_backend", "profile", "metrics_ring",
 })
+
+
+#: Archive entry carrying the content digest (see :func:`digest_arrays`).
+DIGEST_KEY = "sha256"
+
+
+def digest_arrays(arrays: dict) -> str:
+    """Order-independent SHA-256 over named arrays.
+
+    Hashes each entry's name, dtype, shape and raw bytes (names sorted,
+    so insertion order is irrelevant).  Stored *inside* the archive
+    under :data:`DIGEST_KEY` — self-contained, so the atomic-write
+    guarantee covers data and digest together, with no sidecar-file
+    crash window — and verified on load: a bit-flipped or truncated
+    spool artifact is detected instead of silently resumed.
+    """
+    hasher = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        hasher.update(name.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(str(arr.dtype).encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(repr(arr.shape).encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(arr.tobytes())
+    return hasher.hexdigest()
 
 
 def fingerprint_dict(data: dict, *, exclude: frozenset = frozenset()) -> str:
@@ -142,17 +176,24 @@ def save_checkpoint(path, ckpt: Checkpoint) -> None:
     }
     for i, level in enumerate(ckpt.levels):
         arrays[f"level_{i}"] = np.asarray(level, dtype=np.int64)
+    arrays[DIGEST_KEY] = np.asarray(digest_arrays(arrays))
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
         np.savez(fh, **arrays)
     os.replace(tmp, path)
 
 
-def load_checkpoint(path) -> Checkpoint:
+def load_checkpoint(path, *,
+                    expected_fingerprint: "str | None" = None) -> Checkpoint:
     """Load a checkpoint written by :func:`save_checkpoint`.
 
     Raises :class:`~repro.utils.errors.CheckpointError` on a missing
-    file, a non-checkpoint archive, or an unsupported format version.
+    file, a non-checkpoint archive, an unsupported format version, a
+    content-digest mismatch (torn or bit-flipped archive), or — when
+    ``expected_fingerprint`` is given — a semantic-config fingerprint
+    that differs from it.  The fingerprint is compared against the tiny
+    ``meta`` entry *before* any array is materialized, so a wrong-config
+    resume fails fast instead of after reading the whole archive.
     """
     path = Path(path)
     if not path.exists():
@@ -174,6 +215,33 @@ def load_checkpoint(path) -> Checkpoint:
                 )
             try:
                 meta = json.loads(str(data["meta"][()]))
+            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                raise CheckpointError(
+                    f"{path}: malformed checkpoint ({exc})"
+                ) from exc
+            if (expected_fingerprint is not None
+                    and meta.get("config_fingerprint")
+                    != expected_fingerprint):
+                raise CheckpointError(
+                    f"{path}: configuration fingerprint mismatch — the "
+                    "checkpoint was written under a semantically "
+                    "different config (backend/threads/tracing may "
+                    "differ; thresholds, variant switches, seed and "
+                    "resolution may not)"
+                )
+            if DIGEST_KEY in data.files:
+                stored = str(data[DIGEST_KEY][()])
+                actual = digest_arrays({
+                    name: data[name] for name in data.files
+                    if name != DIGEST_KEY
+                })
+                if stored != actual:
+                    raise CheckpointError(
+                        f"{path}: content digest mismatch — the archive "
+                        "is corrupt (torn write or bit flip); restart "
+                        "from an earlier checkpoint or from scratch"
+                    )
+            try:
                 config_json = str(data["config"][()])
                 history = ConvergenceHistory.from_json(
                     str(data["history"][()])

@@ -20,11 +20,17 @@ A plan is a ``;``-separated list of specs; each spec is
     corrupt:worker=0               # post a malformed done-queue message
     raise:phase=1,sweep=0          # raise FaultInjected in the driver loop
     kill:chunk=0,times=2           # fire on the first two matching pickups
+    service_crash:site=serve.dispatch  # SIGKILL the job service itself
 
 Actions ``kill``/``stall``/``slow``/``corrupt`` fire at the **chunk
 site** (a worker process picking up a sweep chunk); ``raise`` fires at
 the **sweep site** (the parent's per-iteration hook in
-:func:`repro.core.phase.run_phase` and the distributed superstep loop).
+:func:`repro.core.phase.run_phase` and the distributed superstep loop);
+``service_crash`` fires at a named **service site** — a control-plane
+point inside :class:`~repro.serve.service.JobService` (armed via the
+``REPRO_SERVE_FAULTS`` environment variable, not the job's own config)
+— and SIGKILLs the whole service process, which is how the durability
+tests land a crash inside a specific WAL/dispatch window.
 Omitted match keys are wildcards.  ``times`` bounds how often a spec
 fires *per process* (default 1); worker processes each hold their own
 injector, so a spec without a ``worker=`` constraint can fire once in
@@ -52,6 +58,7 @@ from repro.utils.errors import FaultInjected, ValidationError
 __all__ = [
     "FaultInjector",
     "FaultSpec",
+    "apply_service_fault",
     "fault_plan_default",
     "get_injector",
     "parse_fault_plan",
@@ -66,9 +73,15 @@ FAULTS_ENV = "REPRO_FAULTS"
 CHUNK_ACTIONS = frozenset({"kill", "stall", "slow", "corrupt"})
 #: Actions fired from the parent's per-iteration sweep hook.
 SWEEP_ACTIONS = frozenset({"raise"})
+#: Actions fired at named control-plane sites inside the job service
+#: (``REPRO_SERVE_FAULTS``): ``service_crash:site=serve.dispatch``
+#: SIGKILLs the whole service process at that site — the durability
+#: tests' way of dying in a *specific* crash window.
+SERVICE_ACTIONS = frozenset({"service_crash"})
 
 _INT_KEYS = frozenset({"worker", "chunk", "sweep", "phase", "times"})
 _FLOAT_KEYS = frozenset({"delay"})
+_STR_KEYS = frozenset({"site"})
 
 #: Per-action default for ``delay`` (seconds).  A stalled worker sleeps
 #: until the parent's chunk deadline kills it; a slow worker proceeds.
@@ -94,6 +107,7 @@ class FaultSpec:
     sweep: "int | None" = None
     phase: "int | None" = None
     delay: "float | None" = None
+    site: "str | None" = None
     times: int = 1
 
     @property
@@ -120,10 +134,11 @@ def parse_fault_plan(plan: "str | None") -> tuple[FaultSpec, ...]:
             continue
         action, _, argstr = part.partition(":")
         action = action.strip()
-        if action not in CHUNK_ACTIONS | SWEEP_ACTIONS:
+        known = CHUNK_ACTIONS | SWEEP_ACTIONS | SERVICE_ACTIONS
+        if action not in known:
             raise ValidationError(
                 f"unknown fault action {action!r} in plan {plan!r} "
-                f"(known: {sorted(CHUNK_ACTIONS | SWEEP_ACTIONS)})"
+                f"(known: {sorted(known)})"
             )
         kwargs: dict = {}
         if argstr.strip():
@@ -141,6 +156,8 @@ def parse_fault_plan(plan: "str | None") -> tuple[FaultSpec, ...]:
                         kwargs[key] = int(value)
                     elif key in _FLOAT_KEYS:
                         kwargs[key] = float(value)
+                    elif key in _STR_KEYS:
+                        kwargs[key] = value
                     else:
                         raise ValidationError(
                             f"unknown fault key {key!r} in plan {plan!r}"
@@ -219,6 +236,16 @@ class FaultInjector:
                 f"injected fault: raise at phase={phase} sweep={sweep}"
             )
 
+    def on_service(self, site: str) -> "FaultSpec | None":
+        """Service-site hook: the matched spec, or ``None``.
+
+        Called by :class:`~repro.serve.service.JobService` at named
+        control-plane sites (``serve.submit``, ``serve.dispatch``,
+        ``serve.complete``); the caller applies the action via
+        :func:`apply_service_fault`.
+        """
+        return self._match(SERVICE_ACTIONS, site=site)
+
 
 def apply_chunk_fault(spec: FaultSpec) -> bool:
     """Apply a chunk-site fault inside a worker process.
@@ -235,6 +262,15 @@ def apply_chunk_fault(spec: FaultSpec) -> bool:
     if spec.action in ("stall", "slow"):
         time.sleep(spec.effective_delay)
     return spec.action == "corrupt"
+
+
+def apply_service_fault(spec: FaultSpec) -> None:
+    """Apply a service-site fault: ``service_crash`` SIGKILLs the whole
+    process — no atexit, no flush, exactly what a power-yank or OOM kill
+    of the service looks like to the WAL and spool.  Does not return.
+    """
+    if spec.action == "service_crash":
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 #: The ambient injector: disarmed until a pipeline installs a plan.

@@ -4,7 +4,11 @@ Submit community-detection jobs (graph ref + config + budget) to a
 priority queue, execute them on a crash-tolerant process worker pool
 with at-least-once checkpoint-resume semantics, autoscale the pool on
 queue depth, and expose submit/status/result/cancel plus Prometheus
-metrics over a stdlib HTTP API.  See ``docs/serving.md``.
+metrics over a stdlib HTTP API.  With a write-ahead log armed
+(``JobService(wal=True)``, the CLI default) the *service process* is
+crash-safe too: a SIGKILL + restart over the same spool recovers every
+accepted job, and interrupted jobs resume from their phase-boundary
+checkpoints.  See ``docs/serving.md``.
 """
 
 from repro.serve.api import ServeServer, serve_api
@@ -12,10 +16,12 @@ from repro.serve.broker import Broker, InMemoryBroker
 from repro.serve.client import ServeAPIError, ServeClient
 from repro.serve.job import JobRecord, JobSpec, JobStatus, resolve_graph_ref
 from repro.serve.service import AutoscalePolicy, JobService
+from repro.serve.wal import DurableBroker, WriteAheadLog, replay_jobs
 
 __all__ = [
     "AutoscalePolicy",
     "Broker",
+    "DurableBroker",
     "InMemoryBroker",
     "JobRecord",
     "JobService",
@@ -24,6 +30,8 @@ __all__ = [
     "ServeAPIError",
     "ServeClient",
     "ServeServer",
+    "WriteAheadLog",
+    "replay_jobs",
     "resolve_graph_ref",
     "serve_api",
 ]

@@ -11,7 +11,7 @@ Routes (JSON in, JSON out; same ``ThreadingHTTPServer`` skeleton as
 * ``GET /jobs/<id>/result`` — final assignment + meta (``409`` until
   the job is DONE);
 * ``POST /jobs/<id>/cancel`` — ``200`` when cancelled, ``409`` once
-  terminal, ``404`` unknown;
+  terminal (body carries the terminal ``status``), ``404`` unknown;
 * ``GET /metrics`` — the service tracer's registry in Prometheus text
   format (queue depth, worker gauges, job latency histogram), through
   the same renderer ``repro obs serve`` uses;
@@ -21,6 +21,7 @@ Routes (JSON in, JSON out; same ``ThreadingHTTPServer`` skeleton as
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -38,6 +39,14 @@ __all__ = ["ServeServer", "serve_api"]
 _MAX_BODY_BYTES = 1 << 20
 
 
+class _DrainRequested(Exception):
+    """Raised out of ``serve_forever`` by the SIGTERM handler."""
+
+
+def _raise_drain(signum, frame) -> None:
+    raise _DrainRequested()
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve"
 
@@ -45,11 +54,14 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> JobService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: "dict | None" = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -117,22 +129,31 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 job_id = self.service.submit(payload)
             except QueueFullError as exc:
-                self._send_json(429, {"error": str(exc)})
+                # Retry-After lets a well-behaved client back off for
+                # the advertised window instead of hammering the queue.
+                self._send_json(429, {"error": str(exc)},
+                                headers={"Retry-After": "1"})
             except ValidationError as exc:
                 self._send_json(400, {"error": str(exc)})
             else:
                 self._send_json(202, {"job_id": job_id})
         elif path.startswith("/jobs/") and path.endswith("/cancel"):
             job_id = path[len("/jobs/"):-len("/cancel")]
+            # Cancel first, fetch status after: reading the status
+            # before cancelling would race the job finishing in between
+            # and report a stale (non-terminal) state in the 409 body.
+            if self.service.cancel(job_id):
+                self._send_json(200, {"job_id": job_id,
+                                      "status": "cancelled"})
+                return
             status = self.service.status(job_id)
             if status is None:
                 self._send_json(404, {"error": f"unknown job {job_id!r}"})
-            elif self.service.cancel(job_id):
-                self._send_json(200, {"job_id": job_id,
-                                      "status": "cancelled"})
             else:
                 self._send_json(409, {
                     "error": f"job {job_id} is already {status['status']}",
+                    "job_id": job_id,
+                    "status": status["status"],
                 })
         else:
             self._send_json(404, {"error": f"unknown path {path}"})
@@ -184,16 +205,37 @@ class ServeServer:
         self._httpd.server_close()
         self.service.stop()
 
-    def serve_forever(self) -> None:
-        """Serve on the calling thread until interrupted (the CLI path)."""
+    def serve_forever(self, drain_timeout: float = 30.0) -> None:
+        """Serve on the calling thread until interrupted (the CLI path).
+
+        SIGTERM triggers a **graceful drain**: the HTTP listener closes,
+        running jobs are SIGTERMed so they checkpoint at their next
+        sweep boundary, and the service requeues them before stopping —
+        a restart over the same spool + WAL resumes each one exactly
+        where it left off.  Ctrl-C (SIGINT) keeps the old immediate-stop
+        behavior.
+        """
         self.service.start()
+        previous = None
+        try:
+            previous = signal.signal(signal.SIGTERM, _raise_drain)
+        except ValueError:
+            pass  # not the main thread: no drain hook, serve anyway
+        drain = False
         try:
             self._httpd.serve_forever(poll_interval=0.2)
         except KeyboardInterrupt:
             pass
+        except _DrainRequested:
+            drain = True
         finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
             self._httpd.server_close()
-            self.service.stop()
+            if drain:
+                self.service.drain(drain_timeout)
+            else:
+                self.service.stop()
 
 
 def serve_api(spool: str, host: str = "127.0.0.1", port: int = 9475,

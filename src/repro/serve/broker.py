@@ -47,6 +47,11 @@ class Broker:
         """Number of jobs currently queued (cancelled ones excluded)."""
         raise NotImplementedError
 
+    def entries(self) -> "list[tuple[str, int]]":
+        """Queued ``(job_id, priority)`` pairs in pop order — what a
+        durability snapshot persists (see :mod:`repro.serve.wal`)."""
+        raise NotImplementedError
+
 
 class InMemoryBroker(Broker):
     """Thread-safe bounded priority queue (the stdlib-only default).
@@ -68,13 +73,26 @@ class InMemoryBroker(Broker):
     def put(self, job_id: str, priority: int = 0, *,
             force: bool = False) -> None:
         with self._lock:
+            if job_id in self._cancelled:
+                # Resubmit after cancel: evict the tombstoned entry for
+                # real before re-adding — merely discarding the
+                # tombstone would resurrect the stale heap entry and
+                # leave the id queued twice.
+                self._cancelled.discard(job_id)
+                self._heap = [e for e in self._heap if e[2] != job_id]
+                heapq.heapify(self._heap)
+            elif any(jid == job_id for _n, _s, jid in self._heap):
+                # A job id names one job: re-putting a queued id is a
+                # no-op (first put wins its position), which keeps the
+                # tombstone-set cancellation sound and makes WAL replay
+                # of duplicate puts converge to one entry.
+                return
             depth = len(self._heap) - len(self._cancelled)
             if depth >= self.maxsize and not force:
                 raise QueueFullError(
                     f"job queue is full ({depth}/{self.maxsize} pending); "
                     "retry after some jobs drain"
                 )
-            self._cancelled.discard(job_id)
             self._seq += 1
             heapq.heappush(self._heap, (-priority, self._seq, job_id))
 
@@ -99,3 +117,9 @@ class InMemoryBroker(Broker):
     def depth(self) -> int:
         with self._lock:
             return len(self._heap) - len(self._cancelled)
+
+    def entries(self) -> "list[tuple[str, int]]":
+        with self._lock:
+            return [(job_id, -neg)
+                    for neg, _seq, job_id in sorted(self._heap)
+                    if job_id not in self._cancelled]

@@ -4,11 +4,19 @@ Every call returns the decoded JSON payload; HTTP error statuses the
 API uses deliberately (400/404/409/429) raise :class:`ServeAPIError`
 carrying the status code and the server's error message, so callers
 can branch on ``exc.status`` instead of parsing urllib exceptions.
+
+Requests are retried with bounded exponential backoff (full jitter) on
+**connection-level** failures — the service restarting under the client
+is an expected event now that restarts recover state — and on ``429``
+backpressure, honoring the server's ``Retry-After`` when present.
+Deliberate API errors (400/404/409) are never retried: they are answers,
+not outages.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 import urllib.error
 import urllib.request
@@ -22,20 +30,36 @@ __all__ = ["ServeAPIError", "ServeClient"]
 class ServeAPIError(ReproError, RuntimeError):
     """The service answered with an error status (400/404/409/429/...)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 retry_after: "float | None" = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        #: Parsed ``Retry-After`` header (seconds), when the server sent
+        #: one — what the retry loop waits before trying again.
+        self.retry_after = retry_after
 
 
 class ServeClient:
-    """Talk to a running ``repro serve`` endpoint."""
+    """Talk to a running ``repro serve`` endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    ``retries`` bounds re-attempts per call (0 disables);
+    ``backoff_s``/``max_backoff_s`` shape the exponential delay, which
+    is fully jittered (``uniform(0, delay)``) so a fleet of clients
+    retrying a restarted service does not stampede it in lockstep.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0, *,
+                 retries: int = 3, backoff_s: float = 0.25,
+                 max_backoff_s: float = 4.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._pacer = threading.Event()
 
-    def _request(self, method: str, path: str,
-                 payload: "dict | None" = None) -> dict:
+    def _request_once(self, method: str, path: str,
+                      payload: "dict | None" = None) -> dict:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         request = urllib.request.Request(
@@ -53,7 +77,40 @@ class ServeClient:
                         exc.read().decode("utf-8")).get("error", "")
                 except (ValueError, UnicodeDecodeError):
                     message = exc.reason
-            raise ServeAPIError(exc.code, message) from None
+                retry_after = None
+                header = exc.headers.get("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = max(0.0, float(header))
+                    except ValueError:
+                        pass  # HTTP-date form: fall back to backoff
+            raise ServeAPIError(exc.code, message,
+                                retry_after=retry_after) from None
+
+    def _request(self, method: str, path: str,
+                 payload: "dict | None" = None) -> dict:
+        delay = self.backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServeAPIError as exc:
+                # Only 429 is a "try again" answer; everything else the
+                # API says on purpose.
+                if exc.status != 429 or attempt >= self.retries:
+                    raise
+                wait = (exc.retry_after if exc.retry_after is not None
+                        else random.uniform(0, delay))
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError):
+                # Connection refused/reset/timeout: the service may be
+                # mid-restart — that's exactly what the WAL makes safe
+                # to wait out.
+                if attempt >= self.retries:
+                    raise
+                wait = random.uniform(0, delay)
+            self._pacer.wait(wait)
+            delay = min(self.max_backoff_s, delay * 2)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API calls -------------------------------------------------------
 

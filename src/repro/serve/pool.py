@@ -38,11 +38,13 @@ import json
 import multiprocessing as mp
 import os
 import queue as queue_mod
+from zipfile import BadZipFile
 
 import numpy as np
 
 from repro.parallel.backends import fork_available, resolve_backend_name
 from repro.robust.budget import peak_memory_mb
+from repro.robust.checkpoint import DIGEST_KEY, digest_arrays
 from repro.serve.job import JobSpec, checkpoint_path, resolve_graph_ref, result_path
 from repro.utils.errors import (
     CheckpointError,
@@ -52,7 +54,7 @@ from repro.utils.errors import (
 )
 from repro.utils.timing import monotonic
 
-__all__ = ["WorkerPool"]
+__all__ = ["WorkerPool", "load_result"]
 
 #: Worker-side task-queue wait; bounds how long an orphaned worker
 #: (parent gone) lingers before noticing.
@@ -60,42 +62,88 @@ _WORKER_POLL_S = 0.5
 
 #: Statuses a worker may post for a finished attempt.  ``"error"`` means
 #: the run raised but the worker survived; ``"permanent"`` marks errors
-#: retries cannot fix (bad spec, bad graph ref, checkpoint mismatch).
-_DONE_STATUSES = ("ok", "error")
+#: retries cannot fix (bad spec, bad graph ref, checkpoint mismatch);
+#: ``"drained"`` means a SIGTERM drain cancelled the attempt at a sweep
+#: boundary after checkpointing — requeue, don't count it as a failure.
+_DONE_STATUSES = ("ok", "error", "drained")
+
+#: Cancellation reasons that mean "the service is draining", not "the
+#: job's own budget expired" — the attempt stops without a result file.
+_DRAIN_REASONS = frozenset({"sigterm", "sigint"})
+
+#: What a corrupt spool artifact raises on load: digest mismatch
+#: (CheckpointError), torn zip (BadZipFile), truncation/IO (OSError,
+#: ValueError), or a missing entry (KeyError).
+_SPOOL_CORRUPT_ERRORS = (CheckpointError, BadZipFile, OSError, ValueError,
+                         KeyError)
 
 
-def _load_result(path: str) -> dict:
+def load_result(path: str) -> "tuple[np.ndarray, dict]":
+    """Load a result file, verifying its content digest.
+
+    Raises :class:`~repro.utils.errors.CheckpointError` on a digest
+    mismatch (bit flip) and the zip/IO errors on truncation — callers
+    treat any of :data:`_SPOOL_CORRUPT_ERRORS` as "this artifact is
+    corrupt, recompute" rather than crashing (digest-less files from
+    older spools still load).
+    """
     with open(path, "rb") as fh:
         data = np.load(fh, allow_pickle=False)
-        return json.loads(str(data["meta"]))
+        arrays = {name: data[name] for name in data.files}
+    stored = arrays.pop(DIGEST_KEY, None)
+    if stored is not None and str(stored[()]) != digest_arrays(arrays):
+        raise CheckpointError(
+            f"{path}: result content digest mismatch — the spool "
+            "artifact is corrupt"
+        )
+    return arrays["communities"], json.loads(str(arrays["meta"]))
 
 
 def _write_result(path: str, communities: np.ndarray, meta: dict) -> None:
     # Atomic: a parallel reader (or a retry racing this attempt's death)
-    # sees the old file or the new one, never a torn write.
+    # sees the old file or the new one, never a torn write.  The digest
+    # travels inside the archive, so atomicity covers it too.
+    arrays = {
+        "communities": np.asarray(communities),
+        "meta": np.asarray(json.dumps(meta, sort_keys=True)),
+    }
+    arrays[DIGEST_KEY] = np.asarray(digest_arrays(arrays))
     tmp = path + ".tmp"
     with open(tmp, "wb") as fh:
-        np.savez(fh, communities=communities,
-                 meta=np.asarray(json.dumps(meta, sort_keys=True)))
+        np.savez(fh, **arrays)
     os.replace(tmp, path)
 
 
-def _run_job(job_id: str, spec: JobSpec, spool: str) -> dict:
-    """Execute one job attempt; returns the result meta dict.
+def _run_job(job_id: str, spec: JobSpec, spool: str) -> "tuple[str, dict]":
+    """Execute one job attempt; returns ``(status, meta)``.
+
+    ``status`` is ``"ok"`` (result written) or ``"drained"`` (a service
+    drain's SIGTERM cancelled the attempt at a sweep boundary after
+    checkpointing; no result exists yet — the next attempt resumes).
 
     Resume rules mirror ``repro robust resume``: the fault plan that
     interrupted a previous attempt is never re-injected (the point of
     retrying is to finish the work), and the checkpoint fingerprint is
-    validated by the driver itself.
+    validated by the loader itself.  Corrupt spool artifacts (digest
+    mismatch, torn zip) are removed and recomputed rather than failing
+    the job — ``meta["recovered_corrupt_artifact"]`` tells the service
+    to count the event.
     """
     from repro.core.config import LouvainConfig
     from repro.core.driver import louvain
 
+    recovered_corrupt = False
     res_path = result_path(spool, job_id)
     if os.path.exists(res_path):
         # A previous attempt finished but died before posting completion:
-        # the work is done, just report it (at-least-once idempotency).
-        return _load_result(res_path)
+        # the work is done, just report it (at-least-once idempotency) —
+        # unless the artifact is corrupt, in which case recompute.
+        try:
+            _communities, meta = load_result(res_path)
+            return "ok", meta
+        except _SPOOL_CORRUPT_ERRORS:
+            recovered_corrupt = True
+            os.remove(res_path)
     ckpt_path = checkpoint_path(spool, job_id)
     fields = spec.config_fields()
     fields["backend"] = resolve_backend_name(fields.get("backend", "serial"))
@@ -104,9 +152,26 @@ def _run_job(job_id: str, spec: JobSpec, spool: str) -> dict:
     if resume is not None:
         from repro.robust.checkpoint import load_checkpoint
 
-        resumed_from = load_checkpoint(resume).phase_index
-        # Never re-inject the fault that killed the previous attempt.
-        fields["fault_plan"] = None
+        try:
+            resumed_from = load_checkpoint(resume).phase_index
+        except CheckpointError:
+            # Torn/bit-flipped checkpoint: demote to "start over" — the
+            # digest check exists precisely so a corrupt resume becomes
+            # a clean recompute, not a wrong answer or a permanent fail.
+            recovered_corrupt = True
+            os.remove(resume)
+            resume = None
+        else:
+            # Never re-inject the fault that killed the previous attempt.
+            fields["fault_plan"] = None
+    if fields.get("budget") is None:
+        # A signal-only budget arms cooperative SIGTERM draining: the
+        # service's drain sends SIGTERM, the run cancels at the next
+        # sweep boundary and writes a phase checkpoint.  A boundless
+        # budget has zero pressure, so results are untouched — and
+        # ``budget`` is a nonsemantic field, so the checkpoint
+        # fingerprint (and thus resumability) is unchanged.
+        fields["budget"] = {"handle_signals": True}
     config = LouvainConfig(**fields)
     start = monotonic()
     result = louvain(graph=resolve_graph_ref(spec.graph), config=config,
@@ -119,10 +184,16 @@ def _run_job(job_id: str, spec: JobSpec, spool: str) -> dict:
         "resumed_from_phase": resumed_from,
         "elapsed": monotonic() - start,
     }
+    if recovered_corrupt:
+        meta["recovered_corrupt_artifact"] = True
     if result.budget_outcome is not None and result.budget_outcome.cancelled:
+        if result.budget_outcome.reason in _DRAIN_REASONS:
+            # Drained, not done: writing a partial result here would
+            # short-circuit the restart's retry to a wrong answer.
+            return "drained", meta
         meta["budget_cancelled"] = result.budget_outcome.reason
     _write_result(res_path, result.communities, meta)
-    return meta
+    return "ok", meta
 
 
 def _worker_main(worker_id, task_q, done_q, hb_q, spool, parent_pid):
@@ -157,7 +228,7 @@ def _worker_main(worker_id, task_q, done_q, hb_q, spool, parent_pid):
         job_id, spec_dict = task
         try:
             spec = JobSpec.from_dict(spec_dict)
-            meta = _run_job(job_id, spec, spool)
+            status, meta = _run_job(job_id, spec, spool)
         except FaultInjected:
             raise  # modelled crash: die; the parent requeues and resumes
         except (ValidationError, GraphFormatError, CheckpointError) as exc:
@@ -173,7 +244,7 @@ def _worker_main(worker_id, task_q, done_q, hb_q, spool, parent_pid):
             continue
         jobs_done += 1
         _heartbeat()
-        done_q.put(("done", worker_id, job_id, "ok", meta))
+        done_q.put(("done", worker_id, job_id, status, meta))
 
 
 class _WorkerSlot:
@@ -256,13 +327,44 @@ class WorkerPool:
                 return 1
         return 0
 
-    def kill(self, worker_id: int) -> bool:
-        """Forcibly terminate a worker (the cancel-running-job path)."""
+    def kill(self, worker_id: int,
+             expect_job: "str | None" = None) -> bool:
+        """Forcibly terminate a worker (the cancel-running-job path).
+
+        ``expect_job`` guards the cancel-vs-completion race: by the time
+        the control loop services a kill request the worker may have
+        finished that job (completion message in flight) and taken a new
+        one — killing it then would murder an innocent job's attempt.
+        """
         slot = self._slots.get(worker_id)
         if slot is None:
             return False
+        if expect_job is not None and slot.job_id != expect_job:
+            return False
         slot.process.terminate()
         return True
+
+    def signal_busy(self, sig: int) -> int:
+        """Send ``sig`` to every worker currently running a job.
+
+        The drain path: SIGTERM reaches the worker's signal-armed budget
+        scope, which cancels the run at the next sweep boundary and
+        checkpoints (see :func:`_run_job`'s injected budget).
+        """
+        count = 0
+        for slot in self._slots.values():
+            if (slot.job_id is not None and slot.process.pid is not None
+                    and slot.process.exitcode is None):
+                try:
+                    os.kill(slot.process.pid, sig)
+                except OSError:
+                    continue
+                count += 1
+        return count
+
+    def busy_count(self) -> int:
+        """Workers currently running a job (what a drain waits on)."""
+        return sum(1 for s in self._slots.values() if s.job_id is not None)
 
     def _retire(self, slot: _WorkerSlot) -> None:
         slot.process.join()

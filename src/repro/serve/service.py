@@ -20,6 +20,17 @@
   expose queue depth, worker liveness gauges and the job latency
   histogram through the existing Prometheus renderer.
 
+Durability is opt-in (``wal=``): every queue transition and job
+lifecycle event lands in a :class:`~repro.serve.wal.WriteAheadLog`
+before the reply goes out, so a SIGKILL of the service followed by a
+restart over the same spool + WAL loses no accepted job — RUNNING jobs
+requeue and resume from their phase-boundary checkpoints, and
+:meth:`JobService.drain` (the SIGTERM path) checkpoints running jobs
+*before* stopping, so even a graceful shutdown wastes no work.  Spool
+artifacts carry content digests; a corrupt checkpoint or result is
+detected, counted (``serve.spool_corrupt``) and recomputed instead of
+poisoning an answer.
+
 The control loop runs on one background thread paced by ``Event.wait``
 (woken early by submits/cancels), and it alone touches the pool;
 submit/status/result/cancel only touch the broker and the records dict
@@ -30,15 +41,14 @@ that are pure functions of ``(spool, job_id)``.
 
 from __future__ import annotations
 
-import json
 import math
 import os
+import signal
 import threading
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.obs.trace import Tracer
+from repro.robust.faults import FaultInjector, apply_service_fault
 from repro.serve.broker import Broker, InMemoryBroker
 from repro.serve.job import (
     JobRecord,
@@ -47,11 +57,17 @@ from repro.serve.job import (
     checkpoint_path,
     result_path,
 )
-from repro.serve.pool import WorkerPool
+from repro.serve.pool import _SPOOL_CORRUPT_ERRORS, WorkerPool, load_result
+from repro.serve.wal import DurableBroker, WriteAheadLog, replay_jobs
 from repro.utils.errors import ValidationError
 from repro.utils.timing import monotonic
 
-__all__ = ["AutoscalePolicy", "JobService"]
+__all__ = ["AutoscalePolicy", "JobService", "SERVE_FAULTS_ENV"]
+
+#: Environment variable arming the service's own fault injector
+#: (``service_crash:site=...`` specs) — separate from ``REPRO_FAULTS``
+#: so a job-level plan never crashes the control plane by accident.
+SERVE_FAULTS_ENV = "REPRO_SERVE_FAULTS"
 
 
 @dataclass(frozen=True)
@@ -97,22 +113,159 @@ class JobService:
 
     def __init__(self, spool: str, *, broker: "Broker | None" = None,
                  policy: "AutoscalePolicy | None" = None,
-                 tracer: "Tracer | None" = None):
+                 tracer: "Tracer | None" = None,
+                 wal: "WriteAheadLog | str | bool | None" = None,
+                 wal_fsync: bool = False,
+                 compact_every: int = 256,
+                 fault_plan: "str | None" = None):
         os.makedirs(spool, exist_ok=True)
         self.spool = spool
-        self.broker = broker if broker is not None else InMemoryBroker()
         self.policy = policy or AutoscalePolicy()
         #: Always-on metrics registry (the API's /metrics source).
         self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        # Durability plane.  ``wal=True`` picks the conventional path
+        # inside the spool; a path or WriteAheadLog selects one
+        # explicitly; ``None`` (default) runs memory-only as before.
+        # Replay happens in two layers: DurableBroker's constructor
+        # rebuilds the *queue* from put/take/cancel balance, then
+        # _recover() rebuilds the *job records* from the job_* ops.
+        if wal is True:
+            wal = os.path.join(spool, "serve.wal")
+        if wal is not None and not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal, fsync=wal_fsync)
+        self.wal: "WriteAheadLog | None" = wal
+        if wal is not None:
+            self.broker: Broker = DurableBroker(wal, inner=broker)
+        else:
+            self.broker = broker if broker is not None else InMemoryBroker()
+        self.compact_every = max(1, int(compact_every))
+        if fault_plan is None:
+            fault_plan = os.environ.get(SERVE_FAULTS_ENV, "").strip() or None
+        self._faults = FaultInjector.from_plan(fault_plan)
         self.pool = WorkerPool(spool)
         self._records: dict[str, JobRecord] = {}
         self._lock = threading.RLock()
         self._next_job = 0
         self._kill_requests: set[str] = set()
+        self._draining = False
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._started = monotonic()
         self._thread: "threading.Thread | None" = None
+        if self.wal is not None:
+            self._recover()
+
+    # -- durability (construction + control loop) ------------------------
+
+    def _fault(self, site: str) -> None:
+        """Service-site fault hook (``service_crash`` SIGKILLs us here)."""
+        spec = self._faults.on_service(site)
+        if spec is not None:
+            apply_service_fault(spec)
+
+    def _recover(self) -> None:
+        """Rebuild job records from the WAL after a restart.
+
+        The DurableBroker constructor already replayed the queue; this
+        layer replays the ``job_*`` ops and reconciles the two:
+
+        * RUNNING records — dispatched by the previous incarnation,
+          never finished — requeue; the retry resumes from the job's
+          phase-boundary checkpoint (bitwise-identical, the PR-4
+          contract).
+        * PENDING records missing from the queue — the crash fell
+          between the broker's ``take`` and the ``job_dispatch`` append
+          — requeue.
+        * DONE records whose result file is gone — a corruption
+          demotion raced the crash — requeue.
+        * Queue entries with no record — the crash fell between the
+          broker's ``put`` and the ``job_submit`` append; the client
+          never got its 202, so the orphan id is dropped.
+        """
+        torn = self.wal.torn_lines
+        if torn:
+            self.tracer.count("serve.wal_torn_lines", float(torn))
+        states = replay_jobs(self.wal.replay())
+        queued = {job_id for job_id, _prio in self.broker.entries()}
+        recovered = 0
+        max_seq = -1
+        with self._lock:
+            for job_id, state in states.items():
+                if job_id.startswith("job-"):
+                    try:
+                        max_seq = max(max_seq, int(job_id[4:]))
+                    except ValueError:
+                        pass
+                spec_dict = state.get("spec")
+                if spec_dict is None:
+                    continue
+                try:
+                    spec = JobSpec.from_dict(spec_dict)
+                except ValidationError:
+                    continue
+                record = JobRecord(
+                    job_id=job_id, spec=spec,
+                    status=str(state.get("status", JobStatus.PENDING)),
+                    attempts=int(state.get("attempts", 0)),
+                    error=state.get("error"),
+                    meta=state.get("meta"),
+                )
+                if record.status == JobStatus.RUNNING:
+                    record.status = JobStatus.PENDING
+                    if job_id not in queued:
+                        self.broker.put(job_id, spec.priority, force=True)
+                    self.wal.append("job_requeue", job=job_id)
+                    recovered += 1
+                elif (record.status == JobStatus.PENDING
+                        and job_id not in queued):
+                    self.broker.put(job_id, spec.priority, force=True)
+                    recovered += 1
+                elif (record.status == JobStatus.DONE and not os.path.exists(
+                        result_path(self.spool, job_id))):
+                    record.status = JobStatus.PENDING
+                    record.meta = None
+                    self.broker.put(job_id, spec.priority, force=True)
+                    self.wal.append("job_requeue", job=job_id)
+                    recovered += 1
+                self._records[job_id] = record
+            for job_id in queued:
+                record = self._records.get(job_id)
+                if record is None or record.status != JobStatus.PENDING:
+                    self.broker.cancel(job_id)
+            self._next_job = max(self._next_job, max_seq + 1)
+        if recovered:
+            self.tracer.count("serve.jobs_recovered", float(recovered))
+        for name in os.listdir(self.spool):
+            if name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(self.spool, name))
+                except OSError:
+                    pass
+        self._compact()
+
+    def _snapshot(self) -> dict:
+        """The full durable state, in the shape replay reconstructs."""
+        with self._lock:
+            jobs = {
+                job_id: {
+                    "spec": record.spec.to_dict(),
+                    "status": record.status,
+                    "attempts": record.attempts,
+                    "error": record.error,
+                    "meta": record.meta,
+                    "priority": record.spec.priority,
+                }
+                for job_id, record in self._records.items()
+            }
+            queue = [[job_id, prio]
+                     for job_id, prio in self.broker.entries()]
+        return {"queue": queue, "jobs": jobs}
+
+    def _compact(self) -> None:
+        if self.wal is None:
+            return
+        self.wal.compact(self._snapshot())
+        self.tracer.count("serve.wal_compactions")
 
     # -- public API (any thread) ----------------------------------------
 
@@ -143,6 +296,10 @@ class JobService:
                 job_id=job_id, spec=spec,
                 submitted_at=monotonic() - self._started,
             )
+            if self.wal is not None:
+                self.wal.append("job_submit", job=job_id,
+                                spec=spec.to_dict(), priority=spec.priority)
+        self._fault("serve.submit")
         self.tracer.count("serve.jobs_submitted")
         self.tracer.gauge("serve.queue_depth", float(self.broker.depth()))
         self._wake.set()
@@ -159,19 +316,42 @@ class JobService:
                     for r in self._records.values()]
 
     def result(self, job_id: str) -> "dict | None":
-        """The finished job's assignment + meta (None unless DONE)."""
+        """The finished job's assignment + meta (None unless DONE).
+
+        The result's content digest is verified on every read; a corrupt
+        artifact (bit flip, truncation) demotes the job back to PENDING
+        for a clean recompute — the caller sees ``None`` and keeps
+        polling, never a wrong answer or a 500.
+        """
         with self._lock:
             record = self._records.get(job_id)
             if record is None or record.status != JobStatus.DONE:
                 return None
         path = result_path(self.spool, job_id)
-        with open(path, "rb") as fh:
-            data = np.load(fh, allow_pickle=False)
-            return {
-                "job_id": job_id,
-                "communities": data["communities"].tolist(),
-                "meta": json.loads(str(data["meta"])),
-            }
+        try:
+            communities, meta = load_result(path)
+        except _SPOOL_CORRUPT_ERRORS:
+            self.tracer.count("serve.spool_corrupt")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            with self._lock:
+                record = self._records.get(job_id)
+                if record is not None and record.status == JobStatus.DONE:
+                    record.status = JobStatus.PENDING
+                    record.meta = None
+                    record.finished_at = None
+                    self.broker.put(job_id, record.spec.priority, force=True)
+                    if self.wal is not None:
+                        self.wal.append("job_requeue", job=job_id)
+            self._wake.set()
+            return None
+        return {
+            "job_id": job_id,
+            "communities": communities.tolist(),
+            "meta": meta,
+        }
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a pending or running job; False once terminal/unknown."""
@@ -185,6 +365,8 @@ class JobService:
                 self._kill_requests.add(job_id)
             record.status = JobStatus.CANCELLED
             record.finished_at = monotonic() - self._started
+            if self.wal is not None:
+                self.wal.append("job_cancel", job=job_id)
         self.tracer.count("serve.jobs_cancelled")
         self._wake.set()
         return True
@@ -219,6 +401,34 @@ class JobService:
             self._thread.join(timeout=30.0)
             self._thread = None
         self.pool.close()
+        if self.wal is not None:
+            self._compact()
+            self.wal.close()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: checkpoint running jobs, then stop.
+
+        Dispatch halts, busy workers get SIGTERM — their signal-armed
+        budget scope cancels the run at the next sweep boundary and
+        writes a phase checkpoint (see ``_run_job``'s injected budget) —
+        and the control loop requeues each drained job, so a restart
+        over the same spool + WAL resumes every interrupted job exactly
+        where it stopped.  Returns True when every running job drained
+        inside ``timeout`` (stragglers past it are killed by
+        :meth:`stop`'s pool close, which costs them at most the work
+        since their last checkpoint, never correctness).
+        """
+        with self._lock:
+            self._draining = True
+        self._wake.set()
+        self.pool.signal_busy(signal.SIGTERM)
+        pacer = threading.Event()
+        deadline = monotonic() + timeout
+        while monotonic() < deadline and self.pool.busy_count() > 0:
+            pacer.wait(0.05)
+        drained = self.pool.busy_count() == 0
+        self.stop()
+        return drained
 
     def __enter__(self) -> "JobService":
         return self.start()
@@ -244,6 +454,9 @@ class JobService:
             self._on_worker_death(worker_id, job_id)
         self._dispatch()
         self._autoscale()
+        if (self.wal is not None
+                and self.wal.records_written >= self.compact_every):
+            self._compact()
         self._publish_gauges()
 
     def _service_kill_requests(self) -> None:
@@ -252,32 +465,62 @@ class JobService:
             kills = [(job_id, self._records[job_id].worker_id)
                      for job_id in requests
                      if self._records[job_id].worker_id is not None]
-        for _job_id, worker_id in kills:
-            self.pool.kill(worker_id)
+        for job_id, worker_id in kills:
+            # expect_job guards the race where the worker finished this
+            # job (completion in flight) and picked up another.
+            self.pool.kill(worker_id, expect_job=job_id)
 
     def _on_done(self, worker_id, job_id, status, meta) -> None:
+        if meta.get("recovered_corrupt_artifact"):
+            # The worker found a torn/bit-flipped spool artifact, threw
+            # it away and recomputed — correctness held, but the event
+            # is worth a counter (disks that flip bits keep flipping).
+            self.tracer.count("serve.spool_corrupt")
+        if status in ("ok", "error"):
+            self._fault("serve.complete")
         with self._lock:
             record = self._records.get(job_id)
             if record is None or record.status != JobStatus.RUNNING:
                 return  # cancelled (or stale) — keep the terminal status
             now = monotonic() - self._started
+            if status == "drained":
+                # A drain's SIGTERM checkpointed the attempt; requeue so
+                # the next incarnation (or a drain that beat its
+                # deadline) resumes it.  Not a failure: no attempt
+                # bound, no retry counter.
+                record.status = JobStatus.PENDING
+                record.worker_id = None
+                self.broker.put(job_id, record.spec.priority, force=True)
+                if self.wal is not None:
+                    self.wal.append("job_requeue", job=job_id)
+                self.tracer.count("serve.jobs_drained")
+                return
             if status == "ok":
                 record.status = JobStatus.DONE
                 record.meta = meta
                 record.finished_at = now
                 submitted = record.submitted_at
+                if self.wal is not None:
+                    self.wal.append("job_finish", job=job_id,
+                                    status=JobStatus.DONE, meta=meta)
             elif (meta.get("permanent")
                   or record.attempts >= record.spec.max_attempts):
                 record.status = JobStatus.FAILED
                 record.error = meta.get("error", "unknown error")
                 record.finished_at = now
                 submitted = None
+                if self.wal is not None:
+                    self.wal.append("job_finish", job=job_id,
+                                    status=JobStatus.FAILED,
+                                    error=record.error)
             else:
                 # Transient runtime error: the worker survived, wrote
                 # nothing — requeue for another attempt.
                 record.status = JobStatus.PENDING
                 record.worker_id = None
                 self.broker.put(job_id, record.spec.priority, force=True)
+                if self.wal is not None:
+                    self.wal.append("job_requeue", job=job_id)
                 self.tracer.count("serve.jobs_retried")
                 return
         if status == "ok":
@@ -308,10 +551,16 @@ class JobService:
                     f"(max_attempts={record.spec.max_attempts})"
                 )
                 record.finished_at = monotonic() - self._started
+                if self.wal is not None:
+                    self.wal.append("job_finish", job=job_id,
+                                    status=JobStatus.FAILED,
+                                    error=record.error)
                 failed = True
             else:
                 record.status = JobStatus.PENDING
                 self.broker.put(job_id, record.spec.priority, force=True)
+                if self.wal is not None:
+                    self.wal.append("job_requeue", job=job_id)
                 failed = False
         if failed:
             self.tracer.count("serve.jobs_failed")
@@ -319,10 +568,13 @@ class JobService:
             self.tracer.count("serve.jobs_retried")
 
     def _dispatch(self) -> None:
+        if self._draining:
+            return  # drain: let running jobs checkpoint, start nothing
         while self.pool.idle_workers():
             job_id = self.broker.get_nowait()
             if job_id is None:
                 break
+            dispatched = False
             with self._lock:
                 record = self._records.get(job_id)
                 if record is None or record.status != JobStatus.PENDING:
@@ -335,6 +587,13 @@ class JobService:
                 record.worker_id = worker_id
                 record.attempts += 1
                 record.started_at = monotonic() - self._started
+                if self.wal is not None:
+                    self.wal.append("job_dispatch", job=job_id,
+                                    attempt=record.attempts,
+                                    worker=worker_id)
+                dispatched = True
+            if dispatched:
+                self._fault("serve.dispatch")
 
     def _autoscale(self) -> None:
         with self._lock:
@@ -353,6 +612,9 @@ class JobService:
         tracer = self.tracer
         tracer.gauge("serve.queue_depth", float(self.broker.depth()))
         tracer.gauge("serve.workers", float(self.pool.num_workers()))
+        if self.wal is not None:
+            tracer.gauge("serve.wal_records",
+                         float(self.wal.records_written))
         for worker_id, (ts, jobs_done, rss_mb) in (
                 self.pool.heartbeats.items()):
             tracer.gauge(f"serve.worker.{worker_id}.last_heartbeat",

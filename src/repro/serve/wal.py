@@ -1,0 +1,276 @@
+"""Write-ahead log + durable broker: the crash-safe half of the service.
+
+PR 9 made *worker* death survivable; this module makes the **service
+process** itself survivable.  Every queue transition and job lifecycle
+event is appended to a JSONL write-ahead log before (or atomically with)
+the in-memory state change, so a SIGKILL of the service, followed by a
+restart over the same spool + WAL, reconstructs the queue and the job
+records exactly — no accepted job is lost, and requeued jobs resume from
+their phase-boundary checkpoints (the PR-4 guarantee, extended one level
+up).
+
+Record stream
+-------------
+One JSON object per line, ``{"op": ..., ...}``.  Two families share the
+file:
+
+* **queue ops**, written by :class:`DurableBroker` — ``put`` (a job id
+  enters the queue), ``take`` (dequeued for dispatch), ``cancel``
+  (a pending job tombstoned);
+* **job ops**, written by :class:`~repro.serve.service.JobService` —
+  ``job_submit`` (carries the full spec, so a restart can rebuild the
+  record), ``job_dispatch`` (attempt counter), ``job_requeue``,
+  ``job_finish`` (terminal status + meta/error), ``job_cancel``;
+* ``snapshot`` — a compaction record holding the entire durable state
+  (queue contents in pop order + per-job states); always the first line
+  after :meth:`WriteAheadLog.compact` rewrites the file.
+
+Torn-tail tolerance reuses the
+:class:`~repro.obs.serve.RingFileSource` idiom: a crash mid-append
+leaves a final line that fails JSON parsing, which replay skips (and
+counts) rather than refusing the whole log.  Appends are flushed on
+every record, so a SIGKILL loses at most the line being written;
+``fsync=True`` extends the guarantee to OS/power failure at the cost of
+one ``fsync(2)`` per record.
+
+Replay is **idempotent and pure**: :func:`replay_jobs` folds a record
+list into per-job states without touching the log, and constructing two
+:class:`DurableBroker` instances over the same file yields identical
+queue contents — compaction preserves both (property-tested in
+``tests/serve/test_wal.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.serve.broker import Broker, InMemoryBroker
+from repro.serve.job import JobStatus
+
+__all__ = ["DurableBroker", "WriteAheadLog", "replay_jobs"]
+
+
+class WriteAheadLog:
+    """Append-only JSONL log with torn-tail-tolerant replay.
+
+    ``fsync`` selects the durability policy: ``False`` (default) flushes
+    every append to the OS — surviving any *process* death — while
+    ``True`` additionally ``fsync``\\ s so records survive OS/power
+    failure.  All methods are thread-safe.
+    """
+
+    def __init__(self, path, *, fsync: bool = False):
+        self.path = str(path)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._fh = None
+        #: Appends since the file was opened or last compacted — the
+        #: service's compaction trigger.
+        self.records_written = 0
+        #: Unparseable lines skipped by the last :meth:`replay`.
+        self.torn_lines = 0
+
+    def _handle(self):
+        if self._fh is None or self._fh.closed:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, op: str, **fields) -> dict:
+        """Append one record; flushed (and optionally fsynced) before
+        returning, so a crash after :meth:`append` cannot lose it."""
+        record = {"op": op, **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            fh = self._handle()
+            fh.write(line + "\n")
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            self.records_written += 1
+        return record
+
+    def replay(self) -> list[dict]:
+        """Every parseable record, oldest first (missing file: empty).
+
+        A torn trailing line — the writer died mid-append — fails JSON
+        parsing and is skipped; so is any interior line a disk error
+        mangled.  The skip count lands in :attr:`torn_lines` so the
+        service can surface it as a metric instead of dying on it.
+        """
+        with self._lock:
+            self.torn_lines = 0
+            try:
+                with open(self.path, "r", encoding="utf-8",
+                          errors="replace") as fh:
+                    lines = fh.read().splitlines()
+            except FileNotFoundError:
+                return []
+            records: list[dict] = []
+            for line in lines:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.torn_lines += 1
+                    continue
+                if isinstance(record, dict) and isinstance(
+                        record.get("op"), str):
+                    records.append(record)
+                else:
+                    self.torn_lines += 1
+            return records
+
+    def compact(self, snapshot: dict) -> None:
+        """Atomically replace the log with one ``snapshot`` record.
+
+        The snapshot must capture the full durable state (the service
+        builds it from its records + the broker's queue) so that
+        replaying the compacted log reconstructs exactly the state the
+        uncompacted log would have — a crash mid-compaction leaves the
+        old log (temp file + ``os.replace``), never a truncated one.
+        """
+        line = json.dumps({"op": "snapshot", **snapshot},
+                          sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self.records_written = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+
+
+class DurableBroker(Broker):
+    """WAL-backed queue behind the :class:`~repro.serve.broker.Broker`
+    protocol: every transition is logged, construction replays the log.
+
+    Wraps an :class:`~repro.serve.broker.InMemoryBroker` (or any broker
+    exposing ``entries()``); ordering, bounds and backpressure are the
+    inner broker's.  Replayed ``put``\\ s bypass the bound (``force``) —
+    a job the previous incarnation accepted must never be dropped by a
+    smaller restart-time queue.  The log is written *after* the inner
+    state change under one lock, so a bounded ``put`` that raises
+    :class:`~repro.utils.errors.QueueFullError` logs nothing.
+    """
+
+    def __init__(self, wal: "WriteAheadLog | str | os.PathLike",
+                 inner: "Broker | None" = None):
+        self.wal = (wal if isinstance(wal, WriteAheadLog)
+                    else WriteAheadLog(wal))
+        self._inner = inner if inner is not None else InMemoryBroker()
+        self._lock = threading.RLock()
+        for record in self.wal.replay():
+            self._apply(record)
+
+    def _apply(self, record: dict) -> None:
+        """Fold one replayed record into the inner queue (no logging)."""
+        op = record.get("op")
+        if op == "snapshot":
+            for entry in record.get("queue", []):
+                self._inner.put(str(entry[0]), int(entry[1]), force=True)
+        elif op == "put":
+            self._inner.put(str(record["job"]),
+                            int(record.get("priority", 0)), force=True)
+        elif op in ("take", "cancel"):
+            self._inner.cancel(str(record["job"]))
+        # job_* records carry no queue state; the service replays those.
+
+    def put(self, job_id: str, priority: int = 0, *,
+            force: bool = False) -> None:
+        with self._lock:
+            self._inner.put(job_id, priority, force=force)
+            self.wal.append("put", job=job_id, priority=priority)
+
+    def get_nowait(self) -> "str | None":
+        with self._lock:
+            job_id = self._inner.get_nowait()
+            if job_id is not None:
+                self.wal.append("take", job=job_id)
+            return job_id
+
+    def cancel(self, job_id: str) -> bool:
+        with self._lock:
+            removed = self._inner.cancel(job_id)
+            if removed:
+                self.wal.append("cancel", job=job_id)
+            return removed
+
+    def depth(self) -> int:
+        return self._inner.depth()
+
+    def entries(self) -> "list[tuple[str, int]]":
+        return self._inner.entries()
+
+    def close(self) -> None:
+        """Close the underlying log's file handle (queue state remains)."""
+        self.wal.close()
+
+
+def replay_jobs(records: "list[dict]") -> "dict[str, dict]":
+    """Fold WAL records into per-job states (pure — replay twice, get
+    the same answer).
+
+    Returns ``{job_id: {"spec", "status", "attempts", "error", "meta",
+    "priority"}}``.  Queue ops (``put``/``take``/``cancel``) are the
+    broker's concern and are ignored here; job ops drive the record
+    lifecycle.  A ``job_dispatch`` for an unknown id (its ``job_submit``
+    fell in a torn tail) is dropped — there is no spec to rerun it with.
+    """
+    jobs: dict[str, dict] = {}
+    for record in records:
+        op = record.get("op")
+        if op == "snapshot":
+            for job_id, state in record.get("jobs", {}).items():
+                jobs[str(job_id)] = dict(state)
+        elif op == "job_submit":
+            jobs[str(record["job"])] = {
+                "spec": record.get("spec"),
+                "status": JobStatus.PENDING,
+                "attempts": 0,
+                "error": None,
+                "meta": None,
+                "priority": int(record.get("priority", 0)),
+            }
+        elif op == "job_dispatch":
+            state = jobs.get(str(record.get("job")))
+            if state is not None and state["status"] not in JobStatus.TERMINAL:
+                state["status"] = JobStatus.RUNNING
+                state["attempts"] = int(
+                    record.get("attempt", state["attempts"] + 1))
+        elif op == "job_requeue":
+            state = jobs.get(str(record.get("job")))
+            if state is not None and state["status"] not in JobStatus.TERMINAL:
+                state["status"] = JobStatus.PENDING
+        elif op == "job_finish":
+            state = jobs.get(str(record.get("job")))
+            if state is not None and state["status"] not in JobStatus.TERMINAL:
+                status = record.get("status")
+                if status in (JobStatus.DONE, JobStatus.FAILED):
+                    state["status"] = status
+                    state["error"] = record.get("error")
+                    state["meta"] = record.get("meta")
+        elif op == "job_cancel":
+            # First terminal state wins, same as job_finish: the live
+            # service never logs a cancel after a finish, but a replayed
+            # prefix plus a snapshot can present them out of order.
+            state = jobs.get(str(record.get("job")))
+            if state is not None and state["status"] not in JobStatus.TERMINAL:
+                state["status"] = JobStatus.CANCELLED
+    return jobs

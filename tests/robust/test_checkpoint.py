@@ -11,6 +11,7 @@ from repro.core.driver import louvain
 from repro.distributed.louvain_dist import distributed_louvain
 from repro.graph.generators import planted_partition
 from repro.robust.checkpoint import (
+    DIGEST_KEY,
     Checkpoint,
     config_fingerprint,
     describe_checkpoint,
@@ -85,6 +86,62 @@ class TestPersistence:
         path.write_bytes(path.read_bytes()[:100])
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
+
+
+class TestIntegrity:
+    """Content digests + fail-fast fingerprint validation on load."""
+
+    def _tamper(self, path):
+        """Alter one array while keeping the stored digest stale."""
+        data = dict(np.load(path, allow_pickle=False))
+        data["mapping"] = data["mapping"] + 1
+        np.savez(path, **data)
+
+    def test_digest_detects_tampered_array(self, graph, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        _interrupted(graph, path)
+        self._tamper(path)
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(path)
+
+    def test_bit_flip_detected(self, graph, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        _interrupted(graph, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_expected_fingerprint_round_trip(self, graph, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+        _interrupted(graph, path)
+        fingerprint = load_checkpoint(path).config_fingerprint
+        ckpt = load_checkpoint(path, expected_fingerprint=fingerprint)
+        assert ckpt.config_fingerprint == fingerprint
+
+    def test_fingerprint_validated_before_arrays(self, graph, tmp_path):
+        # The fingerprint lives in the tiny meta entry and is checked
+        # first: a wrong-config resume fails fast even when the array
+        # payload is corrupt — the digest never runs.
+        path = tmp_path / "run.ckpt.npz"
+        _interrupted(graph, path)
+        good = load_checkpoint(path).config_fingerprint
+        self._tamper(path)  # arrays corrupt; meta intact
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            load_checkpoint(path, expected_fingerprint="0" * 40)
+        # The matching fingerprint proceeds to the digest, which trips.
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(path, expected_fingerprint=good)
+
+    def test_digestless_archive_still_loads(self, graph, tmp_path):
+        # Pre-digest spools remain readable (no digest, no check).
+        path = tmp_path / "run.ckpt.npz"
+        _interrupted(graph, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data.pop(DIGEST_KEY)
+        np.savez(path, **data)
+        assert load_checkpoint(path).phase_index == 1
 
 
 _BACKENDS = ["serial", "threads"]

@@ -37,7 +37,9 @@ def server(tmp_path):
 
 @pytest.fixture
 def client(server):
-    return ServeClient(server.url)
+    # retries=0: these tests assert on the raw status surface; the
+    # retry/backoff layer gets its own tests below.
+    return ServeClient(server.url, retries=0)
 
 
 class TestRoundTrip:
@@ -120,3 +122,116 @@ class TestErrorStatuses:
         assert exc.value.status == 409
         # Cancel the running one too so teardown is quick.
         client.cancel(running)
+
+    def test_429_carries_retry_after(self, client):
+        running = client.submit(SLOW_SPEC)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if client.status(running)["status"] == JobStatus.RUNNING:
+                break
+            time.sleep(0.005)
+        queued = [client.submit(SLOW_SPEC) for _ in range(2)]
+        with pytest.raises(ServeAPIError) as exc:
+            client.submit(SLOW_SPEC)
+        assert exc.value.status == 429
+        assert exc.value.retry_after == 1.0
+        for job_id in queued + [running]:
+            client.cancel(job_id)
+
+    def test_cancel_completed_job_409_with_terminal_status(self, client):
+        # Satellite: cancelling an already-completed job answers 409
+        # with the job's terminal status in the body, not just prose.
+        import json
+        import urllib.error
+        import urllib.request
+
+        job_id = client.submit({"graph": FAST_REF})
+        record = client.wait(job_id, timeout=90.0)
+        assert record["status"] == JobStatus.DONE
+        request = urllib.request.Request(
+            f"{client.base_url}/jobs/{job_id}/cancel", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10.0)
+        with exc.value:
+            assert exc.value.code == 409
+            body = json.loads(exc.value.read().decode("utf-8"))
+        assert body["status"] == JobStatus.DONE
+        assert body["job_id"] == job_id
+
+
+class TestClientRetry:
+    """The bounded retry/backoff layer, driven deterministically."""
+
+    def _client(self, **kwargs):
+        kwargs.setdefault("backoff_s", 0.001)
+        kwargs.setdefault("max_backoff_s", 0.002)
+        return ServeClient("http://127.0.0.1:1", **kwargs)
+
+    def test_connection_errors_retried_then_raised(self, monkeypatch):
+        import urllib.error
+
+        client = self._client(retries=2)
+        calls = []
+
+        def flaky(method, path, payload=None):
+            calls.append(path)
+            raise urllib.error.URLError("connection refused")
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        with pytest.raises(urllib.error.URLError):
+            client._request("GET", "/healthz")
+        assert len(calls) == 3  # initial + 2 retries
+
+    def test_recovers_when_service_comes_back(self, monkeypatch):
+        client = self._client(retries=3)
+        calls = []
+
+        def flaky(method, path, payload=None):
+            calls.append(path)
+            if len(calls) < 3:
+                raise ConnectionResetError("mid-restart")
+            return {"status": "ok"}
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        assert client._request("GET", "/healthz") == {"status": "ok"}
+        assert len(calls) == 3
+
+    def test_429_honors_retry_after(self, monkeypatch):
+        client = self._client(retries=2)
+        calls = []
+
+        def backpressured(method, path, payload=None):
+            calls.append(path)
+            if len(calls) < 2:
+                raise ServeAPIError(429, "queue full", retry_after=0.0)
+            return {"job_id": "job-000000"}
+
+        monkeypatch.setattr(client, "_request_once", backpressured)
+        assert client._request("POST", "/jobs", {})["job_id"] == "job-000000"
+        assert len(calls) == 2
+
+    def test_deliberate_api_errors_never_retried(self, monkeypatch):
+        client = self._client(retries=5)
+        calls = []
+
+        def answer(method, path, payload=None):
+            calls.append(path)
+            raise ServeAPIError(409, "already done")
+
+        monkeypatch.setattr(client, "_request_once", answer)
+        with pytest.raises(ServeAPIError):
+            client._request("POST", "/jobs/job-000000/cancel")
+        assert len(calls) == 1  # 409 is an answer, not an outage
+
+    def test_zero_retries_disables_the_loop(self, monkeypatch):
+        client = self._client(retries=0)
+        calls = []
+
+        def flaky(method, path, payload=None):
+            calls.append(path)
+            raise ConnectionResetError("boom")
+
+        monkeypatch.setattr(client, "_request_once", flaky)
+        with pytest.raises(ConnectionResetError):
+            client._request("GET", "/healthz")
+        assert len(calls) == 1

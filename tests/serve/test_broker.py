@@ -84,3 +84,22 @@ class TestCancel:
         broker.cancel("a")
         broker.put("a")
         assert broker.get_nowait() == "a"
+        assert broker.get_nowait() is None  # exactly one entry survives
+
+    def test_double_cancel_second_is_noop(self):
+        broker = InMemoryBroker()
+        broker.put("a")
+        assert broker.cancel("a") is True
+        assert broker.cancel("a") is False
+        assert broker.depth() == 0
+        assert broker.get_nowait() is None
+
+    def test_reput_queued_id_is_noop(self):
+        # A job id names one job: the first put wins its position and
+        # priority, so WAL replay of duplicate puts converges.
+        broker = InMemoryBroker()
+        broker.put("a", priority=1)
+        broker.put("a", priority=9)
+        assert broker.entries() == [("a", 1)]
+        assert broker.get_nowait() == "a"
+        assert broker.get_nowait() is None

@@ -206,6 +206,71 @@ class TestBackpressureAndCancel:
         assert service.result("job-999999") is None
 
 
+class TestCancellationRaces:
+    """Deterministic reenactments of the cancel races: each test drives
+    the control-loop steps by hand so the interleaving is exact, not a
+    matter of scheduler luck."""
+
+    def test_cancel_racing_dispatch_skips_the_job(self, tmp_path):
+        # The control loop takes the id off the queue, then the cancel
+        # lands before _dispatch marks it RUNNING: the status guard
+        # must drop the dispatch, never run a cancelled job.
+        svc = JobService(str(tmp_path / "spool"))
+        job_id = svc.submit({"graph": "planted:3x12"})
+        assert svc.broker.get_nowait() == job_id  # the dispatch's take
+        assert svc.cancel(job_id) is True         # cancel wins the race
+        svc.broker.put(job_id, 0, force=True)     # the taken id, back
+        svc.pool.spawn()
+        svc._dispatch()
+        record = svc.status(job_id)
+        assert record["status"] == JobStatus.CANCELLED
+        assert record["attempts"] == 0
+        assert svc.pool.busy_count() == 0
+        svc.stop()
+
+    def test_cancel_racing_completion_keeps_terminal_status(self, tmp_path):
+        # The worker's completion message is in flight when the cancel
+        # lands: first terminal state wins, in the records *and* in the
+        # WAL's replay.
+        svc = JobService(str(tmp_path / "spool"), wal=True)
+        job_id = svc.submit({"graph": GRAPH_REF})
+        with svc._lock:
+            record = svc._records[job_id]
+            record.status = JobStatus.RUNNING
+            record.worker_id = 7
+            record.attempts = 1
+        assert svc.cancel(job_id) is True
+        svc._on_done(7, job_id, "ok", {"modularity": 0.5})
+        assert svc.status(job_id)["status"] == JobStatus.CANCELLED
+        assert svc.result(job_id) is None
+        from repro.serve.wal import replay_jobs
+
+        states = replay_jobs(svc.wal.replay())
+        assert states[job_id]["status"] == JobStatus.CANCELLED
+        svc.stop()
+
+    def test_double_cancel_single_effect(self, tmp_path):
+        svc = JobService(str(tmp_path / "spool"), wal=True)
+        job_id = svc.submit({"graph": "planted:3x12"})
+        assert svc.cancel(job_id) is True
+        assert svc.cancel(job_id) is False
+        assert svc.tracer.metrics.counters["serve.jobs_cancelled"] == 1
+        cancels = [r for r in svc.wal.replay()
+                   if r.get("op") == "job_cancel"]
+        assert len(cancels) == 1  # the second cancel logged nothing
+        svc.stop()
+
+    def test_kill_guard_spares_a_worker_on_another_job(self, tmp_path):
+        # By the time the control loop services a kill request the
+        # worker may have finished the cancelled job and moved on:
+        # expect_job makes the kill refuse instead of murdering the
+        # innocent successor's attempt.
+        svc = JobService(str(tmp_path / "spool"))
+        worker_id = svc.pool.spawn()
+        assert svc.pool.kill(worker_id, expect_job="job-000000") is False
+        svc.stop()
+
+
 class TestAutoscale:
     def test_policy_desired(self):
         policy = AutoscalePolicy(min_workers=1, max_workers=4,

@@ -1,0 +1,305 @@
+"""WAL + DurableBroker: torn tails, replay idempotence, compaction.
+
+The property tests pin the two durability invariants the recovery path
+leans on:
+
+* **replay is idempotent** — constructing two ``DurableBroker``\\ s over
+  the same log yields identical queue contents;
+* **compaction preserves replay equivalence** — snapshotting the state
+  and replaying the compacted log reconstructs exactly what the
+  uncompacted log would have.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.broker import InMemoryBroker
+from repro.serve.job import JobStatus
+from repro.serve.wal import DurableBroker, WriteAheadLog, replay_jobs
+from repro.utils.errors import QueueFullError
+
+
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.wal")
+        wal.append("put", job="job-000000", priority=2)
+        wal.append("take", job="job-000000")
+        records = wal.replay()
+        assert records == [
+            {"op": "put", "job": "job-000000", "priority": 2},
+            {"op": "take", "job": "job-000000"},
+        ]
+        assert wal.torn_lines == 0
+        wal.close()
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "absent.wal")
+        assert wal.replay() == []
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path)
+        wal.append("put", job="a", priority=0)
+        wal.append("put", job="b", priority=0)
+        # Simulate a crash mid-append: a truncated final line.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op":"put","job":"c"')
+        records = wal.replay()
+        assert [r["job"] for r in records] == ["a", "b"]
+        assert wal.torn_lines == 1
+        wal.close()
+
+    def test_non_object_lines_counted_as_torn(self, tmp_path):
+        path = tmp_path / "w.wal"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('[1,2,3]\n{"no_op_key":1}\n{"op":"put","job":"a"}\n')
+        wal = WriteAheadLog(path)
+        assert [r["job"] for r in wal.replay()] == ["a"]
+        assert wal.torn_lines == 2
+
+    def test_records_written_counter_and_compact_reset(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.wal")
+        for i in range(5):
+            wal.append("put", job=f"job-{i:06d}", priority=0)
+        assert wal.records_written == 5
+        wal.compact({"queue": [["job-000004", 0]], "jobs": {}})
+        assert wal.records_written == 0
+        records = wal.replay()
+        assert len(records) == 1 and records[0]["op"] == "snapshot"
+        wal.close()
+
+    def test_compact_is_atomic_single_line(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path)
+        wal.append("put", job="a", priority=0)
+        wal.compact({"queue": [], "jobs": {"a": {"status": "done"}}})
+        with open(path, encoding="utf-8") as fh:
+            lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["op"] == "snapshot"
+        assert not os.path.exists(str(path) + ".tmp")
+        wal.close()
+
+    def test_fsync_mode_appends_fine(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.wal", fsync=True)
+        wal.append("put", job="a", priority=1)
+        assert wal.replay() == [{"op": "put", "job": "a", "priority": 1}]
+        wal.close()
+
+    def test_append_after_compact_continues_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.wal")
+        wal.append("put", job="a", priority=0)
+        wal.compact({"queue": [["a", 0]], "jobs": {}})
+        wal.append("take", job="a")
+        ops = [r["op"] for r in wal.replay()]
+        assert ops == ["snapshot", "take"]
+        wal.close()
+
+
+class TestDurableBroker:
+    def test_queue_rebuilt_from_log(self, tmp_path):
+        path = tmp_path / "w.wal"
+        broker = DurableBroker(path)
+        broker.put("job-000000", 1)
+        broker.put("job-000001", 5)
+        broker.put("job-000002", 1)
+        assert broker.get_nowait() == "job-000001"  # dequeued → logged
+        rebuilt = DurableBroker(path)
+        assert rebuilt.entries() == [("job-000000", 1), ("job-000002", 1)]
+        broker.close()
+
+    def test_cancel_logged_and_replayed(self, tmp_path):
+        path = tmp_path / "w.wal"
+        broker = DurableBroker(path)
+        broker.put("a", 0)
+        broker.put("b", 0)
+        assert broker.cancel("a")
+        assert not broker.cancel("zzz")  # not queued: nothing logged
+        rebuilt = DurableBroker(path)
+        assert rebuilt.entries() == [("b", 0)]
+        broker.close()
+
+    def test_queue_full_logs_nothing(self, tmp_path):
+        path = tmp_path / "w.wal"
+        broker = DurableBroker(path, inner=InMemoryBroker(maxsize=1))
+        broker.put("a", 0)
+        with pytest.raises(QueueFullError):
+            broker.put("b", 0)
+        rebuilt = DurableBroker(path, inner=InMemoryBroker(maxsize=1))
+        assert rebuilt.entries() == [("a", 0)]
+        broker.close()
+
+    def test_replayed_puts_bypass_restart_bound(self, tmp_path):
+        # A smaller restart-time queue must not drop accepted jobs.
+        path = tmp_path / "w.wal"
+        broker = DurableBroker(path, inner=InMemoryBroker(maxsize=8))
+        for i in range(4):
+            broker.put(f"job-{i:06d}", 0)
+        rebuilt = DurableBroker(path, inner=InMemoryBroker(maxsize=1))
+        assert len(rebuilt.entries()) == 4
+        broker.close()
+
+
+# -- property tests ------------------------------------------------------
+
+_JOB_IDS = st.integers(min_value=0, max_value=9).map(
+    lambda i: f"job-{i:06d}")
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _JOB_IDS,
+                  st.integers(min_value=-3, max_value=3)),
+        st.tuples(st.just("take"), st.none(), st.none()),
+        st.tuples(st.just("cancel"), _JOB_IDS, st.none()),
+    ),
+    max_size=40,
+)
+
+
+def _drive(broker, ops):
+    """Apply an op sequence to a broker (duplicates and misses included)."""
+    for action, job_id, priority in ops:
+        if action == "put":
+            broker.put(job_id, priority, force=True)
+        elif action == "take":
+            broker.get_nowait()
+        else:
+            broker.cancel(job_id)
+
+
+class TestReplayProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=_OPS)
+    def test_replay_is_idempotent(self, ops):
+        # tempfile, not tmp_path: @given re-enters the test body many
+        # times but pytest builds the fixture once per test.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "w.wal")
+            live = DurableBroker(path)
+            _drive(live, ops)
+            replay_one = DurableBroker(path)
+            replay_two = DurableBroker(path)
+            assert replay_one.entries() == replay_two.entries()
+            assert replay_one.entries() == live.entries()
+            live.close()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=_OPS, split=st.integers(min_value=0, max_value=40))
+    def test_compaction_preserves_replay_equivalence(self, ops, split):
+        split = min(split, len(ops))
+        with tempfile.TemporaryDirectory() as tmp:
+            # Uncompacted reference: all ops in one log.
+            ref_path = os.path.join(tmp, "ref.wal")
+            ref = DurableBroker(ref_path)
+            _drive(ref, ops)
+            # Compacted subject: same ops, a snapshot mid-stream.
+            subj_path = os.path.join(tmp, "subj.wal")
+            subj = DurableBroker(subj_path)
+            _drive(subj, ops[:split])
+            subj.wal.compact({"queue": [list(e) for e in subj.entries()],
+                              "jobs": {}})
+            _drive(subj, ops[split:])
+            assert (DurableBroker(subj_path).entries()
+                    == DurableBroker(ref_path).entries())
+            ref.close()
+            subj.close()
+
+
+_SPEC = {"graph": "planted:4x20?p_in=0.4&p_out=0.01&seed=3"}
+
+
+def _submit(job, priority=0):
+    return {"op": "job_submit", "job": job, "spec": dict(_SPEC),
+            "priority": priority}
+
+
+class TestReplayJobs:
+    def test_lifecycle_fold(self):
+        records = [
+            _submit("job-000000"),
+            {"op": "job_dispatch", "job": "job-000000", "attempt": 1,
+             "worker": 0},
+            {"op": "job_finish", "job": "job-000000",
+             "status": JobStatus.DONE, "meta": {"modularity": 0.5}},
+            _submit("job-000001"),
+            {"op": "job_dispatch", "job": "job-000001", "attempt": 1,
+             "worker": 1},
+        ]
+        jobs = replay_jobs(records)
+        assert jobs["job-000000"]["status"] == JobStatus.DONE
+        assert jobs["job-000000"]["meta"] == {"modularity": 0.5}
+        assert jobs["job-000001"]["status"] == JobStatus.RUNNING
+        assert jobs["job-000001"]["attempts"] == 1
+
+    def test_pure_and_idempotent(self):
+        records = [
+            _submit("job-000000"),
+            {"op": "job_dispatch", "job": "job-000000", "attempt": 1},
+            {"op": "job_requeue", "job": "job-000000"},
+        ]
+        first = replay_jobs(records)
+        second = replay_jobs(records)
+        assert first == second
+        assert first["job-000000"]["status"] == JobStatus.PENDING
+
+    def test_finish_cannot_override_cancel(self):
+        # A worker's completion racing a cancel must not resurrect the
+        # job on replay: first terminal state wins.
+        records = [
+            _submit("job-000000"),
+            {"op": "job_dispatch", "job": "job-000000", "attempt": 1},
+            {"op": "job_cancel", "job": "job-000000"},
+            {"op": "job_finish", "job": "job-000000",
+             "status": JobStatus.DONE, "meta": {}},
+        ]
+        assert (replay_jobs(records)["job-000000"]["status"]
+                == JobStatus.CANCELLED)
+
+    def test_dispatch_without_submit_dropped(self):
+        # The submit fell in a torn tail: no spec, nothing to rerun.
+        records = [{"op": "job_dispatch", "job": "job-000000",
+                    "attempt": 1}]
+        assert replay_jobs(records) == {}
+
+    def test_snapshot_seeds_state(self):
+        records = [
+            {"op": "snapshot", "queue": [],
+             "jobs": {"job-000000": {"spec": dict(_SPEC),
+                                     "status": JobStatus.RUNNING,
+                                     "attempts": 2, "error": None,
+                                     "meta": None, "priority": 0}}},
+            {"op": "job_requeue", "job": "job-000000"},
+        ]
+        jobs = replay_jobs(records)
+        assert jobs["job-000000"]["status"] == JobStatus.PENDING
+        assert jobs["job-000000"]["attempts"] == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_fold_never_leaves_terminal(self, data):
+        # Once DONE/FAILED/CANCELLED, later dispatch/requeue records
+        # (raced out by the crash) must not revive the job.
+        terminal_op = data.draw(st.sampled_from([
+            {"op": "job_finish", "job": "j", "status": JobStatus.DONE,
+             "meta": {}},
+            {"op": "job_finish", "job": "j", "status": JobStatus.FAILED,
+             "error": "x"},
+            {"op": "job_cancel", "job": "j"},
+        ]))
+        tail = data.draw(st.lists(st.sampled_from([
+            {"op": "job_dispatch", "job": "j", "attempt": 9},
+            {"op": "job_requeue", "job": "j"},
+            {"op": "job_finish", "job": "j", "status": JobStatus.DONE,
+             "meta": {"late": True}},
+            {"op": "job_cancel", "job": "j"},
+        ]), max_size=6))
+        records = [_submit("j"), terminal_op, *tail]
+        status = replay_jobs(records)["j"]["status"]
+        if terminal_op["op"] == "job_cancel":
+            assert status == JobStatus.CANCELLED
+        else:
+            assert status == terminal_op["status"]
