@@ -126,8 +126,15 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(400, {"error": "body must be a JSON object "
                                                "(a job spec)"})
                 return
+            # The idempotency key rides alongside the spec fields; it is
+            # the service's concern (resubmit dedup), not the JobSpec's.
+            idem = payload.pop("idempotency_key", None)
+            if idem is not None and not isinstance(idem, str):
+                self._send_json(400, {"error": "idempotency_key must be "
+                                               "a string"})
+                return
             try:
-                job_id = self.service.submit(payload)
+                job_id = self.service.submit(payload, idempotency_key=idem)
             except QueueFullError as exc:
                 # Retry-After lets a well-behaved client back off for
                 # the advertised window instead of hammering the queue.

@@ -10,7 +10,9 @@ Requests are retried with bounded exponential backoff (full jitter) on
 is an expected event now that restarts recover state — and on ``429``
 backpressure, honoring the server's ``Retry-After`` when present.
 Deliberate API errors (400/404/409) are never retried: they are answers,
-not outages.
+not outages.  ``POST /jobs`` carries a per-call idempotency key so the
+retry of a submit whose response was lost dedupes server-side to the
+original job instead of creating a duplicate.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import random
 import threading
 import urllib.error
 import urllib.request
+import uuid
 
 from repro.utils.errors import ReproError
 from repro.utils.timing import monotonic
@@ -115,8 +118,17 @@ class ServeClient:
     # -- API calls -------------------------------------------------------
 
     def submit(self, spec: dict) -> str:
-        """Submit a job spec; returns the job id."""
-        return self._request("POST", "/jobs", spec)["job_id"]
+        """Submit a job spec; returns the job id.
+
+        Each call attaches a fresh idempotency key, so the retry loop is
+        safe for this non-idempotent POST: if the service accepted the
+        job but the response was lost (read timeout after the WAL logged
+        it), the retried request dedupes to the same job id instead of
+        enqueuing a duplicate no one will ever poll.
+        """
+        payload = dict(spec)
+        payload.setdefault("idempotency_key", uuid.uuid4().hex)
+        return self._request("POST", "/jobs", payload)["job_id"]
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

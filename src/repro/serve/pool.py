@@ -251,7 +251,7 @@ class _WorkerSlot:
     """One live worker: process + private task queue + current job."""
 
     __slots__ = ("worker_id", "process", "task_q", "job_id", "idle_since",
-                 "stopping")
+                 "stopping", "kill_job", "kill_deadline")
 
     def __init__(self, worker_id: int, process, task_q):
         self.worker_id = worker_id
@@ -260,6 +260,11 @@ class _WorkerSlot:
         self.job_id: "str | None" = None
         self.idle_since = monotonic()
         self.stopping = False
+        #: Pending-kill state: the job the worker was SIGTERMed over and
+        #: the deadline after which :meth:`WorkerPool.escalate_kills`
+        #: sends SIGKILL if it is still running that job.
+        self.kill_job: "str | None" = None
+        self.kill_deadline: "float | None" = None
 
 
 class WorkerPool:
@@ -271,6 +276,10 @@ class WorkerPool:
     spawn-only platforms work too because tasks are plain JSON-able data
     and :func:`_worker_main` is a module-level function.
     """
+
+    #: Seconds a kill()ed worker gets to honor SIGTERM (checkpoint at a
+    #: sweep boundary) before :meth:`escalate_kills` sends SIGKILL.
+    KILL_GRACE_S = 5.0
 
     def __init__(self, spool: str):
         self.spool = spool
@@ -329,12 +338,19 @@ class WorkerPool:
 
     def kill(self, worker_id: int,
              expect_job: "str | None" = None) -> bool:
-        """Forcibly terminate a worker (the cancel-running-job path).
+        """Terminate a worker (the cancel-running-job path), escalating.
 
         ``expect_job`` guards the cancel-vs-completion race: by the time
         the control loop services a kill request the worker may have
         finished that job (completion message in flight) and taken a new
         one — killing it then would murder an innocent job's attempt.
+
+        The SIGTERM is cooperative: the worker's signal-armed budget
+        scope cancels at the next *sweep boundary*, so a stalled or very
+        long sweep could otherwise ignore the one-shot kill forever.
+        :meth:`escalate_kills` (called every control-loop tick) sends
+        SIGKILL once :attr:`KILL_GRACE_S` passes without the worker
+        leaving the job.
         """
         slot = self._slots.get(worker_id)
         if slot is None:
@@ -342,17 +358,44 @@ class WorkerPool:
         if expect_job is not None and slot.job_id != expect_job:
             return False
         slot.process.terminate()
+        slot.kill_job = slot.job_id
+        slot.kill_deadline = monotonic() + self.KILL_GRACE_S
         return True
+
+    def escalate_kills(self) -> int:
+        """SIGKILL workers that ignored :meth:`kill`'s SIGTERM.
+
+        A worker still running the job it was told to abandon after the
+        grace period gets the non-catchable signal; :meth:`reap` then
+        retires it like any other death.  Workers that finished the job
+        in the meantime (completion drained, ``job_id`` moved on) are
+        spared — the pending kill is stale, exactly the ``expect_job``
+        guard one level later.
+        """
+        count = 0
+        now = monotonic()
+        for slot in list(self._slots.values()):
+            if slot.kill_deadline is None or now < slot.kill_deadline:
+                continue
+            if (slot.job_id is not None and slot.job_id == slot.kill_job
+                    and slot.process.exitcode is None):
+                slot.process.kill()
+                count += 1
+            slot.kill_deadline = None
+            slot.kill_job = None
+        return count
 
     def signal_busy(self, sig: int) -> int:
         """Send ``sig`` to every worker currently running a job.
 
         The drain path: SIGTERM reaches the worker's signal-armed budget
         scope, which cancels the run at the next sweep boundary and
-        checkpoints (see :func:`_run_job`'s injected budget).
+        checkpoints (see :func:`_run_job`'s injected budget).  Called
+        from the drain caller's thread while the control loop mutates
+        the pool, hence the snapshot copy of the slot table.
         """
         count = 0
-        for slot in self._slots.values():
+        for slot in list(self._slots.values()):
             if (slot.job_id is not None and slot.process.pid is not None
                     and slot.process.exitcode is None):
                 try:
@@ -363,8 +406,13 @@ class WorkerPool:
         return count
 
     def busy_count(self) -> int:
-        """Workers currently running a job (what a drain waits on)."""
-        return sum(1 for s in self._slots.values() if s.job_id is not None)
+        """Workers currently running a job (what a drain waits on).
+
+        Snapshot-copied for the same cross-thread reason as
+        :meth:`signal_busy`.
+        """
+        return sum(1 for s in list(self._slots.values())
+                   if s.job_id is not None)
 
     def _retire(self, slot: _WorkerSlot) -> None:
         slot.process.join()
@@ -417,6 +465,11 @@ class WorkerPool:
             if slot.job_id == job_id:
                 slot.job_id = None
                 slot.idle_since = monotonic()
+                if slot.kill_job == job_id:
+                    # The worker outran its pending kill (drained or
+                    # finished); don't escalate over a completed job.
+                    slot.kill_job = None
+                    slot.kill_deadline = None
             out.append((worker_id, job_id, status, meta))
         return out
 

@@ -144,6 +144,9 @@ class JobService:
         self._faults = FaultInjector.from_plan(fault_plan)
         self.pool = WorkerPool(spool)
         self._records: dict[str, JobRecord] = {}
+        #: Idempotency key -> job id; a resubmitted key returns the
+        #: original job instead of enqueuing a duplicate.
+        self._idem: dict[str, str] = {}
         self._lock = threading.RLock()
         self._next_job = 0
         self._kill_requests: set[str] = set()
@@ -210,6 +213,9 @@ class JobService:
                     error=state.get("error"),
                     meta=state.get("meta"),
                 )
+                idem = state.get("idem")
+                if idem is not None:
+                    self._idem[str(idem)] = job_id
                 if record.status == JobStatus.RUNNING:
                     record.status = JobStatus.PENDING
                     if job_id not in queued:
@@ -246,6 +252,8 @@ class JobService:
     def _snapshot(self) -> dict:
         """The full durable state, in the shape replay reconstructs."""
         with self._lock:
+            idem_by_job = {job_id: key
+                           for key, job_id in self._idem.items()}
             jobs = {
                 job_id: {
                     "spec": record.spec.to_dict(),
@@ -254,6 +262,7 @@ class JobService:
                     "error": record.error,
                     "meta": record.meta,
                     "priority": record.spec.priority,
+                    "idem": idem_by_job.get(job_id),
                 }
                 for job_id, record in self._records.items()
             }
@@ -264,17 +273,39 @@ class JobService:
     def _compact(self) -> None:
         if self.wal is None:
             return
-        self.wal.compact(self._snapshot())
+        # The record lock is held across BOTH the snapshot build and the
+        # log rewrite: every other WAL append happens under this lock,
+        # so nothing can slip a record (e.g. a submit's put/job_submit)
+        # into the window between snapshotting the state and replacing
+        # the file — compaction would silently erase it.  Lock order
+        # stays service -> broker -> wal, same as the append paths.
+        with self._lock:
+            self.wal.compact(self._snapshot())
         self.tracer.count("serve.wal_compactions")
 
     # -- public API (any thread) ----------------------------------------
 
-    def submit(self, spec: "JobSpec | dict") -> str:
+    def submit(self, spec: "JobSpec | dict", *,
+               idempotency_key: "str | None" = None) -> str:
         """Accept a job; returns its id.  Raises
         :class:`~repro.utils.errors.ValidationError` on a bad spec and
-        :class:`~repro.utils.errors.QueueFullError` on backpressure."""
+        :class:`~repro.utils.errors.QueueFullError` on backpressure.
+
+        ``idempotency_key`` makes resubmission safe: a key the service
+        has already accepted returns the original job id without
+        enqueuing anything — the client's retry of a submit whose
+        *response* was lost must not become a second job.  Keys survive
+        restarts (they ride the WAL's ``job_submit`` records and the
+        compaction snapshot).
+        """
         if isinstance(spec, dict):
             spec = JobSpec.from_dict(spec)
+        if idempotency_key is not None:
+            with self._lock:
+                existing = self._idem.get(idempotency_key)
+                if existing is not None and existing in self._records:
+                    self.tracer.count("serve.jobs_deduped")
+                    return existing
         # Validate the config fields up front so a bad spec is a 400 at
         # submit time, not a failed job minutes later.  The instance is
         # discarded; the worker rebuilds (and revalidates) its own.
@@ -285,6 +316,13 @@ class JobService:
         except TypeError as exc:  # unknown field names
             raise ValidationError(f"bad job config: {exc}") from None
         with self._lock:
+            if idempotency_key is not None:
+                # Re-check under the same hold that registers the key: a
+                # concurrent duplicate submit must map to one job.
+                existing = self._idem.get(idempotency_key)
+                if existing is not None and existing in self._records:
+                    self.tracer.count("serve.jobs_deduped")
+                    return existing
             job_id = f"job-{self._next_job:06d}"
             try:
                 self.broker.put(job_id, spec.priority)
@@ -296,9 +334,12 @@ class JobService:
                 job_id=job_id, spec=spec,
                 submitted_at=monotonic() - self._started,
             )
+            if idempotency_key is not None:
+                self._idem[idempotency_key] = job_id
             if self.wal is not None:
                 self.wal.append("job_submit", job=job_id,
-                                spec=spec.to_dict(), priority=spec.priority)
+                                spec=spec.to_dict(), priority=spec.priority,
+                                idem=idempotency_key)
         self._fault("serve.submit")
         self.tracer.count("serve.jobs_submitted")
         self.tracer.gauge("serve.queue_depth", float(self.broker.depth()))
@@ -448,6 +489,9 @@ class JobService:
 
     def _tick(self) -> None:
         self._service_kill_requests()
+        escalated = self.pool.escalate_kills()
+        if escalated:
+            self.tracer.count("serve.kills_escalated", float(escalated))
         for worker_id, job_id, status, meta in self.pool.drain_done():
             self._on_done(worker_id, job_id, status, meta)
         for worker_id, job_id in self.pool.reap():

@@ -18,9 +18,10 @@ file:
   enters the queue), ``take`` (dequeued for dispatch), ``cancel``
   (a pending job tombstoned);
 * **job ops**, written by :class:`~repro.serve.service.JobService` —
-  ``job_submit`` (carries the full spec, so a restart can rebuild the
-  record), ``job_dispatch`` (attempt counter), ``job_requeue``,
-  ``job_finish`` (terminal status + meta/error), ``job_cancel``;
+  ``job_submit`` (carries the full spec plus the client's idempotency
+  key, so a restart can rebuild the record *and* the dedup map),
+  ``job_dispatch`` (attempt counter), ``job_requeue``, ``job_finish``
+  (terminal status + meta/error), ``job_cancel``;
 * ``snapshot`` — a compaction record holding the entire durable state
   (queue contents in pop order + per-job states); always the first line
   after :meth:`WriteAheadLog.compact` rewrites the file.
@@ -52,6 +53,24 @@ from repro.serve.job import JobStatus
 __all__ = ["DurableBroker", "WriteAheadLog", "replay_jobs"]
 
 
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creations inside it are durable.
+
+    Best-effort: some filesystems refuse ``open(O_RDONLY)`` on a
+    directory — then there is nothing stronger available anyway.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class WriteAheadLog:
     """Append-only JSONL log with torn-tail-tolerant replay.
 
@@ -77,7 +96,14 @@ class WriteAheadLog:
             parent = os.path.dirname(self.path)
             if parent:
                 os.makedirs(parent, exist_ok=True)
+            created = not os.path.exists(self.path)
             self._fh = open(self.path, "a", encoding="utf-8")
+            if created and self.fsync:
+                # A new file's directory entry is only durable once the
+                # directory itself is fsynced; without this, a power
+                # failure can lose the whole log even though every
+                # append fsynced its data.
+                _fsync_dir(parent or ".")
         return self._fh
 
     def append(self, op: str, **fields) -> dict:
@@ -148,6 +174,12 @@ class WriteAheadLog:
                 if self.fsync:
                     os.fsync(fh.fileno())
             os.replace(tmp, self.path)
+            if self.fsync:
+                # The rename itself lives in the directory: without a
+                # directory fsync a power failure can roll it back (or
+                # leave neither name durable), re-exposing the long log
+                # the snapshot replaced — or worse, no log at all.
+                _fsync_dir(os.path.dirname(self.path) or ".")
             self.records_written = 0
 
     def close(self) -> None:
@@ -247,6 +279,7 @@ def replay_jobs(records: "list[dict]") -> "dict[str, dict]":
                 "error": None,
                 "meta": None,
                 "priority": int(record.get("priority", 0)),
+                "idem": record.get("idem"),
             }
         elif op == "job_dispatch":
             state = jobs.get(str(record.get("job")))

@@ -235,3 +235,47 @@ class TestClientRetry:
         with pytest.raises(ConnectionResetError):
             client._request("GET", "/healthz")
         assert len(calls) == 1
+
+
+class TestSubmitIdempotency:
+    """A retried POST /jobs must not become a second job."""
+
+    def test_same_key_dedupes_to_one_job(self, client):
+        payload = dict(SLOW_SPEC, idempotency_key="retry-abc")
+        first = client._request("POST", "/jobs", payload)["job_id"]
+        second = client._request("POST", "/jobs", payload)["job_id"]
+        assert first == second
+        assert len(client.jobs()) == 1
+
+    def test_non_string_key_is_400(self, client):
+        with pytest.raises(ServeAPIError) as exc:
+            client._request("POST", "/jobs",
+                            dict(SLOW_SPEC, idempotency_key=7))
+        assert exc.value.status == 400
+
+    def test_client_submit_attaches_fresh_keys(self, monkeypatch):
+        client = ServeClient("http://127.0.0.1:1", retries=0)
+        payloads = []
+
+        def capture(method, path, payload=None):
+            payloads.append(payload)
+            return {"job_id": f"job-{len(payloads):06d}"}
+
+        monkeypatch.setattr(client, "_request", capture)
+        client.submit({"graph": FAST_REF})
+        client.submit({"graph": FAST_REF})
+        keys = [p["idempotency_key"] for p in payloads]
+        assert all(isinstance(k, str) and k for k in keys)
+        assert keys[0] != keys[1]  # fresh per call, not per client
+
+    def test_client_caller_key_wins(self, monkeypatch):
+        client = ServeClient("http://127.0.0.1:1", retries=0)
+        payloads = []
+
+        def capture(method, path, payload=None):
+            payloads.append(payload)
+            return {"job_id": "job-000000"}
+
+        monkeypatch.setattr(client, "_request", capture)
+        client.submit({"graph": FAST_REF, "idempotency_key": "mine"})
+        assert payloads[0]["idempotency_key"] == "mine"

@@ -354,3 +354,151 @@ class TestSpecValidationAtSubmit:
     def test_spec_instance_accepted(self, service):
         job_id = service.submit(JobSpec(graph="planted:3x12"))
         assert wait_terminal(service, job_id)["status"] == JobStatus.DONE
+
+
+class TestCompactionVsSubmitRace:
+    """Regression: _compact() must hold the record lock across snapshot
+    *and* log rewrite, or a submit landing in between is erased."""
+
+    def test_submit_during_compaction_survives_replay(self, tmp_path):
+        import threading
+
+        from repro.serve.wal import replay_jobs
+
+        svc = JobService(str(tmp_path / "spool"), wal=True)
+        svc.submit({"graph": "planted:3x12"})
+        original_compact = svc.wal.compact
+        window_open = threading.Event()
+
+        def slow_compact(snapshot):
+            # Hold the rewrite open so a concurrent submit gets a real
+            # chance to append into the (formerly unlocked) window.
+            window_open.set()
+            time.sleep(0.3)
+            original_compact(snapshot)
+
+        svc.wal.compact = slow_compact
+        racer_ids = []
+
+        def racer():
+            window_open.wait(10.0)
+            racer_ids.append(svc.submit({"graph": "planted:3x12"}))
+
+        thread = threading.Thread(target=racer)
+        thread.start()
+        svc._compact()
+        thread.join(30.0)
+        svc.wal.compact = original_compact
+        assert racer_ids, "racing submit never completed"
+        # Before any healing re-compaction: the racer's job must already
+        # have a durable trace, both as a record and in the queue.
+        states = replay_jobs(svc.wal.replay())
+        assert racer_ids[0] in states
+        assert states[racer_ids[0]]["status"] == JobStatus.PENDING
+        puts = [r["job"] for r in svc.wal.replay() if r.get("op") == "put"]
+        assert racer_ids[0] in puts
+        svc.stop()
+
+
+class TestIdempotentSubmit:
+    def test_same_key_returns_same_job(self, tmp_path):
+        svc = JobService(str(tmp_path / "spool"), wal=True)
+        first = svc.submit({"graph": "planted:3x12"}, idempotency_key="k1")
+        second = svc.submit({"graph": "planted:3x12"}, idempotency_key="k1")
+        assert first == second
+        assert len(svc.jobs()) == 1
+        assert svc.broker.depth() == 1
+        assert svc.tracer.metrics.counters["serve.jobs_deduped"] == 1
+        svc.stop()
+
+    def test_distinct_keys_distinct_jobs(self, tmp_path):
+        svc = JobService(str(tmp_path / "spool"))
+        first = svc.submit({"graph": "planted:3x12"}, idempotency_key="k1")
+        second = svc.submit({"graph": "planted:3x12"}, idempotency_key="k2")
+        assert first != second
+        assert len(svc.jobs()) == 2
+        svc.stop()
+
+    def test_key_survives_restart_and_compaction(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        svc = JobService(spool, wal=True)
+        first = svc.submit({"graph": "planted:3x12"}, idempotency_key="k1")
+        svc.stop()  # compacts: the key must ride the snapshot too
+        restarted = JobService(spool, wal=True)
+        second = restarted.submit({"graph": "planted:3x12"},
+                                  idempotency_key="k1")
+        assert first == second
+        assert len(restarted.jobs()) == 1
+        restarted.stop()
+
+
+class _StubProcess:
+    """Process stand-in for pool kill-escalation unit tests."""
+
+    def __init__(self):
+        self.pid = 12345
+        self.exitcode = None
+        self.terminated = False
+        self.killed = False
+
+    def terminate(self):
+        self.terminated = True
+
+    def kill(self):
+        self.killed = True
+
+
+class TestKillEscalation:
+    """kill() is cooperative (SIGTERM at a sweep boundary); a worker that
+    ignores it must still be forcibly killable after the grace period."""
+
+    def _pool_with_stub(self, tmp_path):
+        from repro.serve.pool import WorkerPool, _WorkerSlot
+        from repro.utils.timing import monotonic
+
+        pool = WorkerPool(str(tmp_path))
+        process = _StubProcess()
+        slot = _WorkerSlot(0, process, None)
+        slot.job_id = "job-000000"
+        pool._slots[0] = slot
+        return pool, slot, process, monotonic
+
+    def test_kill_arms_the_escalation_deadline(self, tmp_path):
+        pool, slot, process, _ = self._pool_with_stub(tmp_path)
+        assert pool.kill(0, expect_job="job-000000") is True
+        assert process.terminated
+        assert slot.kill_job == "job-000000"
+        assert slot.kill_deadline is not None
+        # Grace period not yet over: no SIGKILL.
+        assert pool.escalate_kills() == 0
+        assert not process.killed
+
+    def test_escalates_to_sigkill_after_grace(self, tmp_path):
+        pool, slot, process, monotonic = self._pool_with_stub(tmp_path)
+        assert pool.kill(0, expect_job="job-000000") is True
+        slot.kill_deadline = monotonic() - 1.0  # grace period elapsed
+        assert pool.escalate_kills() == 1
+        assert process.killed
+        assert slot.kill_deadline is None and slot.kill_job is None
+
+    def test_spares_worker_that_moved_on(self, tmp_path):
+        pool, slot, process, monotonic = self._pool_with_stub(tmp_path)
+        assert pool.kill(0, expect_job="job-000000") is True
+        slot.job_id = "job-000001"  # finished the doomed job, took another
+        slot.kill_deadline = monotonic() - 1.0
+        assert pool.escalate_kills() == 0
+        assert not process.killed
+        assert slot.kill_deadline is None  # stale request discarded
+
+    def test_drain_done_clears_pending_kill(self, tmp_path):
+        pool, slot, process, _ = self._pool_with_stub(tmp_path)
+        assert pool.kill(0, expect_job="job-000000") is True
+        pool._done_q.put(("done", 0, "job-000000", "drained", {}))
+        deadline = time.monotonic() + 5.0
+        drained = []
+        while time.monotonic() < deadline and not drained:
+            drained = pool.drain_done()
+            time.sleep(0.01)
+        assert drained == [(0, "job-000000", "drained", {})]
+        assert slot.kill_job is None and slot.kill_deadline is None
+        assert not process.killed

@@ -303,3 +303,37 @@ class TestReplayJobs:
             assert status == JobStatus.CANCELLED
         else:
             assert status == terminal_op["status"]
+
+
+class TestFsyncDurability:
+    """fsync=True also fsyncs the directory on create and compaction
+    rename — functionally a no-op, so these pin the code paths run."""
+
+    def test_append_and_compact_roundtrip_with_fsync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "sub" / "serve.wal", fsync=True)
+        wal.append("put", job="a", priority=0)
+        wal.compact({"queue": [["a", 0]], "jobs": {}})
+        wal.append("take", job="a")
+        records = wal.replay()
+        assert [r["op"] for r in records] == ["snapshot", "take"]
+        wal.close()
+
+
+class TestIdempotencyKeyReplay:
+    def test_job_submit_carries_the_key_through_replay(self):
+        records = [
+            {"op": "job_submit", "job": "job-000000",
+             "spec": {"graph": "planted:3x12"}, "priority": 0,
+             "idem": "k1"},
+        ]
+        assert replay_jobs(records)["job-000000"]["idem"] == "k1"
+
+    def test_snapshot_carries_the_key_through_replay(self):
+        records = [
+            {"op": "snapshot", "queue": [],
+             "jobs": {"job-000000": {
+                 "spec": {"graph": "planted:3x12"}, "status": "pending",
+                 "attempts": 0, "error": None, "meta": None,
+                 "priority": 0, "idem": "k1"}}},
+        ]
+        assert replay_jobs(records)["job-000000"]["idem"] == "k1"
